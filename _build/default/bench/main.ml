@@ -1,0 +1,675 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (plus the DESIGN.md extension experiments), then runs one
+   Bechamel micro-benchmark per experiment kernel.
+
+   Usage: dune exec bench/main.exe [-- --quick|--full] [--only ID] [--no-micro] [--csv DIR]
+
+   The default configuration is a documented downsampling of the paper's
+   budgets (coarser parameter grid, fewer seeds) so the whole harness
+   finishes in minutes; --full uses the paper's Table 2 grid and 8 runs. *)
+
+module Topology = Phi_net.Topology
+module Cubic = Phi_tcp.Cubic
+module Table = Phi_util.Table
+module Stats = Phi_util.Stats
+open Phi_experiments
+
+type budget = { grid : Sweep.grid; seeds : int list; duration_s : float; label : string }
+
+let quick_budget =
+  {
+    grid = { Sweep.ssthresh = [ 2.; 64. ]; init_w = [ 2.; 16. ]; beta = [ 0.2 ] };
+    seeds = [ 1; 2 ];
+    duration_s = 45.;
+    label = "quick (4-point grid, 2 seeds, 45 s runs)";
+  }
+
+let default_budget =
+  {
+    grid = Sweep.coarse_grid;
+    seeds = [ 1; 2; 3 ];
+    duration_s = 90.;
+    label = "default (48-point grid, 3 seeds, 90 s runs; --full for the paper grid)";
+  }
+
+let full_budget =
+  {
+    grid = Sweep.paper_grid;
+    seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    duration_s = 120.;
+    label = "full (paper 576-point grid, 8 seeds, 120 s runs)";
+  }
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* Optional CSV export of figure data (--csv DIR). *)
+let csv_dir : string option ref = ref None
+
+let csv_out name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir name in
+    Phi_util.Csv.write ~path ~header rows;
+    Printf.printf "(wrote %s)\n" path
+
+let mbps bps = Table.fmt_float (bps /. 1e6)
+let ms s = Table.fmt_float (1000. *. s) ~decimals:1
+let pct x = Table.fmt_float (100. *. x) ^ "%"
+
+(* {2 Table 1} *)
+
+let bench_table1 _budget =
+  section "Table 1: default settings of the TCP Cubic parameters";
+  let p = Cubic.default_params in
+  Table.print ~align:[ Table.Left; Table.Left ]
+    ~headers:[ "Parameter"; "Default value" ]
+    [
+      [ "initial_ssthresh"; Printf.sprintf "%g segments (arbitrarily large)" p.Cubic.initial_ssthresh ];
+      [ "windowInit_"; Printf.sprintf "%g segments" p.Cubic.initial_cwnd ];
+      [ "beta"; Printf.sprintf "%g" p.Cubic.beta ];
+    ]
+
+(* {2 Table 2} *)
+
+let bench_table2 budget =
+  section "Table 2: parameter sweep ranges";
+  let render_grid name (g : Sweep.grid) =
+    [
+      [ name ^ " initial_ssthresh"; String.concat " " (List.map string_of_float g.Sweep.ssthresh) ];
+      [ name ^ " windowInit_"; String.concat " " (List.map string_of_float g.Sweep.init_w) ];
+      [ name ^ " beta"; String.concat " " (List.map (Printf.sprintf "%.1f") g.Sweep.beta) ];
+    ]
+  in
+  Table.print ~align:[ Table.Left; Table.Left ]
+    ~headers:[ "Grid"; "Values" ]
+    (render_grid "paper" Sweep.paper_grid @ render_grid "this run" budget.grid)
+
+(* {2 Figure 2a/2b: sweep scatter} *)
+
+let print_sweep_points ~keep (sweep : Sweep.t) =
+  let best = Sweep.optimal sweep in
+  let row marker (p : Sweep.point) =
+    [
+      marker;
+      Cubic.params_to_string p.Sweep.params;
+      mbps p.Sweep.mean_throughput_bps;
+      ms p.Sweep.mean_queueing_delay_s;
+      pct p.Sweep.mean_loss_rate;
+      Table.fmt_float p.Sweep.mean_power;
+    ]
+  in
+  (* Keep the table readable: best/default plus the [keep] next-best
+     settings. *)
+  let others =
+    sweep.Sweep.points
+    |> List.filter (fun p -> p != best)
+    |> List.sort (fun a b -> compare b.Sweep.mean_power a.Sweep.mean_power)
+    |> List.filteri (fun i _ -> i < keep)
+  in
+  Table.print ~align:[ Table.Left; Table.Left ]
+    ~headers:[ ""; "ssthresh/init/beta"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l" ]
+    ((row "optimal" best :: List.map (row "") others)
+    @ [ row "default" sweep.Sweep.default_point ]);
+  Printf.printf "(%d settings swept; showing optimal, top %d, default)\n"
+    (List.length sweep.Sweep.points) keep
+
+let run_sweep budget config =
+  let config = { config with Scenario.duration_s = budget.duration_s } in
+  Sweep.run config budget.grid ~seeds:budget.seeds
+
+let sweep_csv name (sweep : Sweep.t) =
+  let row marker (p : Sweep.point) =
+    [
+      Cubic.params_to_string p.Sweep.params;
+      Phi_util.Csv.float_cell p.Sweep.params.Cubic.initial_ssthresh;
+      Phi_util.Csv.float_cell p.Sweep.params.Cubic.initial_cwnd;
+      Phi_util.Csv.float_cell p.Sweep.params.Cubic.beta;
+      Phi_util.Csv.float_cell p.Sweep.mean_throughput_bps;
+      Phi_util.Csv.float_cell p.Sweep.mean_queueing_delay_s;
+      Phi_util.Csv.float_cell p.Sweep.mean_loss_rate;
+      Phi_util.Csv.float_cell p.Sweep.mean_power;
+      marker;
+    ]
+  in
+  let best = Sweep.optimal sweep in
+  csv_out name
+    ~header:
+      [ "params"; "ssthresh"; "init_cwnd"; "beta"; "throughput_bps"; "queueing_delay_s";
+        "loss_rate"; "power"; "marker" ]
+    (List.map
+       (fun p -> row (if p == best then "optimal" else "") p)
+       sweep.Sweep.points
+    @ [ row "default" sweep.Sweep.default_point ])
+
+let bench_figure2a budget =
+  section "Figure 2a: Cubic parameter sweep, low link utilization (500 KB on / 2 s off)";
+  let sweep = run_sweep budget Scenario.low_utilization in
+  print_sweep_points ~keep:6 sweep;
+  sweep_csv "figure2a.csv" sweep;
+  sweep
+
+let bench_figure2b budget =
+  section "Figure 2b: Cubic parameter sweep, high link utilization (500 KB on / 0.3 s off)";
+  let sweep = run_sweep budget Scenario.high_utilization in
+  print_sweep_points ~keep:6 sweep;
+  let best = Sweep.optimal sweep in
+  Printf.printf
+    "paper's observation: optimal uses larger init window, much smaller ssthresh, lower loss\n";
+  Printf.printf "  optimal %s vs default %s | loss %s vs %s (paper: 0.01%% vs 3.92%%)\n"
+    (Cubic.params_to_string best.Sweep.params)
+    (Cubic.params_to_string sweep.Sweep.default_point.Sweep.params)
+    (pct best.Sweep.mean_loss_rate)
+    (pct sweep.Sweep.default_point.Sweep.mean_loss_rate);
+  sweep_csv "figure2b.csv" sweep;
+  sweep
+
+(* {2 Figure 2c: long-running flows, beta sweep} *)
+
+let bench_figure2c budget =
+  section "Figure 2c: 100 long-running connections (~99% utilization), beta sweep";
+  let betas = (Sweep.beta_grid : Sweep.grid).Sweep.beta in
+  let n_flows = if budget.label = quick_budget.label then 40 else 100 in
+  let results =
+    Sweep.run_longrunning ~spec:Topology.paper_spec ~n_flows ~duration_s:budget.duration_s
+      ~seeds:[ List.hd budget.seeds ] ~betas
+  in
+  Table.print
+    ~headers:[ "beta"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l" ]
+    (List.map
+       (fun (beta, (p : Sweep.point)) ->
+         [
+           Table.fmt_float beta ~decimals:1;
+           mbps p.Sweep.mean_throughput_bps;
+           ms p.Sweep.mean_queueing_delay_s;
+           pct p.Sweep.mean_loss_rate;
+           Table.fmt_float p.Sweep.mean_power;
+         ])
+       results);
+  csv_out "figure2c.csv"
+    ~header:[ "beta"; "throughput_bps"; "queueing_delay_s"; "loss_rate"; "power" ]
+    (List.map
+       (fun (beta, (p : Sweep.point)) ->
+         [
+           Phi_util.Csv.float_cell beta;
+           Phi_util.Csv.float_cell p.Sweep.mean_throughput_bps;
+           Phi_util.Csv.float_cell p.Sweep.mean_queueing_delay_s;
+           Phi_util.Csv.float_cell p.Sweep.mean_loss_rate;
+           Phi_util.Csv.float_cell p.Sweep.mean_power;
+         ])
+       results);
+  let q_of b = (List.assoc b results).Sweep.mean_queueing_delay_s in
+  Printf.printf
+    "paper's observation: larger beta (sharper back-off) yields much lower queueing delay\n";
+  Printf.printf "  qdelay at beta 0.2: %s ms vs beta 0.8: %s ms (n_flows=%d)\n"
+    (ms (q_of 0.2)) (ms (q_of 0.8)) n_flows
+
+(* {2 Figure 3: leave-one-out stability} *)
+
+let bench_figure3 ~(sweep_low : Sweep.t) ~(sweep_high : Sweep.t) =
+  section "Figure 3: stability of the optimal setting (leave-one-out validation)";
+  let row name sweep =
+    let v = Sweep.validate sweep in
+    [
+      name;
+      Table.fmt_float v.Sweep.default_power;
+      Table.fmt_float v.Sweep.common_power;
+      Table.fmt_float v.Sweep.optimal_power;
+      pct ((v.Sweep.common_power -. v.Sweep.default_power)
+          /. Float.max 1e-9 (v.Sweep.optimal_power -. v.Sweep.default_power));
+    ]
+  in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "workload"; "default P_l"; "common (LOO) P_l"; "optimal P_l"; "gain retained" ]
+    [ row "low utilization" sweep_low; row "high utilization" sweep_high ];
+  print_endline
+    "paper's observation: the common (cross-run) setting retains nearly all of the optimal's gain"
+
+(* {2 Figure 4: incremental deployment} *)
+
+let bench_figure4 budget ~(sweep_low : Sweep.t) =
+  section "Figure 4: incremental deployment (half modified, half default)";
+  let optimal = (Sweep.optimal sweep_low).Sweep.params in
+  let config =
+    { Scenario.low_utilization with Scenario.duration_s = budget.duration_s }
+  in
+  let r = Incremental.run ~params_modified:optimal config in
+  let group name (g : Incremental.group_result) =
+    [
+      name;
+      string_of_int g.Incremental.connections;
+      mbps g.Incremental.throughput_bps;
+      ms g.Incremental.queueing_delay_s;
+      pct g.Incremental.loss_proxy;
+      Table.fmt_float g.Incremental.power;
+    ]
+  in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "group"; "conns"; "thr Mbps"; "qdelay ms"; "rexmit"; "power P_l" ]
+    [ group "modified (optimal params)" r.Incremental.modified;
+      group "unmodified (defaults)" r.Incremental.unmodified ];
+  Printf.printf "modified senders use %s; unmodified keep %s\n"
+    (Cubic.params_to_string optimal)
+    (Cubic.params_to_string Cubic.default_params);
+  (* Ablation: the same half-and-half split with a RED bottleneck.  The
+     paper's incentive argument (Section 3.1) rests on FIFO drop-tail
+     queueing; RED's early dropping shields the unmodified senders from
+     the default setting's standing queue. *)
+  let with_red engine dumbbell =
+    let bottleneck = dumbbell.Phi_net.Topology.bottleneck in
+    ignore engine;
+    Phi_net.Link.set_discipline bottleneck
+      ~rng:(Phi_util.Prng.create ~seed:4242)
+      (Phi_net.Link.Red
+         (Phi_net.Link.default_red
+            ~capacity_pkts:(Phi_net.Link.capacity_pkts bottleneck)
+            ()))
+  in
+  let red = Incremental.run ~observe:with_red ~params_modified:optimal config in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "group (RED bottleneck)"; "conns"; "thr Mbps"; "qdelay ms"; "rexmit"; "power P_l" ]
+    [ group "modified (optimal params)" red.Incremental.modified;
+      group "unmodified (defaults)" red.Incremental.unmodified ];
+  Printf.printf
+    "ablation — drop-tail vs RED: unmodified qdelay %s -> %s ms (RED curbs the default's standing queue)\n"
+    (ms r.Incremental.unmodified.Incremental.queueing_delay_s)
+    (ms red.Incremental.unmodified.Incremental.queueing_delay_s);
+  (* The DESIGN.md ablation: deployment-fraction sweep. *)
+  let sweep =
+    Incremental.fraction_sweep ~fractions:[ 0.25; 0.5; 0.75; 1.0 ] ~params_modified:optimal
+      ~seeds:[ List.hd budget.seeds ] config
+  in
+  Table.print
+    ~headers:[ "fraction modified"; "modified P_l"; "unmodified P_l" ]
+    (List.map
+       (fun (f, m, u) ->
+         [
+           pct f;
+           Table.fmt_float m.Incremental.power;
+           (if u.Incremental.connections = 0 then "-" else Table.fmt_float u.Incremental.power);
+         ])
+       sweep)
+
+(* {2 Table 3: Remy vs Phi} *)
+
+let bench_table3 budget =
+  section "Table 3: Remy / Remy-Phi / Cubic on the paper dumbbell";
+  let config = { Scenario.table3 with Scenario.duration_s = Float.min 60. budget.duration_s } in
+  let rows = Table3.run ~seeds:budget.seeds config in
+  let paper name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) Table3.paper_rows with
+    | Some (_, thr, d, obj) ->
+      (Printf.sprintf "%.2f" thr, Printf.sprintf "%.1f" d, Printf.sprintf "%.2f" obj)
+    | None -> ("?", "?", "?")
+  in
+  Table.print ~align:[ Table.Left ]
+    ~headers:
+      [
+        "Algorithm"; "thr Mbps"; "(paper)"; "qdelay ms"; "(paper)"; "objective"; "(paper)";
+        "conns"; "msgs";
+      ]
+    (List.map
+       (fun (r : Table3.row) ->
+         let pt, pd, po = paper r.Table3.name in
+         [
+           r.Table3.name;
+           mbps r.Table3.median_throughput_bps;
+           pt;
+           ms r.Table3.median_queueing_delay_s;
+           pd;
+           Table.fmt_float r.Table3.median_objective;
+           po;
+           string_of_int r.Table3.connections;
+           string_of_int r.Table3.server_messages;
+         ])
+       rows);
+  print_endline
+    "shape to reproduce: objective Phi-ideal >= Phi-practical > Remy > Cubic; Cubic worst delay";
+  (* Ablation: a delay-based baseline (TCP Vegas) on the same workload,
+     for perspective on what autonomous delay feedback achieves without
+     any shared state. *)
+  let vegas =
+    Scenario.run
+      ~cc_factory:(fun _ () -> Phi_tcp.Vegas.make ())
+      { config with Scenario.seed = List.hd budget.seeds }
+  in
+  let records = vegas.Scenario.records in
+  let median f =
+    match List.filter_map f records with
+    | [] -> nan
+    | l -> Stats.median (Array.of_list l)
+  in
+  let thr =
+    median (fun r ->
+        let t = Phi_tcp.Flow.throughput_bps r in
+        if t > 0. then Some t else None)
+  in
+  let qd =
+    median (fun r ->
+        let q = Phi_tcp.Flow.queueing_delay r in
+        if Float.is_finite q && q >= 0. then Some q else None)
+  in
+  Printf.printf "ablation — TCP Vegas (autonomous, delay-based): %s Mbps median, %s ms qdelay\n"
+    (mbps thr) (ms qd)
+
+(* {2 Section 2.1: path sharing} *)
+
+let bench_sharing _budget =
+  section "Section 2.1: flows sharing the WAN path (IPFIX, 1-in-4096 sampling)";
+  let r = Sharing_experiment.run ~seed:7 () in
+  Printf.printf "trace: %d flows, observed after sampling: %d (in %d subnet-minute slices)\n"
+    r.Sharing_experiment.total_flows r.Sharing_experiment.sampled_flows
+    r.Sharing_experiment.slices;
+  Table.print
+    ~headers:[ "shares path with >= k others"; "fraction of flows"; "paper" ]
+    (List.map
+       (fun (k, frac) ->
+         let paper =
+           match List.assoc_opt k Sharing_experiment.paper_points with
+           | Some p -> pct p
+           | None -> "-"
+         in
+         [ string_of_int k; pct frac; paper ])
+       r.Sharing_experiment.ccdf)
+
+(* {2 Figure 5: outage detection and localization} *)
+
+let bench_figure5 _budget =
+  section "Figure 5: unreachability event detection and localization";
+  let r = Figure5.run ~seed:11 () in
+  let inj = r.Figure5.injected in
+  Printf.printf "injected: %d min outage at minute %d, scope %s, severity %s\n"
+    inj.Phi_workload.Request_stream.duration_min inj.Phi_workload.Request_stream.start_min
+    (Format.asprintf "%a" Phi_workload.Request_stream.pp_scope
+       inj.Phi_workload.Request_stream.scope)
+    (pct inj.Phi_workload.Request_stream.severity);
+  (match r.Figure5.events with
+  | [] -> print_endline "NO EVENT DETECTED (unexpected)"
+  | events ->
+    List.iter
+      (fun e -> Printf.printf "detected: %s\n" (Format.asprintf "%a" Phi_diagnosis.Anomaly.pp e))
+      events);
+  (match r.Figure5.localization with
+  | Some f ->
+    Printf.printf "localized to: %s (deficit share %s, own drop %s)\n"
+      (Format.asprintf "%a" Phi_workload.Request_stream.pp_scope f.Phi_diagnosis.Localize.scope)
+      (pct f.Phi_diagnosis.Localize.deficit_share)
+      (pct f.Phi_diagnosis.Localize.own_drop)
+  | None -> print_endline "no localization (unexpected)");
+  Printf.printf "correct localization: %b\n" (Figure5.correctly_localized r);
+  (* The figure itself: the affected slice's volume vs its baseline around
+     the event, in 15-minute bins. *)
+  let start = Stdlib.max 0 (inj.Phi_workload.Request_stream.start_min - 60) in
+  let stop =
+    Stdlib.min
+      (Array.length r.Figure5.affected_series)
+      (inj.Phi_workload.Request_stream.start_min + inj.Phi_workload.Request_stream.duration_min + 60)
+  in
+  let bins = ref [] in
+  let i = ref start in
+  while !i + 15 <= stop do
+    let slice a = Stats.mean (Array.sub a !i 15) in
+    bins :=
+      [
+        string_of_int !i;
+        Table.fmt_float ~decimals:0 (slice r.Figure5.affected_baseline);
+        Table.fmt_float ~decimals:0 (slice r.Figure5.affected_series);
+      ]
+      :: !bins;
+    i := !i + 15
+  done;
+  Table.print ~headers:[ "minute"; "expected req/min"; "actual req/min" ] (List.rev !bins);
+  csv_out "figure5.csv"
+    ~header:[ "minute"; "affected_actual"; "affected_expected"; "total_actual" ]
+    (List.init
+       (Array.length r.Figure5.affected_series)
+       (fun i ->
+         [
+           string_of_int i;
+           Phi_util.Csv.float_cell r.Figure5.affected_series.(i);
+           Phi_util.Csv.float_cell r.Figure5.affected_baseline.(i);
+           Phi_util.Csv.float_cell r.Figure5.total_series.(i);
+         ]));
+  (* Ablation: CUSUM change-point detection vs the robust-z run detector
+     (detection latency from the injected start). *)
+  let baseline = Phi_diagnosis.Series.seasonal_baseline r.Figure5.total_series in
+  let cusum_events =
+    Phi_diagnosis.Cusum.detect ~actual:r.Figure5.total_series ~baseline ()
+  in
+  let runs_latency =
+    match r.Figure5.events with
+    | e :: _ -> Printf.sprintf "%d min" (e.Phi_diagnosis.Anomaly.start_min - inj.Phi_workload.Request_stream.start_min + 5)
+    | [] -> "not detected"
+  in
+  let cusum_latency =
+    match
+      Phi_diagnosis.Cusum.detection_latency
+        ~injected_start:inj.Phi_workload.Request_stream.start_min cusum_events
+    with
+    | Some l -> Printf.sprintf "%d min" l
+    | None -> "not detected"
+  in
+  Printf.printf "ablation — detection latency: robust-z runs ~%s vs CUSUM %s\n" runs_latency
+    cusum_latency
+
+(* {2 Section 3.3: prioritization} *)
+
+let bench_priority budget =
+  section "Section 3.3: prioritization across an entity's flows (weighted ensemble)";
+  let r =
+    Priority_experiment.run ~duration_s:budget.duration_s ~spec:Topology.paper_spec ~seed:3 ()
+  in
+  Table.print
+    ~headers:[ "flow weight"; "throughput Mbps" ]
+    (List.map
+       (fun (f : Priority_experiment.flow_share) ->
+         [
+           Table.fmt_float f.Priority_experiment.weight;
+           mbps f.Priority_experiment.throughput_bps;
+         ])
+       r.Priority_experiment.entity_flows);
+  Printf.printf "entity aggregate: %s Mbps vs %s Mbps for the same number of standard flows\n"
+    (mbps r.Priority_experiment.entity_aggregate_bps)
+    (mbps r.Priority_experiment.reference_aggregate_bps);
+  Printf.printf "competitors kept: %s Mbps (vs %s in the all-standard control)\n"
+    (mbps r.Priority_experiment.competitor_aggregate_bps)
+    (mbps r.Priority_experiment.competitor_reference_bps)
+
+(* {2 Section 3.5: performance prediction} *)
+
+let bench_predict _budget =
+  section "Section 3.5: performance prediction from shared history";
+  let r = Predict_experiment.run ~seed:4 () in
+  Printf.printf "%d prefixes, %d training samples, %d test queries\n"
+    r.Predict_experiment.prefixes r.Predict_experiment.training_samples
+    r.Predict_experiment.test_samples;
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "predictor"; "median abs relative error" ]
+    [
+      [ "hierarchical (/24 -> /16 -> /8 -> global)"; pct r.Predict_experiment.hierarchical_mape ];
+      [ "global median (no shared hierarchy)"; pct r.Predict_experiment.global_mape ];
+    ];
+  Printf.printf "cold prefixes served by fallback levels: %d\n"
+    r.Predict_experiment.cold_prefixes_served;
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "path"; "predicted MOS"; "label" ]
+    (List.map
+       (fun (name, mos) ->
+         [ name; Table.fmt_float mos; Phi_predict.Voip.quality_label mos ])
+       r.Predict_experiment.example_mos)
+
+(* {2 Section 3.2: informed adaptation} *)
+
+let bench_adaptation _budget =
+  section "Section 3.2: informed adaptation without cooperation";
+  let r = Adaptation_experiment.run ~seed:5 () in
+  let j = r.Adaptation_experiment.jitter in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "jitter buffer"; "size ms"; "late packets" ]
+    [
+      [ "cold start"; Table.fmt_float j.Adaptation_experiment.cold_buffer_ms;
+        pct j.Adaptation_experiment.cold_late_fraction ];
+      [ "informed (shared p95)"; Table.fmt_float j.Adaptation_experiment.informed_buffer_ms;
+        pct j.Adaptation_experiment.informed_late_fraction ];
+    ];
+  Printf.printf "latency saved by informed initialization: %s ms\n"
+    (Table.fmt_float j.Adaptation_experiment.buffer_saving_ms);
+  let d = r.Adaptation_experiment.dupack in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "dup-ACK threshold"; "value"; "spurious fast-retransmit rate" ]
+    [
+      [ "standard"; string_of_int d.Adaptation_experiment.standard_threshold;
+        pct d.Adaptation_experiment.standard_spurious_fraction ];
+      [ "informed (shared reorder depths)"; string_of_int d.Adaptation_experiment.recommended_threshold;
+        pct d.Adaptation_experiment.informed_spurious_fraction ];
+    ]
+
+(* {2 Section 3.1: cross-provider aggregation} *)
+
+let bench_secure_agg _budget =
+  section "Section 3.1: privacy-preserving cross-provider aggregation";
+  (* Five providers each hold a private congestion estimate for a shared
+     transit path; pairwise masking lets them publish a common barometer
+     without revealing anyone's number. *)
+  let rng = Phi_util.Prng.create ~seed:9 in
+  let session = Phi.Secure_agg.create rng ~participants:5 in
+  let private_utils = [ 0.82; 0.47; 0.91; 0.55; 0.63 ] in
+  let shares =
+    List.mapi (fun p u -> Phi.Secure_agg.submit session ~participant:p ~value:u) private_utils
+  in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "provider"; "private estimate"; "published share (masked)" ]
+    (List.mapi
+       (fun i (u, share) ->
+         [ Printf.sprintf "provider-%d" i; pct u; Int64.to_string share ])
+       (List.combine private_utils shares));
+  Printf.printf "common barometer (mean utilization): %s — true mean %s\n"
+    (pct (Phi.Secure_agg.mean session shares))
+    (pct (Phi_util.Stats.mean (Array.of_list private_utils)))
+
+(* {2 Bechamel micro-benchmarks: one per experiment kernel} *)
+
+let micro_benchmarks () =
+  section "Bechamel micro-benchmarks (one kernel per table/figure)";
+  let open Bechamel in
+  let cubic_kernel () =
+    let cc = Cubic.make Cubic.default_params in
+    for i = 1 to 1000 do
+      cc.Phi_tcp.Cc.on_ack cc ~now:(float_of_int i *. 0.01) ~rtt:(Some 0.1) ~newly_acked:1
+    done
+  in
+  let scenario_kernel () =
+    ignore
+      (Scenario.run
+         { Scenario.low_utilization with Scenario.duration_s = 3.; Scenario.seed = 1 })
+  in
+  let persistent_kernel () =
+    ignore
+      (Scenario.run_persistent ~n_flows:10 ~duration_s:4. ~spec:Topology.paper_spec ~seed:1 ())
+  in
+  let remy_kernel () =
+    let table = Phi_remy.Pretrained.remy () in
+    ignore
+      (Phi_remy.Trainer.evaluate ~table ~util:`None ~seeds:[ 1 ]
+         [ { Phi_remy.Trainer.paper_scenario with Phi_remy.Trainer.duration_s = 3. } ])
+  in
+  let sharing_kernel () =
+    let config =
+      { Phi_workload.Cloud_trace.default_config with
+        Phi_workload.Cloud_trace.flows_per_minute = 2000.;
+        horizon_minutes = 2;
+      }
+    in
+    ignore (Sharing_experiment.run ~config ~seed:1 ())
+  in
+  let figure5_kernel () =
+    let config = { Phi_workload.Request_stream.default_config with Phi_workload.Request_stream.days = 2 } in
+    ignore (Figure5.run ~config ~seed:1 ())
+  in
+  let priority_kernel () =
+    ignore
+      (Priority_experiment.run ~duration_s:4. ~n_competitors:2
+         ~priorities:[| 2.; 1. |] ~spec:Topology.paper_spec ~seed:1 ())
+  in
+  let predict_kernel () = ignore (Predict_experiment.run ~n_p16:2 ~p24_per_p16:8 ~seed:1 ()) in
+  let adaptation_kernel () = ignore (Adaptation_experiment.run ~n_shared:500 ~n_test:500 ~seed:1 ()) in
+  let tests =
+    [
+      Test.make ~name:"table1-cubic-on-ack-x1000" (Staged.stage cubic_kernel);
+      Test.make ~name:"figure2-onoff-scenario-3s" (Staged.stage scenario_kernel);
+      Test.make ~name:"figure2c-persistent-4s" (Staged.stage persistent_kernel);
+      Test.make ~name:"table3-remy-eval-3s" (Staged.stage remy_kernel);
+      Test.make ~name:"s21-ipfix-sharing" (Staged.stage sharing_kernel);
+      Test.make ~name:"figure5-diagnosis" (Staged.stage figure5_kernel);
+      Test.make ~name:"s33-priority-4s" (Staged.stage priority_kernel);
+      Test.make ~name:"s35-prediction" (Staged.stage predict_kernel);
+      Test.make ~name:"s32-adaptation" (Staged.stage adaptation_kernel);
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-32s %12.3f us/run\n%!" name (est /. 1e3)
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* {2 Driver} *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let budget =
+    if has "--full" then full_budget
+    else if has "--quick" then quick_budget
+    else default_budget
+  in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (csv_dir :=
+     let rec find = function
+       | "--csv" :: dir :: _ -> Some dir
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find args);
+  let want id = match only with None -> true | Some o -> o = id in
+  Printf.printf "Phi benchmark harness — budget: %s\n" budget.label;
+  if want "table1" then bench_table1 budget;
+  if want "table2" then bench_table2 budget;
+  let sweep_low = if want "figure2a" || want "figure3" || want "figure4" then Some (bench_figure2a budget) else None in
+  let sweep_high = if want "figure2b" || want "figure3" then Some (bench_figure2b budget) else None in
+  if want "figure2c" then bench_figure2c budget;
+  (match (sweep_low, sweep_high) with
+  | Some low, Some high when want "figure3" -> bench_figure3 ~sweep_low:low ~sweep_high:high
+  | _ -> ());
+  (match sweep_low with
+  | Some low when want "figure4" -> bench_figure4 budget ~sweep_low:low
+  | _ -> ());
+  if want "table3" then bench_table3 budget;
+  if want "sharing" then bench_sharing budget;
+  if want "figure5" then bench_figure5 budget;
+  if want "priority" then bench_priority budget;
+  if want "secureagg" then bench_secure_agg budget;
+  if want "predict" then bench_predict budget;
+  if want "adaptation" then bench_adaptation budget;
+  if (not (has "--no-micro")) && only = None then micro_benchmarks ();
+  print_endline "\ndone."

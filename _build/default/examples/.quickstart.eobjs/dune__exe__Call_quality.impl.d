@@ -1,0 +1,1 @@
+examples/call_quality.ml: Array List Phi_net Phi_predict Phi_sim Phi_tcp Phi_util Printf

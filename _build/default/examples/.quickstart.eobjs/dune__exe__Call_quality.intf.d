@@ -1,0 +1,1 @@
+examples/call_quality.mli:

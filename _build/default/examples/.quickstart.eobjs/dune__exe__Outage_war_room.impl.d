@@ -1,0 +1,1 @@
+examples/outage_war_room.ml: Format List Phi_diagnosis Phi_experiments Phi_util Phi_workload Printf

@@ -1,0 +1,1 @@
+examples/outage_war_room.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Phi Phi_experiments Phi_net Phi_sim Printf

@@ -1,0 +1,1 @@
+examples/two_entities.ml: Array Float List Phi Phi_experiments Phi_net Phi_sim Phi_tcp Phi_util Printf

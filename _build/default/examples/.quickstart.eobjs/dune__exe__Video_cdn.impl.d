@@ -1,0 +1,1 @@
+examples/video_cdn.ml: Array Float List Phi Phi_experiments Phi_net Printf String

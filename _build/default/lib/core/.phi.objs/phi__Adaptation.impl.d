@@ -1,0 +1,1 @@
+lib/core/adaptation.ml: Array Phi_util

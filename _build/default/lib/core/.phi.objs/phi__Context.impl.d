@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/core/context_server.ml: Context Float Hashtbl List Phi_sim Phi_tcp Phi_util Stdlib

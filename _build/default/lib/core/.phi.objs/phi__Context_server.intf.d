@@ -1,0 +1,1 @@
+lib/core/context_server.mli: Context Phi_sim Phi_tcp

@@ -1,0 +1,1 @@
+lib/core/metric.ml: Float

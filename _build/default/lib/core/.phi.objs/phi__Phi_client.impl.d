@@ -1,0 +1,1 @@
+lib/core/phi_client.ml: Context Context_server Phi_tcp Policy

@@ -1,0 +1,1 @@
+lib/core/phi_client.mli: Context Context_server Phi_tcp Policy

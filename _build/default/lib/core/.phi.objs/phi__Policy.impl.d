@@ -1,0 +1,1 @@
+lib/core/policy.ml: Context Hashtbl Phi_tcp

@@ -1,0 +1,1 @@
+lib/core/priority.ml: Array Phi_tcp

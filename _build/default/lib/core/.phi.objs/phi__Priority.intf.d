@@ -1,0 +1,1 @@
+lib/core/priority.mli: Phi_tcp

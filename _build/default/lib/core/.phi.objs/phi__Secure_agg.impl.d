@@ -1,0 +1,1 @@
+lib/core/secure_agg.ml: Array Float Int64 List Phi_util

@@ -1,0 +1,1 @@
+lib/core/secure_agg.mli: Phi_util

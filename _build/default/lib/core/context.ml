@@ -1,0 +1,45 @@
+type t = {
+  utilization : float;
+  queue_delay_s : float;
+  competing_senders : int;
+  loss_rate : float;
+}
+
+let empty = { utilization = 0.; queue_delay_s = 0.; competing_senders = 0; loss_rate = 0. }
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let severity t =
+  (* Utilization dominates; queueing and population confirm it.  Each term
+     is normalized to [0, 1] before blending. *)
+  let u = clamp01 t.utilization in
+  let q = clamp01 (t.queue_delay_s /. 0.2) in
+  let n = clamp01 (float_of_int t.competing_senders /. 64.) in
+  let l = clamp01 (t.loss_rate /. 0.05) in
+  clamp01 ((0.45 *. u) +. (0.25 *. q) +. (0.15 *. n) +. (0.15 *. l))
+
+type bucket = { u_bucket : int; n_bucket : int; q_bucket : int }
+
+let u_buckets = [| 0.3; 0.6; 0.85; infinity |]
+let n_buckets = [| 2; 8; 32; max_int |]
+let q_buckets = [| 0.01; 0.05; 0.2; infinity |]
+
+let index_of edges value le =
+  let rec search i = if le value edges.(i) then i else search (i + 1) in
+  search 0
+
+let bucketize t =
+  {
+    u_bucket = index_of u_buckets t.utilization (fun v e -> v <= e);
+    n_bucket = index_of n_buckets t.competing_senders (fun v e -> v <= e);
+    q_bucket = index_of q_buckets t.queue_delay_s (fun v e -> v <= e);
+  }
+
+let bucket_distance a b =
+  abs (a.u_bucket - b.u_bucket) + abs (a.n_bucket - b.n_bucket) + abs (a.q_bucket - b.q_bucket)
+
+let pp ppf t =
+  Format.fprintf ppf "ctx{u=%.2f q=%.1fms n=%d loss=%.2f%%}" t.utilization
+    (1000. *. t.queue_delay_s) t.competing_senders (100. *. t.loss_rate)
+
+let pp_bucket ppf b = Format.fprintf ppf "bucket(u=%d n=%d q=%d)" b.u_bucket b.n_bucket b.q_bucket

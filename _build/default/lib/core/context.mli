@@ -1,0 +1,48 @@
+(** The congestion context of Section 2.2.2.
+
+    The paper characterizes the state of a network path by (i) the
+    bottleneck utilization [u], (ii) the queue occupancy [q] (observed by
+    senders as RTT in excess of the minimum) and (iii) the number of
+    competing senders [n].  We carry the loss rate as a fourth,
+    derived signal since the context server learns it for free from
+    connection reports. *)
+
+type t = {
+  utilization : float;  (** bottleneck busy fraction in [0, 1] *)
+  queue_delay_s : float;  (** estimated queueing delay *)
+  competing_senders : int;  (** concurrently active flows on the path *)
+  loss_rate : float;  (** recent retransmission fraction in [0, 1] *)
+}
+
+val empty : t
+(** The all-quiet context a server reports before any information
+    arrives. *)
+
+val severity : t -> float
+(** Scalar congestion level in [0, 1]; a monotone blend of the three
+    primary signals, useful for coarse decisions and ordering. *)
+
+(** {2 Bucketing}
+
+    Policies key shared knowledge on a coarse grid so that a modest number
+    of observed workloads covers the context space. *)
+
+type bucket = { u_bucket : int; n_bucket : int; q_bucket : int }
+
+val u_buckets : float array
+(** Upper edges of the utilization buckets (last is [infinity]). *)
+
+val n_buckets : int array
+(** Upper edges of the competing-sender buckets. *)
+
+val q_buckets : float array
+(** Upper edges of the queue-delay buckets, seconds. *)
+
+val bucketize : t -> bucket
+
+val bucket_distance : bucket -> bucket -> int
+(** L1 distance on bucket coordinates — used for nearest-neighbour policy
+    fallback. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_bucket : Format.formatter -> bucket -> unit

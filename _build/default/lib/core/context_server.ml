@@ -1,0 +1,138 @@
+module Engine = Phi_sim.Engine
+module Stats = Phi_util.Stats
+
+type report = { finished_at : float; bytes : int; duration_s : float }
+
+type path_state = {
+  mutable active : int;
+  mutable recent : report list;  (* newest first, pruned to the window *)
+  q_ewma : Stats.ewma;
+  loss_ewma : Stats.ewma;
+  mutable learned_capacity : float;
+  mutable oracle : (unit -> float) option;
+}
+
+type t = {
+  engine : Engine.t;
+  capacity_bps : float option;
+  window_s : float;
+  paths : (string, path_state) Hashtbl.t;
+  mutable lookups : int;
+  mutable reports : int;
+}
+
+let create engine ?capacity_bps ?(window_s = 10.) () =
+  if window_s <= 0. then invalid_arg "Context_server.create: window must be positive";
+  (match capacity_bps with
+  | Some c when c <= 0. -> invalid_arg "Context_server.create: capacity must be positive"
+  | _ -> ());
+  { engine; capacity_bps; window_s; paths = Hashtbl.create 8; lookups = 0; reports = 0 }
+
+let path_state t path =
+  match Hashtbl.find_opt t.paths path with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        active = 0;
+        recent = [];
+        q_ewma = Stats.ewma ~alpha:0.2;
+        loss_ewma = Stats.ewma ~alpha:0.2;
+        learned_capacity = 0.;
+        oracle = None;
+      }
+    in
+    Hashtbl.add t.paths path st;
+    st
+
+let prune t st =
+  let horizon = Engine.now t.engine -. t.window_s in
+  st.recent <- List.filter (fun r -> r.finished_at >= horizon) st.recent
+
+(* Bytes a report contributes to the window [now - window_s, now]: its
+   transfer interval clipped to the window, assuming a uniform rate over
+   the connection's lifetime. *)
+let windowed_bytes t now r =
+  let lo = Float.max (r.finished_at -. r.duration_s) (now -. t.window_s) in
+  let hi = Float.min r.finished_at now in
+  if hi <= lo || r.duration_s <= 0. then 0.
+  else float_of_int r.bytes *. ((hi -. lo) /. r.duration_s)
+
+let reported_rate t st =
+  prune t st;
+  let now = Engine.now t.engine in
+  let bytes = List.fold_left (fun acc r -> acc +. windowed_bytes t now r) 0. st.recent in
+  bytes *. 8. /. t.window_s
+
+let capacity t st =
+  match t.capacity_bps with
+  | Some c -> c
+  | None -> if st.learned_capacity > 0. then st.learned_capacity else infinity
+
+let utilization t st =
+  match st.oracle with
+  | Some f -> Float.max 0. (Float.min 1. (f ()))
+  | None ->
+    let cap = capacity t st in
+    if cap = infinity then 0. else Float.min 1. (reported_rate t st /. cap)
+
+let context t st =
+  {
+    Context.utilization = utilization t st;
+    queue_delay_s = Stats.ewma_value_or st.q_ewma ~default:0.;
+    competing_senders = st.active;
+    loss_rate = Stats.ewma_value_or st.loss_ewma ~default:0.;
+  }
+
+let lookup t ~path =
+  t.lookups <- t.lookups + 1;
+  let st = path_state t path in
+  let ctx = context t st in
+  st.active <- st.active + 1;
+  ctx
+
+let report t ~path ~bytes ~duration_s ~min_rtt ~mean_rtt ~retransmitted ~segments =
+  t.reports <- t.reports + 1;
+  let st = path_state t path in
+  st.active <- Stdlib.max 0 (st.active - 1);
+  let now = Engine.now t.engine in
+  if bytes > 0 && duration_s > 0. then begin
+    st.recent <- { finished_at = now; bytes; duration_s } :: st.recent;
+    prune t st;
+    (* Without a configured capacity, take the peak windowed rate as the
+       best available capacity estimate. *)
+    if t.capacity_bps = None then
+      st.learned_capacity <- Float.max st.learned_capacity (reported_rate t st)
+  end;
+  let queueing = mean_rtt -. min_rtt in
+  if Float.is_finite queueing && queueing >= 0. then Stats.ewma_update st.q_ewma queueing;
+  if segments > 0 then
+    (* Retransmissions can outnumber delivered segments (multiple copies
+       of one segment); as a loss-rate proxy the ratio is clamped. *)
+    Stats.ewma_update st.loss_ewma
+      (Float.min 1. (float_of_int retransmitted /. float_of_int segments))
+
+let report_stats t ~path (stats : Phi_tcp.Flow.conn_stats) =
+  report t ~path ~bytes:stats.bytes
+    ~duration_s:(Phi_tcp.Flow.duration stats)
+    ~min_rtt:stats.min_rtt ~mean_rtt:stats.mean_rtt
+    ~retransmitted:stats.retransmitted_segments ~segments:stats.segments
+
+let peek t ~path = context t (path_state t path)
+
+let set_oracle t ~path f = (path_state t path).oracle <- Some f
+
+let clear_oracle t ~path = (path_state t path).oracle <- None
+
+let active_connections t ~path = (path_state t path).active
+
+let lookup_count t = t.lookups
+
+let report_count t = t.reports
+
+let learned_capacity_bps t ~path =
+  match t.capacity_bps with
+  | Some _ -> None
+  | None ->
+    let st = path_state t path in
+    if st.learned_capacity > 0. then Some st.learned_capacity else None

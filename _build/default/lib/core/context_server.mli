@@ -1,0 +1,64 @@
+(** The Phi context server (Section 2.2.2).
+
+    A per-domain repository of shared network state.  Senders interact
+    with it exactly twice per connection: a {!lookup} when the connection
+    starts (returning the current {!Context.t} for the path, and counting
+    the sender as active) and a {!report} when it ends (feeding the
+    connection's own measurements back).  From those minimal signals the
+    server estimates the congestion context:
+
+    - [u]: bytes reported over a sliding window, divided by the path
+      capacity (configured, or learned as the largest rate ever seen);
+    - [q]: EWMA of reported [mean_rtt - min_rtt];
+    - [n]: currently active connections (lookups minus reports);
+    - loss: EWMA of reported retransmission fractions.
+
+    For the "ideal" variants of the paper's experiments an oracle (e.g. a
+    {!Phi_net.Monitor} on the bottleneck) can be attached, replacing the
+    report-driven utilization estimate with up-to-the-minute truth. *)
+
+type t
+
+val create : Phi_sim.Engine.t -> ?capacity_bps:float -> ?window_s:float -> unit -> t
+(** [window_s] (default 10 s) is the horizon of the utilization estimate.
+    Without [capacity_bps] the server learns capacity from the peak
+    observed rate. *)
+
+val lookup : t -> path:string -> Context.t
+(** Called by a sender when a connection starts. *)
+
+val report :
+  t ->
+  path:string ->
+  bytes:int ->
+  duration_s:float ->
+  min_rtt:float ->
+  mean_rtt:float ->
+  retransmitted:int ->
+  segments:int ->
+  unit
+(** Called by a sender when a connection ends.  [min_rtt]/[mean_rtt] may be
+    NaN when the connection took no RTT sample. *)
+
+val report_stats : t -> path:string -> Phi_tcp.Flow.conn_stats -> unit
+(** Convenience wrapper around {!report} for a finished connection. *)
+
+val peek : t -> path:string -> Context.t
+(** Current context without registering a connection (monitoring UIs,
+    tests). *)
+
+val set_oracle : t -> path:string -> (unit -> float) -> unit
+(** Override the utilization estimate for [path] with live truth. *)
+
+val clear_oracle : t -> path:string -> unit
+
+val active_connections : t -> path:string -> int
+
+val lookup_count : t -> int
+
+val report_count : t -> int
+(** Total messages processed — the "minimal overhead" the paper argues
+    for is [2] per connection; benches print these counters. *)
+
+val learned_capacity_bps : t -> path:string -> float option
+(** The capacity estimate in use for [path] when none was configured. *)

@@ -1,0 +1,18 @@
+let power ~throughput_bps ~delay_s =
+  if throughput_bps <= 0. || delay_s <= 0. then 0.
+  else throughput_bps /. 1e6 /. delay_s
+
+let power_with_loss ~throughput_bps ~loss_rate ~delay_s =
+  let loss_rate = Float.max 0. (Float.min 1. loss_rate) in
+  power ~throughput_bps ~delay_s *. (1. -. loss_rate)
+
+let log_power ~throughput_bps ~delay_s =
+  if throughput_bps <= 0. || delay_s <= 0. then neg_infinity
+  else log (throughput_bps /. 1e6 /. delay_s)
+
+let compare_desc a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> compare b a

@@ -1,0 +1,20 @@
+(** The objective functions of the paper's evaluation.
+
+    Network power is Kleinrock/Giessler's [P = r / d] (throughput over
+    delay); the paper extends it with the packet loss rate to
+    [P_l = r * (1 - l) / d] and optimizes [P_l] for the Cubic sweeps and
+    [log P] for Remy. *)
+
+val power : throughput_bps:float -> delay_s:float -> float
+(** [r / d]; 0 when either input is non-positive.  Throughput is taken in
+    Mbps and delay in seconds, matching the magnitudes in Table 3. *)
+
+val power_with_loss : throughput_bps:float -> loss_rate:float -> delay_s:float -> float
+(** The paper's [P_l = r (1 - l) / d]. *)
+
+val log_power : throughput_bps:float -> delay_s:float -> float
+(** Remy's objective, [log (r / d)] = [log r - log d]; [neg_infinity] when
+    starved. *)
+
+val compare_desc : float -> float -> int
+(** Ordering for "higher metric is better" sorts, treating NaN as worst. *)

@@ -1,0 +1,22 @@
+type t = {
+  server : Context_server.t;
+  policy : Policy.t;
+  path : string;
+  mutable last_context : Context.t option;
+  mutable last_params : Phi_tcp.Cubic.params option;
+}
+
+let create ~server ~policy ~path = { server; policy; path; last_context = None; last_params = None }
+
+let cubic_factory t () =
+  let ctx = Context_server.lookup t.server ~path:t.path in
+  let params = Policy.params_for t.policy ctx in
+  t.last_context <- Some ctx;
+  t.last_params <- Some params;
+  Phi_tcp.Cubic.make params
+
+let on_conn_end t stats = Context_server.report_stats t.server ~path:t.path stats
+
+let last_context t = t.last_context
+
+let last_params t = t.last_params

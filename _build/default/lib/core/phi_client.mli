@@ -1,0 +1,23 @@
+(** Sender-side Phi integration.
+
+    Bundles the per-connection protocol of Section 2.2.2 into the two
+    hooks {!Phi_tcp.Source} exposes: a congestion-controller factory
+    (which performs the context-server lookup and applies the policy) and
+    an end-of-connection callback (which reports back). *)
+
+type t
+
+val create : server:Context_server.t -> policy:Policy.t -> path:string -> t
+
+val cubic_factory : t -> unit -> Phi_tcp.Cc.t
+(** Looks the context up, asks the policy for parameters and builds a
+    Cubic controller.  Exactly one context-server round trip. *)
+
+val on_conn_end : t -> Phi_tcp.Flow.conn_stats -> unit
+(** Reports the finished connection to the context server. *)
+
+val last_context : t -> Context.t option
+(** The context returned by the most recent lookup (introspection). *)
+
+val last_params : t -> Phi_tcp.Cubic.params option
+(** The parameters chosen at the most recent lookup. *)

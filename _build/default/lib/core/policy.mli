@@ -1,0 +1,31 @@
+(** Mapping congestion context to TCP Cubic parameters.
+
+    Phi's coordination, concretely: every cooperating sender asks the
+    policy which parameter setting fits the current network weather.  A
+    policy is a table keyed on {!Context.bucket} — populated from offline
+    sweeps exactly like the paper's Section 2.2.1 grid search — with a
+    documented heuristic fallback for buckets never swept (derived from
+    the paper's observations: shift to smaller initial windows and
+    slow-start thresholds, and sharper back-off, as congestion rises). *)
+
+type t
+
+val create : ?default:Phi_tcp.Cubic.params -> unit -> t
+(** [default] backs the final fallback; defaults to
+    {!Phi_tcp.Cubic.default_params}. *)
+
+val learn : t -> Context.bucket -> Phi_tcp.Cubic.params -> unit
+(** Record the optimal parameters found for a bucket (overwrites). *)
+
+val learned : t -> (Context.bucket * Phi_tcp.Cubic.params) list
+
+val params_for : t -> Context.t -> Phi_tcp.Cubic.params
+(** Exact bucket hit; otherwise the nearest learned bucket (L1 bucket
+    distance, at most 2 away); otherwise {!heuristic}. *)
+
+val heuristic : Context.t -> Phi_tcp.Cubic.params
+(** Rule-based parameters from the paper's findings: low congestion
+    admits an aggressive start (large initial window, generous ssthresh);
+    high congestion calls for a conservative start; persistent heavy
+    congestion with deep queues also calls for a larger beta (sharper
+    back-off, the Figure 2c observation). *)

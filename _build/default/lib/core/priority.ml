@@ -1,0 +1,15 @@
+let allocate ~total_weight ~priorities =
+  if total_weight <= 0. then invalid_arg "Priority.allocate: total_weight must be positive";
+  if Array.length priorities = 0 then invalid_arg "Priority.allocate: no priorities";
+  Array.iter
+    (fun p -> if p <= 0. then invalid_arg "Priority.allocate: priorities must be positive")
+    priorities;
+  let sum = Array.fold_left ( +. ) 0. priorities in
+  Array.map (fun p -> total_weight *. p /. sum) priorities
+
+let ensemble_weights ~priorities =
+  allocate ~total_weight:(float_of_int (Array.length priorities)) ~priorities
+
+let cc_factories ~priorities =
+  let weights = ensemble_weights ~priorities in
+  Array.map (fun weight () -> Phi_tcp.Reno.make_weighted ~weight ()) weights

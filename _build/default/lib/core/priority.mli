@@ -1,0 +1,18 @@
+(** Prioritization across an entity's flows (Section 3.3).
+
+    One of the "five computers" may run many flows through the same
+    bottleneck and care more about some (an HD stream) than others (a bulk
+    transfer).  Phi lets it skew aggressiveness across flows — weighted
+    AIMD, MulTCP-style — while keeping the *ensemble* exactly as
+    aggressive as the same number of standard TCP flows. *)
+
+val allocate : total_weight:float -> priorities:float array -> float array
+(** Split [total_weight] proportionally to [priorities].  All priorities
+    must be positive. *)
+
+val ensemble_weights : priorities:float array -> float array
+(** TCP-friendly allocation: total weight equals the number of flows, so
+    the ensemble consumes the share of [n] standard flows. *)
+
+val cc_factories : priorities:float array -> (unit -> Phi_tcp.Cc.t) array
+(** Weighted-Reno factories with {!ensemble_weights}. *)

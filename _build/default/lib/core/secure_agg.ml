@@ -1,0 +1,56 @@
+module Prng = Phi_util.Prng
+
+type session = {
+  n : int;
+  pair_rngs : Prng.t array array;
+      (* pair_rngs.(p).(q) for p < q: both participants draw the same
+         stream; p adds the mask, q subtracts it *)
+}
+
+let scale = 1e6
+
+let create rng ~participants =
+  if participants < 2 then invalid_arg "Secure_agg.create: need at least 2 participants";
+  let n = participants in
+  (* One shared generator per unordered pair; cloned so both sides read
+     the identical stream. *)
+  let pair_rngs =
+    Array.init n (fun _ -> Array.init n (fun _ -> Prng.create ~seed:0))
+  in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      let shared = Prng.split rng in
+      pair_rngs.(p).(q) <- shared;
+      pair_rngs.(q).(p) <- Prng.copy shared
+    done
+  done;
+  { n; pair_rngs }
+
+let participants t = t.n
+
+let fixed_point value =
+  if not (Float.is_finite value) then invalid_arg "Secure_agg.submit: non-finite value";
+  Int64.of_float (Float.round (value *. scale))
+
+let submit t ~participant ~value =
+  if participant < 0 || participant >= t.n then
+    invalid_arg "Secure_agg.submit: unknown participant";
+  let masked = ref (fixed_point value) in
+  for other = 0 to t.n - 1 do
+    if other <> participant then begin
+      let mask = Prng.bits64 t.pair_rngs.(participant).(other) in
+      (* The lower-indexed side adds, the higher-indexed side subtracts:
+         the pair cancels in the aggregate. *)
+      if participant < other then masked := Int64.add !masked mask
+      else masked := Int64.sub !masked mask
+    end
+  done;
+  !masked
+
+let aggregate t shares =
+  if List.length shares <> t.n then
+    invalid_arg "Secure_agg.aggregate: need one share per participant";
+  let total = List.fold_left Int64.add 0L shares in
+  Int64.to_float total /. scale
+
+let mean t shares = aggregate t shares /. float_of_int t.n

@@ -1,0 +1,38 @@
+(** Privacy-preserving aggregation across providers (Section 3.1).
+
+    The paper argues that the "five computers" could establish a common
+    barometer on the network weather by sharing minimal aggregates, and
+    points at secure multiparty computation to shield the inputs.  This
+    module implements the standard pairwise-masking protocol for additive
+    aggregation: every pair of providers derives a shared mask from a
+    common seed; each provider submits its value plus the signed sum of
+    its pairwise masks (in fixed point, wrapping 64-bit arithmetic).
+    Masks cancel in the sum, so the coordinator learns the total — e.g.
+    the average congestion level on a shared path — while each individual
+    submission is uniformly distributed and reveals nothing on its own. *)
+
+type session
+
+val create : Phi_util.Prng.t -> participants:int -> session
+(** Set up pairwise seeds among [participants] (>= 2) providers. *)
+
+val participants : session -> int
+
+val scale : float
+(** Fixed-point resolution of submissions (1e6 units per 1.0). *)
+
+val submit : session -> participant:int -> value:float -> int64
+(** The masked share provider [participant] publishes.  Each participant
+    may submit once per session round; a second call returns the share
+    for the next round (masks are re-derived, so rounds stay
+    independent).  Raises [Invalid_argument] on unknown participants or
+    non-finite values. *)
+
+val aggregate : session -> int64 list -> float
+(** Sum of the submitted values, valid once all participants of the same
+    round have submitted (masks cancel).  Raises [Invalid_argument] when
+    the number of shares differs from the participant count. *)
+
+val mean : session -> int64 list -> float
+(** [aggregate / participants] — the "common barometer" (e.g. mean
+    utilization across providers). *)

@@ -1,0 +1,1 @@
+lib/diagnosis/anomaly.ml: Array Float Format List Series

@@ -1,0 +1,1 @@
+lib/diagnosis/anomaly.mli: Format

@@ -1,0 +1,1 @@
+lib/diagnosis/cusum.ml: Array Float List Series Stdlib

@@ -1,0 +1,1 @@
+lib/diagnosis/localize.ml: Array Float List Phi_workload Series

@@ -1,0 +1,1 @@
+lib/diagnosis/localize.mli: Phi_workload

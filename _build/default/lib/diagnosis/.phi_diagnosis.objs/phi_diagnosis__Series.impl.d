@@ -1,0 +1,1 @@
+lib/diagnosis/series.ml: Array Float Phi_util

@@ -1,0 +1,54 @@
+type event = { start_min : int; end_min : int; min_z : float; mean_drop : float }
+
+let duration_min e = e.end_min - e.start_min
+
+let pp ppf e =
+  Format.fprintf ppf "event[%d, %d) dur=%dmin min_z=%.1f drop=%.0f%%" e.start_min e.end_min
+    (duration_min e) e.min_z (100. *. e.mean_drop)
+
+let drop actual baseline i =
+  if baseline.(i) <= 0. then 0. else Float.max 0. (1. -. (actual.(i) /. baseline.(i)))
+
+let detect ?(threshold = 3.0) ?(min_duration = 5) ~actual ~baseline () =
+  if threshold <= 0. then invalid_arg "Anomaly.detect: threshold must be positive";
+  if min_duration < 1 then invalid_arg "Anomaly.detect: min_duration must be >= 1";
+  let z = Series.robust_z ~actual ~baseline in
+  let n = Array.length z in
+  let grace = 4 in
+  let events = ref [] in
+  let finish start last =
+    if last - start + 1 >= min_duration then begin
+      let min_z = ref 0. and drop_sum = ref 0. in
+      for i = start to last do
+        if z.(i) < !min_z then min_z := z.(i);
+        drop_sum := !drop_sum +. drop actual baseline i
+      done;
+      events :=
+        {
+          start_min = start;
+          end_min = last + 1;
+          min_z = !min_z;
+          mean_drop = !drop_sum /. float_of_int (last - start + 1);
+        }
+        :: !events
+    end
+  in
+  let state = ref None in
+  (* [state = Some (start, last_bad, calm)] while inside a candidate run:
+     [last_bad] is the most recent anomalous minute and [calm] counts the
+     quiet minutes since. *)
+  for i = 0 to n - 1 do
+    let bad = z.(i) < -.threshold in
+    match (!state, bad) with
+    | None, false -> ()
+    | None, true -> state := Some (i, i, 0)
+    | Some (start, _last_bad, _calm), true -> state := Some (start, i, 0)
+    | Some (start, last_bad, calm), false ->
+      if calm + 1 > grace then begin
+        finish start last_bad;
+        state := None
+      end
+      else state := Some (start, last_bad, calm + 1)
+  done;
+  (match !state with Some (start, last_bad, _) -> finish start last_bad | None -> ());
+  List.rev !events

@@ -1,0 +1,25 @@
+(** Anomalous-departure detection on robust z-scores. *)
+
+type event = {
+  start_min : int;  (** first anomalous minute *)
+  end_min : int;  (** one past the last anomalous minute *)
+  min_z : float;  (** deepest score inside the event *)
+  mean_drop : float;  (** mean of [1 - actual/baseline] inside the event *)
+}
+
+val duration_min : event -> int
+
+val pp : Format.formatter -> event -> unit
+
+val detect :
+  ?threshold:float ->
+  ?min_duration:int ->
+  actual:float array ->
+  baseline:float array ->
+  unit ->
+  event list
+(** Find maximal runs where the robust z-score stays below [-threshold]
+    (default 3.0) and that last at least [min_duration] minutes (default
+    5), in time order.  Runs may include up to 4 isolated recovering
+    minutes without splitting (hysteresis against noise, so a shallow
+    event does not fragment). *)

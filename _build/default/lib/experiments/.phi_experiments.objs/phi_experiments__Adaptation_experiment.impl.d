@@ -1,0 +1,1 @@
+lib/experiments/adaptation_experiment.ml: Array Phi Phi_util

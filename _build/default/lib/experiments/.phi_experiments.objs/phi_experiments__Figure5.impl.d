@@ -1,0 +1,1 @@
+lib/experiments/figure5.ml: Phi_diagnosis Phi_util Phi_workload

@@ -1,0 +1,1 @@
+lib/experiments/figure5.mli: Phi_diagnosis Phi_workload

@@ -1,0 +1,1 @@
+lib/experiments/incremental.ml: Array Float List Phi_net Phi_tcp Phi_util Scenario

@@ -1,0 +1,1 @@
+lib/experiments/incremental.mli: Phi_net Phi_sim Phi_tcp Scenario

@@ -1,0 +1,1 @@
+lib/experiments/predict_experiment.ml: Array Float List Phi_predict Phi_util

@@ -1,0 +1,1 @@
+lib/experiments/predict_experiment.mli:

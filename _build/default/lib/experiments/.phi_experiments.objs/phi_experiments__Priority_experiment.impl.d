@@ -1,0 +1,1 @@
+lib/experiments/priority_experiment.ml: Array Phi Phi_net Phi_sim Phi_tcp Phi_util

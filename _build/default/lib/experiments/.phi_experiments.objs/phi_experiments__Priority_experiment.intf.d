@@ -1,0 +1,1 @@
+lib/experiments/priority_experiment.mli: Phi_net

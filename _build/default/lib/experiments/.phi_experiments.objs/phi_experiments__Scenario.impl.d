@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array Float List Phi Phi_net Phi_sim Phi_tcp Phi_util

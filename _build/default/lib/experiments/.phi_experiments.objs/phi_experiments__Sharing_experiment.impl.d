@@ -1,0 +1,1 @@
+lib/experiments/sharing_experiment.ml: List Phi_ipfix Phi_util Phi_workload

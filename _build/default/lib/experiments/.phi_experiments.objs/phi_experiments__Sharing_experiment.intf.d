@@ -1,0 +1,1 @@
+lib/experiments/sharing_experiment.mli: Phi_workload

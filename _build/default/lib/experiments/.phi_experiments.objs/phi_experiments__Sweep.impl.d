@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array List Phi_tcp Phi_util Scenario

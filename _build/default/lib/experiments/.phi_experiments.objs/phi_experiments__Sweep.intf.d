@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Phi_net Phi_tcp Scenario

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Float List Phi Phi_net Phi_remy Phi_sim Phi_tcp Phi_util Scenario

@@ -1,0 +1,63 @@
+module Adaptation = Phi.Adaptation
+module Prng = Phi_util.Prng
+module Dist = Phi_util.Dist
+
+type jitter_result = {
+  informed_buffer_ms : float;
+  cold_buffer_ms : float;
+  informed_late_fraction : float;
+  cold_late_fraction : float;
+  buffer_saving_ms : float;
+}
+
+type dupack_result = {
+  recommended_threshold : int;
+  standard_threshold : int;
+  informed_spurious_fraction : float;
+  standard_spurious_fraction : float;
+}
+
+type result = { jitter : jitter_result; dupack : dupack_result }
+
+(* Path jitter: mostly small, with a lognormal tail (bufferbloat
+   spikes). *)
+let draw_jitter rng = Dist.lognormal rng ~mu:(log 8.) ~sigma:0.9
+
+(* Reordering depth on a path with parallel forwarding: usually 0, but a
+   tail of deep reordering that fools dupthresh 3. *)
+let draw_reorder_depth rng =
+  if Prng.float rng < 0.9 then 0 else 1 + int_of_float (Dist.pareto rng ~shape:1.3 ~scale:1.5)
+
+let run ?(n_shared = 2000) ?(n_test = 2000) ~seed () =
+  let rng = Prng.create ~seed in
+  let shared_jitter = Array.init n_shared (fun _ -> draw_jitter rng) in
+  let test_jitter = Array.init n_test (fun _ -> draw_jitter rng) in
+  let informed_buffer = Adaptation.jitter_buffer_ms ~shared_jitter_ms:shared_jitter () in
+  let cold_buffer = Adaptation.cold_start_jitter_buffer_ms in
+  let jitter =
+    {
+      informed_buffer_ms = informed_buffer;
+      cold_buffer_ms = cold_buffer;
+      informed_late_fraction =
+        Adaptation.late_packet_fraction ~jitter_ms:test_jitter ~buffer_ms:informed_buffer;
+      cold_late_fraction =
+        Adaptation.late_packet_fraction ~jitter_ms:test_jitter ~buffer_ms:cold_buffer;
+      buffer_saving_ms = cold_buffer -. informed_buffer;
+    }
+  in
+  let shared_depths = Array.init n_shared (fun _ -> draw_reorder_depth rng) in
+  let test_depths = Array.init n_test (fun _ -> draw_reorder_depth rng) in
+  let recommended = Adaptation.dupack_threshold ~reorder_depths:shared_depths () in
+  let spurious threshold =
+    let hits = Array.fold_left (fun acc d -> if d >= threshold then acc + 1 else acc) 0 test_depths in
+    float_of_int hits /. float_of_int (Array.length test_depths)
+  in
+  let dupack =
+    {
+      recommended_threshold = recommended;
+      standard_threshold = 3;
+      informed_spurious_fraction = spurious recommended;
+      standard_spurious_fraction = spurious 3;
+    }
+  in
+  { jitter; dupack }

@@ -1,0 +1,35 @@
+(** Section 3.2: informed adaptation without cooperation.
+
+    A minority of senders cannot change the congestion state of a FIFO
+    network, but they can still set endpoint knobs from each other's
+    measurements.  Two quantified examples:
+
+    - {b jitter buffer}: initialize a new stream's buffer from the p95 of
+      jitter samples shared by concurrent streams on the same path,
+      instead of a conservative cold-start constant — compare late-packet
+      rate and added latency;
+    - {b dup-ACK threshold}: on paths where other connections report deep
+      reordering, raise the fast-retransmit threshold — compare spurious
+      fast-retransmit rates. *)
+
+type jitter_result = {
+  informed_buffer_ms : float;
+  cold_buffer_ms : float;
+  informed_late_fraction : float;  (** packets missing playout, informed buffer *)
+  cold_late_fraction : float;
+  buffer_saving_ms : float;  (** latency saved vs the cold-start buffer *)
+}
+
+type dupack_result = {
+  recommended_threshold : int;
+  standard_threshold : int;
+  informed_spurious_fraction : float;
+  standard_spurious_fraction : float;
+}
+
+type result = { jitter : jitter_result; dupack : dupack_result }
+
+val run : ?n_shared:int -> ?n_test:int -> seed:int -> unit -> result
+(** [n_shared] (default 2000) samples are shared by other connections;
+    [n_test] (default 2000) fresh samples from the same distributions
+    evaluate the choices. *)

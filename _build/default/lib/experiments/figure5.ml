@@ -1,0 +1,58 @@
+module Rs = Phi_workload.Request_stream
+module Series = Phi_diagnosis.Series
+module Anomaly = Phi_diagnosis.Anomaly
+module Localize = Phi_diagnosis.Localize
+module Prng = Phi_util.Prng
+
+type result = {
+  injected : Rs.outage;
+  events : Anomaly.event list;
+  localization : Localize.finding option;
+  affected_series : float array;
+  affected_baseline : float array;
+  total_series : float array;
+}
+
+let default_outage =
+  {
+    Rs.start_min = Series.minutes_per_day + (15 * 60);  (* day 2, 15:00 *)
+    duration_min = 120;
+    scope = { Rs.metro = Some "london"; isp = Some "as3320"; service = None };
+    severity = 0.95;
+  }
+
+let run ?(config = Rs.default_config) ?(outage = default_outage) ~seed () =
+  let rng = Prng.create ~seed in
+  let cells = Rs.generate rng config ~outages:[ outage ] in
+  let total = Rs.total_series cells in
+  let baseline = Series.seasonal_baseline total in
+  let events = Anomaly.detect ~actual:total ~baseline () in
+  let localization =
+    match events with
+    | [] -> None
+    | event :: _ ->
+      Localize.localize ~cells ~window:(event.Anomaly.start_min, event.Anomaly.end_min) ()
+  in
+  let affected_series = Rs.sum_where cells outage.Rs.scope in
+  {
+    injected = outage;
+    events;
+    localization;
+    affected_series;
+    affected_baseline = Series.seasonal_baseline affected_series;
+    total_series = total;
+  }
+
+let correctly_localized result =
+  match (result.events, result.localization) with
+  | event :: _, Some finding ->
+    let inj = result.injected in
+    let overlap =
+      event.Anomaly.start_min < inj.Rs.start_min + inj.Rs.duration_min
+      && event.Anomaly.end_min > inj.Rs.start_min
+    in
+    let scope = finding.Localize.scope in
+    overlap
+    && scope.Rs.metro = inj.Rs.scope.Rs.metro
+    && scope.Rs.isp = inj.Rs.scope.Rs.isp
+  | _ -> false

@@ -1,0 +1,31 @@
+(** Figure 5: detecting and localizing an unreachability event.
+
+    A diurnal request stream with an injected two-hour outage confined to
+    one ISP in one metro.  The pipeline: seasonal baseline on the global
+    series, robust-z anomaly detection, then dimensional drill-down to
+    localize the responsible slice. *)
+
+type result = {
+  injected : Phi_workload.Request_stream.outage;
+  events : Phi_diagnosis.Anomaly.event list;  (** on the global series *)
+  localization : Phi_diagnosis.Localize.finding option;  (** for the first event *)
+  affected_series : float array;  (** the affected slice's own series *)
+  affected_baseline : float array;
+  total_series : float array;
+}
+
+val default_outage : Phi_workload.Request_stream.outage
+(** Two hours in metro "london" on ISP "as3320", 95 % of traffic lost,
+    starting mid-afternoon of day 2 — the shape of the paper's Figure 5
+    event. *)
+
+val run :
+  ?config:Phi_workload.Request_stream.config ->
+  ?outage:Phi_workload.Request_stream.outage ->
+  seed:int ->
+  unit ->
+  result
+
+val correctly_localized : result -> bool
+(** The first detected event overlaps the injected window and the
+    localization names exactly the injected (metro, ISP). *)

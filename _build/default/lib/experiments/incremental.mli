@@ -1,0 +1,40 @@
+(** Incremental deployment (Section 2.2.3, Figure 4).
+
+    A fraction of the senders ("modified") adopts the parameter setting
+    that would be optimal under full cooperation, while the rest
+    ("unmodified") keeps the Table 1 defaults.  The question: do the
+    modified senders still benefit, and do the unmodified ones suffer? *)
+
+type group_result = {
+  throughput_bps : float;  (** aggregate on-time throughput of the group *)
+  queueing_delay_s : float;  (** from the group's own RTT samples *)
+  loss_proxy : float;  (** the group's retransmitted-segment fraction *)
+  power : float;
+  connections : int;
+}
+
+type result = {
+  modified : group_result;
+  unmodified : group_result;
+  overall : Scenario.result;
+}
+
+val run :
+  ?fraction_modified:float ->
+  ?observe:(Phi_sim.Engine.t -> Phi_net.Topology.dumbbell -> unit) ->
+  params_modified:Phi_tcp.Cubic.params ->
+  Scenario.config ->
+  result
+(** Default fraction 0.5 (the paper's half-and-half split).  Sender
+    indices below [fraction * n] are modified.  [observe] is forwarded to
+    {!Scenario.run} — the hook used by the queue-discipline ablation. *)
+
+val fraction_sweep :
+  fractions:float list ->
+  params_modified:Phi_tcp.Cubic.params ->
+  seeds:int list ->
+  Scenario.config ->
+  (float * group_result * group_result) list
+(** The DESIGN.md ablation: benefit as a function of deployment fraction.
+    Each entry is [(fraction, modified, unmodified)] with the group
+    metrics averaged across [seeds]. *)

@@ -1,0 +1,92 @@
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Flow = Phi_tcp.Flow
+module Prng = Phi_util.Prng
+
+type flow_share = { weight : float; throughput_bps : float }
+
+type result = {
+  entity_flows : flow_share list;
+  entity_aggregate_bps : float;
+  reference_aggregate_bps : float;
+  competitor_aggregate_bps : float;
+  competitor_reference_bps : float;
+}
+
+(* Persistent flows, each with its own congestion controller; measured
+   over the second half of the run.  Returns per-flow delivered bits/s. *)
+let run_persistent_mixed ~spec ~duration_s ~seed ~ccs =
+  let n = Array.length ccs in
+  let spec = { spec with Topology.n } in
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine spec in
+  let rng = Prng.create ~seed in
+  let flows = Flow.allocator () in
+  let senders =
+    Array.init n (fun i ->
+        let flow = Flow.fresh flows in
+        let _receiver =
+          Phi_tcp.Receiver.create engine
+            ~node:dumbbell.Topology.receivers.(i)
+            ~flow
+            ~peer:(Topology.sender_id dumbbell i)
+        in
+        Phi_tcp.Sender.create engine
+          ~node:dumbbell.Topology.senders.(i)
+          ~flow
+          ~dst:(Topology.receiver_id dumbbell i)
+          ~cc:(ccs.(i) ()) ~total_segments:Phi_tcp.Sender.persistent_total ~source_index:i ())
+  in
+  Array.iter
+    (fun sender ->
+      ignore
+        (Engine.schedule_after engine ~delay:(Prng.float rng) (fun () ->
+             Phi_tcp.Sender.start sender)))
+    senders;
+  let half = duration_s /. 2. in
+  Engine.run ~until:half engine;
+  let acked0 = Array.map Phi_tcp.Sender.acked_segments senders in
+  Engine.run ~until:duration_s engine;
+  let throughputs =
+    Array.mapi
+      (fun i sender ->
+        float_of_int ((Phi_tcp.Sender.acked_segments sender - acked0.(i)) * Phi_net.Packet.mss * 8)
+        /. half)
+      senders
+  in
+  Array.iter Phi_tcp.Sender.abort senders;
+  throughputs
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let run ?(priorities = [| 4.; 1.; 1.; 1. |]) ?(n_competitors = 4) ?(duration_s = 60.) ~spec
+    ~seed () =
+  let k = Array.length priorities in
+  if k = 0 then invalid_arg "Priority_experiment.run: no priorities";
+  let weights = Phi.Priority.ensemble_weights ~priorities in
+  let entity_ccs = Array.map (fun w () -> Phi_tcp.Reno.make_weighted ~weight:w ()) weights in
+  let standard () = Phi_tcp.Reno.make () in
+  let competitor_ccs = Array.make n_competitors standard in
+  (* Treatment: weighted entity flows + standard competitors. *)
+  let treatment =
+    run_persistent_mixed ~spec ~duration_s ~seed
+      ~ccs:(Array.append entity_ccs competitor_ccs)
+  in
+  (* Control: same number of flows, all standard. *)
+  let control =
+    run_persistent_mixed ~spec ~duration_s ~seed
+      ~ccs:(Array.make (k + n_competitors) standard)
+  in
+  let entity = Array.sub treatment 0 k in
+  let competitors = Array.sub treatment k n_competitors in
+  let control_entity = Array.sub control 0 k in
+  let control_competitors = Array.sub control k n_competitors in
+  {
+    entity_flows =
+      Array.to_list
+        (Array.mapi (fun i thr -> { weight = weights.(i); throughput_bps = thr }) entity);
+    entity_aggregate_bps = sum entity;
+    reference_aggregate_bps = sum control_entity;
+    competitor_aggregate_bps = sum competitors;
+    competitor_reference_bps = sum control_competitors;
+  }

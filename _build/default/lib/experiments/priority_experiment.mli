@@ -1,0 +1,36 @@
+(** Section 3.3: prioritization across one entity's flows.
+
+    The entity runs [k] persistent flows through the bottleneck with
+    unequal priorities (an HD stream vs bulk transfers), implemented as
+    weighted AIMD with ensemble weight [k].  Competing standard Reno
+    flows from other entities share the link.  Two properties to verify:
+
+    - {b differentiation}: within the entity, throughput is roughly
+      proportional to weight;
+    - {b ensemble friendliness}: the entity's aggregate throughput is
+      close to what [k] standard flows would earn against the same
+      competition. *)
+
+type flow_share = { weight : float; throughput_bps : float }
+
+type result = {
+  entity_flows : flow_share list;
+  entity_aggregate_bps : float;
+  reference_aggregate_bps : float;
+      (** aggregate of [k] standard flows in the control run *)
+  competitor_aggregate_bps : float;
+  competitor_reference_bps : float;
+}
+
+val run :
+  ?priorities:float array ->
+  ?n_competitors:int ->
+  ?duration_s:float ->
+  spec:Phi_net.Topology.spec ->
+  seed:int ->
+  unit ->
+  result
+(** Defaults: priorities [| 4; 1; 1; 1 |] (one HD stream, three bulk),
+    4 competitors, 60 s.  [spec.n] must accommodate
+    [length priorities + n_competitors] sender pairs (it is overridden to
+    exactly that). *)

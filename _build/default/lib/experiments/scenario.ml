@@ -1,0 +1,175 @@
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Link = Phi_net.Link
+module Flow = Phi_tcp.Flow
+module Cubic = Phi_tcp.Cubic
+module Prng = Phi_util.Prng
+
+type workload = { mean_on_bytes : float; mean_off_s : float }
+
+type config = {
+  spec : Topology.spec;
+  workload : workload;
+  duration_s : float;
+  seed : int;
+}
+
+let low_utilization =
+  {
+    spec = Topology.paper_spec;
+    workload = { mean_on_bytes = 500e3; mean_off_s = 2.0 };
+    duration_s = 120.;
+    seed = 1;
+  }
+
+let high_utilization =
+  { low_utilization with workload = { mean_on_bytes = 500e3; mean_off_s = 0.3 } }
+
+let table3 =
+  {
+    low_utilization with
+    workload = { mean_on_bytes = 100e3; mean_off_s = 0.5 };
+    duration_s = 60.;
+  }
+
+type result = {
+  throughput_bps : float;
+  queueing_delay_s : float;
+  loss_rate : float;
+  utilization : float;
+  power : float;
+  connections : int;
+  records : Flow.conn_stats list;
+}
+
+let power_of ~spec ~throughput_bps ~loss_rate ~queueing_delay_s =
+  Phi.Metric.power_with_loss ~throughput_bps ~loss_rate
+    ~delay_s:(spec.Topology.rtt_s +. queueing_delay_s)
+
+(* Aggregate on-time throughput: total bits over total connection-on
+   time, per the paper's "throughput = bits transferred / ontime". *)
+let aggregate_throughput records =
+  let bits, on_time =
+    List.fold_left
+      (fun (bits, on_time) r ->
+        (bits +. float_of_int (r.Flow.bytes * 8), on_time +. Flow.duration r))
+      (0., 0.) records
+  in
+  if on_time <= 0. then 0. else bits /. on_time
+
+let result_of_run ~spec ~duration_s ~bottleneck records =
+  let queueing_delay_s =
+    let delivered = Link.packets_delivered bottleneck in
+    if delivered = 0 then 0. else Link.total_queue_wait bottleneck /. float_of_int delivered
+  in
+  let loss_rate =
+    let offered = Link.packets_offered bottleneck in
+    if offered = 0 then 0. else float_of_int (Link.drops bottleneck) /. float_of_int offered
+  in
+  let throughput_bps = aggregate_throughput records in
+  {
+    throughput_bps;
+    queueing_delay_s;
+    loss_rate;
+    utilization = Float.min 1. (Link.busy_time bottleneck /. duration_s);
+    power = power_of ~spec ~throughput_bps ~loss_rate ~queueing_delay_s;
+    connections = List.length records;
+    records;
+  }
+
+let default_factory _index () = Cubic.make Cubic.default_params
+
+let run ?(cc_factory = default_factory) ?(on_conn_end = fun _ -> ()) ?(observe = fun _ _ -> ())
+    config =
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine config.spec in
+  observe engine dumbbell;
+  let rng = Prng.create ~seed:config.seed in
+  let flows = Flow.allocator () in
+  let records = ref [] in
+  let sources =
+    Array.init config.spec.Topology.n (fun i ->
+        Phi_tcp.Source.create engine ~rng:(Prng.split rng) ~flows
+          ~src_node:dumbbell.Topology.senders.(i)
+          ~dst_node:dumbbell.Topology.receivers.(i)
+          ~index:i ~cc_factory:(cc_factory i)
+          ~on_conn_end:(fun stats ->
+            records := stats :: !records;
+            on_conn_end stats)
+          {
+            Phi_tcp.Source.mean_on_bytes = config.workload.mean_on_bytes;
+            mean_off_s = config.workload.mean_off_s;
+          })
+  in
+  Array.iter Phi_tcp.Source.start sources;
+  Engine.run ~until:config.duration_s engine;
+  Array.iter Phi_tcp.Source.abort_current sources;
+  result_of_run ~spec:config.spec ~duration_s:config.duration_s
+    ~bottleneck:dumbbell.Topology.bottleneck !records
+
+let run_cubic ~params config = run ~cc_factory:(fun _ () -> Cubic.make params) config
+
+let run_persistent ?(params = Cubic.default_params) ~n_flows ~duration_s ~spec ~seed () =
+  let spec = { spec with Topology.n = n_flows } in
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine spec in
+  let rng = Prng.create ~seed in
+  let flows = Flow.allocator () in
+  let senders =
+    Array.init n_flows (fun i ->
+        let flow = Flow.fresh flows in
+        let _receiver =
+          Phi_tcp.Receiver.create engine
+            ~node:dumbbell.Topology.receivers.(i)
+            ~flow
+            ~peer:(Topology.sender_id dumbbell i)
+        in
+        let sender =
+          Phi_tcp.Sender.create engine
+            ~node:dumbbell.Topology.senders.(i)
+            ~flow
+            ~dst:(Topology.receiver_id dumbbell i)
+            ~cc:(Cubic.make params) ~total_segments:Phi_tcp.Sender.persistent_total
+            ~source_index:i ()
+        in
+        sender)
+  in
+  (* Stagger flow starts over the first second to desynchronize. *)
+  Array.iter
+    (fun sender ->
+      ignore
+        (Engine.schedule_after engine ~delay:(Prng.float rng) (fun () ->
+             Phi_tcp.Sender.start sender)))
+    senders;
+  (* Warm-up half, then measure deltas over the second half. *)
+  let half = duration_s /. 2. in
+  Engine.run ~until:half engine;
+  let bottleneck = dumbbell.Topology.bottleneck in
+  let busy0 = Link.busy_time bottleneck in
+  let wait0 = Link.total_queue_wait bottleneck in
+  let delivered0 = Link.packets_delivered bottleneck in
+  let offered0 = Link.packets_offered bottleneck in
+  let drops0 = Link.drops bottleneck in
+  let bytes0 = Link.bytes_delivered bottleneck in
+  Engine.run ~until:duration_s engine;
+  let delivered = Link.packets_delivered bottleneck - delivered0 in
+  let offered = Link.packets_offered bottleneck - offered0 in
+  let queueing_delay_s =
+    if delivered = 0 then 0.
+    else (Link.total_queue_wait bottleneck -. wait0) /. float_of_int delivered
+  in
+  let loss_rate =
+    if offered = 0 then 0. else float_of_int (Link.drops bottleneck - drops0) /. float_of_int offered
+  in
+  let throughput_bps = float_of_int ((Link.bytes_delivered bottleneck - bytes0) * 8) /. half in
+  let records = Array.to_list (Array.map Phi_tcp.Sender.stats senders) in
+  Array.iter Phi_tcp.Sender.abort senders;
+  {
+    throughput_bps;
+    queueing_delay_s;
+    loss_rate;
+    utilization = Float.min 1. ((Link.busy_time bottleneck -. busy0) /. half);
+    power = power_of ~spec ~throughput_bps ~loss_rate ~queueing_delay_s;
+    connections = n_flows;
+    records;
+  }

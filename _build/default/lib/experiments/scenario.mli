@@ -1,0 +1,71 @@
+(** Shared dumbbell scenario runner for the congestion-control
+    experiments (Sections 2.2.1–2.2.4).
+
+    One run = one seeded simulation of [n] on/off senders over the Figure
+    1 dumbbell, yielding the aggregate measurements every figure and table
+    is built from. *)
+
+type workload = {
+  mean_on_bytes : float;
+  mean_off_s : float;
+}
+
+type config = {
+  spec : Phi_net.Topology.spec;
+  workload : workload;
+  duration_s : float;
+  seed : int;
+}
+
+val low_utilization : config
+(** Figure 2a's setting: 8 senders, 500 KB mean transfers, 2 s mean idle
+    (~50–60 % bottleneck utilization). *)
+
+val high_utilization : config
+(** Figure 2b's setting: same transfers, 0.3 s mean idle (~85–95 %). *)
+
+val table3 : config
+(** Table 3's setting: 100 KB mean transfers, 0.5 s mean idle. *)
+
+type result = {
+  throughput_bps : float;
+      (** aggregate on-time throughput: total bits over total "on" time *)
+  queueing_delay_s : float;  (** mean per-packet wait in the bottleneck queue *)
+  loss_rate : float;  (** bottleneck drops / packets offered *)
+  utilization : float;  (** bottleneck busy fraction over the run *)
+  power : float;  (** the paper's P_l, with delay = base RTT + queueing delay *)
+  connections : int;
+  records : Phi_tcp.Flow.conn_stats list;
+}
+
+val power_of : spec:Phi_net.Topology.spec -> throughput_bps:float -> loss_rate:float -> queueing_delay_s:float -> float
+(** The P_l formula used everywhere: throughput (Mbps) times delivery rate
+    over (base RTT + queueing delay). *)
+
+val run :
+  ?cc_factory:(int -> unit -> Phi_tcp.Cc.t) ->
+  ?on_conn_end:(Phi_tcp.Flow.conn_stats -> unit) ->
+  ?observe:(Phi_sim.Engine.t -> Phi_net.Topology.dumbbell -> unit) ->
+  config ->
+  result
+(** Run the scenario.  [cc_factory index] builds the controller for each
+    new connection of sender [index] (default: Cubic with default
+    parameters).  [observe] runs right after topology construction — the
+    hook for attaching monitors or context servers. *)
+
+val run_cubic : params:Phi_tcp.Cubic.params -> config -> result
+(** All senders use the same fixed Cubic parameters (the paper's
+    simplified setting of Section 2.2.1). *)
+
+val run_persistent :
+  ?params:Phi_tcp.Cubic.params ->
+  n_flows:int ->
+  duration_s:float ->
+  spec:Phi_net.Topology.spec ->
+  seed:int ->
+  unit ->
+  result
+(** Figure 2c's setting: [n_flows] long-running Cubic connections
+    (one per sender/receiver pair, [spec.n] forced to [n_flows]),
+    measured over the second half of the run to skip the start-up
+    transient.  Throughput is the aggregate delivery rate. *)

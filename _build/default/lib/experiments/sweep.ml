@@ -1,0 +1,137 @@
+module Cubic = Phi_tcp.Cubic
+module Stats = Phi_util.Stats
+
+type grid = { ssthresh : float list; init_w : float list; beta : float list }
+
+let doubling lo hi =
+  let rec go v = if v > hi then [] else float_of_int v :: go (2 * v) in
+  go lo
+
+let paper_grid =
+  {
+    ssthresh = doubling 2 256;
+    init_w = doubling 2 256;
+    beta = List.init 9 (fun i -> 0.1 +. (0.1 *. float_of_int i));
+  }
+
+let coarse_grid =
+  { ssthresh = [ 2.; 16.; 64.; 256. ]; init_w = [ 2.; 16.; 64.; 256. ]; beta = [ 0.1; 0.2; 0.5 ] }
+
+let beta_grid =
+  {
+    ssthresh = [ Cubic.default_params.Cubic.initial_ssthresh ];
+    init_w = [ Cubic.default_params.Cubic.initial_cwnd ];
+    beta = List.init 9 (fun i -> 0.1 +. (0.1 *. float_of_int i));
+  }
+
+type point = {
+  params : Cubic.params;
+  by_seed : Scenario.result array;
+  mean_throughput_bps : float;
+  mean_queueing_delay_s : float;
+  mean_loss_rate : float;
+  mean_power : float;
+}
+
+type t = {
+  config : Scenario.config;
+  seeds : int list;
+  points : point list;
+  default_point : point;
+}
+
+let settings grid =
+  List.concat_map
+    (fun ssthresh ->
+      List.concat_map
+        (fun init_w ->
+          List.map
+            (fun beta ->
+              Cubic.with_knobs ~initial_cwnd:init_w ~initial_ssthresh:ssthresh ~beta
+                Cubic.default_params)
+            grid.beta)
+        grid.init_w)
+    grid.ssthresh
+
+let mean_of f results = Stats.mean (Array.map f results)
+
+let point_of ~params by_seed =
+  {
+    params;
+    by_seed;
+    mean_throughput_bps = mean_of (fun (r : Scenario.result) -> r.Scenario.throughput_bps) by_seed;
+    mean_queueing_delay_s =
+      mean_of (fun (r : Scenario.result) -> r.Scenario.queueing_delay_s) by_seed;
+    mean_loss_rate = mean_of (fun (r : Scenario.result) -> r.Scenario.loss_rate) by_seed;
+    mean_power = mean_of (fun (r : Scenario.result) -> r.Scenario.power) by_seed;
+  }
+
+let eval_params config seeds params =
+  let by_seed =
+    Array.of_list
+      (List.map (fun seed -> Scenario.run_cubic ~params { config with Scenario.seed }) seeds)
+  in
+  point_of ~params by_seed
+
+let run ?(progress = fun _ _ -> ()) config grid ~seeds =
+  if seeds = [] then invalid_arg "Sweep.run: no seeds";
+  let all = settings grid in
+  let total = List.length all in
+  let points =
+    List.mapi
+      (fun i params ->
+        let point = eval_params config seeds params in
+        progress (i + 1) total;
+        point)
+      all
+  in
+  let default_point = eval_params config seeds Cubic.default_params in
+  { config; seeds; points; default_point }
+
+let optimal t =
+  match t.points with
+  | [] -> invalid_arg "Sweep.optimal: empty sweep"
+  | first :: rest ->
+    List.fold_left (fun best p -> if p.mean_power > best.mean_power then p else best) first rest
+
+let run_longrunning ~spec ~n_flows ~duration_s ~seeds ~betas =
+  List.map
+    (fun beta ->
+      let params = Cubic.with_knobs ~beta Cubic.default_params in
+      let by_seed =
+        Array.of_list
+          (List.map
+             (fun seed -> Scenario.run_persistent ~params ~n_flows ~duration_s ~spec ~seed ())
+             seeds)
+      in
+      (beta, point_of ~params by_seed))
+    betas
+
+type validation = { default_power : float; optimal_power : float; common_power : float }
+
+let validate t =
+  let n_seeds = List.length t.seeds in
+  if n_seeds < 2 then invalid_arg "Sweep.validate: need at least 2 seeds";
+  (* Best setting according to seed [i] alone. *)
+  let best_for_seed i =
+    match t.points with
+    | [] -> invalid_arg "Sweep.validate: empty sweep"
+    | first :: rest ->
+      List.fold_left
+        (fun best p ->
+          if p.by_seed.(i).Scenario.power > best.by_seed.(i).Scenario.power then p else best)
+        first rest
+  in
+  let optimal_powers = ref [] and common_powers = ref [] in
+  for i = 0 to n_seeds - 1 do
+    let best = best_for_seed i in
+    optimal_powers := best.by_seed.(i).Scenario.power :: !optimal_powers;
+    for j = 0 to n_seeds - 1 do
+      if j <> i then common_powers := best.by_seed.(j).Scenario.power :: !common_powers
+    done
+  done;
+  {
+    default_power = t.default_point.mean_power;
+    optimal_power = Stats.mean (Array.of_list !optimal_powers);
+    common_power = Stats.mean (Array.of_list !common_powers);
+  }

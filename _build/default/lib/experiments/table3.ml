@@ -1,0 +1,139 @@
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Monitor = Phi_net.Monitor
+module Flow = Phi_tcp.Flow
+module Prng = Phi_util.Prng
+module Stats = Phi_util.Stats
+module Remy_source = Phi_remy.Remy_source
+module Rule_table = Phi_remy.Rule_table
+
+type row = {
+  name : string;
+  median_throughput_bps : float;
+  median_queueing_delay_s : float;
+  median_objective : float;
+  connections : int;
+  server_messages : int;
+}
+
+let paper_rows =
+  [
+    ("Remy-Phi-practical", 1.93, 5.6, 2.52);
+    ("Remy-Phi-ideal", 1.97, 3.0, 2.56);
+    ("Remy", 1.45, 1.7, 2.26);
+    ("Cubic", 1.03, 9.3, 1.87);
+  ]
+
+let conn_objective (r : Flow.conn_stats) =
+  let thr = Flow.throughput_bps r in
+  if thr <= 0. || not (Float.is_finite r.Flow.mean_rtt) || r.Flow.mean_rtt <= 0. then None
+  else Some (Phi.Metric.log_power ~throughput_bps:thr ~delay_s:r.Flow.mean_rtt)
+
+let row_of ~name ~server_messages records =
+  let arr f = Array.of_list (List.filter_map f records) in
+  let throughputs =
+    arr (fun r ->
+        let t = Flow.throughput_bps r in
+        if t > 0. then Some t else None)
+  in
+  let qdelays =
+    arr (fun r ->
+        let q = Flow.queueing_delay r in
+        if Float.is_finite q && q >= 0. then Some q else None)
+  in
+  let objectives = arr conn_objective in
+  let median xs = if Array.length xs = 0 then nan else Stats.median xs in
+  {
+    name;
+    median_throughput_bps = median throughputs;
+    median_queueing_delay_s = median qdelays;
+    median_objective = median objectives;
+    connections = List.length records;
+    server_messages;
+  }
+
+type variant =
+  | Cubic_default
+  | Remy_classic
+  | Remy_phi of [ `Ideal | `Practical ]
+
+(* One seeded run of one variant; returns (records, server messages). *)
+let run_variant ~remy_table ~remy_phi_table ~seed (config : Scenario.config) variant =
+  match variant with
+  | Cubic_default ->
+    let result = Scenario.run { config with Scenario.seed } in
+    (result.Scenario.records, 0)
+  | Remy_classic | Remy_phi _ ->
+    let engine = Engine.create () in
+    let dumbbell = Topology.dumbbell engine config.Scenario.spec in
+    let server_messages = ref 0 in
+    let server =
+      Phi.Context_server.create engine
+        ~capacity_bps:config.Scenario.spec.Topology.bottleneck_bw_bps ()
+    in
+    let util_feed : Phi_remy.Remy_sender.util_feed =
+      match variant with
+      | Remy_classic | Cubic_default -> `None
+      | Remy_phi `Ideal ->
+        let monitor = Monitor.create engine dumbbell.Topology.bottleneck ~interval_s:0.1 in
+        `Live (fun () -> Monitor.current_utilization monitor)
+      | Remy_phi `Practical ->
+        `At_start
+          (fun () ->
+            incr server_messages;
+            (Phi.Context_server.lookup server ~path:"dumbbell").Phi.Context.utilization)
+    in
+    let table = match variant with Remy_phi _ -> remy_phi_table | _ -> remy_table in
+    let on_conn_end =
+      match variant with
+      | Remy_phi `Practical ->
+        fun stats ->
+          incr server_messages;
+          Phi.Context_server.report_stats server ~path:"dumbbell" stats
+      | _ -> fun _ -> ()
+    in
+    let rng = Prng.create ~seed in
+    let flows = Flow.allocator () in
+    let records = ref [] in
+    let sources =
+      Array.init config.Scenario.spec.Topology.n (fun i ->
+          Remy_source.create engine ~rng:(Prng.split rng) ~flows
+            ~src_node:dumbbell.Topology.senders.(i)
+            ~dst_node:dumbbell.Topology.receivers.(i)
+            ~index:i ~table ~util:util_feed
+            ~on_conn_end:(fun stats ->
+              records := stats :: !records;
+              on_conn_end stats)
+            {
+              Remy_source.mean_on_bytes = config.Scenario.workload.Scenario.mean_on_bytes;
+              mean_off_s = config.Scenario.workload.Scenario.mean_off_s;
+            })
+    in
+    Array.iter Remy_source.start sources;
+    Engine.run ~until:config.Scenario.duration_s engine;
+    Array.iter Remy_source.abort_current sources;
+    (!records, !server_messages)
+
+let run ?remy_table ?remy_phi_table ~seeds config =
+  if seeds = [] then invalid_arg "Table3.run: no seeds";
+  let remy_table = match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy () in
+  let remy_phi_table =
+    match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ()
+  in
+  let pooled variant =
+    List.fold_left
+      (fun (records, msgs) seed ->
+        let r, m = run_variant ~remy_table ~remy_phi_table ~seed config variant in
+        (r @ records, m + msgs))
+      ([], 0) seeds
+  in
+  List.map
+    (fun (name, variant) ->
+      let records, msgs = pooled variant in
+      row_of ~name ~server_messages:msgs records)
+    [
+      ("Remy-Phi-practical", Remy_phi `Practical);
+      ("Remy-Phi-ideal", Remy_phi `Ideal);
+      ("Remy", Remy_classic);
+      ("Cubic", Cubic_default);
+    ]

@@ -1,0 +1,1 @@
+lib/ipfix/sampler.ml: List Phi_util Phi_workload Stdlib

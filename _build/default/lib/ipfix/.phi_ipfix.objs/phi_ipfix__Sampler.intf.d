@@ -1,0 +1,1 @@
+lib/ipfix/sampler.mli: Phi_util Phi_workload

@@ -1,0 +1,1 @@
+lib/ipfix/sharing.ml: Array Hashtbl List Phi_util Sampler

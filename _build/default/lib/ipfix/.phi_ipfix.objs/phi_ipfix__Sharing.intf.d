@@ -1,0 +1,1 @@
+lib/ipfix/sharing.mli: Sampler

@@ -1,0 +1,46 @@
+module Prng = Phi_util.Prng
+module Dist = Phi_util.Dist
+module Cloud_trace = Phi_workload.Cloud_trace
+
+type record = { ts : float; src_ip : int; src_port : int; dst_ip : int; dst_port : int }
+
+let key r = (r.src_ip, r.src_port, r.dst_ip, r.dst_port)
+
+let default_rate = 4096
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampler.binomial: negative n";
+  if p < 0. || p > 1. then invalid_arg "Sampler.binomial: p out of [0, 1]";
+  if n = 0 || p = 0. then 0
+  else if n < 512 then begin
+    let hits = ref 0 in
+    for _ = 1 to n do
+      if Prng.float rng < p then incr hits
+    done;
+    !hits
+  end
+  else
+    (* p is ~1/4096 here, so Poisson(np) is an excellent approximation. *)
+    Stdlib.min n (Dist.poisson rng ~lambda:(float_of_int n *. p))
+
+let sample_flows rng ~rate flows =
+  if rate < 1 then invalid_arg "Sampler.sample_flows: rate must be >= 1";
+  let p = 1. /. float_of_int rate in
+  let records = ref [] in
+  List.iter
+    (fun (flow : Cloud_trace.flow) ->
+      let hits = binomial rng ~n:flow.packets ~p in
+      for _ = 1 to hits do
+        let ts = flow.start_s +. (Prng.float rng *. flow.duration_s) in
+        records :=
+          {
+            ts;
+            src_ip = flow.src_ip;
+            src_port = flow.src_port;
+            dst_ip = flow.dst_ip;
+            dst_port = flow.dst_port;
+          }
+          :: !records
+      done)
+    flows;
+  List.sort (fun a b -> compare a.ts b.ts) !records

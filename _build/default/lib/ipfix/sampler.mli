@@ -1,0 +1,30 @@
+(** Packet-sampled flow export, IPFIX-style (RFC 7011).
+
+    Routers sample one in [rate] packets and export the sampled packet
+    headers to a collector.  Sampling a flow of [p] packets therefore
+    observes it with [Binomial(p, 1/rate)] draws — which is how we sample
+    flow records directly, without materializing packets. *)
+
+type record = {
+  ts : float;  (** timestamp of the sampled packet *)
+  src_ip : int;
+  src_port : int;
+  dst_ip : int;
+  dst_port : int;
+}
+
+val key : record -> int * int * int * int
+(** The flow 4-tuple. *)
+
+val default_rate : int
+(** 4096, the rate used in Section 2.1. *)
+
+val sample_flows :
+  Phi_util.Prng.t -> rate:int -> Phi_workload.Cloud_trace.flow list -> record list
+(** Export records for every sampled packet; a flow hit [k] times yields
+    [k] records at uniform times within its lifetime.  Ordered by
+    timestamp. *)
+
+val binomial : Phi_util.Prng.t -> n:int -> p:float -> int
+(** Exact Bernoulli summation below 512 trials, Poisson approximation
+    above (valid here since [p] is tiny).  Exposed for tests. *)

@@ -1,0 +1,51 @@
+module Stats = Phi_util.Stats
+
+type stats = { flows_observed : int; slices : int; sharing_counts : float array }
+
+type slice_key = { subnet : int; minute : int }
+
+let analyze records =
+  (* slice -> set of distinct flow keys seen in it *)
+  let slices : (slice_key, (int * int * int * int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.iter
+    (fun (r : Sampler.record) ->
+      let key = { subnet = r.Sampler.dst_ip lsr 8; minute = int_of_float (r.Sampler.ts /. 60.) } in
+      let flows =
+        match Hashtbl.find_opt slices key with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 4 in
+          Hashtbl.add slices key tbl;
+          tbl
+      in
+      Hashtbl.replace flows (Sampler.key r) ())
+    records;
+  (* flow -> maximum "others in my slice" over the slices it appears in *)
+  let per_flow : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun _key flows ->
+      let others = Hashtbl.length flows - 1 in
+      Hashtbl.iter
+        (fun flow () ->
+          match Hashtbl.find_opt per_flow flow with
+          | Some best when best >= others -> ()
+          | _ -> Hashtbl.replace per_flow flow others)
+        flows)
+    slices;
+  let sharing_counts =
+    Hashtbl.fold (fun _ others acc -> float_of_int others :: acc) per_flow []
+    |> Array.of_list
+  in
+  { flows_observed = Hashtbl.length per_flow; slices = Hashtbl.length slices; sharing_counts }
+
+let flows_observed t = t.flows_observed
+let slices t = t.slices
+let sharing_counts t = t.sharing_counts
+
+let fraction_sharing_at_least t k =
+  if Array.length t.sharing_counts = 0 then 0.
+  else Stats.fraction_at_least t.sharing_counts ~threshold:(float_of_int k)
+
+let ccdf t ~thresholds = List.map (fun k -> (k, fraction_sharing_at_least t k)) thresholds

@@ -1,0 +1,31 @@
+(** The Section 2.1 path-sharing analysis.
+
+    Group sampled packet records into (destination /24, minute) slices —
+    the "compact spatio-temporal granularity" within which all flows can
+    be assumed to follow the same WAN path — count distinct flows per
+    slice, and ask: for a typical flow, how many *other* flows share its
+    path?  The paper reports that, even at 1-in-4096 sampling, 50 % of
+    flows share with at least 5 others and 12 % with at least 100. *)
+
+type stats
+
+val analyze : Sampler.record list -> stats
+(** Each observed flow is attributed to the (subnet, minute) slices in
+    which it was sampled; its sharing count in a slice is the number of
+    other distinct flows seen there.  A flow appearing in several slices
+    contributes its maximum sharing count. *)
+
+val flows_observed : stats -> int
+
+val slices : stats -> int
+(** Number of non-empty (subnet, minute) slices. *)
+
+val sharing_counts : stats -> float array
+(** Per observed flow: how many others shared its slice. *)
+
+val fraction_sharing_at_least : stats -> int -> float
+(** E.g. [fraction_sharing_at_least stats 5 = 0.5] reproduces the paper's
+    "50 % of flows share the WAN path with at least 5 other flows". *)
+
+val ccdf : stats -> thresholds:int list -> (int * float) list
+(** [(k, fraction with >= k)] pairs, ready for printing. *)

@@ -1,0 +1,1 @@
+lib/net/chain.ml: Array Float Link Node Packet Phi_sim Stdlib

@@ -1,0 +1,1 @@
+lib/net/chain.mli: Link Node Phi_sim

@@ -1,0 +1,1 @@
+lib/net/link.ml: Float Packet Phi_sim Phi_util Queue Stdlib

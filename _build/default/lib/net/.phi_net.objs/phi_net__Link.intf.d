@@ -1,0 +1,1 @@
+lib/net/link.mli: Packet Phi_sim Phi_util

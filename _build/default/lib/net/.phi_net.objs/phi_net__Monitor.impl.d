@@ -1,0 +1,1 @@
+lib/net/monitor.ml: Array Float Link List Phi_sim

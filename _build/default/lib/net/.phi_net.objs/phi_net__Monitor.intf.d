@@ -1,0 +1,1 @@
+lib/net/monitor.mli: Link Phi_sim

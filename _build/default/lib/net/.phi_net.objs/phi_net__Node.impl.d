@@ -1,0 +1,1 @@
+lib/net/node.ml: Hashtbl Link Packet Printf

@@ -1,0 +1,1 @@
+lib/net/node.mli: Link Packet Phi_sim

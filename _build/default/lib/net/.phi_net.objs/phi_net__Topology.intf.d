@@ -1,0 +1,1 @@
+lib/net/topology.mli: Link Node Phi_sim

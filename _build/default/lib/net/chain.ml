@@ -1,0 +1,126 @@
+module Engine = Phi_sim.Engine
+
+type spec = {
+  hops : int;
+  hop_bw_bps : float array;
+  hop_delay_s : float;
+  buffer_bdp_factor : float;
+  access_bw_bps : float;
+  access_delay_s : float;
+}
+
+let default_spec ~hops =
+  {
+    hops;
+    hop_bw_bps = Array.make hops 15e6;
+    hop_delay_s = 0.020;
+    buffer_bdp_factor = 5.;
+    access_bw_bps = 1e9;
+    access_delay_s = 0.001;
+  }
+
+(* A hop's BDP is computed against a nominal two-hop-RTT path through it;
+   what matters for the experiments is that buffers scale with hop speed. *)
+let hop_buffer_pkts spec ~hop =
+  if hop < 0 || hop >= spec.hops then invalid_arg "Chain.hop_buffer_pkts: bad hop";
+  let rtt = 2. *. (spec.hop_delay_s +. (2. *. spec.access_delay_s)) in
+  let bdp_bytes = spec.hop_bw_bps.(hop) *. rtt /. 8. in
+  Stdlib.max 2
+    (int_of_float (Float.round (spec.buffer_bdp_factor *. bdp_bytes /. float_of_int Packet.mss)))
+
+type t = {
+  engine : Engine.t;
+  spec : spec;
+  long_sender : Node.t;
+  long_receiver : Node.t;
+  cross_senders : Node.t array;
+  cross_receivers : Node.t array;
+  routers : Node.t array;
+  hop_links : Link.t array;
+  reverse_hop_links : Link.t array;
+}
+
+(* Node id scheme (stable and readable in traces). *)
+let long_sender_id _t = 0
+let long_receiver_id _t = 1
+let cross_sender_id _t i = 100 + i
+let cross_receiver_id _t i = 200 + i
+let router_id i = 300 + i
+
+let create engine spec =
+  if spec.hops < 1 then invalid_arg "Chain.create: need at least one hop";
+  if Array.length spec.hop_bw_bps <> spec.hops then
+    invalid_arg "Chain.create: hop_bw_bps length must equal hops";
+  Array.iter
+    (fun bw -> if bw <= 0. then invalid_arg "Chain.create: hop bandwidth must be positive")
+    spec.hop_bw_bps;
+  let hops = spec.hops in
+  let routers = Array.init (hops + 1) (fun i -> Node.create engine ~id:(router_id i)) in
+  let long_sender = Node.create engine ~id:0 in
+  let long_receiver = Node.create engine ~id:1 in
+  let cross_senders = Array.init hops (fun i -> Node.create engine ~id:(100 + i)) in
+  let cross_receivers = Array.init hops (fun i -> Node.create engine ~id:(200 + i)) in
+  let access ~to_ =
+    let link =
+      Link.create engine ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
+        ~capacity_pkts:10_000
+    in
+    Link.set_receiver link (Node.receive to_);
+    link
+  in
+  let hop_link i ~reverse =
+    let link =
+      Link.create engine ~bandwidth_bps:spec.hop_bw_bps.(i) ~delay_s:spec.hop_delay_s
+        ~capacity_pkts:(hop_buffer_pkts spec ~hop:i)
+    in
+    let dst = if reverse then routers.(i) else routers.(i + 1) in
+    Link.set_receiver link (Node.receive dst);
+    link
+  in
+  let hop_links = Array.init hops (fun i -> hop_link i ~reverse:false) in
+  let reverse_hop_links = Array.init hops (fun i -> hop_link i ~reverse:true) in
+  (* End hosts: single access link up to their router; default route. *)
+  Node.set_default_route long_sender (access ~to_:routers.(0));
+  Node.set_default_route long_receiver (access ~to_:routers.(hops));
+  Array.iteri
+    (fun i sender -> Node.set_default_route sender (access ~to_:routers.(i)))
+    cross_senders;
+  Array.iteri
+    (fun i receiver -> Node.set_default_route receiver (access ~to_:routers.(i + 1)))
+    cross_receivers;
+  (* Router-to-host access links. *)
+  let to_long_sender = access ~to_:long_sender in
+  let to_long_receiver = access ~to_:long_receiver in
+  let to_cross_sender = Array.init hops (fun i -> access ~to_:cross_senders.(i)) in
+  let to_cross_receiver = Array.init hops (fun i -> access ~to_:cross_receivers.(i)) in
+  (* Routes at router [i], for every destination in the network. *)
+  for i = 0 to hops do
+    let router = routers.(i) in
+    (* Long sender lives off router 0. *)
+    if i = 0 then Node.add_route router ~dst:0 to_long_sender
+    else Node.add_route router ~dst:0 reverse_hop_links.(i - 1);
+    (* Long receiver lives off router [hops]. *)
+    if i = hops then Node.add_route router ~dst:1 to_long_receiver
+    else Node.add_route router ~dst:1 hop_links.(i);
+    for j = 0 to hops - 1 do
+      (* Cross sender [j] homes at router [j]. *)
+      (if i = j then Node.add_route router ~dst:(100 + j) to_cross_sender.(j)
+       else if i > j then Node.add_route router ~dst:(100 + j) reverse_hop_links.(i - 1)
+       else Node.add_route router ~dst:(100 + j) hop_links.(i));
+      (* Cross receiver [j] homes at router [j + 1]. *)
+      if i = j + 1 then Node.add_route router ~dst:(200 + j) to_cross_receiver.(j)
+      else if i > j + 1 then Node.add_route router ~dst:(200 + j) reverse_hop_links.(i - 1)
+      else Node.add_route router ~dst:(200 + j) hop_links.(i)
+    done
+  done;
+  {
+    engine;
+    spec;
+    long_sender;
+    long_receiver;
+    cross_senders;
+    cross_receivers;
+    routers;
+    hop_links;
+    reverse_hop_links;
+  }

@@ -1,0 +1,50 @@
+(** Parking-lot (chain) topology: several bottleneck hops in a row.
+
+    One long path crosses every hop, and each hop carries its own local
+    cross traffic — the classic multi-bottleneck arrangement.  The
+    dumbbell of Figure 1 is all the paper's experiments need, but a
+    provider's context server is keyed by *path*; this topology is what
+    exercises several distinct bottlenecks (and hence several contexts)
+    at once.
+
+    Node layout: routers [r_0 .. r_hops]; hop link [i] joins [r_i] to
+    [r_i+1] (with a mirror reverse link for ACKs).  The long sender homes
+    at [r_0], the long receiver at [r_hops]; cross sender [i] homes at
+    [r_i] and its receiver at [r_i+1], so cross pair [i] loads exactly
+    hop [i]. *)
+
+type spec = {
+  hops : int;  (** bottleneck links in the chain (>= 1) *)
+  hop_bw_bps : float array;  (** per-hop bandwidth; length [hops] *)
+  hop_delay_s : float;  (** one-way propagation per hop *)
+  buffer_bdp_factor : float;  (** per-hop buffer as a multiple of that hop's BDP *)
+  access_bw_bps : float;
+  access_delay_s : float;
+}
+
+val default_spec : hops:int -> spec
+(** Every hop at 15 Mb/s, 20 ms per hop, buffer 5 x BDP, 1 Gb/s access. *)
+
+type t = {
+  engine : Phi_sim.Engine.t;
+  spec : spec;
+  long_sender : Node.t;
+  long_receiver : Node.t;
+  cross_senders : Node.t array;  (** one per hop *)
+  cross_receivers : Node.t array;
+  routers : Node.t array;
+  hop_links : Link.t array;  (** forward direction *)
+  reverse_hop_links : Link.t array;
+}
+
+val create : Phi_sim.Engine.t -> spec -> t
+(** Build the chain and wire all routes in both directions.  Raises
+    [Invalid_argument] on inconsistent specs. *)
+
+val long_sender_id : t -> int
+val long_receiver_id : t -> int
+val cross_sender_id : t -> int -> int
+val cross_receiver_id : t -> int -> int
+
+val hop_buffer_pkts : spec -> hop:int -> int
+(** Queue capacity of the given hop. *)

@@ -1,0 +1,165 @@
+module Engine = Phi_sim.Engine
+
+type red_params = {
+  min_threshold : int;
+  max_threshold : int;
+  max_probability : float;
+  weight : float;
+  mark_ecn : bool;
+}
+
+let default_red ?(ecn = false) ~capacity_pkts () =
+  let min_threshold = Stdlib.max 5 (capacity_pkts / 12) in
+  {
+    min_threshold;
+    max_threshold = 3 * min_threshold;
+    max_probability = 0.1;
+    weight = 0.002;
+    mark_ecn = ecn;
+  }
+
+type discipline = Drop_tail | Red of red_params
+
+type t = {
+  engine : Engine.t;
+  bandwidth_bps : float;
+  delay_s : float;
+  capacity_pkts : int;
+  queue : Packet.t Queue.t;
+  mutable receiver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable packets_offered : int;
+  mutable packets_delivered : int;
+  mutable bytes_delivered : int;
+  mutable drops : int;
+  mutable busy_time : float;
+  mutable total_queue_wait : float;
+  mutable fault : (Phi_util.Prng.t * float) option;
+  mutable discipline : discipline;
+  mutable red_rng : Phi_util.Prng.t option;
+  mutable red_avg : float;  (* RED's average queue estimate *)
+  mutable ecn_marks : int;
+}
+
+let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
+  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  if capacity_pkts < 1 then invalid_arg "Link.create: capacity must be >= 1";
+  {
+    engine;
+    bandwidth_bps;
+    delay_s;
+    capacity_pkts;
+    queue = Queue.create ();
+    receiver = (fun _ -> failwith "Link: receiver not set");
+    busy = false;
+    packets_offered = 0;
+    packets_delivered = 0;
+    bytes_delivered = 0;
+    drops = 0;
+    busy_time = 0.;
+    total_queue_wait = 0.;
+    fault = None;
+    discipline = Drop_tail;
+    red_rng = None;
+    red_avg = 0.;
+    ecn_marks = 0;
+  }
+
+let set_receiver t f = t.receiver <- f
+
+let set_fault_injection t ~rng ~drop_probability =
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Link.set_fault_injection: probability out of [0, 1]";
+  t.fault <- if drop_probability = 0. then None else Some (rng, drop_probability)
+
+let tx_time t (pkt : Packet.t) = float_of_int (pkt.size * 8) /. t.bandwidth_bps
+
+(* Serve the head-of-line packet: serialization, then propagation, then
+   start on the next queued packet.  [busy] guards against starting two
+   transmissions at once. *)
+let rec start_service t =
+  match Queue.peek_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let now = Engine.now t.engine in
+    t.total_queue_wait <- t.total_queue_wait +. (now -. pkt.enqueued_at);
+    let tx = tx_time t pkt in
+    ignore
+      (Engine.schedule_after t.engine ~delay:tx (fun () ->
+           ignore (Queue.pop t.queue);
+           t.busy_time <- t.busy_time +. tx;
+           t.packets_delivered <- t.packets_delivered + 1;
+           t.bytes_delivered <- t.bytes_delivered + pkt.size;
+           ignore
+             (Engine.schedule_after t.engine ~delay:t.delay_s (fun () -> t.receiver pkt));
+           start_service t))
+
+let set_discipline t ~rng discipline =
+  (match discipline with
+  | Red p ->
+    if p.min_threshold < 1 || p.max_threshold <= p.min_threshold then
+      invalid_arg "Link.set_discipline: bad RED thresholds";
+    if p.max_probability <= 0. || p.max_probability > 1. then
+      invalid_arg "Link.set_discipline: bad RED max probability";
+    if p.weight <= 0. || p.weight > 1. then invalid_arg "Link.set_discipline: bad RED weight"
+  | Drop_tail -> ());
+  t.discipline <- discipline;
+  t.red_rng <- Some rng;
+  t.red_avg <- float_of_int (Queue.length t.queue)
+
+(* RED early-drop/mark decision (simplified: no idle-time correction, no
+   between-drop spacing).  With [mark_ecn], band "drops" become CE marks
+   on data packets; only forced drops above max_threshold still drop. *)
+let red_rejects t p (pkt : Packet.t) =
+  t.red_avg <- ((1. -. p.weight) *. t.red_avg) +. (p.weight *. float_of_int (Queue.length t.queue));
+  if t.red_avg < float_of_int p.min_threshold then false
+  else if t.red_avg >= float_of_int p.max_threshold then true
+  else begin
+    let range = float_of_int (p.max_threshold - p.min_threshold) in
+    let drop_p = p.max_probability *. (t.red_avg -. float_of_int p.min_threshold) /. range in
+    let hit =
+      match t.red_rng with Some rng -> Phi_util.Prng.float rng < drop_p | None -> false
+    in
+    if hit && p.mark_ecn && Packet.is_data pkt then begin
+      pkt.Packet.ce <- true;
+      t.ecn_marks <- t.ecn_marks + 1;
+      false
+    end
+    else hit
+  end
+
+let discipline_rejects t pkt =
+  match t.discipline with Drop_tail -> false | Red p -> red_rejects t p pkt
+
+let faulted t =
+  match t.fault with
+  | None -> false
+  | Some (rng, p) -> Phi_util.Prng.float rng < p
+
+let send t pkt =
+  t.packets_offered <- t.packets_offered + 1;
+  if Queue.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then
+    t.drops <- t.drops + 1
+  else begin
+    pkt.Packet.enqueued_at <- Engine.now t.engine;
+    Queue.push pkt t.queue;
+    if not t.busy then start_service t
+  end
+
+let bandwidth_bps t = t.bandwidth_bps
+let delay_s t = t.delay_s
+let capacity_pkts t = t.capacity_pkts
+let queue_length t = Queue.length t.queue
+let ecn_marks t = t.ecn_marks
+let packets_delivered t = t.packets_delivered
+let bytes_delivered t = t.bytes_delivered
+let drops t = t.drops
+let packets_offered t = t.packets_offered
+let busy_time t = t.busy_time
+let total_queue_wait t = t.total_queue_wait
+
+let utilization_since t ~since_busy_time ~since_clock ~now =
+  let elapsed = now -. since_clock in
+  if elapsed <= 0. then 0. else Float.min 1. ((t.busy_time -. since_busy_time) /. elapsed)

@@ -1,0 +1,82 @@
+(** Unidirectional link with a finite FIFO queue.
+
+    Models ns-2's queue + duplex-link halves: a packet reaching the head
+    of the queue is serialized for [size * 8 / bandwidth] seconds and then
+    propagates for [delay] seconds before delivery.  The queue discipline
+    is drop-tail by default (the paper's setting — its Section 3.1 rests
+    on FIFO's incentive incompatibility) with RED available for the
+    DESIGN.md ablations.
+
+    The link keeps the counters the Phi experiments need: bytes and packets
+    carried, drops, busy (serialization) time for utilization, and the
+    aggregate time packets spent queued (for queueing-delay figures). *)
+
+type t
+
+type red_params = {
+  min_threshold : int;  (** packets; no early drops below this average *)
+  max_threshold : int;  (** packets; all arrivals dropped above this average *)
+  max_probability : float;  (** early-drop probability at [max_threshold] *)
+  weight : float;  (** EWMA weight of the average-queue estimator *)
+  mark_ecn : bool;
+      (** mark data packets (RFC 3168 CE) instead of early-dropping them;
+          forced drops above [max_threshold] still drop *)
+}
+
+val default_red : ?ecn:bool -> capacity_pkts:int -> unit -> red_params
+(** Conventional setting scaled to the buffer: min = capacity/12 (at
+    least 5), max = 3 x min, max_p = 0.1, weight = 0.002; [ecn]
+    (default false) switches early drops to CE marks. *)
+
+type discipline = Drop_tail | Red of red_params
+
+val set_discipline : t -> rng:Phi_util.Prng.t -> discipline -> unit
+(** Switch the queue discipline (takes effect for subsequent arrivals).
+    The rng drives RED's random early drops. *)
+
+val create :
+  Phi_sim.Engine.t ->
+  bandwidth_bps:float ->
+  delay_s:float ->
+  capacity_pkts:int ->
+  t
+(** All parameters must be positive ([capacity_pkts >= 1]). *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** Where delivered packets go.  Must be set before traffic flows. *)
+
+val set_fault_injection : t -> rng:Phi_util.Prng.t -> drop_probability:float -> unit
+(** Drop each arriving packet independently with the given probability
+    (on top of queue overflows).  For tests and failure-injection
+    experiments; probability 0 disables. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet (or drop it if the queue is full). *)
+
+val bandwidth_bps : t -> float
+val delay_s : t -> float
+val capacity_pkts : t -> int
+
+val queue_length : t -> int
+(** Packets currently queued, including the one in service. *)
+
+(** {2 Counters (monotonic since creation)} *)
+
+val ecn_marks : t -> int
+(** Packets marked congestion-experienced by a RED+ECN discipline. *)
+
+val packets_delivered : t -> int
+val bytes_delivered : t -> int
+val drops : t -> int
+val packets_offered : t -> int
+
+val busy_time : t -> float
+(** Total serialization time so far; divided by elapsed time this is the
+    link utilization. *)
+
+val total_queue_wait : t -> float
+(** Sum over delivered packets of time spent waiting before service. *)
+
+val utilization_since : t -> since_busy_time:float -> since_clock:float -> now:float -> float
+(** Utilization over a window given a snapshot of [busy_time] and the clock
+    at the window start. *)

@@ -1,0 +1,47 @@
+type t = {
+  id : int;
+  routes : (int, Link.t) Hashtbl.t;
+  mutable default_route : Link.t option;
+  flows : (int, Packet.t -> unit) Hashtbl.t;
+  mutable unroutable_drops : int;
+  mutable unclaimed_deliveries : int;
+}
+
+let create _engine ~id =
+  {
+    id;
+    routes = Hashtbl.create 16;
+    default_route = None;
+    flows = Hashtbl.create 16;
+    unroutable_drops = 0;
+    unclaimed_deliveries = 0;
+  }
+
+let id t = t.id
+
+let add_route t ~dst link = Hashtbl.replace t.routes dst link
+
+let set_default_route t link = t.default_route <- Some link
+
+let bind_flow t ~flow handler = Hashtbl.replace t.flows flow handler
+
+let unbind_flow t ~flow = Hashtbl.remove t.flows flow
+
+let receive t (pkt : Packet.t) =
+  if pkt.dst = t.id then
+    match Hashtbl.find_opt t.flows pkt.flow with
+    | Some handler -> handler pkt
+    | None -> t.unclaimed_deliveries <- t.unclaimed_deliveries + 1
+  else
+    match Hashtbl.find_opt t.routes pkt.dst with
+    | Some link -> Link.send link pkt
+    | None -> (
+      match t.default_route with
+      | Some link -> Link.send link pkt
+      | None ->
+        t.unroutable_drops <- t.unroutable_drops + 1;
+        failwith
+          (Printf.sprintf "Node %d: no route for destination %d" t.id pkt.dst))
+
+let unroutable_drops t = t.unroutable_drops
+let unclaimed_deliveries t = t.unclaimed_deliveries

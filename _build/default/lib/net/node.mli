@@ -1,0 +1,33 @@
+(** Forwarding nodes.
+
+    A node either consumes a packet addressed to it (dispatching on the
+    flow id to the handler a sender/receiver registered) or forwards it on
+    the link its routing table maps the destination to.  This is all the
+    routing the paper's dumbbell experiments need, while staying general
+    enough for arbitrary topologies. *)
+
+type t
+
+val create : Phi_sim.Engine.t -> id:int -> t
+
+val id : t -> int
+
+val add_route : t -> dst:int -> Link.t -> unit
+(** Route packets destined to node [dst] out of the given link.  Replaces
+    any previous route for [dst]. *)
+
+val set_default_route : t -> Link.t -> unit
+(** Fallback when no per-destination route matches. *)
+
+val bind_flow : t -> flow:int -> (Packet.t -> unit) -> unit
+(** Local delivery handler for packets of [flow] addressed to this node. *)
+
+val unbind_flow : t -> flow:int -> unit
+
+val receive : t -> Packet.t -> unit
+(** Entry point used by links (and by local senders to originate traffic).
+    Packets addressed to this node with no bound flow are counted and
+    dropped; packets with no route raise [Failure]. *)
+
+val unroutable_drops : t -> int
+val unclaimed_deliveries : t -> int

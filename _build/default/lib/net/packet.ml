@@ -1,0 +1,61 @@
+type kind =
+  | Data
+  | Ack of {
+      echo_sent_at : float option;
+      echo_tx_time : float;
+      sack : (int * int) list;
+      ece : bool;
+    }
+
+type t = {
+  flow : int;
+  src : int;
+  dst : int;
+  seq : int;
+  size : int;
+  kind : kind;
+  sent_at : float;
+  retransmit : bool;
+  mutable ce : bool;
+  mutable enqueued_at : float;
+}
+
+let mss = 1500
+let ack_size = 40
+let max_sack_blocks = 3
+
+let data ~flow ~src ~dst ~seq ~now ~retransmit =
+  {
+    flow;
+    src;
+    dst;
+    seq;
+    size = mss;
+    kind = Data;
+    sent_at = now;
+    retransmit;
+    ce = false;
+    enqueued_at = now;
+  }
+
+let ack ~flow ~src ~dst ~next_expected ~echo_sent_at ~echo_tx_time ~sack ~ece ~now =
+  if List.length sack > max_sack_blocks then invalid_arg "Packet.ack: too many SACK blocks";
+  {
+    flow;
+    src;
+    dst;
+    seq = next_expected;
+    size = ack_size;
+    kind = Ack { echo_sent_at; echo_tx_time; sack; ece };
+    sent_at = now;
+    retransmit = false;
+    ce = false;
+    enqueued_at = now;
+  }
+
+let is_data t = match t.kind with Data -> true | Ack _ -> false
+
+let pp ppf t =
+  let kind = match t.kind with Data -> "data" | Ack _ -> "ack" in
+  Format.fprintf ppf "%s[flow=%d %d->%d seq=%d %dB t=%.4f]" kind t.flow t.src t.dst t.seq
+    t.size t.sent_at

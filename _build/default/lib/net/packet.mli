@@ -1,0 +1,75 @@
+(** Packets exchanged inside the simulator.
+
+    Segments are counted in MSS-sized units (as in ns-2's TCP agents):
+    [seq] is a segment number on data packets and a cumulative
+    next-expected segment number on ACKs.  ACKs echo the original send
+    timestamp so senders can take RTT samples without keeping a
+    retransmission map, and carry SACK blocks describing out-of-order
+    data the receiver holds (the paper's ns-2 Cubic is the SACK-enabled
+    linux agent). *)
+
+type kind =
+  | Data
+  | Ack of {
+      echo_sent_at : float option;
+          (** send time of the segment that triggered this ACK; [None] when
+              that segment was a retransmission (Karn's algorithm: such
+              ACKs must not produce RTT samples) *)
+      echo_tx_time : float;
+          (** transmission time of the (data) packet that triggered this
+              ACK, echoed unconditionally; FIFO paths make this a precise
+              delivery-order signal (RACK-style loss detection) *)
+      sack : (int * int) list;
+          (** up to {!max_sack_blocks} half-open [\[lo, hi)] ranges of
+              segments held above the cumulative ACK, most recent first *)
+      ece : bool;
+          (** ECN-echo: the data packet triggering this ACK carried a
+              congestion-experienced mark (RFC 3168, simulator-grade: not
+              sticky, no CWR handshake) *)
+    }
+
+type t = {
+  flow : int;  (** globally unique flow identifier *)
+  src : int;  (** source node id *)
+  dst : int;  (** destination node id *)
+  seq : int;
+  size : int;  (** wire size in bytes *)
+  kind : kind;
+  sent_at : float;  (** origination time (set by the sender) *)
+  retransmit : bool;  (** true when this data segment is a retransmission *)
+  mutable ce : bool;
+      (** congestion experienced: set by an ECN-marking queue in place of
+          dropping (data packets are always ECN-capable here) *)
+  mutable enqueued_at : float;  (** bookkeeping for per-queue waiting time *)
+}
+
+val mss : int
+(** Data segment wire size in bytes (1500, Ethernet-sized as in the ns-2
+    setup). *)
+
+val ack_size : int
+(** ACK wire size in bytes (40). *)
+
+val max_sack_blocks : int
+(** Maximum SACK ranges carried per ACK (3, as in a real TCP header with
+    timestamps). *)
+
+val data : flow:int -> src:int -> dst:int -> seq:int -> now:float -> retransmit:bool -> t
+
+val ack :
+  flow:int ->
+  src:int ->
+  dst:int ->
+  next_expected:int ->
+  echo_sent_at:float option ->
+  echo_tx_time:float ->
+  sack:(int * int) list ->
+  ece:bool ->
+  now:float ->
+  t
+(** Raises [Invalid_argument] when more than {!max_sack_blocks} ranges are
+    supplied. *)
+
+val is_data : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Engine = Phi_sim.Engine
+
+type spec = {
+  n : int;
+  bottleneck_bw_bps : float;
+  rtt_s : float;
+  buffer_bdp_factor : float;
+  access_bw_bps : float;
+  access_delay_s : float;
+}
+
+let paper_spec =
+  {
+    n = 8;
+    bottleneck_bw_bps = 15e6;
+    rtt_s = 0.150;
+    buffer_bdp_factor = 5.;
+    access_bw_bps = 1e9;
+    access_delay_s = 0.001;
+  }
+
+let bdp_packets spec =
+  let bdp_bytes = spec.bottleneck_bw_bps *. spec.rtt_s /. 8. in
+  Stdlib.max 1 (int_of_float (Float.round (bdp_bytes /. float_of_int Packet.mss)))
+
+let buffer_packets spec =
+  Stdlib.max 1 (int_of_float (Float.round (spec.buffer_bdp_factor *. float_of_int (bdp_packets spec))))
+
+type dumbbell = {
+  engine : Engine.t;
+  spec : spec;
+  senders : Node.t array;
+  receivers : Node.t array;
+  left_router : Node.t;
+  right_router : Node.t;
+  bottleneck : Link.t;
+  reverse_bottleneck : Link.t;
+}
+
+let sender_id _t i = i
+let receiver_id t i = Array.length t.senders + i
+
+(* One-way bottleneck propagation delay such that the total two-way path
+   delay (two access links each way plus the bottleneck each way) equals
+   the requested RTT. *)
+let bottleneck_delay spec =
+  let one_way = spec.rtt_s /. 2. in
+  let d = one_way -. (2. *. spec.access_delay_s) in
+  if d <= 0. then invalid_arg "Topology.dumbbell: rtt too small for access delays";
+  d
+
+let dumbbell engine spec =
+  if spec.n < 1 then invalid_arg "Topology.dumbbell: need at least one sender";
+  let n = spec.n in
+  let senders = Array.init n (fun i -> Node.create engine ~id:i) in
+  let receivers = Array.init n (fun i -> Node.create engine ~id:(n + i)) in
+  let left_router = Node.create engine ~id:(2 * n) in
+  let right_router = Node.create engine ~id:((2 * n) + 1) in
+  let access_capacity = 10_000 in
+  let access ~from ~to_ =
+    let link =
+      Link.create engine ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
+        ~capacity_pkts:access_capacity
+    in
+    Link.set_receiver link (Node.receive to_);
+    ignore from;
+    link
+  in
+  let bneck_delay = bottleneck_delay spec in
+  let capacity = buffer_packets spec in
+  let bottleneck =
+    Link.create engine ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
+      ~capacity_pkts:capacity
+  in
+  Link.set_receiver bottleneck (Node.receive right_router);
+  let reverse_bottleneck =
+    Link.create engine ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
+      ~capacity_pkts:capacity
+  in
+  Link.set_receiver reverse_bottleneck (Node.receive left_router);
+  (* Wire access links and routes in both directions. *)
+  Array.iter
+    (fun sender ->
+      let up = access ~from:sender ~to_:left_router in
+      Node.set_default_route sender up;
+      let down = access ~from:left_router ~to_:sender in
+      Node.add_route left_router ~dst:(Node.id sender) down)
+    senders;
+  Array.iter
+    (fun receiver ->
+      let down = access ~from:right_router ~to_:receiver in
+      Node.add_route right_router ~dst:(Node.id receiver) down;
+      let up = access ~from:receiver ~to_:right_router in
+      Node.set_default_route receiver up)
+    receivers;
+  (* Traffic crossing the core: receivers live behind the right router and
+     senders behind the left one. *)
+  Node.set_default_route left_router bottleneck;
+  Node.set_default_route right_router reverse_bottleneck;
+  { engine; spec; senders; receivers; left_router; right_router; bottleneck; reverse_bottleneck }

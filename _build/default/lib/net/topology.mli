@@ -1,0 +1,43 @@
+(** Topology builders.
+
+    The paper's experiments all run on the Figure 1 dumbbell: [n] senders
+    and [n] receivers joined by two routers and a single bottleneck link
+    whose buffer is a multiple of the bandwidth-delay product. *)
+
+type spec = {
+  n : int;  (** sender/receiver pairs *)
+  bottleneck_bw_bps : float;
+  rtt_s : float;  (** end-to-end two-way propagation delay *)
+  buffer_bdp_factor : float;  (** bottleneck buffer as a multiple of BDP (paper: 5) *)
+  access_bw_bps : float;
+  access_delay_s : float;  (** one-way delay of each access link *)
+}
+
+val paper_spec : spec
+(** Table 3's topology: 8 senders, 15 Mbps bottleneck, 150 ms RTT,
+    buffer = 5 x BDP, 1 Gbps access links. *)
+
+val bdp_packets : spec -> int
+(** Bottleneck bandwidth-delay product in MSS-sized packets (at least 1). *)
+
+val buffer_packets : spec -> int
+(** Bottleneck queue capacity implied by [buffer_bdp_factor]. *)
+
+type dumbbell = {
+  engine : Phi_sim.Engine.t;
+  spec : spec;
+  senders : Node.t array;
+  receivers : Node.t array;
+  left_router : Node.t;
+  right_router : Node.t;
+  bottleneck : Link.t;  (** forward direction: left -> right *)
+  reverse_bottleneck : Link.t;
+}
+
+val dumbbell : Phi_sim.Engine.t -> spec -> dumbbell
+(** Build the topology and wire all routes (both directions).  Sender node
+    ids are [0 .. n-1] and receiver ids [n .. 2n-1]. *)
+
+val sender_id : dumbbell -> int -> int
+val receiver_id : dumbbell -> int -> int
+(** Node ids of the i-th sender/receiver (also their array indices). *)

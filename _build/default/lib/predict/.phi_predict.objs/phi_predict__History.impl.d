@@ -1,0 +1,1 @@
+lib/predict/history.ml: Hashtbl List Phi_util

@@ -1,0 +1,1 @@
+lib/predict/history.mli:

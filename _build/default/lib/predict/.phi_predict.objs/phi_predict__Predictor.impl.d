@@ -1,0 +1,1 @@
+lib/predict/predictor.ml: Array History List Phi_util Voip

@@ -1,0 +1,1 @@
+lib/predict/predictor.mli: History

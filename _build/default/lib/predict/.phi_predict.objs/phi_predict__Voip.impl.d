@@ -1,0 +1,1 @@
+lib/predict/voip.ml: Float

@@ -1,0 +1,72 @@
+module Prng = Phi_util.Prng
+
+type sample = { throughput_bps : float; rtt_s : float; loss_rate : float }
+
+type reservoir = { mutable kept : sample list; mutable kept_count : int; mutable seen : int }
+
+type t = {
+  per_prefix_cap : int;
+  rng : Prng.t;
+  by_p24 : (int, reservoir) Hashtbl.t;
+  by_p16 : (int, reservoir) Hashtbl.t;
+  by_p8 : (int, reservoir) Hashtbl.t;
+  global : reservoir;
+}
+
+let fresh_reservoir () = { kept = []; kept_count = 0; seen = 0 }
+
+let create ?(per_prefix_cap = 512) () =
+  if per_prefix_cap < 1 then invalid_arg "History.create: cap must be >= 1";
+  {
+    per_prefix_cap;
+    rng = Prng.create ~seed:0x9e11;
+    by_p24 = Hashtbl.create 256;
+    by_p16 = Hashtbl.create 64;
+    by_p8 = Hashtbl.create 16;
+    global = fresh_reservoir ();
+  }
+
+let reservoir_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = fresh_reservoir () in
+    Hashtbl.add tbl key r;
+    r
+
+(* Algorithm R: every sample survives with probability cap/seen. *)
+let reservoir_add t r sample =
+  r.seen <- r.seen + 1;
+  if r.kept_count < t.per_prefix_cap then begin
+    r.kept <- sample :: r.kept;
+    r.kept_count <- r.kept_count + 1
+  end
+  else if Prng.int t.rng ~bound:r.seen < t.per_prefix_cap then begin
+    let victim = Prng.int t.rng ~bound:r.kept_count in
+    r.kept <- List.mapi (fun i s -> if i = victim then sample else s) r.kept
+  end
+
+let keys_of prefix24 = (prefix24, prefix24 lsr 8, prefix24 lsr 16)
+
+let add t ~prefix24 sample =
+  let p24, p16, p8 = keys_of prefix24 in
+  reservoir_add t (reservoir_of t.by_p24 p24) sample;
+  reservoir_add t (reservoir_of t.by_p16 p16) sample;
+  reservoir_add t (reservoir_of t.by_p8 p8) sample;
+  reservoir_add t t.global sample
+
+let reservoir_at t ~level ~prefix24 =
+  let p24, p16, p8 = keys_of prefix24 in
+  match level with
+  | `P24 -> Hashtbl.find_opt t.by_p24 p24
+  | `P16 -> Hashtbl.find_opt t.by_p16 p16
+  | `P8 -> Hashtbl.find_opt t.by_p8 p8
+  | `Global -> Some t.global
+
+let samples t ~level ~prefix24 =
+  match reservoir_at t ~level ~prefix24 with None -> [] | Some r -> r.kept
+
+let count t ~level ~prefix24 =
+  match reservoir_at t ~level ~prefix24 with None -> 0 | Some r -> r.kept_count
+
+let total t = t.global.seen

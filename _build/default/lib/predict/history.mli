@@ -1,0 +1,31 @@
+(** Transfer-history store backing performance prediction (Section 3.5).
+
+    A cloud provider sees enormous volumes of per-connection measurements;
+    keyed by client /24 prefix they become a predictor for the next
+    connection to the same place.  The store keeps bounded per-prefix
+    reservoirs and aggregates them up a prefix hierarchy
+    (/24 → /16 → /8 → global) so sparse destinations still get
+    estimates. *)
+
+type sample = {
+  throughput_bps : float;
+  rtt_s : float;
+  loss_rate : float;
+}
+
+type t
+
+val create : ?per_prefix_cap:int -> unit -> t
+(** [per_prefix_cap] (default 512) bounds each /24 reservoir; once full,
+    reservoir sampling keeps a uniform subset (deterministic, seeded
+    internally). *)
+
+val add : t -> prefix24:int -> sample -> unit
+
+val samples : t -> level:[ `P24 | `P16 | `P8 | `Global ] -> prefix24:int -> sample list
+(** All retained samples under the ancestor of [prefix24] at [level]. *)
+
+val count : t -> level:[ `P24 | `P16 | `P8 | `Global ] -> prefix24:int -> int
+
+val total : t -> int
+(** Total samples retained across all prefixes. *)

@@ -1,0 +1,16 @@
+(** Call-quality scoring: a simplified ITU-T G.107 E-model, mapping
+    network RTT and loss to a mean opinion score.  Used to surface "this
+    call is likely to be poor" predictions (Section 3.5's example). *)
+
+val r_factor : rtt_s:float -> loss_rate:float -> float
+(** Transmission rating 0–93.2: base quality minus delay impairment
+    (one-way delay taken as RTT/2 plus a fixed 30 ms of processing and
+    jitter buffering) minus the G.711 loss impairment
+    [30 ln (1 + 15 e)]. *)
+
+val mos : rtt_s:float -> loss_rate:float -> float
+(** The standard R → MOS mapping, clamped to [1, 4.5]. *)
+
+val quality_label : float -> string
+(** Human label for a MOS: "excellent" (>= 4.0), "good" (>= 3.6),
+    "fair" (>= 3.1), "poor" (>= 2.6), "bad" otherwise. *)

@@ -1,0 +1,1 @@
+lib/remy/memory.ml: Float

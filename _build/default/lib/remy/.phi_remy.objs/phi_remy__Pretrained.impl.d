@@ -1,0 +1,1 @@
+lib/remy/pretrained.ml: Rule_table

@@ -1,0 +1,1 @@
+lib/remy/pretrained.mli: Rule_table

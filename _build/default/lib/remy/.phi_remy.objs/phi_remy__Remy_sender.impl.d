@@ -1,0 +1,1 @@
+lib/remy/remy_sender.ml: Float Memory Phi_net Phi_sim Phi_tcp Rule_table Whisker

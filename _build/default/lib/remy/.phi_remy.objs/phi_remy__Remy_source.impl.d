@@ -1,0 +1,1 @@
+lib/remy/remy_source.ml: Float List Phi_net Phi_sim Phi_tcp Phi_util Remy_sender Rule_table Stdlib

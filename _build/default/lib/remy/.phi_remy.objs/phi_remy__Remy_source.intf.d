@@ -1,0 +1,1 @@
+lib/remy/remy_source.mli: Phi_net Phi_sim Phi_tcp Phi_util Remy_sender Rule_table

@@ -1,0 +1,1 @@
+lib/remy/rule_table.ml: Array List Printf String Whisker

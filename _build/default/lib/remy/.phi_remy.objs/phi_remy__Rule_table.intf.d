@@ -1,0 +1,1 @@
+lib/remy/rule_table.mli: Whisker

@@ -1,0 +1,1 @@
+lib/remy/trainer.ml: Array Float List Memory Phi_net Phi_sim Phi_tcp Phi_util Printf Remy_sender Remy_source Rule_table Stdlib Whisker

@@ -1,0 +1,1 @@
+lib/remy/trainer.mli: Phi_net Rule_table

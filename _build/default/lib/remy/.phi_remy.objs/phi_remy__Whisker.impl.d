@@ -1,0 +1,1 @@
+lib/remy/whisker.ml: Array Float Format List Printf String

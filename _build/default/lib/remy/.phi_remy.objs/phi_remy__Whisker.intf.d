@@ -1,0 +1,1 @@
+lib/remy/whisker.mli: Format

@@ -1,0 +1,47 @@
+(** A Remy sender's congestion signals ("memory" in Remy parlance).
+
+    Per TCP ex machina (Winstein & Balakrishnan, SIGCOMM 2013), each sender
+    tracks:
+
+    - [ack_ewma]: moving average of the interarrival time between ACKs;
+    - [send_ewma]: moving average of the interarrival time between the
+      send times of the packets being ACKed (echoed by the receiver);
+    - [rtt_ratio]: the latest RTT divided by the minimum RTT seen.
+
+    The Phi extension (Section 2.2.4 of the Five Computers paper) adds a
+    fourth dimension: the bottleneck-link utilization [u] as supplied by
+    the context server (practical) or a live oracle (ideal).
+
+    For rule matching, signals are mapped into the unit cube: EWMAs via
+    [x / (x + 0.15)] (0.15 s being the topology's RTT scale), the RTT
+    ratio via [(r - 1) / r], and utilization as-is. *)
+
+type t
+
+val create : unit -> t
+
+val dims_remy : int
+(** 3: the classic signal set. *)
+
+val dims_phi : int
+(** 4: classic signals plus utilization. *)
+
+val on_ack : t -> now:float -> echo_sent_at:float -> unit
+(** Update the EWMAs and RTT ratio from an ACK received at [now] for a
+    packet originally sent at [echo_sent_at]. *)
+
+val set_utilization : t -> float -> unit
+(** Install the shared utilization signal (clamped to [0, 1]). *)
+
+val utilization : t -> float
+
+val ack_ewma : t -> float
+val send_ewma : t -> float
+val rtt_ratio : t -> float
+val min_rtt : t -> float option
+
+val to_point : t -> dims:int -> float array
+(** Normalized position in the unit cube; [dims] is {!dims_remy} or
+    {!dims_phi}. *)
+
+val reset : t -> unit

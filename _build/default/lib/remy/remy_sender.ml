@@ -1,0 +1,243 @@
+module Engine = Phi_sim.Engine
+module Node = Phi_net.Node
+module Packet = Phi_net.Packet
+module Rto = Phi_tcp.Rto
+module Flow = Phi_tcp.Flow
+
+type util_feed = [ `None | `At_start of (unit -> float) | `Live of (unit -> float) ]
+
+type t = {
+  engine : Engine.t;
+  node : Node.t;
+  flow : int;
+  dst : int;
+  table : Rule_table.t;
+  memory : Memory.t;
+  util : util_feed;
+  dims : int;
+  total : int;
+  source_index : int;
+  on_complete : Flow.conn_stats -> unit;
+  rto : Rto.t;
+  mutable cwnd : float;
+  mutable intersend : float;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable highest_sent : int;
+  mutable next_send_at : float;
+  mutable send_timer : Engine.handle option;
+  mutable rto_handle : Engine.handle option;
+  mutable started : bool;
+  mutable completed : bool;
+  mutable started_at : float;
+  mutable finished_at : float;
+  mutable retransmitted : int;
+  mutable timeouts : int;
+  mutable rtt_count : int;
+  mutable rtt_sum : float;
+  mutable rtt_min : float;
+}
+
+let cwnd t = t.cwnd
+let acked_segments t = t.snd_una
+let completed t = t.completed
+let timeouts t = t.timeouts
+
+let stats t =
+  let finished_at = if t.completed then t.finished_at else Engine.now t.engine in
+  {
+    Flow.flow = t.flow;
+    source_index = t.source_index;
+    started_at = t.started_at;
+    finished_at;
+    bytes = t.snd_una * Packet.mss;
+    segments = t.snd_una;
+    retransmitted_segments = t.retransmitted;
+    timeouts = t.timeouts;
+    rtt_samples = t.rtt_count;
+    min_rtt = (if t.rtt_count > 0 then t.rtt_min else nan);
+    mean_rtt = (if t.rtt_count > 0 then t.rtt_sum /. float_of_int t.rtt_count else nan);
+  }
+
+let cancel_timer handle_ref cancel_set =
+  match handle_ref with
+  | Some h ->
+    Engine.cancel h;
+    cancel_set ()
+  | None -> ()
+
+let cancel_send_timer t = cancel_timer t.send_timer (fun () -> t.send_timer <- None)
+let cancel_rto t = cancel_timer t.rto_handle (fun () -> t.rto_handle <- None)
+
+let send_segment t seq =
+  let retransmit = seq < t.highest_sent in
+  if retransmit then t.retransmitted <- t.retransmitted + 1;
+  let pkt =
+    Packet.data ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq ~now:(Engine.now t.engine)
+      ~retransmit
+  in
+  Node.receive t.node pkt;
+  if seq >= t.highest_sent then t.highest_sent <- seq + 1
+
+let rec arm_rto t =
+  cancel_rto t;
+  let delay = Rto.current t.rto in
+  t.rto_handle <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_handle <- None;
+  if (not t.completed) && t.snd_una < t.total then begin
+    t.timeouts <- t.timeouts + 1;
+    Rto.backoff t.rto;
+    (* Remy prescribes no timeout response; collapse the window and let
+       the rule table rebuild it from subsequent ACKs. *)
+    t.cwnd <- 1.;
+    t.snd_nxt <- t.snd_una;
+    pump t;
+    arm_rto t
+  end
+
+and pump t =
+  if not t.completed then begin
+    let now = Engine.now t.engine in
+    let window = int_of_float (Float.max 1. t.cwnd) in
+    let blocked_on_pacing = ref false in
+    let continue = ref true in
+    while !continue do
+      if t.snd_nxt - t.snd_una >= window || t.snd_nxt >= t.total then continue := false
+      else if now < t.next_send_at then begin
+        blocked_on_pacing := true;
+        continue := false
+      end
+      else begin
+        send_segment t t.snd_nxt;
+        t.snd_nxt <- t.snd_nxt + 1;
+        t.next_send_at <- Float.max now t.next_send_at +. t.intersend
+      end
+    done;
+    if t.rto_handle = None && t.snd_nxt > t.snd_una then arm_rto t;
+    if !blocked_on_pacing && t.send_timer = None then begin
+      let delay = Float.max 0. (t.next_send_at -. now) in
+      t.send_timer <-
+        Some
+          (Engine.schedule_after t.engine ~delay (fun () ->
+               t.send_timer <- None;
+               pump t))
+    end
+  end
+
+let complete t =
+  t.completed <- true;
+  t.finished_at <- Engine.now t.engine;
+  cancel_rto t;
+  cancel_send_timer t;
+  Node.unbind_flow t.node ~flow:t.flow;
+  t.on_complete (stats t)
+
+let apply_whisker t =
+  let point = Memory.to_point t.memory ~dims:t.dims in
+  let whisker = Rule_table.lookup t.table point in
+  t.cwnd <- Whisker.apply whisker.Whisker.action ~cwnd:t.cwnd;
+  t.intersend <- whisker.Whisker.action.Whisker.intersend_s
+
+let on_packet t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Data -> ()
+  | Packet.Ack { echo_sent_at; _ } ->
+    if not t.completed then begin
+      let now = Engine.now t.engine in
+      if pkt.seq > t.snd_una then begin
+        t.snd_una <- pkt.seq;
+        (match echo_sent_at with
+        | Some sent_at ->
+          let rtt = now -. sent_at in
+          if rtt > 0. then begin
+            Rto.observe t.rto ~rtt;
+            t.rtt_count <- t.rtt_count + 1;
+            t.rtt_sum <- t.rtt_sum +. rtt;
+            if rtt < t.rtt_min then t.rtt_min <- rtt
+          end;
+          Memory.on_ack t.memory ~now ~echo_sent_at:sent_at;
+          (match t.util with
+          | `Live f -> Memory.set_utilization t.memory (f ())
+          | `At_start _ | `None -> ());
+          apply_whisker t
+        | None -> ());
+        if t.snd_una >= t.total then complete t
+        else begin
+          arm_rto t;
+          pump t
+        end
+      end
+      else pump t
+    end
+
+let create engine ~node ~flow ~dst ~table ~util ~total_segments ?(source_index = 0)
+    ?(on_complete = fun _ -> ()) () =
+  if total_segments < 1 then invalid_arg "Remy_sender.create: total_segments must be >= 1";
+  let expected_dims =
+    match util with `None -> Memory.dims_remy | `At_start _ | `Live _ -> Memory.dims_phi
+  in
+  if Rule_table.dims table <> expected_dims then
+    invalid_arg "Remy_sender.create: table dimensionality does not match utilization feed";
+  let memory = Memory.create () in
+  (match util with
+  | `At_start f | `Live f -> Memory.set_utilization memory (f ())
+  | `None -> ());
+  let t =
+    {
+      engine;
+      node;
+      flow;
+      dst;
+      table;
+      memory;
+      util;
+      dims = expected_dims;
+      total = total_segments;
+      source_index;
+      on_complete;
+      rto = Rto.create ();
+      cwnd = 1.;
+      intersend = 0.;
+      snd_una = 0;
+      snd_nxt = 0;
+      highest_sent = 0;
+      next_send_at = 0.;
+      send_timer = None;
+      rto_handle = None;
+      started = false;
+      completed = false;
+      started_at = Engine.now engine;
+      finished_at = Engine.now engine;
+      retransmitted = 0;
+      timeouts = 0;
+      rtt_count = 0;
+      rtt_sum = 0.;
+      rtt_min = infinity;
+    }
+  in
+  (* The initial whisker (matching the blank memory) sets the starting
+     window and pacing. *)
+  let whisker = Rule_table.lookup_quiet table (Memory.to_point memory ~dims:expected_dims) in
+  t.cwnd <- Whisker.apply whisker.Whisker.action ~cwnd:1.;
+  t.intersend <- whisker.Whisker.action.Whisker.intersend_s;
+  Node.bind_flow node ~flow (on_packet t);
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    t.started_at <- Engine.now t.engine;
+    t.next_send_at <- Engine.now t.engine;
+    pump t
+  end
+
+let abort t =
+  if not t.completed then begin
+    t.completed <- true;
+    t.finished_at <- Engine.now t.engine;
+    cancel_rto t;
+    cancel_send_timer t;
+    Node.unbind_flow t.node ~flow:t.flow
+  end

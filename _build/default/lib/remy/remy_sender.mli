@@ -1,0 +1,45 @@
+(** A Remy sender: congestion window plus paced sends, both dictated by a
+    whisker {!Rule_table.t}.
+
+    On every (RTT-sampling) ACK the sender updates its {!Memory.t}, looks
+    up the matching whisker and applies its action: the window map and the
+    minimum intersend spacing.  Loss recovery is a plain go-back-N
+    retransmission timeout — Remy's control law itself is loss-agnostic.
+
+    Utilization feeds (the Phi extension) come in two flavours matching
+    the paper: [`Live] re-reads an oracle at every ACK (Remy-Phi-ideal),
+    [`At_start] samples once when the connection begins (Remy-Phi-
+    practical); [`None] is classic Remy. *)
+
+type util_feed =
+  [ `None  (** classic Remy: 3-dimensional memory *)
+  | `At_start of (unit -> float)  (** sampled once at connection start *)
+  | `Live of (unit -> float)  (** re-read on every ACK *) ]
+
+type t
+
+val create :
+  Phi_sim.Engine.t ->
+  node:Phi_net.Node.t ->
+  flow:int ->
+  dst:int ->
+  table:Rule_table.t ->
+  util:util_feed ->
+  total_segments:int ->
+  ?source_index:int ->
+  ?on_complete:(Phi_tcp.Flow.conn_stats -> unit) ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when the table's dimensionality does not
+    match the utilization feed (3 for [`None], 4 otherwise). *)
+
+val start : t -> unit
+
+val abort : t -> unit
+
+val cwnd : t -> float
+val acked_segments : t -> int
+val completed : t -> bool
+val timeouts : t -> int
+
+val stats : t -> Phi_tcp.Flow.conn_stats

@@ -1,0 +1,27 @@
+(** On/off workload driver for Remy senders, mirroring
+    {!Phi_tcp.Source}: sequential connections with exponential transfer
+    sizes and idle gaps.  Each connection gets a fresh memory and (for the
+    Phi variants) a fresh utilization sample. *)
+
+type config = { mean_on_bytes : float; mean_off_s : float }
+
+type t
+
+val create :
+  Phi_sim.Engine.t ->
+  rng:Phi_util.Prng.t ->
+  flows:Phi_tcp.Flow.allocator ->
+  src_node:Phi_net.Node.t ->
+  dst_node:Phi_net.Node.t ->
+  index:int ->
+  table:Rule_table.t ->
+  util:Remy_sender.util_feed ->
+  ?on_conn_end:(Phi_tcp.Flow.conn_stats -> unit) ->
+  config ->
+  t
+
+val start : t -> unit
+val stop : t -> unit
+val abort_current : t -> unit
+val records : t -> Phi_tcp.Flow.conn_stats list
+val connections_completed : t -> int

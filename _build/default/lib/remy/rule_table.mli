@@ -1,0 +1,50 @@
+(** A Remy congestion-control program: a partition of the memory space
+    into whiskers. *)
+
+type t
+
+val create : dims:int -> Whisker.action -> t
+(** One whisker covering the whole unit cube with the given action. *)
+
+val dims : t -> int
+
+val whiskers : t -> Whisker.t list
+
+val size : t -> int
+
+val lookup : t -> float array -> Whisker.t
+(** The unique whisker containing the point; increments its usage
+    counter.  Raises [Invalid_argument] on dimension mismatch and
+    [Failure] if the partition is somehow broken. *)
+
+val lookup_quiet : t -> float array -> Whisker.t
+(** {!lookup} without usage accounting. *)
+
+val most_used : t -> Whisker.t option
+(** The whisker with the highest usage count (ties broken arbitrarily);
+    [None] when no usage has been recorded. *)
+
+val reset_usage : t -> unit
+
+val split : t -> Whisker.t -> unit
+(** Replace a whisker by its [2^d] children, all inheriting its action.
+    Raises [Invalid_argument] if the whisker is not in the table. *)
+
+val split_axis : t -> Whisker.t -> axis:int -> unit
+(** Bisect a whisker along one axis only (two children).  Used to refine
+    the utilization dimension without diluting the rest of the memory
+    space.  Raises [Invalid_argument] on unknown whiskers or axes. *)
+
+val copy : t -> t
+(** Deep copy (fresh whiskers, usage reset). *)
+
+val extrude : t -> t
+(** Lift every whisker into one more dimension, spanning [\[0, 1\]] on the
+    new axis.  This is how a Phi table is seeded from a trained classic
+    table: start as utilization-oblivious, let training split the new
+    axis where the signal pays. *)
+
+val serialize : t -> string
+
+val deserialize : string -> t
+(** Inverse of {!serialize}; raises [Failure] on malformed input. *)

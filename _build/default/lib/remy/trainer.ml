@@ -1,0 +1,229 @@
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Monitor = Phi_net.Monitor
+module Flow = Phi_tcp.Flow
+module Prng = Phi_util.Prng
+module Stats = Phi_util.Stats
+
+type scenario = {
+  spec : Topology.spec;
+  mean_on_bytes : float;
+  mean_off_s : float;
+  duration_s : float;
+}
+
+let paper_scenario =
+  { spec = Topology.paper_spec; mean_on_bytes = 100e3; mean_off_s = 0.5; duration_s = 60. }
+
+let default_scenarios =
+  (* Load diversity matters: the utilization dimension only pays off if
+     training sees both idle and saturated regimes. *)
+  [
+    paper_scenario;
+    { paper_scenario with mean_off_s = 3.0 };  (* light load *)
+    { paper_scenario with mean_on_bytes = 500e3; mean_off_s = 1.0 };
+    { paper_scenario with spec = { Topology.paper_spec with n = 16 }; mean_off_s = 0.3 };
+  ]
+
+type eval_result = {
+  objective : float;
+  median_objective : float;
+  median_throughput_bps : float;
+  median_queueing_delay_s : float;
+  connections : int;
+}
+
+(* Per-connection Remy objective: ln(throughput in Mbps / mean RTT in s).
+   Connections without an RTT sample (pathological) are skipped. *)
+let conn_objective (stats : Flow.conn_stats) =
+  let thr = Flow.throughput_bps stats in
+  if thr <= 0. || not (Float.is_finite stats.mean_rtt) || stats.mean_rtt <= 0. then None
+  else Some (log (thr /. 1e6 /. stats.mean_rtt))
+
+let run_once ~table ~util ~seed scenario =
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine scenario.spec in
+  let util_feed : Remy_sender.util_feed =
+    match util with
+    | `None -> `None
+    | `Ideal ->
+      let monitor = Monitor.create engine dumbbell.Topology.bottleneck ~interval_s:0.1 in
+      `Live (fun () -> Monitor.current_utilization monitor)
+  in
+  let rng = Prng.create ~seed in
+  let flows = Flow.allocator () in
+  let records = ref [] in
+  let sources =
+    Array.init scenario.spec.Topology.n (fun i ->
+        Remy_source.create engine ~rng:(Prng.split rng) ~flows
+          ~src_node:dumbbell.Topology.senders.(i)
+          ~dst_node:dumbbell.Topology.receivers.(i)
+          ~index:i ~table ~util:util_feed
+          ~on_conn_end:(fun st -> records := st :: !records)
+          { Remy_source.mean_on_bytes = scenario.mean_on_bytes; mean_off_s = scenario.mean_off_s })
+  in
+  Array.iter Remy_source.start sources;
+  Engine.run ~until:scenario.duration_s engine;
+  Array.iter Remy_source.abort_current sources;
+  !records
+
+let evaluate ~table ~util ~seeds scenarios =
+  if seeds = [] then invalid_arg "Trainer.evaluate: no seeds";
+  if scenarios = [] then invalid_arg "Trainer.evaluate: no scenarios";
+  let records =
+    List.concat_map
+      (fun scenario -> List.concat_map (fun seed -> run_once ~table ~util ~seed scenario) seeds)
+      scenarios
+  in
+  let objectives = List.filter_map conn_objective records in
+  let throughputs = List.map Flow.throughput_bps records in
+  let qdelays =
+    List.filter_map
+      (fun (r : Flow.conn_stats) ->
+        let q = Flow.queueing_delay r in
+        if Float.is_finite q && q >= 0. then Some q else None)
+      records
+  in
+  let arr = Array.of_list in
+  match objectives with
+  | [] ->
+    {
+      objective = neg_infinity;
+      median_objective = neg_infinity;
+      median_throughput_bps = 0.;
+      median_queueing_delay_s = 0.;
+      connections = List.length records;
+    }
+  | _ ->
+    {
+      objective = Stats.mean (arr objectives);
+      median_objective = Stats.median (arr objectives);
+      median_throughput_bps =
+        (if throughputs = [] then 0. else Stats.median (arr throughputs));
+      median_queueing_delay_s = (if qdelays = [] then 0. else Stats.median (arr qdelays));
+      connections = List.length records;
+    }
+
+type budget = { rounds : int; seeds : int list; max_passes : int; whiskers_per_round : int }
+
+let default_budget = { rounds = 6; seeds = [ 1; 2 ]; max_passes = 3; whiskers_per_round = 2 }
+
+(* Neighbour actions for coordinate descent. *)
+let candidates (a : Whisker.action) =
+  let open Whisker in
+  List.map clamp_action
+    [
+      { a with window_increment = a.window_increment +. 8. };
+      { a with window_increment = a.window_increment -. 8. };
+      { a with window_increment = a.window_increment +. 2. };
+      { a with window_increment = a.window_increment -. 2. };
+      { a with window_increment = a.window_increment +. 0.5 };
+      { a with window_increment = a.window_increment -. 0.5 };
+      { a with window_multiple = a.window_multiple *. 1.2 };
+      { a with window_multiple = a.window_multiple /. 1.2 };
+      { a with window_multiple = a.window_multiple *. 1.02 };
+      { a with window_multiple = a.window_multiple /. 1.02 };
+      { a with intersend_s = a.intersend_s *. 2. };
+      { a with intersend_s = a.intersend_s /. 2. };
+      { a with intersend_s = a.intersend_s *. 1.2 };
+      { a with intersend_s = a.intersend_s /. 1.2 };
+    ]
+
+let improve_whisker ~log ~table ~util ~scenarios ~budget (whisker : Whisker.t) =
+  let score action =
+    let saved = whisker.Whisker.action in
+    whisker.Whisker.action <- action;
+    let result = evaluate ~table ~util ~seeds:budget.seeds scenarios in
+    whisker.Whisker.action <- saved;
+    result.objective
+  in
+  let current = ref (score whisker.Whisker.action) in
+  let improved_any = ref false in
+  let pass () =
+    let improved = ref false in
+    List.iter
+      (fun action ->
+        let s = score action in
+        if s > !current +. 1e-9 then begin
+          whisker.Whisker.action <- action;
+          current := s;
+          improved := true;
+          improved_any := true
+        end)
+      (candidates whisker.Whisker.action);
+    !improved
+  in
+  let rec loop passes = if passes > 0 && pass () then loop (passes - 1) in
+  loop budget.max_passes;
+  log
+    (Printf.sprintf "  whisker optimized to obj=%.4f inc=%.2f mult=%.3f isend=%.4f%s" !current
+       whisker.Whisker.action.Whisker.window_increment
+       whisker.Whisker.action.Whisker.window_multiple
+       whisker.Whisker.action.Whisker.intersend_s
+       (if !improved_any then "" else " (no improvement)"))
+
+(* Phi refinement: bisect the busiest whiskers along the utilization axis
+   and re-optimize each half separately, so the table can be aggressive
+   when the shared signal says the bottleneck is idle and conservative
+   when it is busy.  This is the step that turns an extruded
+   (utilization-oblivious) table into a genuine Remy-Phi table. *)
+let refine_utilization ?(log = fun _ -> ()) ~table ~scenarios ~top budget =
+  if Rule_table.dims table <> Memory.dims_phi then
+    invalid_arg "Trainer.refine_utilization: table must be 4-dimensional";
+  let axis = Memory.dims_phi - 1 in
+  Rule_table.reset_usage table;
+  ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
+  let busiest =
+    List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
+    |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let targets = take top busiest in
+  List.iter
+    (fun w ->
+      let before = List.length (Rule_table.whiskers table) in
+      Rule_table.split_axis table w ~axis;
+      ignore before;
+      log (Printf.sprintf "refine: split whisker along utilization (usage %d)" w.Whisker.usage))
+    targets;
+  (* Optimize every whisker produced by the axis splits (they are the ones
+     whose action may now diverge by utilization). *)
+  Rule_table.reset_usage table;
+  ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
+  let children =
+    List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
+    |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+  in
+  List.iter
+    (fun w -> improve_whisker ~log ~table ~util:`Ideal ~scenarios ~budget w)
+    (take (2 * top) children);
+  evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios
+
+let train ?(log = fun _ -> ()) ~table ~util ~scenarios budget =
+  if budget.rounds < 1 then invalid_arg "Trainer.train: rounds must be >= 1";
+  for round = 1 to budget.rounds do
+    log (Printf.sprintf "round %d/%d (whiskers: %d)" round budget.rounds (Rule_table.size table));
+    Rule_table.reset_usage table;
+    ignore (evaluate ~table ~util ~seeds:budget.seeds scenarios);
+    let by_usage =
+      List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
+      |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+    in
+    (match by_usage with
+    | [] -> log "  no whisker used; stopping early"
+    | busiest :: _ ->
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      List.iter
+        (fun w -> improve_whisker ~log ~table ~util ~scenarios ~budget w)
+        (take (Stdlib.max 1 budget.whiskers_per_round) by_usage);
+      if round < budget.rounds then Rule_table.split table busiest)
+  done;
+  evaluate ~table ~util ~seeds:budget.seeds scenarios

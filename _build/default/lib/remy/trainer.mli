@@ -1,0 +1,79 @@
+(** Offline Remy training (TCP ex machina, Section 2.2.4 of the Phi
+    paper): improve a whisker table by simulation.
+
+    The optimizer is a simplified form of Remy's: repeatedly evaluate the
+    table on the training scenarios, pick the most-used whisker, improve
+    its action by greedy coordinate descent on the mean objective, then
+    split it so later rounds refine the busy region of memory space.  The
+    objective per connection is Remy's log network power,
+    [ln (throughput_Mbps / mean_rtt_s)]. *)
+
+type scenario = {
+  spec : Phi_net.Topology.spec;
+  mean_on_bytes : float;
+  mean_off_s : float;
+  duration_s : float;
+}
+
+val paper_scenario : scenario
+(** Table 3's setup: the paper dumbbell (8 senders, 15 Mbps, 150 ms RTT),
+    exponential on/off with mean 100 KB transfers and 0.5 s idle,
+    simulated for 60 s. *)
+
+val default_scenarios : scenario list
+(** {!paper_scenario} plus lighter and heavier workload variations,
+    mirroring the "range of network and traffic parameters" the paper
+    retrained over; the spread of load levels is what lets the Phi
+    utilization dimension earn its keep. *)
+
+type eval_result = {
+  objective : float;  (** mean per-connection log power (the training signal) *)
+  median_objective : float;
+  median_throughput_bps : float;
+  median_queueing_delay_s : float;
+  connections : int;
+}
+
+val evaluate :
+  table:Rule_table.t ->
+  util:[ `None | `Ideal ] ->
+  seeds:int list ->
+  scenario list ->
+  eval_result
+(** Run every (scenario, seed) pair and aggregate.  [`Ideal] attaches a
+    bottleneck monitor and feeds live utilization to every sender (the
+    training-time assumption in the paper); the table must then be
+    4-dimensional.  Whisker usage counters are updated as a side effect. *)
+
+type budget = {
+  rounds : int;  (** optimize-and-split rounds *)
+  seeds : int list;  (** training seeds per evaluation *)
+  max_passes : int;  (** coordinate-descent sweeps per whisker *)
+  whiskers_per_round : int;  (** how many of the busiest whiskers to optimize each round *)
+}
+
+val default_budget : budget
+(** 6 rounds, 2 seeds, 3 passes, 2 whiskers per round — minutes of CPU,
+    enough to beat Cubic on the paper topology. *)
+
+val train :
+  ?log:(string -> unit) ->
+  table:Rule_table.t ->
+  util:[ `None | `Ideal ] ->
+  scenarios:scenario list ->
+  budget ->
+  eval_result
+(** Mutates [table] in place; returns the final evaluation. *)
+
+val refine_utilization :
+  ?log:(string -> unit) ->
+  table:Rule_table.t ->
+  scenarios:scenario list ->
+  top:int ->
+  budget ->
+  eval_result
+(** The Phi-specific training step: bisect the [top] busiest whiskers of a
+    4-dimensional table along the utilization axis and re-optimize the
+    resulting halves independently, letting the policy diverge between
+    idle and busy network conditions.  Typical use: extrude a trained
+    classic table, then refine. *)

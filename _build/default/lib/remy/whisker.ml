@@ -1,0 +1,82 @@
+type action = { window_increment : float; window_multiple : float; intersend_s : float }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let clamp_action a =
+  {
+    window_increment = clamp (-10.) 32. a.window_increment;
+    window_multiple = clamp 0.1 2. a.window_multiple;
+    intersend_s = clamp 0.0002 0.5 a.intersend_s;
+  }
+
+let default_action = { window_increment = 1.; window_multiple = 1.; intersend_s = 0.001 }
+
+let max_cwnd = 1024.
+
+let apply a ~cwnd =
+  clamp 1. max_cwnd ((a.window_multiple *. cwnd) +. a.window_increment)
+
+type box = { lo : float array; hi : float array }
+
+let root_box ~dims = { lo = Array.make dims 0.; hi = Array.make dims 1. }
+
+let contains box point =
+  let dims = Array.length box.lo in
+  if Array.length point <> dims then invalid_arg "Whisker.contains: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dims - 1 do
+    let x = point.(i) in
+    (* The global upper face (hi = 1) is inclusive so that a point on the
+       boundary of the root box always matches some whisker. *)
+    let upper_ok = x < box.hi.(i) || (box.hi.(i) >= 1. && x <= box.hi.(i)) in
+    if not (x >= box.lo.(i) && upper_ok) then ok := false
+  done;
+  !ok
+
+let split_box box =
+  let dims = Array.length box.lo in
+  let mid = Array.init dims (fun i -> (box.lo.(i) +. box.hi.(i)) /. 2.) in
+  (* Enumerate the 2^d children by the bitmask of "upper half" choices. *)
+  let child mask =
+    let lo = Array.copy box.lo and hi = Array.copy box.hi in
+    for i = 0 to dims - 1 do
+      if mask land (1 lsl i) <> 0 then lo.(i) <- mid.(i) else hi.(i) <- mid.(i)
+    done;
+    { lo; hi }
+  in
+  List.init (1 lsl dims) child
+
+type t = { box : box; mutable action : action; mutable usage : int }
+
+let create box action = { box; action = clamp_action action; usage = 0 }
+
+let pp ppf t =
+  let dims = Array.length t.box.lo in
+  let range i = Printf.sprintf "[%.3f,%.3f)" t.box.lo.(i) t.box.hi.(i) in
+  let ranges = String.concat "x" (List.init dims range) in
+  Format.fprintf ppf "%s -> inc=%.2f mult=%.3f isend=%.4fs (used %d)" ranges
+    t.action.window_increment t.action.window_multiple t.action.intersend_s t.usage
+
+let to_line t =
+  let floats a = String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list a)) in
+  Printf.sprintf "w|%s|%s|%.17g;%.17g;%.17g" (floats t.box.lo) (floats t.box.hi)
+    t.action.window_increment t.action.window_multiple t.action.intersend_s
+
+let of_line line =
+  let fail () = failwith ("Whisker.of_line: malformed line: " ^ line) in
+  match String.split_on_char '|' line with
+  | [ "w"; lo; hi; action ] -> (
+    let parse_floats s =
+      String.split_on_char ',' s
+      |> List.map (fun x -> try float_of_string x with Failure _ -> fail ())
+      |> Array.of_list
+    in
+    let lo = parse_floats lo and hi = parse_floats hi in
+    if Array.length lo <> Array.length hi || Array.length lo = 0 then fail ();
+    match String.split_on_char ';' action with
+    | [ inc; mult; isend ] ->
+      let f x = try float_of_string x with Failure _ -> fail () in
+      create { lo; hi }
+        { window_increment = f inc; window_multiple = f mult; intersend_s = f isend }
+    | _ -> fail ())
+  | _ -> fail ()

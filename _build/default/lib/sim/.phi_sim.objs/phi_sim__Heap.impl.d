@@ -1,0 +1,1 @@
+lib/sim/heap.ml: Array Stdlib

@@ -1,0 +1,66 @@
+type handle = { mutable live : bool }
+
+type event = { handle : handle; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  mutable next_seq : int;
+  mutable stopping : bool;
+}
+
+let create () = { clock = 0.; queue = Heap.create (); next_seq = 0; stopping = false }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  let handle = { live = true } in
+  Heap.push t.queue ~priority:time ~seq:t.next_seq { handle; action = f };
+  t.next_seq <- t.next_seq + 1;
+  handle
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel handle = handle.live <- false
+
+let cancelled handle = not handle.live
+
+let pending t = Heap.size t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _seq, event) ->
+    t.clock <- Stdlib.max t.clock time;
+    if event.handle.live then begin
+      event.handle.live <- false;
+      event.action ()
+    end;
+    true
+
+let stop t = t.stopping <- true
+
+let run ?until t =
+  t.stopping <- false;
+  let horizon_reached () =
+    match until with
+    | None -> false
+    | Some limit -> (
+      match Heap.peek t.queue with
+      | None -> true
+      | Some (time, _, _) -> time > limit)
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else if horizon_reached () then ()
+    else if step t then loop ()
+  in
+  loop ();
+  match until with
+  | Some limit when not t.stopping -> t.clock <- Stdlib.max t.clock limit
+  | _ -> ()

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    This is the substitute for ns-2's scheduler: a virtual clock plus an
+    ordered queue of callbacks.  Events scheduled for the same instant run
+    in scheduling order, and every event may be cancelled (needed for TCP
+    retransmission timers). *)
+
+type t
+
+type handle
+(** Token identifying a scheduled event; used only for cancellation. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** Relative form of {!schedule_at}; [delay] must be non-negative. *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped when their time comes.  Cancelling twice,
+    or after the event fired, is a no-op. *)
+
+val cancelled : handle -> bool
+
+val pending : t -> int
+(** Number of not-yet-fired (and not cancelled-and-collected) events. *)
+
+val step : t -> bool
+(** Execute the next event.  Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the queue.  With [until], stops once the next event lies strictly
+    beyond that time and advances the clock to [until]. *)
+
+val stop : t -> unit
+(** Make the current [run] return after the in-flight event completes. *)

@@ -1,0 +1,71 @@
+type 'a entry = { priority : float; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = Stdlib.max 16 (2 * cap) in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority ~seq payload =
+  let entry = { priority; seq; payload } in
+  grow t entry;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.priority, e.seq, e.payload)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (e.priority, e.seq, e.payload)
+  end
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap keyed by [(priority, seq)].
+
+    The integer sequence number breaks ties so that events scheduled for
+    the same instant fire in FIFO order — the property the whole simulator
+    relies on for deterministic replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> seq:int -> 'a -> unit
+
+val peek : 'a t -> (float * int * 'a) option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/tcp/cc.ml:

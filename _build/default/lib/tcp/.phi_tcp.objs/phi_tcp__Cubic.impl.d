@@ -1,0 +1,1 @@
+lib/tcp/cubic.ml: Cc Float Format Printf

@@ -1,0 +1,1 @@
+lib/tcp/cubic.mli: Cc Format

@@ -1,0 +1,1 @@
+lib/tcp/cwnd_trace.ml: Array Float List Phi_sim Sender

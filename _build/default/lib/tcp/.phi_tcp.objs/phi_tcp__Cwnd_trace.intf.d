@@ -1,0 +1,1 @@
+lib/tcp/cwnd_trace.mli: Phi_sim Sender

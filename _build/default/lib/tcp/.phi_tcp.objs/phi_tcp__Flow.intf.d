@@ -1,0 +1,1 @@
+lib/tcp/flow.mli: Format

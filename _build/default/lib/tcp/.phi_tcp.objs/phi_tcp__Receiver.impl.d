@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Hashtbl List Phi_net Phi_sim

@@ -1,0 +1,1 @@
+lib/tcp/receiver.mli: Phi_net Phi_sim

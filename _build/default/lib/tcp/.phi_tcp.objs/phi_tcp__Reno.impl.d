@@ -1,0 +1,1 @@
+lib/tcp/reno.ml: Cc Float Printf

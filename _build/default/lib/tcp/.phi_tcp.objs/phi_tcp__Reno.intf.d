@@ -1,0 +1,1 @@
+lib/tcp/reno.mli: Cc

@@ -1,0 +1,1 @@
+lib/tcp/rto.ml: Float

@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cc Float Flow Hashtbl List Phi_net Phi_sim Queue Rto Stdlib

@@ -1,0 +1,1 @@
+lib/tcp/sender.mli: Cc Flow Phi_net Phi_sim

@@ -1,0 +1,1 @@
+lib/tcp/source.ml: Cc Float Flow List Phi_net Phi_sim Phi_util Receiver Sender Stdlib

@@ -1,0 +1,1 @@
+lib/tcp/source.mli: Cc Flow Phi_net Phi_sim Phi_util

@@ -1,0 +1,1 @@
+lib/tcp/vegas.ml: Cc Float

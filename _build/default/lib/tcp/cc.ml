@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  on_ack : t -> now:float -> rtt:float option -> newly_acked:int -> unit;
+  on_loss : t -> now:float -> unit;
+  on_timeout : t -> now:float -> unit;
+}
+
+let make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout =
+  if initial_cwnd < 1. then invalid_arg "Cc.make: initial_cwnd must be >= 1";
+  if initial_ssthresh < 1. then invalid_arg "Cc.make: initial_ssthresh must be >= 1";
+  { name; cwnd = initial_cwnd; ssthresh = initial_ssthresh; on_ack; on_loss; on_timeout }
+
+let min_cwnd = 2.
+
+let in_slow_start t = t.cwnd < t.ssthresh

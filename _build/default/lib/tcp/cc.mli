@@ -1,0 +1,32 @@
+(** Pluggable congestion control.
+
+    A congestion controller owns the congestion window and slow-start
+    threshold (both in segments, as in ns-2) and reacts to the three
+    events the sender machinery reports: a new cumulative ACK, a fast-
+    retransmit loss indication (three duplicate ACKs) and a retransmission
+    timeout.  Algorithm-private state lives inside the event closures. *)
+
+type t = {
+  name : string;
+  mutable cwnd : float;  (** congestion window, segments *)
+  mutable ssthresh : float;  (** slow-start threshold, segments *)
+  on_ack : t -> now:float -> rtt:float option -> newly_acked:int -> unit;
+      (** [rtt] is the sample from this ACK when one was available. *)
+  on_loss : t -> now:float -> unit;
+  on_timeout : t -> now:float -> unit;
+}
+
+val make :
+  name:string ->
+  initial_cwnd:float ->
+  initial_ssthresh:float ->
+  on_ack:(t -> now:float -> rtt:float option -> newly_acked:int -> unit) ->
+  on_loss:(t -> now:float -> unit) ->
+  on_timeout:(t -> now:float -> unit) ->
+  t
+
+val min_cwnd : float
+(** Floor applied by all controllers after a decrease (2 segments, per
+    RFC 5681). *)
+
+val in_slow_start : t -> bool

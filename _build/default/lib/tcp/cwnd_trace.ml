@@ -1,0 +1,27 @@
+module Engine = Phi_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  sender : Sender.t;
+  interval_s : float;
+  mutable samples : (float * float) list;  (* newest first *)
+  mutable running : bool;
+}
+
+let rec sample t =
+  if t.running && not (Sender.completed t.sender) then begin
+    t.samples <- (Engine.now t.engine, Sender.cwnd t.sender) :: t.samples;
+    ignore (Engine.schedule_after t.engine ~delay:t.interval_s (fun () -> sample t))
+  end
+
+let attach engine sender ~interval_s =
+  if interval_s <= 0. then invalid_arg "Cwnd_trace.attach: interval must be positive";
+  let t = { engine; sender; interval_s; samples = []; running = true } in
+  sample t;
+  t
+
+let series t = Array.of_list (List.rev t.samples)
+
+let max_cwnd t = List.fold_left (fun acc (_, w) -> Float.max acc w) 0. t.samples
+
+let stop t = t.running <- false

@@ -1,0 +1,17 @@
+(** Congestion-window tracing: samples a sender's window on a fixed
+    interval, the standard observability hook for debugging congestion
+    control behaviour (and for plotting sawtooths). *)
+
+type t
+
+val attach : Phi_sim.Engine.t -> Sender.t -> interval_s:float -> t
+(** Starts sampling immediately; stops by itself once the sender
+    completes. *)
+
+val series : t -> (float * float) array
+(** [(time, cwnd)] samples, oldest first. *)
+
+val max_cwnd : t -> float
+(** Largest window observed (0 before any sample). *)
+
+val stop : t -> unit

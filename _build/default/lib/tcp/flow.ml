@@ -1,0 +1,37 @@
+type allocator = { mutable next : int }
+
+let allocator () = { next = 0 }
+
+let fresh t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+type conn_stats = {
+  flow : int;
+  source_index : int;
+  started_at : float;
+  finished_at : float;
+  bytes : int;
+  segments : int;
+  retransmitted_segments : int;
+  timeouts : int;
+  rtt_samples : int;
+  min_rtt : float;
+  mean_rtt : float;
+}
+
+let duration t = t.finished_at -. t.started_at
+
+let throughput_bps t =
+  let d = duration t in
+  if d <= 0. then 0. else float_of_int (t.bytes * 8) /. d
+
+let queueing_delay t = t.mean_rtt -. t.min_rtt
+
+let pp ppf t =
+  Format.fprintf ppf
+    "conn[flow=%d src=%d bytes=%d dur=%.3fs thr=%.3fMbps rexmit=%d rto=%d rtt=%.1f/%.1fms]"
+    t.flow t.source_index t.bytes (duration t)
+    (throughput_bps t /. 1e6)
+    t.retransmitted_segments t.timeouts (1000. *. t.min_rtt) (1000. *. t.mean_rtt)

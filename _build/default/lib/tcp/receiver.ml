@@ -1,0 +1,108 @@
+module Engine = Phi_sim.Engine
+module Node = Phi_net.Node
+module Packet = Phi_net.Packet
+
+type t = {
+  engine : Engine.t;
+  node : Node.t;
+  flow : int;
+  peer : int;
+  buffered : (int, unit) Hashtbl.t;  (* received out-of-order segments *)
+  mutable recent : int list;  (* recently arrived out-of-order seqs, newest first *)
+  mutable next_expected : int;
+  mutable segments_received : int;
+  mutable duplicate_segments : int;
+}
+
+(* Expand the contiguous buffered run containing [seq] into a [lo, hi)
+   block. *)
+let block_around t seq =
+  let lo = ref seq in
+  while Hashtbl.mem t.buffered (!lo - 1) do decr lo done;
+  let hi = ref (seq + 1) in
+  while Hashtbl.mem t.buffered !hi do incr hi done;
+  (!lo, !hi)
+
+let sack_blocks t =
+  let rec collect acc seen = function
+    | [] -> List.rev acc
+    | _ when List.length acc >= Packet.max_sack_blocks -> List.rev acc
+    | seq :: rest ->
+      if seq < t.next_expected || not (Hashtbl.mem t.buffered seq) then collect acc seen rest
+      else
+        let lo, hi = block_around t seq in
+        if List.mem (lo, hi) seen then collect acc seen rest
+        else collect ((lo, hi) :: acc) ((lo, hi) :: seen) rest
+  in
+  collect [] [] t.recent
+
+let remember_recent t seq =
+  let keep = List.filter (fun s -> s <> seq && s >= t.next_expected) t.recent in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.recent <- seq :: take (Packet.max_sack_blocks * 2) keep
+
+let send_ack t ~echo ~tx_time ~ece =
+  let pkt =
+    Packet.ack ~flow:t.flow ~src:(Node.id t.node) ~dst:t.peer ~next_expected:t.next_expected
+      ~echo_sent_at:echo ~echo_tx_time:tx_time ~sack:(sack_blocks t) ~ece
+      ~now:(Engine.now t.engine)
+  in
+  Node.receive t.node pkt
+
+let handle t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Ack _ -> () (* receivers only consume data *)
+  | Packet.Data ->
+    let echo = if pkt.retransmit then None else Some pkt.sent_at in
+    if pkt.seq < t.next_expected || Hashtbl.mem t.buffered pkt.seq then begin
+      (* Already have it: spurious retransmission; still ACK so the sender
+         can make progress. *)
+      t.duplicate_segments <- t.duplicate_segments + 1;
+      send_ack t ~echo:None ~tx_time:pkt.sent_at ~ece:pkt.Packet.ce
+    end
+    else begin
+      t.segments_received <- t.segments_received + 1;
+      if pkt.seq = t.next_expected then begin
+        t.next_expected <- t.next_expected + 1;
+        (* Advance over any previously buffered run. *)
+        while Hashtbl.mem t.buffered t.next_expected do
+          Hashtbl.remove t.buffered t.next_expected;
+          t.next_expected <- t.next_expected + 1
+        done;
+        t.recent <- List.filter (fun s -> s >= t.next_expected) t.recent;
+        send_ack t ~echo ~tx_time:pkt.sent_at ~ece:pkt.Packet.ce
+      end
+      else begin
+        Hashtbl.add t.buffered pkt.seq ();
+        remember_recent t pkt.seq;
+        (* Duplicate ACK: cumulative number unchanged, SACK describes the
+           hole; no RTT echo. *)
+        send_ack t ~echo:None ~tx_time:pkt.sent_at ~ece:pkt.Packet.ce
+      end
+    end
+
+let create engine ~node ~flow ~peer =
+  let t =
+    {
+      engine;
+      node;
+      flow;
+      peer;
+      buffered = Hashtbl.create 64;
+      recent = [];
+      next_expected = 0;
+      segments_received = 0;
+      duplicate_segments = 0;
+    }
+  in
+  Node.bind_flow node ~flow (handle t);
+  t
+
+let next_expected t = t.next_expected
+let segments_received t = t.segments_received
+let duplicate_segments t = t.duplicate_segments
+let close t = Node.unbind_flow t.node ~flow:t.flow

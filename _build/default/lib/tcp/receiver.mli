@@ -1,0 +1,30 @@
+(** TCP receiver: cumulative ACKs with duplicate-ACK generation.
+
+    Every data segment triggers exactly one ACK (no delayed ACKs, matching
+    the ns-2 agents the paper used).  Out-of-order segments are buffered
+    and produce duplicate ACKs; in-order arrivals advance the cumulative
+    ACK over any buffered run. *)
+
+type t
+
+val create :
+  Phi_sim.Engine.t ->
+  node:Phi_net.Node.t ->
+  flow:int ->
+  peer:int ->
+  t
+(** Install a receiver for [flow] on [node], sending ACKs back to node
+    [peer]. *)
+
+val next_expected : t -> int
+(** Lowest segment number not yet received in order. *)
+
+val segments_received : t -> int
+(** Count of distinct data segments delivered (in or out of order). *)
+
+val duplicate_segments : t -> int
+(** Data segments that had already been received (spurious
+    retransmissions). *)
+
+val close : t -> unit
+(** Unbind from the node. *)

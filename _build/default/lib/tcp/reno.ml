@@ -1,0 +1,27 @@
+let make_weighted ~weight ?(initial_cwnd = 2.) ?(initial_ssthresh = 65536.) () =
+  if weight <= 0. then invalid_arg "Reno.make_weighted: weight must be positive";
+  let on_ack (cc : Cc.t) ~now:_ ~rtt:_ ~newly_acked =
+    let acked = float_of_int newly_acked in
+    if Cc.in_slow_start cc then
+      (* Weighted slow start opens the window [weight] segments per ACKed
+         segment, capped at ssthresh to avoid overshooting into CA. *)
+      cc.cwnd <- Float.min (cc.cwnd +. (weight *. acked)) (Float.max cc.ssthresh cc.cwnd)
+    else cc.cwnd <- cc.cwnd +. (weight *. acked /. cc.cwnd)
+  in
+  let decrease (cc : Cc.t) =
+    (* MulTCP decrease: one of the [weight] virtual flows halves, so the
+       ensemble drops by a factor 1 - 1/(2w). *)
+    let factor = 1. -. (1. /. (2. *. weight)) in
+    cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd *. factor);
+    cc.cwnd <- cc.ssthresh
+  in
+  let on_loss cc ~now:_ = decrease cc in
+  let on_timeout (cc : Cc.t) ~now:_ =
+    cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd /. 2.);
+    cc.cwnd <- 1.
+  in
+  let name = if weight = 1. then "reno" else Printf.sprintf "reno-w%.2g" weight in
+  Cc.make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout
+
+let make ?initial_cwnd ?initial_ssthresh () =
+  make_weighted ~weight:1. ?initial_cwnd ?initial_ssthresh ()

@@ -1,0 +1,17 @@
+(** TCP Reno congestion control (RFC 5681) and its MulTCP-style weighted
+    generalization.
+
+    The weighted variant implements the Section 3.3 idea: a flow with
+    weight [w] behaves like the aggregate of [w] standard Reno flows
+    (additive increase of [w] per RTT, multiplicative decrease of
+    [1/(2w)]), so an entity can shift bandwidth between its own flows
+    while the ensemble stays TCP-friendly. *)
+
+val make : ?initial_cwnd:float -> ?initial_ssthresh:float -> unit -> Cc.t
+(** Standard Reno.  Defaults: [initial_cwnd = 2.],
+    [initial_ssthresh = 65536.]. *)
+
+val make_weighted :
+  weight:float -> ?initial_cwnd:float -> ?initial_ssthresh:float -> unit -> Cc.t
+(** MulTCP with the given positive weight; [weight = 1.] coincides with
+    standard Reno. *)

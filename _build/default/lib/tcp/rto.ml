@@ -1,0 +1,38 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable have_sample : bool;
+  mutable backoff_factor : float;
+}
+
+let create ?(min_rto = 0.2) ?(max_rto = 60.) () =
+  if min_rto <= 0. || max_rto < min_rto then invalid_arg "Rto.create: bad bounds";
+  { min_rto; max_rto; srtt = 1.; rttvar = 0.5; have_sample = false; backoff_factor = 1. }
+
+let observe t ~rtt =
+  if rtt <= 0. then invalid_arg "Rto.observe: non-positive rtt";
+  if t.have_sample then begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+  end
+  else begin
+    t.srtt <- rtt;
+    t.rttvar <- rtt /. 2.;
+    t.have_sample <- true
+  end;
+  t.backoff_factor <- 1.
+
+let current t =
+  let base =
+    if t.have_sample then t.srtt +. (4. *. t.rttvar)
+    else 1. (* RFC 6298 initial RTO before any sample *)
+  in
+  Float.min t.max_rto (Float.max t.min_rto base *. t.backoff_factor)
+
+let backoff t = t.backoff_factor <- Float.min (t.backoff_factor *. 2.) 64.
+
+let reset_backoff t = t.backoff_factor <- 1.
+
+let srtt t = if t.have_sample then Some t.srtt else None

@@ -1,0 +1,364 @@
+module Engine = Phi_sim.Engine
+module Node = Phi_net.Node
+module Packet = Phi_net.Packet
+
+let dupthresh = 3
+
+type t = {
+  engine : Engine.t;
+  node : Node.t;
+  flow : int;
+  dst : int;
+  cc : Cc.t;
+  rto : Rto.t;
+  total : int;
+  source_index : int;
+  on_complete : Flow.conn_stats -> unit;
+  mutable started : bool;
+  mutable completed : bool;
+  mutable snd_una : int;  (* first unacknowledged segment *)
+  mutable snd_nxt : int;  (* next new segment to send *)
+  mutable highest_sent : int;  (* one past the highest segment ever sent *)
+  (* SACK scoreboard: all sets hold seqs in [snd_una, snd_nxt). *)
+  sacked : (int, unit) Hashtbl.t;
+  lost : (int, unit) Hashtbl.t;
+  retx : (int, float) Hashtbl.t;
+      (* lost segments retransmitted and not yet cum-acked, mapped to the
+         retransmission's send time (used to detect lost
+         retransmissions) *)
+  retx_queue : int Queue.t;  (* lost segments awaiting retransmission *)
+  mutable n_sacked : int;
+  mutable n_lost : int;
+  mutable n_retx : int;
+  mutable highest_sacked : int;  (* one past the highest sacked seq, >= snd_una *)
+  mutable loss_scan : int;  (* first seq not yet evaluated for loss *)
+  mutable delivered_tx_high : float;
+      (* latest transmission time echoed by any ACK: everything sent
+         earlier has either been delivered or dropped (paths are FIFO) *)
+  mutable in_recovery : bool;
+  mutable recover : int;  (* recovery ends when snd_una reaches this *)
+  mutable rto_handle : Engine.handle option;
+  mutable started_at : float;
+  mutable finished_at : float;
+  mutable retransmitted : int;
+  mutable timeouts : int;
+  mutable rtt_count : int;
+  mutable rtt_sum : float;
+  mutable rtt_min : float;
+  mutable ecn_reductions : int;
+  mutable ecn_reaction_until : float;  (* ignore further ECE until this time *)
+}
+
+let persistent_total = max_int / 2
+
+let cwnd t = t.cc.Cc.cwnd
+let in_recovery t = t.in_recovery
+let acked_segments t = t.snd_una
+let sent_segments t = t.highest_sent
+let retransmitted_segments t = t.retransmitted
+let timeouts t = t.timeouts
+let ecn_reductions t = t.ecn_reductions
+let completed t = t.completed
+
+let stats t =
+  let finished_at = if t.completed then t.finished_at else Engine.now t.engine in
+  {
+    Flow.flow = t.flow;
+    source_index = t.source_index;
+    started_at = t.started_at;
+    finished_at;
+    bytes = t.snd_una * Packet.mss;
+    segments = t.snd_una;
+    retransmitted_segments = t.retransmitted;
+    timeouts = t.timeouts;
+    rtt_samples = t.rtt_count;
+    min_rtt = (if t.rtt_count > 0 then t.rtt_min else nan);
+    mean_rtt = (if t.rtt_count > 0 then t.rtt_sum /. float_of_int t.rtt_count else nan);
+  }
+
+(* RFC 6675-style pipe: data sent minus data known to have left the
+   network (sacked or deemed lost), plus retransmissions in flight. *)
+let pipe t = t.snd_nxt - t.snd_una - t.n_sacked - t.n_lost + t.n_retx
+
+let cancel_rto t =
+  match t.rto_handle with
+  | Some h ->
+    Engine.cancel h;
+    t.rto_handle <- None
+  | None -> ()
+
+let send_segment t seq =
+  let retransmit = seq < t.highest_sent in
+  if retransmit then t.retransmitted <- t.retransmitted + 1;
+  let pkt =
+    Packet.data ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq ~now:(Engine.now t.engine)
+      ~retransmit
+  in
+  Node.receive t.node pkt;
+  if seq >= t.highest_sent then t.highest_sent <- seq + 1
+
+let clear_scoreboard t =
+  Hashtbl.reset t.sacked;
+  Hashtbl.reset t.lost;
+  Hashtbl.reset t.retx;
+  Queue.clear t.retx_queue;
+  t.n_sacked <- 0;
+  t.n_lost <- 0;
+  t.n_retx <- 0;
+  t.highest_sacked <- t.snd_una;
+  t.loss_scan <- t.snd_una
+
+let mark_sacked t seq =
+  if seq >= t.snd_una && seq < t.snd_nxt && not (Hashtbl.mem t.sacked seq) then begin
+    Hashtbl.add t.sacked seq ();
+    t.n_sacked <- t.n_sacked + 1;
+    if Hashtbl.mem t.lost seq then begin
+      Hashtbl.remove t.lost seq;
+      t.n_lost <- t.n_lost - 1
+    end;
+    if Hashtbl.mem t.retx seq then begin
+      Hashtbl.remove t.retx seq;
+      t.n_retx <- t.n_retx - 1
+    end;
+    if seq + 1 > t.highest_sacked then t.highest_sacked <- seq + 1
+  end
+
+let merge_sack t blocks =
+  List.iter
+    (fun (lo, hi) ->
+      let lo = Stdlib.max lo t.snd_una and hi = Stdlib.min hi t.snd_nxt in
+      for seq = lo to hi - 1 do
+        mark_sacked t seq
+      done)
+    blocks
+
+(* RACK-style rescue: the paths are FIFO, so once an ACK echoes a
+   transmission time later than a retransmission's send time, that
+   retransmission either arrived (and would have been SACKed or
+   cumulatively ACKed by now) or was dropped.  If its segment is still
+   outstanding, re-queue it instead of waiting for the RTO. *)
+let requeue_lost_retransmissions t =
+  let stale =
+    Hashtbl.fold
+      (fun seq sent_at acc -> if sent_at < t.delivered_tx_high then seq :: acc else acc)
+      t.retx []
+  in
+  List.iter
+    (fun seq ->
+      Hashtbl.remove t.retx seq;
+      t.n_retx <- t.n_retx - 1;
+      Queue.push seq t.retx_queue)
+    stale
+
+(* A segment is deemed lost once the receiver holds data [dupthresh]
+   segments above it (the SACK analogue of three duplicate ACKs). *)
+let detect_losses t =
+  while t.loss_scan < t.highest_sacked - dupthresh + 1 do
+    let seq = t.loss_scan in
+    if
+      seq >= t.snd_una
+      && (not (Hashtbl.mem t.sacked seq))
+      && not (Hashtbl.mem t.lost seq)
+    then begin
+      Hashtbl.add t.lost seq ();
+      t.n_lost <- t.n_lost + 1;
+      Queue.push seq t.retx_queue
+    end;
+    t.loss_scan <- t.loss_scan + 1
+  done
+
+(* Drop scoreboard state for segments below the new cumulative ACK. *)
+let advance_una t new_una =
+  for seq = t.snd_una to new_una - 1 do
+    if Hashtbl.mem t.sacked seq then begin
+      Hashtbl.remove t.sacked seq;
+      t.n_sacked <- t.n_sacked - 1
+    end;
+    if Hashtbl.mem t.lost seq then begin
+      Hashtbl.remove t.lost seq;
+      t.n_lost <- t.n_lost - 1
+    end;
+    if Hashtbl.mem t.retx seq then begin
+      Hashtbl.remove t.retx seq;
+      t.n_retx <- t.n_retx - 1
+    end
+  done;
+  t.snd_una <- new_una;
+  if t.highest_sacked < new_una then t.highest_sacked <- new_una;
+  if t.loss_scan < new_una then t.loss_scan <- new_una
+
+let next_retransmit t =
+  let rec pop () =
+    match Queue.take_opt t.retx_queue with
+    | None -> None
+    | Some seq ->
+      if
+        seq >= t.snd_una
+        && Hashtbl.mem t.lost seq
+        && not (Hashtbl.mem t.retx seq)
+      then Some seq
+      else pop ()
+  in
+  pop ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  let delay = Rto.current t.rto in
+  t.rto_handle <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_handle <- None;
+  if (not t.completed) && t.snd_una < t.total then begin
+    t.timeouts <- t.timeouts + 1;
+    Rto.backoff t.rto;
+    t.cc.Cc.on_timeout t.cc ~now:(Engine.now t.engine);
+    t.in_recovery <- false;
+    (* Conservative go-back-N: assume SACK state reneged, resume from the
+       first unacknowledged segment. *)
+    clear_scoreboard t;
+    t.snd_nxt <- t.snd_una;
+    try_send t;
+    arm_rto t
+  end
+
+and try_send t =
+  let window = int_of_float (Float.max 1. t.cc.Cc.cwnd) in
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue && pipe t < window do
+    match next_retransmit t with
+    | Some seq ->
+      send_segment t seq;
+      Hashtbl.add t.retx seq (Engine.now t.engine);
+      t.n_retx <- t.n_retx + 1;
+      progressed := true
+    | None ->
+      if t.snd_nxt < t.total then begin
+        send_segment t t.snd_nxt;
+        t.snd_nxt <- t.snd_nxt + 1;
+        progressed := true
+      end
+      else continue := false
+  done;
+  if !progressed && t.rto_handle = None then arm_rto t
+
+let complete t =
+  t.completed <- true;
+  t.finished_at <- Engine.now t.engine;
+  cancel_rto t;
+  Node.unbind_flow t.node ~flow:t.flow;
+  t.on_complete (stats t)
+
+let record_rtt t sample =
+  if sample > 0. then begin
+    Rto.observe t.rto ~rtt:sample;
+    t.rtt_count <- t.rtt_count + 1;
+    t.rtt_sum <- t.rtt_sum +. sample;
+    if sample < t.rtt_min then t.rtt_min <- sample
+  end
+
+(* React to an ECN echo like a loss-based decrease, but at most once per
+   RTT and without any retransmission (RFC 3168 semantics). *)
+let on_ecn_echo t ~now =
+  if now >= t.ecn_reaction_until then begin
+    t.cc.Cc.on_loss t.cc ~now;
+    t.ecn_reductions <- t.ecn_reductions + 1;
+    let rtt = match Rto.srtt t.rto with Some s -> s | None -> 0.2 in
+    t.ecn_reaction_until <- now +. rtt
+  end
+
+let on_ack t ~ack_seq ~echo ~tx_time ~sack ~ece =
+  let now = Engine.now t.engine in
+  if ece then on_ecn_echo t ~now;
+  if tx_time > t.delivered_tx_high then t.delivered_tx_high <- tx_time;
+  merge_sack t sack;
+  requeue_lost_retransmissions t;
+  let newly_acked = Stdlib.max 0 (ack_seq - t.snd_una) in
+  if newly_acked > 0 then begin
+    advance_una t ack_seq;
+    (match echo with Some sent_at -> record_rtt t (now -. sent_at) | None -> ())
+  end;
+  detect_losses t;
+  if t.in_recovery && t.snd_una >= t.recover then t.in_recovery <- false;
+  if (not t.in_recovery) && t.n_lost > 0 then begin
+    t.in_recovery <- true;
+    t.recover <- t.snd_nxt;
+    t.cc.Cc.on_loss t.cc ~now
+  end;
+  if newly_acked > 0 && not t.in_recovery then begin
+    let rtt = match echo with Some sent_at -> Some (now -. sent_at) | None -> None in
+    t.cc.Cc.on_ack t.cc ~now ~rtt ~newly_acked
+  end;
+  if t.snd_una >= t.total then complete t
+  else begin
+    if newly_acked > 0 then arm_rto t;
+    try_send t
+  end
+
+let on_packet t (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Data -> () (* senders only consume ACKs *)
+  | Packet.Ack { echo_sent_at; echo_tx_time; sack; ece } ->
+    if not t.completed then
+      on_ack t ~ack_seq:pkt.seq ~echo:echo_sent_at ~tx_time:echo_tx_time ~sack ~ece
+
+let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
+    ?(on_complete = fun _ -> ()) () =
+  if total_segments < 1 then invalid_arg "Sender.create: total_segments must be >= 1";
+  let t =
+    {
+      engine;
+      node;
+      flow;
+      dst;
+      cc;
+      rto = Rto.create ();
+      total = total_segments;
+      source_index;
+      on_complete;
+      started = false;
+      completed = false;
+      snd_una = 0;
+      snd_nxt = 0;
+      highest_sent = 0;
+      sacked = Hashtbl.create 64;
+      lost = Hashtbl.create 16;
+      retx = Hashtbl.create 16;
+      retx_queue = Queue.create ();
+      n_sacked = 0;
+      n_lost = 0;
+      n_retx = 0;
+      highest_sacked = 0;
+      loss_scan = 0;
+      in_recovery = false;
+      recover = 0;
+      delivered_tx_high = neg_infinity;
+      rto_handle = None;
+      started_at = Engine.now engine;
+      finished_at = Engine.now engine;
+      retransmitted = 0;
+      timeouts = 0;
+      rtt_count = 0;
+      rtt_sum = 0.;
+      rtt_min = infinity;
+      ecn_reductions = 0;
+      ecn_reaction_until = neg_infinity;
+    }
+  in
+  Node.bind_flow node ~flow (on_packet t);
+  t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    t.started_at <- Engine.now t.engine;
+    try_send t
+  end
+
+let abort t =
+  if not t.completed then begin
+    t.completed <- true;
+    t.finished_at <- Engine.now t.engine;
+    cancel_rto t;
+    Node.unbind_flow t.node ~flow:t.flow
+  end

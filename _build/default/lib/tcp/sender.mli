@@ -1,0 +1,53 @@
+(** Window-based TCP sender with SACK loss recovery.
+
+    The transport machinery follows the SACK-enabled ns-2 linux agent the
+    paper used: congestion window evolution is delegated to a {!Cc.t};
+    loss recovery is scoreboard-driven in the style of RFC 6675 (a segment
+    is deemed lost once the receiver has selectively acknowledged data
+    three or more segments above it; sending is governed by a pipe
+    estimate); a go-back-N retransmission timeout with exponential backoff
+    is the fallback for tail losses and lost retransmissions.  Sequence
+    numbers count MSS-sized segments. *)
+
+type t
+
+val create :
+  Phi_sim.Engine.t ->
+  node:Phi_net.Node.t ->
+  flow:int ->
+  dst:int ->
+  cc:Cc.t ->
+  total_segments:int ->
+  ?source_index:int ->
+  ?on_complete:(Flow.conn_stats -> unit) ->
+  unit ->
+  t
+(** The sender binds [flow] on [node] to receive ACKs; a matching
+    {!Receiver} must be bound on the destination.  [total_segments] must be
+    at least 1; use {!persistent_total} for effectively infinite flows. *)
+
+val persistent_total : int
+(** A segment count no realistic simulation can finish. *)
+
+val start : t -> unit
+(** Begin transmitting (idempotent). *)
+
+val abort : t -> unit
+(** Stop without completing: cancels timers and unbinds the flow.  No
+    [on_complete] callback fires. *)
+
+val cwnd : t -> float
+val in_recovery : t -> bool
+val acked_segments : t -> int
+val sent_segments : t -> int
+val retransmitted_segments : t -> int
+val timeouts : t -> int
+
+val ecn_reductions : t -> int
+(** Window reductions triggered by ECN echoes (at most one per RTT). *)
+
+val completed : t -> bool
+
+val stats : t -> Flow.conn_stats
+(** Snapshot of the connection's accounting so far ([finished_at] is the
+    current time while still running). *)

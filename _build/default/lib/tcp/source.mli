@@ -1,0 +1,44 @@
+(** On/off workload driver (Section 2.2): each source launches fresh
+    connections sequentially, with exponentially distributed transfer
+    sizes ("on" periods) separated by exponentially distributed idle
+    ("off") periods.
+
+    The congestion controller is created anew for every connection via
+    [cc_factory] — exactly the hook a Phi client uses to consult the
+    context server when a connection starts — and [on_conn_end] fires with
+    the finished connection's statistics — the hook used to report back. *)
+
+type config = {
+  mean_on_bytes : float;  (** mean transfer size per connection *)
+  mean_off_s : float;  (** mean idle time between connections *)
+}
+
+type t
+
+val create :
+  Phi_sim.Engine.t ->
+  rng:Phi_util.Prng.t ->
+  flows:Flow.allocator ->
+  src_node:Phi_net.Node.t ->
+  dst_node:Phi_net.Node.t ->
+  index:int ->
+  cc_factory:(unit -> Cc.t) ->
+  ?on_conn_end:(Flow.conn_stats -> unit) ->
+  config ->
+  t
+(** The first connection starts after a random initial idle period (to
+    desynchronize sources), once {!start} is called. *)
+
+val start : t -> unit
+
+val stop : t -> unit
+(** No further connections are launched; an in-flight connection is left
+    to finish. *)
+
+val abort_current : t -> unit
+(** Additionally abort the in-flight connection, if any. *)
+
+val records : t -> Flow.conn_stats list
+(** Completed connections, oldest first. *)
+
+val connections_completed : t -> int

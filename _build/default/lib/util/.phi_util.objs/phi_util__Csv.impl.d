@@ -1,0 +1,1 @@
+lib/util/csv.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/util/table.ml: List Printf Stdlib String

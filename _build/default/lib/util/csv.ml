@@ -1,0 +1,28 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  let emit row = output_string oc (String.concat "," (List.map escape row) ^ "\n") in
+  (try
+     emit header;
+     List.iter emit rows
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let float_cell x = Printf.sprintf "%.17g" x

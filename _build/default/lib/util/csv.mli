@@ -1,0 +1,11 @@
+(** Minimal CSV writing, for exporting figure data from the bench harness
+    (each paper figure can be re-plotted from these files). *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a header plus rows.  Creates/truncates [path]. *)
+
+val float_cell : float -> string
+(** Full-precision float rendering ([%.17g]). *)

@@ -1,0 +1,64 @@
+let exponential rng ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";
+  (* 1 - u is in (0, 1], so log never sees zero. *)
+  -.mean *. log (1. -. Prng.float rng)
+
+let uniform rng ~lo ~hi = Prng.float_range rng ~lo ~hi
+
+let normal rng ~mu ~sigma =
+  let u1 = 1. -. Prng.float rng in
+  let u2 = Prng.float rng in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Dist.pareto: parameters must be positive";
+  scale /. ((1. -. Prng.float rng) ** (1. /. shape))
+
+let poisson rng ~lambda =
+  if lambda < 0. then invalid_arg "Dist.poisson: lambda must be non-negative";
+  if lambda = 0. then 0
+  else if lambda < 64. then begin
+    let limit = exp (-.lambda) in
+    let rec count k p =
+      let p = p *. Prng.float rng in
+      if p <= limit then k else count (k + 1) p
+    in
+    count 0 1.
+  end
+  else
+    (* Normal approximation keeps large-rate streams O(1) per draw. *)
+    let x = normal rng ~mu:lambda ~sigma:(sqrt lambda) in
+    Stdlib.max 0 (int_of_float (Float.round x))
+
+type zipf = { cdf : float array }
+
+let zipf ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** alpha)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let acc = ref 0. in
+  let cdf =
+    Array.map
+      (fun w ->
+        acc := !acc +. (w /. total);
+        !acc)
+      weights
+  in
+  (* Guard against floating-point shortfall at the top of the CDF. *)
+  cdf.(n - 1) <- 1.;
+  { cdf }
+
+let zipf_draw { cdf } rng =
+  let u = Prng.float rng in
+  (* Binary search for the first index whose cumulative weight exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
+let zipf_support { cdf } = Array.length cdf

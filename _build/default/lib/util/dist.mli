@@ -1,0 +1,36 @@
+(** Random-variate generation for the distributions used by the workload
+    models: exponential on/off periods (Section 2.2 of the paper), Zipf
+    destination popularity (Section 2.1), and a few auxiliary laws. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** Exponentially distributed with the given mean.  [mean] must be
+    positive. *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+(** Uniform on [\[lo, hi)]. *)
+
+val normal : Prng.t -> mu:float -> sigma:float -> float
+(** Gaussian via Box-Muller. *)
+
+val lognormal : Prng.t -> mu:float -> sigma:float -> float
+(** exp of a Gaussian; handy for heavy-ish flow sizes. *)
+
+val pareto : Prng.t -> shape:float -> scale:float -> float
+(** Pareto with minimum [scale] and tail index [shape] (> 0). *)
+
+val poisson : Prng.t -> lambda:float -> int
+(** Poisson counts; uses Knuth's method for small [lambda] and a normal
+    approximation above 64 to stay O(1). *)
+
+type zipf
+(** Precomputed Zipf sampler over ranks [0 .. n-1]. *)
+
+val zipf : n:int -> alpha:float -> zipf
+(** [zipf ~n ~alpha] prepares a sampler with popularity ∝ 1/(rank+1)^alpha.
+    [n] must be positive. *)
+
+val zipf_draw : zipf -> Prng.t -> int
+(** Sample a rank; rank 0 is the most popular. *)
+
+val zipf_support : zipf -> int
+(** Number of ranks the sampler covers. *)

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent
+    statistical quality for simulation purposes, and cheap splitting, which
+    lets each sender / workload source own an independent stream derived
+    from the experiment seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose future output is independent of
+    [t]'s (in the SplitMix sense).  Advances [t] by one step. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both generators then produce the
+    same stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element.  Raises [Invalid_argument] on empty arrays. *)

@@ -1,0 +1,98 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty "Stats.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs =
+  require_nonempty "Stats.minimum" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  require_nonempty "Stats.maximum" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile xs ~p =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.of_int (int_of_float rank)) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs ~p:50.
+
+let cdf_at xs ~x =
+  require_nonempty "Stats.cdf_at" xs;
+  let below = Array.fold_left (fun acc v -> if v <= x then acc + 1 else acc) 0 xs in
+  float_of_int below /. float_of_int (Array.length xs)
+
+let fraction_at_least xs ~threshold =
+  require_nonempty "Stats.fraction_at_least" xs;
+  let above = Array.fold_left (fun acc v -> if v >= threshold then acc + 1 else acc) 0 xs in
+  float_of_int above /. float_of_int (Array.length xs)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize xs =
+  require_nonempty "Stats.summarize" xs;
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    p25 = percentile xs ~p:25.;
+    median = median xs;
+    p75 = percentile xs ~p:75.;
+    p90 = percentile xs ~p:90.;
+    p99 = percentile xs ~p:99.;
+    max = maximum xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g max=%.4g" s.count
+    s.mean s.stddev s.min s.median s.p90 s.max
+
+type ewma = { alpha : float; mutable value : float; mutable seen : bool }
+
+let ewma ~alpha =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Stats.ewma: alpha must be in (0, 1]";
+  { alpha; value = 0.; seen = false }
+
+let ewma_update e x =
+  if e.seen then e.value <- e.value +. (e.alpha *. (x -. e.value))
+  else begin
+    e.value <- x;
+    e.seen <- true
+  end
+
+let ewma_value e = if e.seen then Some e.value else None
+
+let ewma_value_or e ~default = if e.seen then e.value else default

@@ -1,0 +1,31 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~headers rows =
+  let columns = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) (List.length headers) rows in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (String.length (cell row i)))
+      (String.length (cell headers i))
+      rows
+  in
+  let widths = List.init columns width in
+  let align_of i = match List.nth_opt align i with Some a -> a | None -> Right in
+  let line row =
+    let cells = List.mapi (fun i w -> pad (align_of i) w (cell row i)) widths in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule = "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|" in
+  let body = List.map line rows in
+  String.concat "\n" ((line headers :: rule :: body) @ [ "" ])
+
+let print ?align ~headers rows = print_string (render ?align ~headers rows)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

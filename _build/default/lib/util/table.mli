@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benchmark harness, so every
+    reproduced paper table prints with aligned columns. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> headers:string list -> string list list -> string
+(** [render ~headers rows] lays the table out with a header rule.  Cells
+    default to right alignment (numbers dominate); [align] overrides
+    per-column.  Short rows are padded with empty cells. *)
+
+val print : ?align:align list -> headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper with a default of 2 decimals. *)

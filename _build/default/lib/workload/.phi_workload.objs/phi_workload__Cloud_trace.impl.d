@@ -1,0 +1,1 @@
+lib/workload/cloud_trace.ml: Float List Phi_util Stdlib

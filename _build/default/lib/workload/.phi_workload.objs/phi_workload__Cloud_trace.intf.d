@@ -1,0 +1,1 @@
+lib/workload/cloud_trace.mli: Phi_util

@@ -1,0 +1,1 @@
+lib/workload/request_stream.ml: Array Float Format List Phi_util String

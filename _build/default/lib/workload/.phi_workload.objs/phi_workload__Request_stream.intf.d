@@ -1,0 +1,1 @@
+lib/workload/request_stream.mli: Format Phi_util

@@ -1,0 +1,74 @@
+module Prng = Phi_util.Prng
+module Dist = Phi_util.Dist
+
+type flow = {
+  start_s : float;
+  duration_s : float;
+  src_ip : int;
+  src_port : int;
+  dst_ip : int;
+  dst_port : int;
+  packets : int;
+  bytes : int;
+}
+
+let dst_subnet flow = flow.dst_ip lsr 8
+
+type config = {
+  n_servers : int;
+  n_subnets : int;
+  zipf_alpha : float;
+  flows_per_minute : float;
+  horizon_minutes : int;
+  mean_flow_packets : float;
+}
+
+let default_config =
+  {
+    n_servers = 4669;
+    n_subnets = 10_000;
+    zipf_alpha = 1.1;
+    flows_per_minute = 60_000.;
+    horizon_minutes = 10;
+    mean_flow_packets = 60.;
+  }
+
+(* Pareto with shape 1.5 has mean scale * 3; pick the scale to hit the
+   configured mean, floor at 1 packet. *)
+let flow_packets rng config =
+  let shape = 1.5 in
+  let scale = config.mean_flow_packets *. (shape -. 1.) /. shape in
+  Stdlib.max 1 (int_of_float (Dist.pareto rng ~shape ~scale))
+
+let generate rng config =
+  if config.n_servers < 1 || config.n_subnets < 1 then
+    invalid_arg "Cloud_trace.generate: need at least one server and subnet";
+  if config.horizon_minutes < 1 then invalid_arg "Cloud_trace.generate: empty horizon";
+  let zipf = Dist.zipf ~n:config.n_subnets ~alpha:config.zipf_alpha in
+  let flows = ref [] in
+  for minute = 0 to config.horizon_minutes - 1 do
+    let count = Dist.poisson rng ~lambda:config.flows_per_minute in
+    for _ = 1 to count do
+      let start_s = (float_of_int minute +. Prng.float rng) *. 60. in
+      let subnet = Dist.zipf_draw zipf rng in
+      let dst_ip = (subnet lsl 8) lor Prng.int rng ~bound:256 in
+      let packets = flow_packets rng config in
+      (* Throughput-ish durations: bigger flows last longer, capped so a
+         flow stays within a few minutes. *)
+      let duration_s = Float.min 180. (0.2 +. (float_of_int packets *. 0.01)) in
+      let flow =
+        {
+          start_s;
+          duration_s;
+          src_ip = Prng.int rng ~bound:config.n_servers;
+          src_port = 1024 + Prng.int rng ~bound:64511;
+          dst_ip;
+          dst_port = 443;
+          packets;
+          bytes = packets * 1200;
+        }
+      in
+      flows := flow :: !flows
+    done
+  done;
+  List.sort (fun a b -> compare a.start_s b.start_s) !flows

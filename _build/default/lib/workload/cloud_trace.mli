@@ -1,0 +1,40 @@
+(** Synthetic cloud-egress flow traces.
+
+    Stands in for the production IPFIX feed of Section 2.1: a large
+    provider's Internet-bound TCP flows.  Destination /24 subnets follow a
+    Zipf popularity law (a handful of eyeball networks receive most
+    traffic), flow sizes are heavy-tailed, and flow arrivals are Poisson
+    per minute.  The generator produces flow records (not packets); the
+    IPFIX sampler consumes these directly. *)
+
+type flow = {
+  start_s : float;
+  duration_s : float;
+  src_ip : int;
+  src_port : int;
+  dst_ip : int;
+  dst_port : int;
+  packets : int;
+  bytes : int;
+}
+
+val dst_subnet : flow -> int
+(** The /24 prefix of the destination (i.e. [dst_ip lsr 8]). *)
+
+type config = {
+  n_servers : int;  (** provider egress servers (source IPs) *)
+  n_subnets : int;  (** distinct destination /24s *)
+  zipf_alpha : float;  (** destination popularity skew *)
+  flows_per_minute : float;  (** mean arrival rate *)
+  horizon_minutes : int;
+  mean_flow_packets : float;  (** Pareto-distributed sizes with this mean *)
+}
+
+val default_config : config
+(** 4,669 servers (the paper's Netflix census), 10,000 subnets, alpha 1.1,
+    60,000 flows/min over 10 minutes, mean 60 packets per flow — calibrated
+    so the sampled path-sharing CCDF lands near the paper's 50 % / 12 %
+    observation. *)
+
+val generate : Phi_util.Prng.t -> config -> flow list
+(** Flows ordered by start time. *)

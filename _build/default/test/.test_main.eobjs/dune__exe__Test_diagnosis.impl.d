@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Array Float List Phi_diagnosis Phi_experiments Phi_util Phi_workload

@@ -1,0 +1,1 @@
+test/test_ipfix.ml: Alcotest Float List Phi_ipfix Phi_util Phi_workload Sampler Sharing

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Phi_net Phi_sim Phi_tcp Phi_util Stdlib

@@ -1,0 +1,1 @@
+test/test_phi_core.ml: Adaptation Alcotest Array Context Context_server Float Gen Int64 List Metric Phi Phi_client Phi_sim Phi_tcp Phi_util Policy Priority QCheck QCheck_alcotest Secure_agg String

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest History Phi_predict Predictor QCheck QCheck_alcotest Voip

@@ -1,0 +1,1 @@
+test/test_remy.ml: Alcotest Array Float List Memory Phi_net Phi_remy Phi_sim Phi_tcp Phi_util Pretrained QCheck QCheck_alcotest Remy_sender Rule_table Trainer Whisker

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List Phi_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_source.ml: Alcotest Array Cubic Flow List Phi_net Phi_remy Phi_sim Phi_tcp Phi_util Source

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Cc Cubic Cwnd_trace Flow List Phi_net Phi_sim Phi_tcp Phi_util QCheck QCheck_alcotest Receiver Reno Rto Sender Stdlib Vegas

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Dist Filename Float Gen List Phi_util Prng QCheck QCheck_alcotest Stats String Sys Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cloud_trace Float List Phi_util Phi_workload Request_stream Stdlib

@@ -1,0 +1,255 @@
+(* Tests for phi_diagnosis: seasonal baselines, anomaly detection and
+   dimensional localization. *)
+
+module Series = Phi_diagnosis.Series
+module Anomaly = Phi_diagnosis.Anomaly
+module Localize = Phi_diagnosis.Localize
+module Rs = Phi_workload.Request_stream
+module Prng = Phi_util.Prng
+
+(* {2 Series} *)
+
+let test_baseline_constant_series () =
+  let series = Array.make (3 * 1440) 100. in
+  let baseline = Series.seasonal_baseline series in
+  Array.iter (fun b -> Alcotest.(check (float 1e-9)) "flat" 100. b) baseline
+
+let test_baseline_tracks_seasonality () =
+  (* Two days of a square wave: high in the first half of each day. *)
+  let series =
+    Array.init (2 * 1440) (fun i -> if i mod 1440 < 720 then 200. else 50.)
+  in
+  let baseline = Series.seasonal_baseline ~smooth:0 series in
+  Alcotest.(check (float 1e-9)) "high phase" 200. baseline.(100);
+  Alcotest.(check (float 1e-9)) "low phase" 50. baseline.(1000)
+
+let test_baseline_robust_to_one_day_outage () =
+  (* Three days; day 2 has a two-hour dip.  The median across days must
+     not follow the dip. *)
+  let series = Array.make (3 * 1440) 100. in
+  for i = 1440 + 600 to 1440 + 719 do
+    series.(i) <- 5.
+  done;
+  let baseline = Series.seasonal_baseline series in
+  Alcotest.(check (float 1e-9)) "baseline unmoved" 100. baseline.(1440 + 650)
+
+let test_baseline_partial_period () =
+  let series = Array.init 2000 (fun i -> float_of_int (i mod 1440)) in
+  let baseline = Series.seasonal_baseline ~smooth:0 series in
+  Alcotest.(check int) "same length" 2000 (Array.length baseline)
+
+let test_robust_z_flags_outlier () =
+  let n = 2 * 1440 in
+  let actual = Array.make n 100. in
+  actual.(1500) <- 10.;
+  let baseline = Array.make n 100. in
+  (* Give the residuals a little natural spread so the MAD is nonzero. *)
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then actual.(i) <- actual.(i) +. 2. else actual.(i) <- actual.(i) -. 2.
+  done;
+  actual.(1500) <- 10.;
+  let z = Series.robust_z ~actual ~baseline in
+  Alcotest.(check bool) "outlier deeply negative" true (z.(1500) < -10.);
+  Alcotest.(check bool) "normal points small" true (Float.abs z.(100) < 2.)
+
+let test_robust_z_constant_is_zero () =
+  let actual = Array.make 100 5. and baseline = Array.make 100 5. in
+  let z = Series.robust_z ~actual ~baseline in
+  Array.iter (fun v -> Alcotest.(check (float 0.)) "zero" 0. v) z
+
+let test_robust_z_length_mismatch () =
+  let raised =
+    try ignore (Series.robust_z ~actual:[| 1. |] ~baseline:[| 1.; 2. |]); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "mismatch rejected" true raised
+
+(* {2 Anomaly} *)
+
+let noisy_series rng n level =
+  Array.init n (fun _ -> level +. Phi_util.Dist.normal rng ~mu:0. ~sigma:2.)
+
+let test_anomaly_detects_injected_dip () =
+  let rng = Prng.create ~seed:1 in
+  let n = 2 * 1440 in
+  let actual = noisy_series rng n 100. in
+  for i = 2000 to 2119 do
+    actual.(i) <- 20.
+  done;
+  let baseline = Array.make n 100. in
+  let events = Anomaly.detect ~actual ~baseline () in
+  Alcotest.(check int) "one event" 1 (List.length events);
+  let e = List.hd events in
+  Alcotest.(check bool) "covers dip start" true (abs (e.Anomaly.start_min - 2000) <= 2);
+  Alcotest.(check bool) "covers dip end" true (abs (e.Anomaly.end_min - 2120) <= 2);
+  Alcotest.(check bool) "drop ~80%" true (e.Anomaly.mean_drop > 0.6)
+
+let test_anomaly_clean_series_silent () =
+  let rng = Prng.create ~seed:2 in
+  let n = 2 * 1440 in
+  let actual = noisy_series rng n 100. in
+  let baseline = Array.make n 100. in
+  Alcotest.(check int) "no events" 0 (List.length (Anomaly.detect ~actual ~baseline ()))
+
+let test_anomaly_short_blip_ignored () =
+  let rng = Prng.create ~seed:3 in
+  let n = 1440 in
+  let actual = noisy_series rng n 100. in
+  actual.(700) <- 0.;
+  actual.(701) <- 0.;
+  let baseline = Array.make n 100. in
+  Alcotest.(check int) "short blip below min duration" 0
+    (List.length (Anomaly.detect ~min_duration:5 ~actual ~baseline ()))
+
+let test_anomaly_grace_bridges_noise () =
+  let rng = Prng.create ~seed:4 in
+  let n = 1440 in
+  let actual = noisy_series rng n 100. in
+  for i = 600 to 659 do
+    actual.(i) <- 10.
+  done;
+  (* One recovering minute inside the dip must not split the event. *)
+  actual.(630) <- 100.;
+  let baseline = Array.make n 100. in
+  let events = Anomaly.detect ~actual ~baseline () in
+  Alcotest.(check int) "still one event" 1 (List.length events)
+
+let test_anomaly_validation () =
+  let raised =
+    try ignore (Anomaly.detect ~threshold:0. ~actual:[| 1. |] ~baseline:[| 1. |] ()); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "threshold validated" true raised
+
+(* {2 Cusum} *)
+
+let test_cusum_detects_dip () =
+  let rng = Prng.create ~seed:21 in
+  let n = 1440 in
+  let actual = noisy_series rng n 100. in
+  for i = 800 to 899 do
+    actual.(i) <- 60.
+  done;
+  let baseline = Array.make n 100. in
+  let events = Phi_diagnosis.Cusum.detect ~actual ~baseline () in
+  Alcotest.(check bool) "detected" true (List.length events >= 1);
+  match Phi_diagnosis.Cusum.detection_latency ~injected_start:800 events with
+  | Some latency -> Alcotest.(check bool) "alarm within 10 min" true (latency <= 10)
+  | None -> Alcotest.fail "no alarm after the change"
+
+let test_cusum_quiet_on_clean_series () =
+  let rng = Prng.create ~seed:22 in
+  let n = 1440 in
+  let actual = noisy_series rng n 100. in
+  let baseline = Array.make n 100. in
+  Alcotest.(check int) "no alarms" 0
+    (List.length (Phi_diagnosis.Cusum.detect ~actual ~baseline ()))
+
+let test_cusum_catches_shallow_drop_faster_than_runs () =
+  (* A 20% sustained drop: each minute scores only ~-2 z, below the run
+     detector's -3 threshold, but CUSUM accumulates it. *)
+  let rng = Prng.create ~seed:23 in
+  let n = 1440 in
+  let actual = Array.init n (fun _ -> 100. +. Phi_util.Dist.normal rng ~mu:0. ~sigma:8.) in
+  for i = 700 to 819 do
+    actual.(i) <- actual.(i) -. 20.
+  done;
+  let baseline = Array.make n 100. in
+  let cusum_events = Phi_diagnosis.Cusum.detect ~actual ~baseline () in
+  Alcotest.(check bool) "cusum fires" true
+    (Phi_diagnosis.Cusum.detection_latency ~injected_start:700 cusum_events <> None)
+
+let test_cusum_validation () =
+  let raised =
+    try
+      ignore
+        (Phi_diagnosis.Cusum.detect ~alarm_threshold:0. ~actual:[| 1. |] ~baseline:[| 1. |] ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "threshold validated" true raised
+
+(* {2 Localize (and the full Figure 5 pipeline)} *)
+
+let test_localize_finds_injected_cell () =
+  let result = Phi_experiments.Figure5.run ~seed:42 () in
+  Alcotest.(check bool) "at least one event" true (List.length result.Phi_experiments.Figure5.events > 0);
+  Alcotest.(check bool) "correct localization" true
+    (Phi_experiments.Figure5.correctly_localized result)
+
+let test_localize_event_duration_about_two_hours () =
+  let result = Phi_experiments.Figure5.run ~seed:43 () in
+  match result.Phi_experiments.Figure5.events with
+  | e :: _ ->
+    let d = Anomaly.duration_min e in
+    Alcotest.(check bool) "within 20% of 120 min" true (d >= 96 && d <= 144)
+  | [] -> Alcotest.fail "no event detected"
+
+let test_localize_prefers_specific_scope () =
+  let result = Phi_experiments.Figure5.run ~seed:44 () in
+  match result.Phi_experiments.Figure5.localization with
+  | Some f ->
+    Alcotest.(check bool) "metro pinned" true (f.Localize.scope.Rs.metro <> None);
+    Alcotest.(check bool) "isp pinned" true (f.Localize.scope.Rs.isp <> None);
+    Alcotest.(check bool) "explains most deficit" true (f.Localize.deficit_share > 0.7)
+  | None -> Alcotest.fail "no localization"
+
+let test_localize_global_outage_unlocalized () =
+  (* An outage hitting everything must not be pinned to a single slice. *)
+  let rng = Prng.create ~seed:45 in
+  let config = Rs.default_config in
+  let scope = { Rs.metro = None; isp = None; service = None } in
+  let outage = { Rs.start_min = 2000; duration_min = 120; scope; severity = 0.9 } in
+  let cells = Rs.generate rng config ~outages:[ outage ] in
+  match Localize.localize ~cells ~window:(2000, 2120) () with
+  | None -> ()
+  | Some f ->
+    (* If anything is reported it must not be a (metro, isp) pair: a global
+       event has no single explaining pair. *)
+    Alcotest.(check bool) "not a specific pair" false
+      (f.Localize.scope.Rs.metro <> None && f.Localize.scope.Rs.isp <> None)
+
+let test_rank_orders_by_deficit () =
+  let result = Phi_experiments.Figure5.run ~seed:46 () in
+  match result.Phi_experiments.Figure5.events with
+  | e :: _ ->
+    let cells_rng = Prng.create ~seed:46 in
+    let cells =
+      Rs.generate cells_rng Rs.default_config
+        ~outages:[ result.Phi_experiments.Figure5.injected ]
+    in
+    let ranked =
+      Localize.rank ~cells ~window:(e.Anomaly.start_min, e.Anomaly.end_min)
+    in
+    let shares = List.map (fun f -> f.Localize.deficit_share) ranked in
+    let rec non_increasing = function
+      | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "sorted" true (non_increasing shares)
+  | [] -> Alcotest.fail "no event"
+
+let suite =
+  [
+    ("baseline constant", `Quick, test_baseline_constant_series);
+    ("baseline tracks seasonality", `Quick, test_baseline_tracks_seasonality);
+    ("baseline robust to outage", `Quick, test_baseline_robust_to_one_day_outage);
+    ("baseline partial period", `Quick, test_baseline_partial_period);
+    ("robust z flags outlier", `Quick, test_robust_z_flags_outlier);
+    ("robust z constant", `Quick, test_robust_z_constant_is_zero);
+    ("robust z length mismatch", `Quick, test_robust_z_length_mismatch);
+    ("anomaly detects dip", `Quick, test_anomaly_detects_injected_dip);
+    ("anomaly clean silent", `Quick, test_anomaly_clean_series_silent);
+    ("anomaly short blip ignored", `Quick, test_anomaly_short_blip_ignored);
+    ("anomaly grace bridges noise", `Quick, test_anomaly_grace_bridges_noise);
+    ("anomaly validation", `Quick, test_anomaly_validation);
+    ("cusum detects dip", `Quick, test_cusum_detects_dip);
+    ("cusum quiet on clean", `Quick, test_cusum_quiet_on_clean_series);
+    ("cusum catches shallow drop", `Quick, test_cusum_catches_shallow_drop_faster_than_runs);
+    ("cusum validation", `Quick, test_cusum_validation);
+    ("figure5 localizes injected cell", `Quick, test_localize_finds_injected_cell);
+    ("figure5 duration ~2h", `Quick, test_localize_event_duration_about_two_hours);
+    ("figure5 specific scope", `Quick, test_localize_prefers_specific_scope);
+    ("localize global outage", `Quick, test_localize_global_outage_unlocalized);
+    ("rank orders by deficit", `Quick, test_rank_orders_by_deficit);
+  ]

@@ -1,0 +1,264 @@
+(* Integration tests over the experiment harness — including the paper's
+   headline claims as assertions, on reduced budgets. *)
+
+module Topology = Phi_net.Topology
+module Cubic = Phi_tcp.Cubic
+open Phi_experiments
+
+let quick config = { config with Scenario.duration_s = 30. }
+
+(* {2 Scenario runner} *)
+
+let test_scenario_run_basics () =
+  let r = Scenario.run (quick Scenario.low_utilization) in
+  Alcotest.(check bool) "connections completed" true (r.Scenario.connections > 10);
+  Alcotest.(check bool) "throughput positive" true (r.Scenario.throughput_bps > 0.);
+  Alcotest.(check bool) "utilization sane" true
+    (r.Scenario.utilization > 0.1 && r.Scenario.utilization <= 1.);
+  Alcotest.(check bool) "power positive" true (r.Scenario.power > 0.)
+
+let test_scenario_deterministic () =
+  let a = Scenario.run (quick Scenario.low_utilization) in
+  let b = Scenario.run (quick Scenario.low_utilization) in
+  Alcotest.(check (float 0.)) "same throughput" a.Scenario.throughput_bps
+    b.Scenario.throughput_bps;
+  Alcotest.(check int) "same conns" a.Scenario.connections b.Scenario.connections
+
+let test_scenario_seed_changes_outcome () =
+  let a = Scenario.run (quick Scenario.low_utilization) in
+  let b = Scenario.run { (quick Scenario.low_utilization) with Scenario.seed = 99 } in
+  Alcotest.(check bool) "different" true
+    (a.Scenario.throughput_bps <> b.Scenario.throughput_bps)
+
+let test_scenario_load_ordering () =
+  let low = Scenario.run (quick Scenario.low_utilization) in
+  let high = Scenario.run (quick Scenario.high_utilization) in
+  Alcotest.(check bool) "high load busier" true
+    (high.Scenario.utilization > low.Scenario.utilization)
+
+(* The paper's headline claim (Figure 2): tuned Cubic parameters beat the
+   Table 1 defaults on the power metric. *)
+let test_tuned_beats_default () =
+  let config = { Scenario.high_utilization with Scenario.duration_s = 60. } in
+  let default = Scenario.run_cubic ~params:Cubic.default_params config in
+  let tuned =
+    Scenario.run_cubic
+      ~params:(Cubic.with_knobs ~initial_cwnd:8. ~initial_ssthresh:32. Cubic.default_params)
+      config
+  in
+  Alcotest.(check bool) "tuned beats default on P_l" true
+    (tuned.Scenario.power > default.Scenario.power);
+  Alcotest.(check bool) "tuned has lower queueing delay" true
+    (tuned.Scenario.queueing_delay_s < default.Scenario.queueing_delay_s)
+
+let test_persistent_run () =
+  let r =
+    Scenario.run_persistent ~n_flows:20 ~duration_s:30. ~spec:Topology.paper_spec ~seed:1 ()
+  in
+  Alcotest.(check bool) "near saturation" true (r.Scenario.utilization > 0.9);
+  Alcotest.(check int) "all flows reported" 20 (List.length r.Scenario.records)
+
+(* Figure 2c's claim: with long-running flows, a larger beta drains the
+   queue (lower queueing delay). *)
+let test_beta_lowers_queueing_delay_for_long_flows () =
+  let run beta =
+    Scenario.run_persistent
+      ~params:(Cubic.with_knobs ~beta Cubic.default_params)
+      ~n_flows:20 ~duration_s:40. ~spec:Topology.paper_spec ~seed:2 ()
+  in
+  let small = run 0.1 and large = run 0.7 in
+  Alcotest.(check bool) "larger beta, smaller queue" true
+    (large.Scenario.queueing_delay_s < small.Scenario.queueing_delay_s)
+
+(* The full practical pipeline (context server + policy + report hooks),
+   asserted end-to-end: Phi clients beat blind defaults on P_l. *)
+let test_phi_pipeline_improves_power () =
+  let config = { Scenario.high_utilization with Scenario.duration_s = 60.; Scenario.seed = 7 } in
+  let baseline = Scenario.run config in
+  let client = ref None in
+  let phi_run =
+    Scenario.run
+      ~observe:(fun engine dumbbell ->
+        let server =
+          Phi.Context_server.create engine
+            ~capacity_bps:(Phi_net.Link.bandwidth_bps dumbbell.Phi_net.Topology.bottleneck)
+            ()
+        in
+        client := Some (Phi.Phi_client.create ~server ~policy:(Phi.Policy.create ()) ~path:"p"))
+      ~cc_factory:(fun _ () ->
+        match !client with Some c -> Phi.Phi_client.cubic_factory c () | None -> assert false)
+      ~on_conn_end:(fun stats ->
+        match !client with Some c -> Phi.Phi_client.on_conn_end c stats | None -> ())
+      config
+  in
+  Alcotest.(check bool) "phi pipeline beats defaults" true
+    (phi_run.Scenario.power > baseline.Scenario.power)
+
+(* Pretrained tables must preserve the Table 3 ordering on a modest
+   budget: Remy comfortably above Cubic, Phi at least on par with Remy. *)
+let test_pretrained_tables_ordering () =
+  let config = { Scenario.table3 with Scenario.duration_s = 40. } in
+  let rows = Table3.run ~seeds:[ 11; 12 ] config in
+  let find name = List.find (fun (r : Table3.row) -> r.Table3.name = name) rows in
+  let obj name = (find name).Table3.median_objective in
+  Alcotest.(check bool) "remy beats cubic" true (obj "Remy" > obj "Cubic" +. 0.2);
+  Alcotest.(check bool) "phi-ideal at least remy" true
+    (obj "Remy-Phi-ideal" > obj "Remy" -. 0.05);
+  Alcotest.(check bool) "phi-practical at least remy" true
+    (obj "Remy-Phi-practical" > obj "Remy" -. 0.05)
+
+(* {2 Sweep} *)
+
+let tiny_grid = { Sweep.ssthresh = [ 16.; 65536. ]; init_w = [ 2.; 16. ]; beta = [ 0.2 ] }
+
+let test_sweep_structure () =
+  Alcotest.(check int) "paper grid size" 576 (List.length (Sweep.settings Sweep.paper_grid));
+  Alcotest.(check int) "coarse grid size" 48 (List.length (Sweep.settings Sweep.coarse_grid));
+  Alcotest.(check int) "beta grid size" 9 (List.length (Sweep.settings Sweep.beta_grid))
+
+let test_sweep_runs_and_finds_optimum () =
+  let sweep = Sweep.run (quick Scenario.high_utilization) tiny_grid ~seeds:[ 1; 2 ] in
+  Alcotest.(check int) "4 points" 4 (List.length sweep.Sweep.points);
+  let best = Sweep.optimal sweep in
+  Alcotest.(check bool) "optimum at least default" true
+    (best.Sweep.mean_power >= sweep.Sweep.default_point.Sweep.mean_power);
+  List.iter
+    (fun p -> Alcotest.(check int) "both seeds" 2 (Array.length p.Sweep.by_seed))
+    sweep.Sweep.points
+
+let test_validation_stability () =
+  let sweep = Sweep.run (quick Scenario.high_utilization) tiny_grid ~seeds:[ 1; 2; 3 ] in
+  let v = Sweep.validate sweep in
+  (* Figure 3's claim: the leave-one-out ("common") setting retains most
+     of the per-run optimal's advantage over the default. *)
+  Alcotest.(check bool) "optimal >= common" true
+    (v.Sweep.optimal_power >= v.Sweep.common_power -. 1e-9);
+  Alcotest.(check bool) "common beats default" true
+    (v.Sweep.common_power > v.Sweep.default_power)
+
+(* {2 Incremental deployment (Figure 4)} *)
+
+let test_incremental_modified_benefit () =
+  let config = { (quick Scenario.low_utilization) with Scenario.duration_s = 60. } in
+  let params = Cubic.with_knobs ~initial_cwnd:16. ~initial_ssthresh:64. Cubic.default_params in
+  let r = Incremental.run ~params_modified:params config in
+  Alcotest.(check bool) "both groups ran" true
+    (r.Incremental.modified.Incremental.connections > 0
+    && r.Incremental.unmodified.Incremental.connections > 0);
+  (* The paper's Figure 4: modified senders see a better power metric. *)
+  Alcotest.(check bool) "modified senders benefit" true
+    (r.Incremental.modified.Incremental.power > r.Incremental.unmodified.Incremental.power)
+
+let test_incremental_fraction_extremes () =
+  let config = quick Scenario.low_utilization in
+  let params = Cubic.default_params in
+  let r0 = Incremental.run ~fraction_modified:0. ~params_modified:params config in
+  Alcotest.(check int) "nobody modified" 0 r0.Incremental.modified.Incremental.connections;
+  let r1 = Incremental.run ~fraction_modified:1. ~params_modified:params config in
+  Alcotest.(check int) "nobody unmodified" 0 r1.Incremental.unmodified.Incremental.connections
+
+(* {2 Table 3 (reduced budget)} *)
+
+let test_table3_rows_and_overhead () =
+  let config = { Scenario.table3 with Scenario.duration_s = 20. } in
+  let rows = Table3.run ~seeds:[ 1 ] config in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  let names = List.map (fun r -> r.Table3.name) rows in
+  Alcotest.(check (list string)) "paper order"
+    [ "Remy-Phi-practical"; "Remy-Phi-ideal"; "Remy"; "Cubic" ]
+    names;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Table3.name ^ " has connections")
+        true (r.Table3.connections > 0))
+    rows;
+  let practical = List.hd rows in
+  (* Minimal overhead: two messages per completed connection, plus the
+     lone lookup of each connection still in flight when the run ends. *)
+  Alcotest.(check bool) "about 2 messages per connection" true
+    (practical.Table3.server_messages >= 2 * practical.Table3.connections
+    && practical.Table3.server_messages <= (2 * practical.Table3.connections) + 16)
+
+(* {2 Sharing (Section 2.1)} *)
+
+let test_sharing_experiment_shape () =
+  let config =
+    { Phi_workload.Cloud_trace.default_config with
+      Phi_workload.Cloud_trace.flows_per_minute = 5000.;
+      horizon_minutes = 5;
+      n_subnets = 2000;
+    }
+  in
+  let r = Sharing_experiment.run ~config ~seed:1 () in
+  Alcotest.(check bool) "sampling observes a subset" true
+    (r.Sharing_experiment.sampled_flows < r.Sharing_experiment.total_flows);
+  let frac k = List.assoc k r.Sharing_experiment.ccdf in
+  Alcotest.(check bool) "many flows share with >= 5" true (frac 5 > 0.2);
+  Alcotest.(check bool) "ccdf decreasing" true (frac 5 >= frac 100)
+
+(* {2 Priority (Section 3.3)} *)
+
+let test_priority_differentiation_and_friendliness () =
+  let r = Priority_experiment.run ~spec:Topology.paper_spec ~seed:1 () in
+  (match r.Priority_experiment.entity_flows with
+  | { Priority_experiment.throughput_bps = hd_thr; _ } :: rest ->
+    let bulk_mean =
+      Phi_util.Stats.mean
+        (Array.of_list (List.map (fun f -> f.Priority_experiment.throughput_bps) rest))
+    in
+    Alcotest.(check bool) "HD flow gets a multiple of bulk" true (hd_thr > 2. *. bulk_mean)
+  | [] -> Alcotest.fail "no entity flows");
+  (* Ensemble friendliness: within 30% of what k standard flows get. *)
+  let ratio =
+    r.Priority_experiment.entity_aggregate_bps /. r.Priority_experiment.reference_aggregate_bps
+  in
+  Alcotest.(check bool) "ensemble tcp-friendly" true (ratio > 0.7 && ratio < 1.3)
+
+(* {2 Prediction and adaptation} *)
+
+let test_predict_experiment_beats_global () =
+  let r = Predict_experiment.run ~seed:1 () in
+  Alcotest.(check bool) "hierarchical beats global baseline" true
+    (r.Predict_experiment.hierarchical_mape < r.Predict_experiment.global_mape);
+  Alcotest.(check bool) "mos examples ordered" true
+    (match r.Predict_experiment.example_mos with
+    | (_, good) :: (_, mid) :: (_, bad) :: _ -> good > mid && mid > bad
+    | _ -> false)
+
+let test_adaptation_experiment () =
+  let r = Adaptation_experiment.run ~seed:1 () in
+  let j = r.Adaptation_experiment.jitter in
+  Alcotest.(check bool) "informed buffer smaller" true
+    (j.Adaptation_experiment.buffer_saving_ms > 0.);
+  Alcotest.(check bool) "late rate still low" true
+    (j.Adaptation_experiment.informed_late_fraction < 0.08);
+  let d = r.Adaptation_experiment.dupack in
+  Alcotest.(check bool) "threshold raised" true
+    (d.Adaptation_experiment.recommended_threshold > 3);
+  Alcotest.(check bool) "fewer spurious retransmits" true
+    (d.Adaptation_experiment.informed_spurious_fraction
+    < d.Adaptation_experiment.standard_spurious_fraction)
+
+let suite =
+  [
+    ("scenario run basics", `Quick, test_scenario_run_basics);
+    ("scenario deterministic", `Quick, test_scenario_deterministic);
+    ("scenario seed sensitivity", `Quick, test_scenario_seed_changes_outcome);
+    ("scenario load ordering", `Quick, test_scenario_load_ordering);
+    ("tuned beats default (headline)", `Slow, test_tuned_beats_default);
+    ("persistent run", `Quick, test_persistent_run);
+    ("beta drains queue (fig 2c)", `Slow, test_beta_lowers_queueing_delay_for_long_flows);
+    ("phi pipeline beats defaults", `Slow, test_phi_pipeline_improves_power);
+    ("pretrained table ordering", `Slow, test_pretrained_tables_ordering);
+    ("sweep structure", `Quick, test_sweep_structure);
+    ("sweep finds optimum", `Slow, test_sweep_runs_and_finds_optimum);
+    ("validation stability (fig 3)", `Slow, test_validation_stability);
+    ("incremental benefit (fig 4)", `Slow, test_incremental_modified_benefit);
+    ("incremental extremes", `Quick, test_incremental_fraction_extremes);
+    ("table 3 rows and overhead", `Slow, test_table3_rows_and_overhead);
+    ("sharing experiment (s2.1)", `Quick, test_sharing_experiment_shape);
+    ("priority differentiation (s3.3)", `Slow, test_priority_differentiation_and_friendliness);
+    ("prediction beats global (s3.5)", `Quick, test_predict_experiment_beats_global);
+    ("adaptation informed (s3.2)", `Quick, test_adaptation_experiment);
+  ]

@@ -1,0 +1,170 @@
+(* Tests for phi_ipfix: the packet sampler and the path-sharing
+   analysis of Section 2.1. *)
+
+module Prng = Phi_util.Prng
+open Phi_ipfix
+
+let record ~ts ~src_port ~dst_ip =
+  { Sampler.ts; src_ip = 1; src_port; dst_ip; dst_port = 443 }
+
+(* {2 Sampler} *)
+
+let test_binomial_edge_cases () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int) "n=0" 0 (Sampler.binomial rng ~n:0 ~p:0.5);
+  Alcotest.(check int) "p=0" 0 (Sampler.binomial rng ~n:100 ~p:0.);
+  Alcotest.(check int) "p=1" 100 (Sampler.binomial rng ~n:100 ~p:1.)
+
+let test_binomial_mean_small_n () =
+  let rng = Prng.create ~seed:2 in
+  let total = ref 0 in
+  for _ = 1 to 10_000 do
+    total := !total + Sampler.binomial rng ~n:100 ~p:0.1
+  done;
+  let mean = float_of_int !total /. 10_000. in
+  Alcotest.(check bool) "mean ~10" true (Float.abs (mean -. 10.) < 0.3)
+
+let test_binomial_mean_large_n () =
+  let rng = Prng.create ~seed:3 in
+  let total = ref 0 in
+  for _ = 1 to 2_000 do
+    total := !total + Sampler.binomial rng ~n:100_000 ~p:(1. /. 4096.)
+  done;
+  let mean = float_of_int !total /. 2_000. in
+  Alcotest.(check bool) "poisson approx mean ~24.4" true (Float.abs (mean -. 24.4) < 1.)
+
+let test_sampler_rate () =
+  let rng = Prng.create ~seed:4 in
+  let flow =
+    {
+      Phi_workload.Cloud_trace.start_s = 0.;
+      duration_s = 10.;
+      src_ip = 1;
+      src_port = 1234;
+      dst_ip = 99;
+      dst_port = 443;
+      packets = 409_600;
+      bytes = 0;
+    }
+  in
+  let records = Sampler.sample_flows rng ~rate:4096 [ flow ] in
+  let n = List.length records in
+  (* Expectation 100 samples; Poisson sd 10. *)
+  Alcotest.(check bool) "~100 samples" true (n > 60 && n < 140);
+  List.iter
+    (fun (r : Sampler.record) ->
+      Alcotest.(check bool) "ts within flow" true (r.Sampler.ts >= 0. && r.Sampler.ts <= 10.))
+    records
+
+let test_sampler_timestamps_sorted () =
+  let rng = Prng.create ~seed:5 in
+  let flow i =
+    {
+      Phi_workload.Cloud_trace.start_s = float_of_int i;
+      duration_s = 5.;
+      src_ip = i;
+      src_port = 1000 + i;
+      dst_ip = i;
+      dst_port = 443;
+      packets = 10_000;
+      bytes = 0;
+    }
+  in
+  let records = Sampler.sample_flows rng ~rate:100 [ flow 0; flow 3; flow 6 ] in
+  let sorted = ref true and last = ref neg_infinity in
+  List.iter
+    (fun (r : Sampler.record) ->
+      if r.Sampler.ts < !last then sorted := false;
+      last := r.Sampler.ts)
+    records;
+  Alcotest.(check bool) "sorted" true !sorted
+
+(* {2 Sharing} *)
+
+let test_sharing_crafted_slices () =
+  (* Subnet 0, minute 0: three flows.  Subnet 1, minute 0: one flow. *)
+  let records =
+    [
+      record ~ts:1. ~src_port:1 ~dst_ip:(0 lsl 8);
+      record ~ts:2. ~src_port:2 ~dst_ip:(0 lsl 8);
+      record ~ts:3. ~src_port:3 ~dst_ip:((0 lsl 8) lor 7);
+      record ~ts:4. ~src_port:4 ~dst_ip:(1 lsl 8);
+    ]
+  in
+  let stats = Sharing.analyze records in
+  Alcotest.(check int) "four flows" 4 (Sharing.flows_observed stats);
+  Alcotest.(check int) "two slices" 2 (Sharing.slices stats);
+  (* Three flows share with 2 others; one shares with 0. *)
+  Alcotest.(check (float 1e-9)) "75% share with >=2" 0.75
+    (Sharing.fraction_sharing_at_least stats 2);
+  Alcotest.(check (float 1e-9)) "all share with >=0" 1.
+    (Sharing.fraction_sharing_at_least stats 0)
+
+let test_sharing_minute_separation () =
+  (* Same subnet, different minutes: no sharing. *)
+  let records =
+    [ record ~ts:10. ~src_port:1 ~dst_ip:0; record ~ts:70. ~src_port:2 ~dst_ip:0 ]
+  in
+  let stats = Sharing.analyze records in
+  Alcotest.(check (float 1e-9)) "no sharing across minutes" 0.
+    (Sharing.fraction_sharing_at_least stats 1)
+
+let test_sharing_same_flow_not_double_counted () =
+  (* Two sampled packets of the same 4-tuple in one slice: one flow, no
+     self-sharing. *)
+  let records =
+    [ record ~ts:1. ~src_port:1 ~dst_ip:0; record ~ts:2. ~src_port:1 ~dst_ip:0 ]
+  in
+  let stats = Sharing.analyze records in
+  Alcotest.(check int) "one flow" 1 (Sharing.flows_observed stats);
+  Alcotest.(check (float 1e-9)) "shares with none" 0.
+    (Sharing.fraction_sharing_at_least stats 1)
+
+let test_sharing_flow_takes_max_over_slices () =
+  (* Flow A appears alone in minute 0 but with two others in minute 1. *)
+  let records =
+    [
+      record ~ts:10. ~src_port:1 ~dst_ip:0;
+      record ~ts:70. ~src_port:1 ~dst_ip:0;
+      record ~ts:75. ~src_port:2 ~dst_ip:0;
+      record ~ts:80. ~src_port:3 ~dst_ip:0;
+    ]
+  in
+  let stats = Sharing.analyze records in
+  let counts = Sharing.sharing_counts stats in
+  Alcotest.(check (float 0.)) "max sharing for flow A" 2.
+    (Phi_util.Stats.maximum counts)
+
+let test_sharing_ccdf_monotone () =
+  let rng = Prng.create ~seed:6 in
+  let config =
+    { Phi_workload.Cloud_trace.default_config with
+      Phi_workload.Cloud_trace.n_subnets = 100;
+      flows_per_minute = 2000.;
+      horizon_minutes = 2;
+    }
+  in
+  let flows = Phi_workload.Cloud_trace.generate rng config in
+  let records = Sampler.sample_flows rng ~rate:16 flows in
+  let stats = Sharing.analyze records in
+  let ccdf = Sharing.ccdf stats ~thresholds:[ 0; 1; 5; 10 ] in
+  let values = List.map snd ccdf in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ccdf non-increasing" true (non_increasing values)
+
+let suite =
+  [
+    ("binomial edge cases", `Quick, test_binomial_edge_cases);
+    ("binomial mean small n", `Quick, test_binomial_mean_small_n);
+    ("binomial mean large n", `Quick, test_binomial_mean_large_n);
+    ("sampler rate", `Quick, test_sampler_rate);
+    ("sampler timestamps sorted", `Quick, test_sampler_timestamps_sorted);
+    ("sharing crafted slices", `Quick, test_sharing_crafted_slices);
+    ("sharing minute separation", `Quick, test_sharing_minute_separation);
+    ("sharing no double count", `Quick, test_sharing_same_flow_not_double_counted);
+    ("sharing takes max over slices", `Quick, test_sharing_flow_takes_max_over_slices);
+    ("sharing ccdf monotone", `Quick, test_sharing_ccdf_monotone);
+  ]

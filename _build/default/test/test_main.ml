@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "phi"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("tcp", Test_tcp.suite);
+      ("source", Test_source.suite);
+      ("remy", Test_remy.suite);
+      ("core", Test_phi_core.suite);
+      ("workload", Test_workload.suite);
+      ("ipfix", Test_ipfix.suite);
+      ("diagnosis", Test_diagnosis.suite);
+      ("predict", Test_predict.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,454 @@
+(* Tests for phi_net: packets, links, nodes, topology, monitors. *)
+
+module Engine = Phi_sim.Engine
+module Packet = Phi_net.Packet
+module Link = Phi_net.Link
+module Node = Phi_net.Node
+module Topology = Phi_net.Topology
+module Monitor = Phi_net.Monitor
+module Prng = Phi_util.Prng
+
+let data ~seq = Packet.data ~flow:0 ~src:0 ~dst:1 ~seq ~now:0. ~retransmit:false
+
+(* {2 Packet} *)
+
+let test_packet_constructors () =
+  let d = data ~seq:7 in
+  Alcotest.(check bool) "data is data" true (Packet.is_data d);
+  Alcotest.(check int) "data size" Packet.mss d.Packet.size;
+  let a =
+    Packet.ack ~flow:0 ~src:1 ~dst:0 ~next_expected:8 ~echo_sent_at:(Some 1.) ~echo_tx_time:1.
+      ~sack:[ (10, 12) ] ~ece:false ~now:2.
+  in
+  Alcotest.(check bool) "ack is not data" false (Packet.is_data a);
+  Alcotest.(check int) "ack size" Packet.ack_size a.Packet.size;
+  Alcotest.(check int) "cumulative seq" 8 a.Packet.seq
+
+let test_packet_sack_limit () =
+  let raised =
+    try
+      ignore
+        (Packet.ack ~flow:0 ~src:1 ~dst:0 ~next_expected:0 ~echo_sent_at:None ~echo_tx_time:0.
+           ~sack:[ (1, 2); (3, 4); (5, 6); (7, 8) ] ~ece:false ~now:0.);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "sack limit enforced" true raised
+
+(* {2 Link} *)
+
+let make_link ?(bandwidth_bps = 8e6) ?(delay_s = 0.01) ?(capacity_pkts = 4) engine =
+  Link.create engine ~bandwidth_bps ~delay_s ~capacity_pkts
+
+let test_link_delivery_timing () =
+  let engine = Engine.create () in
+  let link = make_link engine in
+  let arrived = ref (-1.) in
+  Link.set_receiver link (fun _ -> arrived := Engine.now engine);
+  Link.send link (data ~seq:0);
+  Engine.run engine;
+  (* 1500 B at 8 Mb/s = 1.5 ms serialization, + 10 ms propagation. *)
+  Alcotest.(check (float 1e-9)) "tx + prop" 0.0115 !arrived;
+  Alcotest.(check int) "delivered count" 1 (Link.packets_delivered link);
+  Alcotest.(check int) "bytes" Packet.mss (Link.bytes_delivered link)
+
+let test_link_fifo_order () =
+  let engine = Engine.create () in
+  let link = make_link engine in
+  let order = ref [] in
+  Link.set_receiver link (fun p -> order := p.Packet.seq :: !order);
+  for seq = 0 to 3 do
+    Link.send link (data ~seq)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3 ] (List.rev !order)
+
+let test_link_drop_tail () =
+  let engine = Engine.create () in
+  let link = make_link ~capacity_pkts:2 engine in
+  Link.set_receiver link (fun _ -> ());
+  for seq = 0 to 4 do
+    Link.send link (data ~seq)
+  done;
+  (* Queue capacity 2: packets 0,1 accepted; 2..4 dropped (no service
+     between sends since no events ran). *)
+  Alcotest.(check int) "drops" 3 (Link.drops link);
+  Alcotest.(check int) "offered" 5 (Link.packets_offered link);
+  Engine.run engine;
+  Alcotest.(check int) "delivered rest" 2 (Link.packets_delivered link)
+
+let test_link_busy_time_utilization () =
+  let engine = Engine.create () in
+  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine in
+  Link.set_receiver link (fun _ -> ());
+  (* 1 packet/s serialization: 2 packets = 2 s busy. *)
+  Link.send link (data ~seq:0);
+  Link.send link (data ~seq:1);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "busy time" 2. (Link.busy_time link)
+
+let test_link_queue_wait () =
+  let engine = Engine.create () in
+  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine in
+  Link.set_receiver link (fun _ -> ());
+  Link.send link (data ~seq:0);
+  Link.send link (data ~seq:1);
+  Engine.run engine;
+  (* Second packet waited exactly one serialization time. *)
+  Alcotest.(check (float 1e-9)) "wait" 1. (Link.total_queue_wait link)
+
+let test_link_fault_injection () =
+  let engine = Engine.create () in
+  let link = make_link ~capacity_pkts:10_000 engine in
+  Link.set_receiver link (fun _ -> ());
+  Link.set_fault_injection link ~rng:(Prng.create ~seed:1) ~drop_probability:0.5;
+  for seq = 0 to 999 do
+    Link.send link (data ~seq)
+  done;
+  let drops = Link.drops link in
+  Alcotest.(check bool) "about half dropped" true (drops > 400 && drops < 600)
+
+let test_link_validation () =
+  let engine = Engine.create () in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bw" true
+    (raised (fun () -> ignore (Link.create engine ~bandwidth_bps:0. ~delay_s:0. ~capacity_pkts:1)));
+  Alcotest.(check bool) "capacity" true
+    (raised (fun () -> ignore (Link.create engine ~bandwidth_bps:1. ~delay_s:0. ~capacity_pkts:0)))
+
+(* {2 RED} *)
+
+let test_red_no_drops_below_min_threshold () =
+  let engine = Engine.create () in
+  let link = make_link ~capacity_pkts:100 engine in
+  Link.set_receiver link (fun _ -> ());
+  Link.set_discipline link ~rng:(Prng.create ~seed:1)
+    (Link.Red
+       {
+         Link.min_threshold = 50;
+         max_threshold = 90;
+         max_probability = 0.1;
+         weight = 0.5;
+         mark_ecn = false;
+       });
+  for seq = 0 to 9 do
+    Link.send link (data ~seq)
+  done;
+  Alcotest.(check int) "no early drops" 0 (Link.drops link)
+
+let test_red_drops_above_max_threshold () =
+  let engine = Engine.create () in
+  let link = make_link ~capacity_pkts:1000 engine in
+  Link.set_receiver link (fun _ -> ());
+  (* weight 1.0: the average tracks the instantaneous queue exactly. *)
+  Link.set_discipline link ~rng:(Prng.create ~seed:2)
+    (Link.Red
+       {
+         Link.min_threshold = 5;
+         max_threshold = 10;
+         max_probability = 0.1;
+         weight = 1.0;
+         mark_ecn = false;
+       });
+  for seq = 0 to 99 do
+    Link.send link (data ~seq)
+  done;
+  (* Once the queue average passes 10, every arrival is dropped. *)
+  Alcotest.(check bool) "forced drops" true (Link.drops link >= 85);
+  Alcotest.(check bool) "queue capped near max threshold" true (Link.queue_length link <= 12)
+
+let test_red_probabilistic_band () =
+  let engine = Engine.create () in
+  let link =
+    (* Slow link so the queue sits in the band while we offer arrivals. *)
+    Link.create engine ~bandwidth_bps:1e3 ~delay_s:0. ~capacity_pkts:10_000
+  in
+  Link.set_receiver link (fun _ -> ());
+  Link.set_discipline link ~rng:(Prng.create ~seed:3)
+    (Link.Red
+       {
+         Link.min_threshold = 5;
+         max_threshold = 10_000;
+         max_probability = 0.2;
+         weight = 1.0;
+         mark_ecn = false;
+       });
+  for seq = 0 to 999 do
+    Link.send link (data ~seq)
+  done;
+  let drops = Link.drops link in
+  (* In the band the drop probability ramps towards 0.2 but stays tiny
+     near min_threshold: expect some drops, far from all. *)
+  Alcotest.(check bool) "some early drops" true (drops > 0);
+  Alcotest.(check bool) "not everything dropped" true (drops < 500)
+
+let test_red_validation () =
+  let engine = Engine.create () in
+  let link = make_link engine in
+  let raised =
+    try
+      Link.set_discipline link ~rng:(Prng.create ~seed:4)
+        (Link.Red
+           {
+             Link.min_threshold = 10;
+             max_threshold = 5;
+             max_probability = 0.1;
+             weight = 0.5;
+             mark_ecn = false;
+           });
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad thresholds rejected" true raised
+
+let test_red_keeps_cubic_queue_short_end_to_end () =
+  let run ~red =
+    let engine = Engine.create () in
+    let d = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+    if red then
+      Link.set_discipline d.Topology.bottleneck ~rng:(Prng.create ~seed:5)
+        (Link.Red
+           (Link.default_red ~capacity_pkts:(Link.capacity_pkts d.Topology.bottleneck) ()));
+    let _recv =
+      Phi_tcp.Receiver.create engine ~node:d.Topology.receivers.(0) ~flow:0 ~peer:0
+    in
+    let sender =
+      Phi_tcp.Sender.create engine
+        ~node:d.Topology.senders.(0)
+        ~flow:0
+        ~dst:(Topology.receiver_id d 0)
+        ~cc:(Phi_tcp.Cubic.make Phi_tcp.Cubic.default_params)
+        ~total_segments:Phi_tcp.Sender.persistent_total ()
+    in
+    Phi_tcp.Sender.start sender;
+    Engine.run ~until:30. engine;
+    let bneck = d.Topology.bottleneck in
+    Link.total_queue_wait bneck /. float_of_int (Stdlib.max 1 (Link.packets_delivered bneck))
+  in
+  let droptail = run ~red:false and red = run ~red:true in
+  Alcotest.(check bool) "red holds a much shorter queue" true (red < droptail /. 3.)
+
+(* {2 Node} *)
+
+let test_node_local_delivery () =
+  let engine = Engine.create () in
+  let node = Node.create engine ~id:1 in
+  let got = ref [] in
+  Node.bind_flow node ~flow:0 (fun p -> got := p.Packet.seq :: !got);
+  Node.receive node (data ~seq:5);
+  Alcotest.(check (list int)) "delivered locally" [ 5 ] !got;
+  Node.unbind_flow node ~flow:0;
+  Node.receive node (data ~seq:6);
+  Alcotest.(check int) "unclaimed counted" 1 (Node.unclaimed_deliveries node)
+
+let test_node_forwarding () =
+  let engine = Engine.create () in
+  let a = Node.create engine ~id:0 in
+  let b = Node.create engine ~id:1 in
+  let link = make_link engine in
+  Link.set_receiver link (Node.receive b);
+  Node.add_route a ~dst:1 link;
+  let got = ref 0 in
+  Node.bind_flow b ~flow:0 (fun _ -> incr got);
+  Node.receive a (data ~seq:0);
+  Engine.run engine;
+  Alcotest.(check int) "forwarded" 1 !got
+
+let test_node_default_route () =
+  let engine = Engine.create () in
+  let a = Node.create engine ~id:0 in
+  let b = Node.create engine ~id:9 in
+  let link = make_link engine in
+  Link.set_receiver link (Node.receive b);
+  Node.set_default_route a link;
+  let got = ref 0 in
+  Node.bind_flow b ~flow:0 (fun _ -> incr got);
+  Node.receive a { (data ~seq:0) with Packet.dst = 9 };
+  Engine.run engine;
+  Alcotest.(check int) "default routed" 1 !got
+
+let test_node_no_route_fails () =
+  let engine = Engine.create () in
+  let a = Node.create engine ~id:0 in
+  let raised = try Node.receive a (data ~seq:0); false with Failure _ -> true in
+  Alcotest.(check bool) "no route raises" true raised
+
+(* {2 Topology} *)
+
+let test_dumbbell_dimensions () =
+  let spec = Topology.paper_spec in
+  Alcotest.(check int) "bdp packets" 188 (Topology.bdp_packets spec);
+  Alcotest.(check int) "buffer = 5 bdp" 940 (Topology.buffer_packets spec);
+  let engine = Engine.create () in
+  let d = Topology.dumbbell engine spec in
+  Alcotest.(check int) "senders" 8 (Array.length d.Topology.senders);
+  Alcotest.(check int) "receivers" 8 (Array.length d.Topology.receivers);
+  Alcotest.(check int) "bottleneck capacity" 940 (Link.capacity_pkts d.Topology.bottleneck)
+
+let test_dumbbell_end_to_end_rtt () =
+  let engine = Engine.create () in
+  let d = Topology.dumbbell engine Topology.paper_spec in
+  let rtt = ref 0. in
+  (* Send one data packet from sender 0 to receiver 0 and bounce an ACK
+     back; measure the echo time. *)
+  let flow = 0 in
+  Node.bind_flow d.Topology.receivers.(0) ~flow (fun pkt ->
+      let ack =
+        Packet.ack ~flow ~src:(Packet.mss * 0) ~dst:0 ~next_expected:(pkt.Packet.seq + 1)
+          ~echo_sent_at:(Some pkt.Packet.sent_at) ~echo_tx_time:pkt.Packet.sent_at ~sack:[]
+          ~ece:false ~now:(Engine.now engine)
+      in
+      let ack = { ack with Packet.src = Topology.receiver_id d 0 } in
+      Node.receive d.Topology.receivers.(0) ack);
+  Node.bind_flow d.Topology.senders.(0) ~flow (fun _ -> rtt := Engine.now engine);
+  Node.receive
+    d.Topology.senders.(0)
+    (Packet.data ~flow ~src:0 ~dst:(Topology.receiver_id d 0) ~seq:0 ~now:0. ~retransmit:false);
+  Engine.run engine;
+  (* RTT = propagation (150 ms) + serialization of data and ack. *)
+  Alcotest.(check bool) "close to 150 ms" true (!rtt > 0.150 && !rtt < 0.153)
+
+let test_dumbbell_rejects_tiny_rtt () =
+  let engine = Engine.create () in
+  let raised =
+    try
+      ignore
+        (Topology.dumbbell engine { Topology.paper_spec with Topology.rtt_s = 0.001 });
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "rtt too small rejected" true raised
+
+(* {2 Chain (parking lot)} *)
+
+module Chain = Phi_net.Chain
+
+let run_long_flow ?(cross = []) ~hops ~hop_bw () =
+  let engine = Engine.create () in
+  let spec = { (Chain.default_spec ~hops) with Chain.hop_bw_bps = hop_bw } in
+  let chain = Chain.create engine spec in
+  let long_recv =
+    Phi_tcp.Receiver.create engine ~node:chain.Chain.long_receiver ~flow:0
+      ~peer:(Chain.long_sender_id chain)
+  in
+  let long_sender =
+    Phi_tcp.Sender.create engine ~node:chain.Chain.long_sender ~flow:0
+      ~dst:(Chain.long_receiver_id chain)
+      ~cc:(Phi_tcp.Cubic.make (Phi_tcp.Cubic.with_knobs ~initial_ssthresh:64. Phi_tcp.Cubic.default_params))
+      ~total_segments:Phi_tcp.Sender.persistent_total ()
+  in
+  let cross_senders =
+    List.map
+      (fun hop ->
+        let flow = 1000 + hop in
+        let _recv =
+          Phi_tcp.Receiver.create engine
+            ~node:chain.Chain.cross_receivers.(hop)
+            ~flow
+            ~peer:(Chain.cross_sender_id chain hop)
+        in
+        let sender =
+          Phi_tcp.Sender.create engine
+            ~node:chain.Chain.cross_senders.(hop)
+            ~flow
+            ~dst:(Chain.cross_receiver_id chain hop)
+            ~cc:
+              (Phi_tcp.Cubic.make
+                 (Phi_tcp.Cubic.with_knobs ~initial_ssthresh:64. Phi_tcp.Cubic.default_params))
+            ~total_segments:Phi_tcp.Sender.persistent_total ()
+        in
+        sender)
+      cross
+  in
+  Phi_tcp.Sender.start long_sender;
+  List.iter Phi_tcp.Sender.start cross_senders;
+  Engine.run ~until:30. engine;
+  let acked = Phi_tcp.Sender.acked_segments long_sender in
+  ignore long_recv;
+  (chain, float_of_int (acked * Packet.mss * 8) /. 30.)
+
+let test_chain_long_flow_bounded_by_slowest_hop () =
+  (* Three hops at 20 / 6 / 20 Mb/s: the long flow caps at ~6 Mb/s. *)
+  let _, thr = run_long_flow ~hops:3 ~hop_bw:[| 20e6; 6e6; 20e6 |] () in
+  Alcotest.(check bool) "bounded by slowest hop" true (thr <= 6e6 *. 1.02);
+  Alcotest.(check bool) "but close to it" true (thr > 4e6)
+
+let test_chain_cross_traffic_squeezes_long_flow () =
+  let _, alone = run_long_flow ~hops:2 ~hop_bw:[| 10e6; 10e6 |] () in
+  let _, contended = run_long_flow ~cross:[ 0 ] ~hops:2 ~hop_bw:[| 10e6; 10e6 |] () in
+  Alcotest.(check bool) "alone saturates" true (alone > 8e6);
+  Alcotest.(check bool) "cross traffic halves the share" true
+    (contended < 0.75 *. alone && contended > 0.2 *. alone)
+
+let test_chain_hops_load_independently () =
+  (* Cross traffic only on hop 0: hop 0 busy, hop 1 carries only the long
+     flow. *)
+  let chain, _ = run_long_flow ~cross:[ 0 ] ~hops:2 ~hop_bw:[| 10e6; 10e6 |] () in
+  let util hop = Link.busy_time chain.Chain.hop_links.(hop) /. 30. in
+  Alcotest.(check bool) "hop 0 saturated" true (util 0 > 0.9);
+  Alcotest.(check bool) "hop 1 partly idle" true (util 1 < 0.8)
+
+let test_chain_validation () =
+  let engine = Engine.create () in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero hops" true
+    (raised (fun () -> ignore (Chain.create engine (Chain.default_spec ~hops:0))));
+  Alcotest.(check bool) "bw length mismatch" true
+    (raised (fun () ->
+         ignore
+           (Chain.create engine
+              { (Chain.default_spec ~hops:2) with Chain.hop_bw_bps = [| 1e6 |] })))
+
+(* {2 Monitor} *)
+
+let test_monitor_utilization_bins () =
+  let engine = Engine.create () in
+  let link =
+    Link.create engine
+      ~bandwidth_bps:(float_of_int (Packet.mss * 8) *. 10.)
+      ~delay_s:0. ~capacity_pkts:100
+  in
+  Link.set_receiver link (fun _ -> ());
+  let monitor = Monitor.create engine link ~interval_s:1.0 in
+  (* 5 packets at 10 pkt/s = 0.5 s busy in the first second. *)
+  for seq = 0 to 4 do
+    Link.send link (data ~seq)
+  done;
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (float 1e-6)) "first bin ~50%" 0.5 (snd (Monitor.utilization_series monitor).(0));
+  Alcotest.(check (float 1e-6)) "second bin idle" 0. (snd (Monitor.utilization_series monitor).(1));
+  Alcotest.(check bool) "mean util positive" true (Monitor.mean_utilization monitor > 0.);
+  Monitor.stop monitor;
+  let samples = Array.length (Monitor.utilization_series monitor) in
+  Engine.run ~until:5. engine;
+  Alcotest.(check int) "stopped sampling" samples (Array.length (Monitor.utilization_series monitor))
+
+let suite =
+  [
+    ("packet constructors", `Quick, test_packet_constructors);
+    ("packet sack limit", `Quick, test_packet_sack_limit);
+    ("link delivery timing", `Quick, test_link_delivery_timing);
+    ("link fifo order", `Quick, test_link_fifo_order);
+    ("link drop tail", `Quick, test_link_drop_tail);
+    ("link busy time", `Quick, test_link_busy_time_utilization);
+    ("link queue wait", `Quick, test_link_queue_wait);
+    ("link fault injection", `Quick, test_link_fault_injection);
+    ("link validation", `Quick, test_link_validation);
+    ("red no drops below min", `Quick, test_red_no_drops_below_min_threshold);
+    ("red drops above max", `Quick, test_red_drops_above_max_threshold);
+    ("red probabilistic band", `Quick, test_red_probabilistic_band);
+    ("red validation", `Quick, test_red_validation);
+    ("red shortens cubic queue", `Slow, test_red_keeps_cubic_queue_short_end_to_end);
+    ("node local delivery", `Quick, test_node_local_delivery);
+    ("node forwarding", `Quick, test_node_forwarding);
+    ("node default route", `Quick, test_node_default_route);
+    ("node no route fails", `Quick, test_node_no_route_fails);
+    ("dumbbell dimensions", `Quick, test_dumbbell_dimensions);
+    ("dumbbell end-to-end rtt", `Quick, test_dumbbell_end_to_end_rtt);
+    ("dumbbell rejects tiny rtt", `Quick, test_dumbbell_rejects_tiny_rtt);
+    ("chain slowest hop bounds", `Slow, test_chain_long_flow_bounded_by_slowest_hop);
+    ("chain cross traffic squeezes", `Slow, test_chain_cross_traffic_squeezes_long_flow);
+    ("chain hops independent", `Slow, test_chain_hops_load_independently);
+    ("chain validation", `Quick, test_chain_validation);
+    ("monitor utilization bins", `Quick, test_monitor_utilization_bins);
+  ]

@@ -1,0 +1,145 @@
+(* Tests for phi_predict: the history store, hierarchical predictor and
+   VoIP quality model. *)
+
+open Phi_predict
+
+let sample ?(thr = 1e6) ?(rtt = 0.1) ?(loss = 0.) () =
+  { History.throughput_bps = thr; rtt_s = rtt; loss_rate = loss }
+
+(* {2 History} *)
+
+let test_history_levels () =
+  let h = History.create () in
+  let prefix24 = (10 lsl 16) lor (20 lsl 8) lor 30 in
+  History.add h ~prefix24 (sample ());
+  Alcotest.(check int) "p24" 1 (History.count h ~level:`P24 ~prefix24);
+  Alcotest.(check int) "p16" 1 (History.count h ~level:`P16 ~prefix24);
+  Alcotest.(check int) "p8" 1 (History.count h ~level:`P8 ~prefix24);
+  Alcotest.(check int) "global" 1 (History.count h ~level:`Global ~prefix24);
+  (* A sibling /24 in the same /16 aggregates at /16 but not /24. *)
+  let sibling = (10 lsl 16) lor (20 lsl 8) lor 31 in
+  History.add h ~prefix24:sibling (sample ());
+  Alcotest.(check int) "p24 isolated" 1 (History.count h ~level:`P24 ~prefix24);
+  Alcotest.(check int) "p16 shared" 2 (History.count h ~level:`P16 ~prefix24)
+
+let test_history_reservoir_cap () =
+  let h = History.create ~per_prefix_cap:10 () in
+  for _ = 1 to 1000 do
+    History.add h ~prefix24:5 (sample ())
+  done;
+  Alcotest.(check int) "capped" 10 (History.count h ~level:`P24 ~prefix24:5);
+  Alcotest.(check int) "seen total" 1000 (History.total h)
+
+let test_history_unknown_prefix_empty () =
+  let h = History.create () in
+  Alcotest.(check int) "empty" 0 (History.count h ~level:`P24 ~prefix24:99);
+  Alcotest.(check bool) "no samples" true (History.samples h ~level:`P24 ~prefix24:99 = [])
+
+(* {2 Predictor} *)
+
+let test_predictor_prefers_deep_level () =
+  let h = History.create () in
+  for _ = 1 to 20 do
+    History.add h ~prefix24:1 (sample ~thr:2e6 ())
+  done;
+  match Predictor.throughput_bps h ~prefix24:1 () with
+  | Some est ->
+    Alcotest.(check bool) "p24 level" true (est.Predictor.level = `P24);
+    Alcotest.(check (float 1.)) "median" 2e6 est.Predictor.value
+  | None -> Alcotest.fail "expected estimate"
+
+let test_predictor_falls_back () =
+  let h = History.create () in
+  (* Plenty of /16 history, nothing at this /24. *)
+  for i = 0 to 19 do
+    History.add h ~prefix24:((7 lsl 8) lor i) (sample ~thr:3e6 ())
+  done;
+  (match Predictor.throughput_bps h ~prefix24:((7 lsl 8) lor 200) () with
+  | Some est -> Alcotest.(check bool) "fell back to p16" true (est.Predictor.level = `P16)
+  | None -> Alcotest.fail "expected fallback estimate");
+  (* A totally unknown corner of the space still gets the global answer. *)
+  match Predictor.throughput_bps h ~prefix24:(200 lsl 16) () with
+  | Some est -> Alcotest.(check bool) "global" true (est.Predictor.level = `Global)
+  | None -> Alcotest.fail "expected global estimate"
+
+let test_predictor_empty_store () =
+  let h = History.create () in
+  Alcotest.(check bool) "none" true (Predictor.throughput_bps h ~prefix24:0 () = None)
+
+let test_predictor_quantiles () =
+  let h = History.create () in
+  for i = 1 to 100 do
+    History.add h ~prefix24:2 (sample ~thr:(float_of_int i) ())
+  done;
+  let q10 = Predictor.throughput_bps h ~prefix24:2 ~quantile:0.1 () in
+  let q90 = Predictor.throughput_bps h ~prefix24:2 ~quantile:0.9 () in
+  match (q10, q90) with
+  | Some a, Some b -> Alcotest.(check bool) "q10 < q90" true (a.Predictor.value < b.Predictor.value)
+  | _ -> Alcotest.fail "expected estimates"
+
+let test_download_time () =
+  let h = History.create () in
+  for _ = 1 to 20 do
+    History.add h ~prefix24:3 (sample ~thr:8e6 ())
+  done;
+  match Predictor.download_time_s h ~prefix24:3 ~bytes:1_000_000 with
+  | Some (expected, pessimistic) ->
+    Alcotest.(check (float 1e-6)) "1 MB at 8 Mb/s = 1 s" 1. expected;
+    Alcotest.(check bool) "pessimistic >= expected" true (pessimistic >= expected)
+  | None -> Alcotest.fail "expected estimate"
+
+let test_voip_mos_prediction () =
+  let h = History.create () in
+  for _ = 1 to 20 do
+    History.add h ~prefix24:4 (sample ~rtt:0.03 ~loss:0.001 ())
+  done;
+  match Predictor.voip_mos h ~prefix24:4 with
+  | Some mos -> Alcotest.(check bool) "good call" true (mos > 4.)
+  | None -> Alcotest.fail "expected mos"
+
+(* {2 Voip} *)
+
+let test_mos_monotone_in_rtt () =
+  let m1 = Voip.mos ~rtt_s:0.02 ~loss_rate:0. in
+  let m2 = Voip.mos ~rtt_s:0.3 ~loss_rate:0. in
+  let m3 = Voip.mos ~rtt_s:0.8 ~loss_rate:0. in
+  Alcotest.(check bool) "rtt degrades" true (m1 > m2 && m2 > m3)
+
+let test_mos_monotone_in_loss () =
+  let m1 = Voip.mos ~rtt_s:0.05 ~loss_rate:0. in
+  let m2 = Voip.mos ~rtt_s:0.05 ~loss_rate:0.03 in
+  let m3 = Voip.mos ~rtt_s:0.05 ~loss_rate:0.15 in
+  Alcotest.(check bool) "loss degrades" true (m1 > m2 && m2 > m3)
+
+let test_mos_bounds () =
+  Alcotest.(check bool) "upper" true (Voip.mos ~rtt_s:0. ~loss_rate:0. <= 4.5);
+  Alcotest.(check bool) "lower" true (Voip.mos ~rtt_s:5. ~loss_rate:1. >= 1.)
+
+let test_quality_labels () =
+  Alcotest.(check string) "excellent" "excellent" (Voip.quality_label 4.4);
+  Alcotest.(check string) "bad" "bad" (Voip.quality_label 1.5)
+
+let prop_mos_in_range =
+  QCheck.Test.make ~name:"mos always in [1, 4.5]" ~count:300
+    QCheck.(pair (float_bound_inclusive 3.) (float_bound_inclusive 1.))
+    (fun (rtt_s, loss_rate) ->
+      let m = Voip.mos ~rtt_s ~loss_rate in
+      m >= 1. && m <= 4.5)
+
+let suite =
+  [
+    ("history levels", `Quick, test_history_levels);
+    ("history reservoir cap", `Quick, test_history_reservoir_cap);
+    ("history unknown prefix", `Quick, test_history_unknown_prefix_empty);
+    ("predictor prefers deep level", `Quick, test_predictor_prefers_deep_level);
+    ("predictor falls back", `Quick, test_predictor_falls_back);
+    ("predictor empty store", `Quick, test_predictor_empty_store);
+    ("predictor quantiles", `Quick, test_predictor_quantiles);
+    ("download time", `Quick, test_download_time);
+    ("voip mos prediction", `Quick, test_voip_mos_prediction);
+    ("mos monotone in rtt", `Quick, test_mos_monotone_in_rtt);
+    ("mos monotone in loss", `Quick, test_mos_monotone_in_loss);
+    ("mos bounds", `Quick, test_mos_bounds);
+    ("quality labels", `Quick, test_quality_labels);
+    QCheck_alcotest.to_alcotest prop_mos_in_range;
+  ]

@@ -1,0 +1,339 @@
+(* Tests for phi_remy: memory signals, whisker geometry, rule tables,
+   serialization, the paced sender, and a smoke test of the trainer's
+   evaluation loop. *)
+
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Link = Phi_net.Link
+module Prng = Phi_util.Prng
+open Phi_remy
+
+(* {2 Memory} *)
+
+let test_memory_initial_state () =
+  let m = Memory.create () in
+  Alcotest.(check (float 0.)) "ack ewma" 0. (Memory.ack_ewma m);
+  Alcotest.(check (float 0.)) "send ewma" 0. (Memory.send_ewma m);
+  Alcotest.(check (float 0.)) "rtt ratio" 1. (Memory.rtt_ratio m);
+  Alcotest.(check bool) "no min rtt" true (Memory.min_rtt m = None)
+
+let test_memory_rtt_ratio () =
+  let m = Memory.create () in
+  Memory.on_ack m ~now:0.1 ~echo_sent_at:0.;  (* rtt 0.1 -> min *)
+  Alcotest.(check (float 1e-9)) "ratio 1 at min" 1. (Memory.rtt_ratio m);
+  Memory.on_ack m ~now:0.45 ~echo_sent_at:0.25;  (* rtt 0.2 *)
+  Alcotest.(check (float 1e-9)) "ratio 2" 2. (Memory.rtt_ratio m);
+  Alcotest.(check (option (float 1e-9))) "min rtt kept" (Some 0.1) (Memory.min_rtt m)
+
+let test_memory_ewma_updates () =
+  let m = Memory.create () in
+  Memory.on_ack m ~now:1.0 ~echo_sent_at:0.9;
+  (* First ack seeds the timestamps; EWMAs update from the second on. *)
+  Memory.on_ack m ~now:1.1 ~echo_sent_at:0.95;
+  Alcotest.(check bool) "ack ewma positive" true (Memory.ack_ewma m > 0.);
+  Alcotest.(check bool) "send ewma positive" true (Memory.send_ewma m > 0.)
+
+let test_memory_point_in_unit_cube () =
+  let m = Memory.create () in
+  Memory.on_ack m ~now:2. ~echo_sent_at:0.5;
+  Memory.on_ack m ~now:5. ~echo_sent_at:1.;
+  Memory.set_utilization m 0.7;
+  List.iter
+    (fun dims ->
+      let p = Memory.to_point m ~dims in
+      Alcotest.(check int) "dims" dims (Array.length p);
+      Array.iter
+        (fun x -> Alcotest.(check bool) "in [0,1]" true (x >= 0. && x <= 1.))
+        p)
+    [ Memory.dims_remy; Memory.dims_phi ]
+
+let test_memory_utilization_clamped () =
+  let m = Memory.create () in
+  Memory.set_utilization m 1.5;
+  Alcotest.(check (float 0.)) "clamped high" 1. (Memory.utilization m);
+  Memory.set_utilization m (-0.5);
+  Alcotest.(check (float 0.)) "clamped low" 0. (Memory.utilization m)
+
+let test_memory_reset () =
+  let m = Memory.create () in
+  Memory.on_ack m ~now:1. ~echo_sent_at:0.5;
+  Memory.set_utilization m 0.4;
+  Memory.reset m;
+  Alcotest.(check (float 0.)) "ratio reset" 1. (Memory.rtt_ratio m);
+  (* Utilization survives reset: it is externally owned. *)
+  Alcotest.(check (float 0.)) "util kept" 0.4 (Memory.utilization m)
+
+(* {2 Whisker} *)
+
+let test_whisker_apply_bounds () =
+  let a = { Whisker.window_increment = 5.; window_multiple = 2.; intersend_s = 0.001 } in
+  Alcotest.(check (float 0.)) "cap at 1024" 1024. (Whisker.apply a ~cwnd:1000.);
+  let shrink = { Whisker.window_increment = -5.; window_multiple = 0.1; intersend_s = 0.001 } in
+  Alcotest.(check (float 0.)) "floor at 1" 1. (Whisker.apply shrink ~cwnd:2.)
+
+let test_whisker_clamp_action () =
+  let wild = { Whisker.window_increment = 99.; window_multiple = 0.; intersend_s = 10. } in
+  let c = Whisker.clamp_action wild in
+  Alcotest.(check (float 0.)) "inc" 32. c.Whisker.window_increment;
+  Alcotest.(check (float 0.)) "mult" 0.1 c.Whisker.window_multiple;
+  Alcotest.(check (float 0.)) "isend" 0.5 c.Whisker.intersend_s
+
+let test_whisker_contains_boundaries () =
+  let box = Whisker.root_box ~dims:2 in
+  Alcotest.(check bool) "origin" true (Whisker.contains box [| 0.; 0. |]);
+  Alcotest.(check bool) "interior" true (Whisker.contains box [| 0.5; 0.9 |]);
+  Alcotest.(check bool) "upper face inclusive" true (Whisker.contains box [| 1.; 1. |]);
+  let sub = { Whisker.lo = [| 0.; 0. |]; hi = [| 0.5; 0.5 |] } in
+  Alcotest.(check bool) "internal face exclusive" false (Whisker.contains sub [| 0.5; 0.2 |])
+
+let test_whisker_split_partitions () =
+  let box = Whisker.root_box ~dims:3 in
+  let children = Whisker.split_box box in
+  Alcotest.(check int) "2^3 children" 8 (List.length children);
+  (* Any interior point lands in exactly one child. *)
+  let rng = Prng.create ~seed:2 in
+  for _ = 1 to 200 do
+    let p = Array.init 3 (fun _ -> Prng.float rng) in
+    let hits = List.filter (fun c -> Whisker.contains c p) children in
+    Alcotest.(check int) "exactly one child" 1 (List.length hits)
+  done
+
+let test_whisker_line_roundtrip () =
+  let w =
+    Whisker.create
+      { Whisker.lo = [| 0.25; 0. |]; hi = [| 0.5; 1. |] }
+      { Whisker.window_increment = -2.; window_multiple = 1.25; intersend_s = 0.0123 }
+  in
+  let w' = Whisker.of_line (Whisker.to_line w) in
+  Alcotest.(check (array (float 1e-12))) "lo" w.Whisker.box.Whisker.lo w'.Whisker.box.Whisker.lo;
+  Alcotest.(check (array (float 1e-12))) "hi" w.Whisker.box.Whisker.hi w'.Whisker.box.Whisker.hi;
+  Alcotest.(check (float 1e-12)) "action" w.Whisker.action.Whisker.intersend_s
+    w'.Whisker.action.Whisker.intersend_s
+
+let test_whisker_of_line_rejects_garbage () =
+  let raised = try ignore (Whisker.of_line "nonsense"); false with Failure _ -> true in
+  Alcotest.(check bool) "garbage rejected" true raised
+
+(* {2 Rule_table} *)
+
+let test_table_lookup_and_usage () =
+  let t = Rule_table.create ~dims:3 Whisker.default_action in
+  Alcotest.(check int) "one whisker" 1 (Rule_table.size t);
+  let w = Rule_table.lookup t [| 0.1; 0.2; 0.3 |] in
+  Alcotest.(check int) "usage counted" 1 w.Whisker.usage;
+  ignore (Rule_table.lookup_quiet t [| 0.1; 0.2; 0.3 |]);
+  Alcotest.(check int) "quiet lookup" 1 w.Whisker.usage
+
+let test_table_split_preserves_partition () =
+  let t = Rule_table.create ~dims:3 Whisker.default_action in
+  let root = List.hd (Rule_table.whiskers t) in
+  Rule_table.split t root;
+  Alcotest.(check int) "8 children" 8 (Rule_table.size t);
+  let child = Rule_table.lookup_quiet t [| 0.9; 0.9; 0.9 |] in
+  Rule_table.split t child;
+  Alcotest.(check int) "15 whiskers" 15 (Rule_table.size t);
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 500 do
+    let p = Array.init 3 (fun _ -> Prng.float rng) in
+    ignore (Rule_table.lookup_quiet t p) (* must not raise *)
+  done
+
+let test_table_most_used () =
+  let t = Rule_table.create ~dims:2 Whisker.default_action in
+  Alcotest.(check bool) "none before use" true (Rule_table.most_used t = None);
+  ignore (Rule_table.lookup t [| 0.5; 0.5 |]);
+  (match Rule_table.most_used t with
+  | Some w -> Alcotest.(check int) "usage 1" 1 w.Whisker.usage
+  | None -> Alcotest.fail "expected most used");
+  Rule_table.reset_usage t;
+  Alcotest.(check bool) "reset clears" true (Rule_table.most_used t = None)
+
+let test_table_serialize_roundtrip () =
+  let t = Rule_table.create ~dims:4 Whisker.default_action in
+  Rule_table.split t (List.hd (Rule_table.whiskers t));
+  let t' = Rule_table.deserialize (Rule_table.serialize t) in
+  Alcotest.(check int) "dims" 4 (Rule_table.dims t');
+  Alcotest.(check int) "size" (Rule_table.size t) (Rule_table.size t');
+  let rng = Prng.create ~seed:4 in
+  for _ = 1 to 100 do
+    let p = Array.init 4 (fun _ -> Prng.float rng) in
+    let a = (Rule_table.lookup_quiet t p).Whisker.action in
+    let b = (Rule_table.lookup_quiet t' p).Whisker.action in
+    Alcotest.(check (float 0.)) "same action" a.Whisker.intersend_s b.Whisker.intersend_s
+  done
+
+let test_table_split_axis () =
+  let t = Rule_table.create ~dims:4 Whisker.default_action in
+  let root = List.hd (Rule_table.whiskers t) in
+  Rule_table.split_axis t root ~axis:3;
+  Alcotest.(check int) "two children" 2 (Rule_table.size t);
+  let low = Rule_table.lookup_quiet t [| 0.2; 0.2; 0.2; 0.1 |] in
+  let high = Rule_table.lookup_quiet t [| 0.2; 0.2; 0.2; 0.9 |] in
+  Alcotest.(check bool) "distinct whiskers by utilization" true (low != high);
+  (* Other axes are untouched: same whisker regardless of other coords. *)
+  let low2 = Rule_table.lookup_quiet t [| 0.9; 0.9; 0.9; 0.1 |] in
+  Alcotest.(check bool) "same low-util whisker" true (low == low2);
+  let raised =
+    try ignore (Rule_table.split_axis t low ~axis:7); false with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad axis rejected" true raised
+
+let test_table_extrude () =
+  let t = Rule_table.create ~dims:3 Whisker.default_action in
+  Rule_table.split t (List.hd (Rule_table.whiskers t));
+  let t4 = Rule_table.extrude t in
+  Alcotest.(check int) "dims + 1" 4 (Rule_table.dims t4);
+  Alcotest.(check int) "same whisker count" (Rule_table.size t) (Rule_table.size t4);
+  (* Any utilization value matches the lifted whiskers. *)
+  List.iter
+    (fun u -> ignore (Rule_table.lookup_quiet t4 [| 0.2; 0.2; 0.2; u |]))
+    [ 0.; 0.5; 1. ]
+
+let test_pretrained_tables_load () =
+  let remy = Pretrained.remy () in
+  Alcotest.(check int) "remy dims" 3 (Rule_table.dims remy);
+  let phi = Pretrained.remy_phi () in
+  Alcotest.(check int) "phi dims" 4 (Rule_table.dims phi);
+  ignore (Rule_table.lookup_quiet remy [| 0.; 0.; 0. |]);
+  ignore (Rule_table.lookup_quiet phi [| 0.; 0.; 0.; 0.9 |])
+
+let prop_partition_total =
+  QCheck.Test.make ~name:"split tables cover every point exactly once" ~count:60
+    QCheck.(pair (int_range 0 3) (int_range 0 10_000))
+    (fun (splits, seed) ->
+      let rng = Prng.create ~seed in
+      let t = Rule_table.create ~dims:3 Whisker.default_action in
+      for _ = 1 to splits do
+        let ws = Rule_table.whiskers t in
+        let target = List.nth ws (Prng.int rng ~bound:(List.length ws)) in
+        Rule_table.split t target
+      done;
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let p = Array.init 3 (fun _ -> Prng.float rng) in
+        let hits =
+          List.filter (fun w -> Whisker.contains w.Whisker.box p) (Rule_table.whiskers t)
+        in
+        if List.length hits <> 1 then ok := false
+      done;
+      !ok)
+
+(* {2 Remy sender end-to-end} *)
+
+let run_remy_transfer ?(util = `None) ~table ~total () =
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+  let receiver =
+    Phi_tcp.Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+  in
+  let sender =
+    Remy_sender.create engine
+      ~node:dumbbell.Topology.senders.(0)
+      ~flow:0
+      ~dst:(Topology.receiver_id dumbbell 0)
+      ~table ~util ~total_segments:total ()
+  in
+  Remy_sender.start sender;
+  Engine.run ~until:300. engine;
+  (sender, receiver, dumbbell)
+
+let test_remy_sender_completes () =
+  let table = Rule_table.create ~dims:3 Whisker.default_action in
+  let sender, receiver, _ = run_remy_transfer ~table ~total:200 () in
+  Alcotest.(check bool) "completed" true (Remy_sender.completed sender);
+  Alcotest.(check int) "receiver got all" 200 (Phi_tcp.Receiver.segments_received receiver)
+
+let test_remy_sender_pacing_limits_rate () =
+  (* Huge window but 10 ms intersend: rate must stay near 100 pkt/s. *)
+  let action = { Whisker.window_increment = 5.; window_multiple = 2.; intersend_s = 0.01 } in
+  let table = Rule_table.create ~dims:3 action in
+  let sender, _, _ = run_remy_transfer ~table ~total:300 () in
+  let stats = Remy_sender.stats sender in
+  let rate =
+    float_of_int stats.Phi_tcp.Flow.segments /. Phi_tcp.Flow.duration stats
+  in
+  Alcotest.(check bool) "paced around 100 pkt/s" true (rate > 60. && rate < 130.)
+
+let test_remy_sender_recovers_from_loss () =
+  let table = Rule_table.create ~dims:3 Whisker.default_action in
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+  Link.set_fault_injection dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:9)
+    ~drop_probability:0.05;
+  let receiver =
+    Phi_tcp.Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+  in
+  let sender =
+    Remy_sender.create engine
+      ~node:dumbbell.Topology.senders.(0)
+      ~flow:0
+      ~dst:(Topology.receiver_id dumbbell 0)
+      ~table ~util:`None ~total_segments:150 ()
+  in
+  Remy_sender.start sender;
+  Engine.run ~until:600. engine;
+  Alcotest.(check bool) "completed under loss" true (Remy_sender.completed sender);
+  Alcotest.(check bool) "receiver consistent" true
+    (Phi_tcp.Receiver.next_expected receiver = 150)
+
+let test_remy_sender_dims_validation () =
+  let table = Rule_table.create ~dims:3 Whisker.default_action in
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+  let raised =
+    try
+      ignore
+        (Remy_sender.create engine
+           ~node:dumbbell.Topology.senders.(0)
+           ~flow:0 ~dst:1 ~table
+           ~util:(`Live (fun () -> 0.5))
+           ~total_segments:10 ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "dims mismatch rejected" true raised
+
+let test_trainer_evaluate_smoke () =
+  let table = Rule_table.create ~dims:3 Whisker.default_action in
+  let scenario =
+    { Trainer.paper_scenario with Trainer.duration_s = 10. }
+  in
+  let r = Trainer.evaluate ~table ~util:`None ~seeds:[ 1 ] [ scenario ] in
+  Alcotest.(check bool) "connections ran" true (r.Trainer.connections > 0);
+  Alcotest.(check bool) "objective finite" true (Float.is_finite r.Trainer.objective)
+
+let test_trainer_ideal_uses_4dims () =
+  let table = Rule_table.create ~dims:4 Whisker.default_action in
+  let scenario = { Trainer.paper_scenario with Trainer.duration_s = 10. } in
+  let r = Trainer.evaluate ~table ~util:`Ideal ~seeds:[ 1 ] [ scenario ] in
+  Alcotest.(check bool) "runs with oracle" true (r.Trainer.connections > 0)
+
+let suite =
+  [
+    ("memory initial state", `Quick, test_memory_initial_state);
+    ("memory rtt ratio", `Quick, test_memory_rtt_ratio);
+    ("memory ewma updates", `Quick, test_memory_ewma_updates);
+    ("memory point in unit cube", `Quick, test_memory_point_in_unit_cube);
+    ("memory utilization clamped", `Quick, test_memory_utilization_clamped);
+    ("memory reset", `Quick, test_memory_reset);
+    ("whisker apply bounds", `Quick, test_whisker_apply_bounds);
+    ("whisker clamp action", `Quick, test_whisker_clamp_action);
+    ("whisker contains boundaries", `Quick, test_whisker_contains_boundaries);
+    ("whisker split partitions", `Quick, test_whisker_split_partitions);
+    ("whisker line roundtrip", `Quick, test_whisker_line_roundtrip);
+    ("whisker rejects garbage", `Quick, test_whisker_of_line_rejects_garbage);
+    ("table lookup and usage", `Quick, test_table_lookup_and_usage);
+    ("table split partition", `Quick, test_table_split_preserves_partition);
+    ("table most used", `Quick, test_table_most_used);
+    ("table serialize roundtrip", `Quick, test_table_serialize_roundtrip);
+    ("table split axis", `Quick, test_table_split_axis);
+    ("table extrude", `Quick, test_table_extrude);
+    ("pretrained tables load", `Quick, test_pretrained_tables_load);
+    QCheck_alcotest.to_alcotest prop_partition_total;
+    ("remy sender completes", `Quick, test_remy_sender_completes);
+    ("remy sender pacing", `Quick, test_remy_sender_pacing_limits_rate);
+    ("remy sender loss recovery", `Quick, test_remy_sender_recovers_from_loss);
+    ("remy sender dims validation", `Quick, test_remy_sender_dims_validation);
+    ("trainer evaluate smoke", `Slow, test_trainer_evaluate_smoke);
+    ("trainer ideal 4 dims", `Slow, test_trainer_ideal_uses_4dims);
+  ]

@@ -1,0 +1,205 @@
+(* Tests for phi_sim: the binary heap and the discrete-event engine. *)
+
+module Heap = Phi_sim.Heap
+module Engine = Phi_sim.Engine
+
+(* {2 Heap} *)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_heap_orders_by_priority () =
+  let h = Heap.create () in
+  List.iteri (fun i p -> Heap.push h ~priority:p ~seq:i p) [ 3.; 1.; 2.; 0.5; 5. ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.))) "ascending" [ 0.5; 1.; 2.; 3.; 5. ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~priority:1. ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, seq, v) ->
+      Alcotest.(check int) "fifo order" i seq;
+      Alcotest.(check int) "payload" i v
+    | None -> Alcotest.fail "heap exhausted early"
+  done
+
+let test_heap_grows () =
+  let h = Heap.create () in
+  for i = 999 downto 0 do
+    Heap.push h ~priority:(float_of_int i) ~seq:i i
+  done;
+  Alcotest.(check int) "size" 1000 (Heap.size h);
+  (match Heap.peek h with
+  | Some (p, _, _) -> Alcotest.(check (float 0.)) "min on top" 0. p
+  | None -> Alcotest.fail "empty");
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p ~seq:i ()) priorities;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, _, ()) -> if p < last then false else drain p
+      in
+      drain neg_infinity)
+
+(* {2 Engine} *)
+
+let test_engine_runs_in_time_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule_at engine ~time:3. (note "c"));
+  ignore (Engine.schedule_at engine ~time:1. (note "a"));
+  ignore (Engine.schedule_at engine ~time:2. (note "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 3. (Engine.now engine)
+
+let test_engine_same_time_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule_at engine ~time:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo at equal times" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_rejects_past () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule_at engine ~time:5. (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check bool) "clock advanced" true (Engine.now engine = 5.);
+  let raised =
+    try
+      ignore (Engine.schedule_at engine ~time:1. (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "past rejected" true raised
+
+let test_engine_schedule_after () =
+  let engine = Engine.create () in
+  let fired_at = ref (-1.) in
+  ignore
+    (Engine.schedule_after engine ~delay:2. (fun () ->
+         fired_at := Engine.now engine;
+         ignore (Engine.schedule_after engine ~delay:3. (fun () -> ()))));
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "fired at 2" 2. !fired_at;
+  Alcotest.(check (float 0.)) "chained until 5" 5. (Engine.now engine)
+
+let test_engine_cancellation () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let handle = Engine.schedule_at engine ~time:1. (fun () -> fired := true) in
+  Alcotest.(check bool) "not yet cancelled" false (Engine.cancelled handle);
+  Engine.cancel handle;
+  Alcotest.(check bool) "cancelled" true (Engine.cancelled handle);
+  Engine.run engine;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_engine_cancel_twice_is_noop () =
+  let engine = Engine.create () in
+  let handle = Engine.schedule_at engine ~time:1. (fun () -> ()) in
+  Engine.cancel handle;
+  Engine.cancel handle;
+  Engine.run engine
+
+let test_engine_until_horizon () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at engine ~time:t (fun () -> fired := t :: !fired)))
+    [ 1.; 2.; 3.; 10. ];
+  Engine.run ~until:5. engine;
+  Alcotest.(check (list (float 0.))) "events before horizon" [ 1.; 2.; 3. ] (List.rev !fired);
+  Alcotest.(check (float 0.)) "clock at horizon" 5. (Engine.now engine);
+  Alcotest.(check int) "pending event survives" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "resumes past horizon" 10. (Engine.now engine)
+
+let test_engine_stop () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Engine.schedule_after engine ~delay:1. (fun () ->
+           incr count;
+           if !count = 3 then Engine.stop engine))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  Engine.run engine;
+  Alcotest.(check int) "resumable" 10 !count
+
+let test_engine_step () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule_at engine ~time:1. (fun () -> ()));
+  Alcotest.(check bool) "step true" true (Engine.step engine);
+  Alcotest.(check bool) "step false when empty" false (Engine.step engine)
+
+let test_engine_negative_delay_rejected () =
+  let engine = Engine.create () in
+  let raised =
+    try
+      ignore (Engine.schedule_after engine ~delay:(-1.) (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative delay rejected" true raised
+
+let prop_engine_fires_all_in_order =
+  QCheck.Test.make ~name:"engine fires every event in time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_bound_exclusive 100.))
+    (fun times ->
+      let engine = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t -> ignore (Engine.schedule_at engine ~time:t (fun () -> fired := t :: !fired)))
+        times;
+      Engine.run engine;
+      let fired = List.rev !fired in
+      List.length fired = List.length times
+      && fired = List.sort compare times)
+
+let suite =
+  [
+    ("heap empty", `Quick, test_heap_empty);
+    ("heap orders by priority", `Quick, test_heap_orders_by_priority);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap grows", `Quick, test_heap_grows);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    ("engine time order", `Quick, test_engine_runs_in_time_order);
+    ("engine same-time fifo", `Quick, test_engine_same_time_fifo);
+    ("engine rejects past", `Quick, test_engine_rejects_past);
+    ("engine schedule_after", `Quick, test_engine_schedule_after);
+    ("engine cancellation", `Quick, test_engine_cancellation);
+    ("engine cancel twice", `Quick, test_engine_cancel_twice_is_noop);
+    ("engine run until", `Quick, test_engine_until_horizon);
+    ("engine stop", `Quick, test_engine_stop);
+    ("engine step", `Quick, test_engine_step);
+    ("engine negative delay", `Quick, test_engine_negative_delay_rejected);
+    QCheck_alcotest.to_alcotest prop_engine_fires_all_in_order;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the on/off workload drivers (Phi_tcp.Source and
+   Phi_remy.Remy_source): sequential connections, the cc-factory and
+   report hooks, stop/abort semantics. *)
+
+module Engine = Phi_sim.Engine
+module Topology = Phi_net.Topology
+module Prng = Phi_util.Prng
+open Phi_tcp
+
+type fixture = {
+  engine : Engine.t;
+  dumbbell : Topology.dumbbell;
+  flows : Flow.allocator;
+}
+
+let fixture () =
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+  { engine; dumbbell; flows = Flow.allocator () }
+
+let make_source ?(mean_on_bytes = 50e3) ?(mean_off_s = 0.2) ?(on_conn_end = fun _ -> ())
+    ?(cc_factory = fun () -> Cubic.make Cubic.default_params) f =
+  Source.create f.engine ~rng:(Prng.create ~seed:3) ~flows:f.flows
+    ~src_node:f.dumbbell.Topology.senders.(0)
+    ~dst_node:f.dumbbell.Topology.receivers.(0)
+    ~index:0 ~cc_factory ~on_conn_end
+    { Source.mean_on_bytes; mean_off_s }
+
+let test_source_runs_sequential_connections () =
+  let f = fixture () in
+  let source = make_source f in
+  Source.start source;
+  Engine.run ~until:30. f.engine;
+  Source.abort_current source;
+  let records = Source.records source in
+  Alcotest.(check bool) "many connections" true (List.length records > 10);
+  (* Connections are sequential: sorted by start, and each starts after
+     the previous finished. *)
+  let rec check_sequential = function
+    | (a : Flow.conn_stats) :: (b : Flow.conn_stats) :: rest ->
+      Alcotest.(check bool) "no overlap" true (b.Flow.started_at >= a.Flow.finished_at -. 1e-9);
+      check_sequential (b :: rest)
+    | _ -> ()
+  in
+  check_sequential records;
+  (* Every record has a distinct flow id. *)
+  let ids = List.map (fun (r : Flow.conn_stats) -> r.Flow.flow) records in
+  Alcotest.(check int) "distinct flows" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_source_cc_factory_called_per_connection () =
+  let f = fixture () in
+  let calls = ref 0 in
+  let source =
+    make_source
+      ~cc_factory:(fun () ->
+        incr calls;
+        Cubic.make Cubic.default_params)
+      f
+  in
+  Source.start source;
+  Engine.run ~until:20. f.engine;
+  Source.abort_current source;
+  (* One factory call per launched connection (completed + in-flight). *)
+  Alcotest.(check bool) "factory called per connection" true
+    (!calls >= Source.connections_completed source
+    && !calls <= Source.connections_completed source + 1)
+
+let test_source_on_conn_end_matches_records () =
+  let f = fixture () in
+  let reported = ref 0 in
+  let source = make_source ~on_conn_end:(fun _ -> incr reported) f in
+  Source.start source;
+  Engine.run ~until:20. f.engine;
+  Source.stop source;
+  Engine.run ~until:25. f.engine;
+  Alcotest.(check int) "hook fired per record" (Source.connections_completed source) !reported
+
+let test_source_stop_prevents_new_connections () =
+  let f = fixture () in
+  let source = make_source f in
+  Source.start source;
+  Engine.run ~until:10. f.engine;
+  Source.stop source;
+  Engine.run ~until:12. f.engine;  (* let the in-flight connection finish *)
+  let count = Source.connections_completed source in
+  Engine.run ~until:40. f.engine;
+  Alcotest.(check int) "no further connections" count (Source.connections_completed source)
+
+let test_source_validation () =
+  let f = fixture () in
+  let raised g = try g (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad on size" true
+    (raised (fun () -> ignore (make_source ~mean_on_bytes:0. f)));
+  Alcotest.(check bool) "bad off time" true
+    (raised (fun () -> ignore (make_source ~mean_off_s:(-1.) f)))
+
+(* {2 Remy_source} *)
+
+let make_remy_source ?(util = `None) f =
+  let dims = match util with `None -> 3 | _ -> 4 in
+  let table = Phi_remy.Rule_table.create ~dims Phi_remy.Whisker.default_action in
+  Phi_remy.Remy_source.create f.engine ~rng:(Prng.create ~seed:4) ~flows:f.flows
+    ~src_node:f.dumbbell.Topology.senders.(0)
+    ~dst_node:f.dumbbell.Topology.receivers.(0)
+    ~index:0 ~table ~util
+    { Phi_remy.Remy_source.mean_on_bytes = 50e3; mean_off_s = 0.2 }
+
+let test_remy_source_runs () =
+  let f = fixture () in
+  let source = make_remy_source f in
+  Phi_remy.Remy_source.start source;
+  Engine.run ~until:30. f.engine;
+  Phi_remy.Remy_source.abort_current source;
+  Alcotest.(check bool) "connections completed" true
+    (Phi_remy.Remy_source.connections_completed source > 5);
+  List.iter
+    (fun (r : Flow.conn_stats) ->
+      Alcotest.(check bool) "bytes delivered" true (r.Flow.bytes > 0))
+    (Phi_remy.Remy_source.records source)
+
+let test_remy_source_practical_util_sampled_per_connection () =
+  let f = fixture () in
+  let samples = ref 0 in
+  let util = `At_start (fun () -> incr samples; 0.5) in
+  let source = make_remy_source ~util f in
+  Phi_remy.Remy_source.start source;
+  Engine.run ~until:20. f.engine;
+  Phi_remy.Remy_source.abort_current source;
+  let completed = Phi_remy.Remy_source.connections_completed source in
+  Alcotest.(check bool) "one sample per connection" true
+    (!samples >= completed && !samples <= completed + 1)
+
+let suite =
+  [
+    ("source sequential connections", `Quick, test_source_runs_sequential_connections);
+    ("source cc factory per connection", `Quick, test_source_cc_factory_called_per_connection);
+    ("source report hook", `Quick, test_source_on_conn_end_matches_records);
+    ("source stop", `Quick, test_source_stop_prevents_new_connections);
+    ("source validation", `Quick, test_source_validation);
+    ("remy source runs", `Quick, test_remy_source_runs);
+    ("remy source practical util", `Quick, test_remy_source_practical_util_sampled_per_connection);
+  ]

@@ -1,0 +1,526 @@
+(* Tests for phi_tcp: RTO estimation, congestion controllers, the
+   receiver, and the SACK sender driven over real simulated links. *)
+
+module Engine = Phi_sim.Engine
+module Packet = Phi_net.Packet
+module Link = Phi_net.Link
+module Node = Phi_net.Node
+module Topology = Phi_net.Topology
+module Prng = Phi_util.Prng
+open Phi_tcp
+
+(* {2 Rto} *)
+
+let test_rto_initial () =
+  let rto = Rto.create () in
+  Alcotest.(check (float 0.)) "1 s before samples" 1. (Rto.current rto);
+  Alcotest.(check bool) "no srtt" true (Rto.srtt rto = None)
+
+let test_rto_first_sample () =
+  let rto = Rto.create () in
+  Rto.observe rto ~rtt:0.1;
+  (* srtt = 0.1, rttvar = 0.05 -> rto = 0.3. *)
+  Alcotest.(check (float 1e-9)) "srtt + 4 var" 0.3 (Rto.current rto);
+  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1) (Rto.srtt rto)
+
+let test_rto_converges () =
+  let rto = Rto.create () in
+  for _ = 1 to 100 do
+    Rto.observe rto ~rtt:0.2
+  done;
+  (* Constant samples: rttvar decays towards 0, rto towards max(srtt, min). *)
+  Alcotest.(check bool) "close to srtt" true (Rto.current rto < 0.25)
+
+let test_rto_backoff () =
+  let rto = Rto.create () in
+  Rto.observe rto ~rtt:0.1;
+  let base = Rto.current rto in
+  Rto.backoff rto;
+  Alcotest.(check (float 1e-9)) "doubled" (base *. 2.) (Rto.current rto);
+  Rto.backoff rto;
+  Alcotest.(check (float 1e-9)) "doubled again" (base *. 4.) (Rto.current rto);
+  Rto.observe rto ~rtt:0.1;
+  (* A fresh sample clears the backoff (and shrinks rttvar further). *)
+  Alcotest.(check bool) "sample clears backoff" true (Rto.current rto <= base)
+
+let test_rto_min_max () =
+  let rto = Rto.create ~min_rto:0.5 ~max_rto:2. () in
+  Rto.observe rto ~rtt:0.001;
+  Alcotest.(check (float 1e-9)) "floored" 0.5 (Rto.current rto);
+  for _ = 1 to 10 do
+    Rto.backoff rto
+  done;
+  Alcotest.(check (float 1e-9)) "capped" 2. (Rto.current rto)
+
+(* {2 Congestion controllers} *)
+
+let test_reno_slow_start_then_ca () =
+  let cc = Reno.make ~initial_cwnd:2. ~initial_ssthresh:4. () in
+  Alcotest.(check bool) "starts in slow start" true (Cc.in_slow_start cc);
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:1;
+  Alcotest.(check (float 1e-9)) "slow start +1" 3. cc.Cc.cwnd;
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:5;
+  Alcotest.(check (float 1e-9)) "capped at ssthresh" 4. cc.Cc.cwnd;
+  let before = cc.Cc.cwnd in
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:1;
+  Alcotest.(check (float 1e-9)) "CA +1/cwnd" (before +. (1. /. before)) cc.Cc.cwnd
+
+let test_reno_loss_halves () =
+  let cc = Reno.make ~initial_cwnd:10. ~initial_ssthresh:5. () in
+  cc.Cc.on_loss cc ~now:0.;
+  Alcotest.(check (float 1e-9)) "halved" 5. cc.Cc.cwnd;
+  Alcotest.(check (float 1e-9)) "ssthresh follows" 5. cc.Cc.ssthresh
+
+let test_reno_timeout_resets () =
+  let cc = Reno.make ~initial_cwnd:10. ~initial_ssthresh:5. () in
+  cc.Cc.on_timeout cc ~now:0.;
+  Alcotest.(check (float 1e-9)) "cwnd 1" 1. cc.Cc.cwnd;
+  Alcotest.(check (float 1e-9)) "ssthresh half" 5. cc.Cc.ssthresh
+
+let test_reno_floor () =
+  let cc = Reno.make ~initial_cwnd:2. ~initial_ssthresh:2. () in
+  cc.Cc.on_loss cc ~now:0.;
+  Alcotest.(check bool) "floored at min" true (cc.Cc.cwnd >= Cc.min_cwnd)
+
+let test_weighted_reno_increase () =
+  let w = 4. in
+  let cc = Reno.make_weighted ~weight:w ~initial_cwnd:10. ~initial_ssthresh:5. () in
+  let before = cc.Cc.cwnd in
+  cc.Cc.on_ack cc ~now:0. ~rtt:None ~newly_acked:1;
+  Alcotest.(check (float 1e-9)) "w/cwnd per ack" (before +. (w /. before)) cc.Cc.cwnd
+
+let test_weighted_reno_gentle_decrease () =
+  let cc = Reno.make_weighted ~weight:4. ~initial_cwnd:16. ~initial_ssthresh:8. () in
+  cc.Cc.on_loss cc ~now:0.;
+  (* factor 1 - 1/(2 * 4) = 0.875 *)
+  Alcotest.(check (float 1e-9)) "MulTCP decrease" 14. cc.Cc.cwnd
+
+let test_weighted_reno_rejects_bad_weight () =
+  let raised = try ignore (Reno.make_weighted ~weight:0. ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "weight 0 rejected" true raised
+
+let test_cubic_defaults_match_table1 () =
+  let p = Cubic.default_params in
+  Alcotest.(check (float 0.)) "windowInit_" 2. p.Cubic.initial_cwnd;
+  Alcotest.(check (float 0.)) "initial_ssthresh 65K" 65536. p.Cubic.initial_ssthresh;
+  Alcotest.(check (float 0.)) "beta" 0.2 p.Cubic.beta
+
+let test_cubic_slow_start () =
+  let cc = Cubic.make (Cubic.with_knobs ~initial_cwnd:2. ~initial_ssthresh:8. Cubic.default_params) in
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:2;
+  Alcotest.(check (float 1e-9)) "doubling" 4. cc.Cc.cwnd
+
+let test_cubic_beta_decrease () =
+  let cc = Cubic.make (Cubic.with_knobs ~beta:0.3 ~initial_ssthresh:8. Cubic.default_params) in
+  cc.Cc.cwnd <- 100.;
+  cc.Cc.on_loss cc ~now:1.;
+  Alcotest.(check (float 1e-6)) "(1-beta) cwnd" 70. cc.Cc.cwnd;
+  Alcotest.(check (float 1e-6)) "ssthresh tracks" 70. cc.Cc.ssthresh
+
+let test_cubic_concave_convex_growth () =
+  (* After a loss at w_max=100, growth should approach w_max slowly then
+     accelerate past it (cubic shape). *)
+  let cc = Cubic.make (Cubic.with_knobs ~initial_ssthresh:2. Cubic.default_params) in
+  cc.Cc.cwnd <- 100.;
+  cc.Cc.on_loss cc ~now:0.;
+  let w_after_loss = cc.Cc.cwnd in
+  (* Feed steady acks at 100 ms RTT for 2 simulated seconds. *)
+  let now = ref 0. in
+  for _ = 1 to 20 do
+    now := !now +. 0.1;
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~newly_acked:10
+  done;
+  let w_2s = cc.Cc.cwnd in
+  Alcotest.(check bool) "recovering towards w_max" true (w_2s > w_after_loss);
+  for _ = 1 to 200 do
+    now := !now +. 0.1;
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~newly_acked:10
+  done;
+  Alcotest.(check bool) "eventually exceeds w_max" true (cc.Cc.cwnd > 100.)
+
+let test_cubic_timeout () =
+  let cc = Cubic.make Cubic.default_params in
+  cc.Cc.cwnd <- 50.;
+  cc.Cc.on_timeout cc ~now:1.;
+  Alcotest.(check (float 1e-9)) "cwnd 1" 1. cc.Cc.cwnd;
+  Alcotest.(check (float 1e-6)) "ssthresh = (1-beta) * 50" 40. cc.Cc.ssthresh
+
+let test_cubic_rejects_bad_beta () =
+  let raised =
+    try ignore (Cubic.make (Cubic.with_knobs ~beta:1. Cubic.default_params)); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "beta 1 rejected" true raised
+
+let test_cubic_params_to_string () =
+  Alcotest.(check string) "render" "65536/2/0.2" (Cubic.params_to_string Cubic.default_params)
+
+(* {2 Vegas} *)
+
+let feed_vegas cc ~rtt ~epochs =
+  (* One "epoch" = enough acks at a fixed RTT to pass the adjustment
+     boundary. *)
+  let now = ref 0.1 in
+  for _ = 1 to epochs do
+    now := !now +. rtt;
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some rtt) ~newly_acked:1
+  done
+
+let test_vegas_grows_when_queue_empty () =
+  let cc = Vegas.make ~initial_cwnd:10. ~initial_ssthresh:5. () in
+  (* Constant RTT = base RTT: diff = 0 < alpha, so +1 per epoch. *)
+  let before = cc.Cc.cwnd in
+  feed_vegas cc ~rtt:0.1 ~epochs:10;
+  Alcotest.(check bool) "grew additively" true
+    (cc.Cc.cwnd > before && cc.Cc.cwnd <= before +. 10.)
+
+let test_vegas_shrinks_when_queue_builds () =
+  let cc = Vegas.make ~initial_cwnd:20. ~initial_ssthresh:5. () in
+  (* Seed base_rtt low, then keep RTT 2x base: diff = cwnd/2 > beta. *)
+  cc.Cc.on_ack cc ~now:0.05 ~rtt:(Some 0.1) ~newly_acked:1;
+  let before = cc.Cc.cwnd in
+  feed_vegas cc ~rtt:0.2 ~epochs:10;
+  Alcotest.(check bool) "shrank" true (cc.Cc.cwnd < before)
+
+let test_vegas_loss_decrease_gentler_than_timeout () =
+  let cc = Vegas.make ~initial_cwnd:40. ~initial_ssthresh:5. () in
+  cc.Cc.on_loss cc ~now:0.;
+  Alcotest.(check (float 1e-9)) "3/4 on loss" 30. cc.Cc.cwnd;
+  cc.Cc.on_timeout cc ~now:0.;
+  Alcotest.(check (float 1e-9)) "1 on timeout" 1. cc.Cc.cwnd
+
+let test_vegas_validation () =
+  let raised = try ignore (Vegas.make ~alpha:5. ~beta:2. ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "alpha > beta rejected" true raised
+
+let test_vegas_keeps_queue_short_end_to_end () =
+  (* A single Vegas flow on the paper dumbbell should hold much less
+     queue than default Cubic does. *)
+  let run cc =
+    let engine = Engine.create () in
+    let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+    let _recv = Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0 in
+    let sender =
+      Sender.create engine
+        ~node:dumbbell.Topology.senders.(0)
+        ~flow:0
+        ~dst:(Topology.receiver_id dumbbell 0)
+        ~cc ~total_segments:Sender.persistent_total ()
+    in
+    Sender.start sender;
+    Engine.run ~until:30. engine;
+    let bneck = dumbbell.Topology.bottleneck in
+    Link.total_queue_wait bneck /. float_of_int (Stdlib.max 1 (Link.packets_delivered bneck))
+  in
+  let vegas_delay = run (Vegas.make ()) in
+  let cubic_delay = run (Cubic.make Cubic.default_params) in
+  Alcotest.(check bool) "vegas queues far less than cubic" true
+    (vegas_delay < cubic_delay /. 2.)
+
+(* {2 Receiver} *)
+
+(* A loopback node pair: receiver on node 1, ACKs captured by a probe
+   bound on node 0 via a direct link pair. *)
+let receiver_fixture () =
+  let engine = Engine.create () in
+  let a = Node.create engine ~id:0 in
+  let b = Node.create engine ~id:1 in
+  let ab = Link.create engine ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
+  let ba = Link.create engine ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
+  Link.set_receiver ab (Node.receive b);
+  Link.set_receiver ba (Node.receive a);
+  Node.add_route a ~dst:1 ab;
+  Node.add_route b ~dst:0 ba;
+  let acks = ref [] in
+  Node.bind_flow a ~flow:0 (fun pkt -> acks := pkt :: !acks);
+  let recv = Receiver.create engine ~node:b ~flow:0 ~peer:0 in
+  (engine, a, recv, acks)
+
+let send_data engine node ~seq ~retransmit =
+  Node.receive node (Packet.data ~flow:0 ~src:0 ~dst:1 ~seq ~now:(Engine.now engine) ~retransmit)
+
+let ack_fields pkt =
+  match pkt.Packet.kind with
+  | Packet.Ack { echo_sent_at; sack; _ } -> (pkt.Packet.seq, echo_sent_at, sack)
+  | Packet.Data -> Alcotest.fail "expected ack"
+
+let test_receiver_in_order () =
+  let engine, a, recv, acks = receiver_fixture () in
+  for seq = 0 to 2 do
+    send_data engine a ~seq ~retransmit:false
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "next expected" 3 (Receiver.next_expected recv);
+  Alcotest.(check int) "three acks" 3 (List.length !acks);
+  let cums = List.rev_map (fun p -> let c, _, _ = ack_fields p in c) !acks in
+  Alcotest.(check (list int)) "cumulative acks" [ 1; 2; 3 ] cums
+
+let test_receiver_out_of_order_sack () =
+  let engine, a, recv, acks = receiver_fixture () in
+  send_data engine a ~seq:0 ~retransmit:false;
+  send_data engine a ~seq:2 ~retransmit:false;
+  send_data engine a ~seq:3 ~retransmit:false;
+  Engine.run engine;
+  Alcotest.(check int) "stuck at 1" 1 (Receiver.next_expected recv);
+  let _, _, sack = ack_fields (List.hd !acks) in
+  Alcotest.(check (list (pair int int))) "sack block [2,4)" [ (2, 4) ] sack;
+  (* Filling the hole advances over the buffered run. *)
+  send_data engine a ~seq:1 ~retransmit:false;
+  Engine.run engine;
+  Alcotest.(check int) "advanced to 4" 4 (Receiver.next_expected recv)
+
+let test_receiver_duplicate_segments () =
+  let engine, a, recv, _acks = receiver_fixture () in
+  send_data engine a ~seq:0 ~retransmit:false;
+  Engine.run engine;
+  send_data engine a ~seq:0 ~retransmit:true;
+  Engine.run engine;
+  Alcotest.(check int) "one distinct" 1 (Receiver.segments_received recv);
+  Alcotest.(check int) "dup counted" 1 (Receiver.duplicate_segments recv)
+
+let test_receiver_karn_no_echo_on_retransmit () =
+  let engine, a, _recv, acks = receiver_fixture () in
+  send_data engine a ~seq:0 ~retransmit:true;
+  Engine.run engine;
+  let _, echo, _ = ack_fields (List.hd !acks) in
+  Alcotest.(check bool) "no echo" true (echo = None)
+
+(* {2 Sender end-to-end} *)
+
+type fixture = {
+  engine : Engine.t;
+  dumbbell : Topology.dumbbell;
+  sender : Sender.t;
+  receiver : Receiver.t;
+}
+
+let sender_fixture ?(spec = { Topology.paper_spec with Topology.n = 1 }) ?(total = 200)
+    ?(cc = Cubic.make Cubic.default_params) () =
+  let engine = Engine.create () in
+  let dumbbell = Topology.dumbbell engine spec in
+  let receiver =
+    Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+  in
+  let sender =
+    Sender.create engine
+      ~node:dumbbell.Topology.senders.(0)
+      ~flow:0
+      ~dst:(Topology.receiver_id dumbbell 0)
+      ~cc ~total_segments:total ()
+  in
+  { engine; dumbbell; sender; receiver }
+
+let test_sender_completes_clean_path () =
+  let f = sender_fixture ~total:100 () in
+  let completed = ref None in
+  let f =
+    (* Rebuild with an on_complete hook. *)
+    ignore f;
+    let engine = Engine.create () in
+    let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+    let receiver = Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0 in
+    let sender =
+      Sender.create engine
+        ~node:dumbbell.Topology.senders.(0)
+        ~flow:0
+        ~dst:(Topology.receiver_id dumbbell 0)
+        ~cc:(Cubic.make Cubic.default_params) ~total_segments:100
+        ~on_complete:(fun stats -> completed := Some stats)
+        ()
+    in
+    { engine; dumbbell; sender; receiver }
+  in
+  Sender.start f.sender;
+  Engine.run f.engine;
+  Alcotest.(check bool) "completed" true (Sender.completed f.sender);
+  Alcotest.(check int) "all acked" 100 (Sender.acked_segments f.sender);
+  Alcotest.(check int) "receiver got all" 100 (Receiver.segments_received f.receiver);
+  Alcotest.(check int) "no retransmissions" 0 (Sender.retransmitted_segments f.sender);
+  match !completed with
+  | None -> Alcotest.fail "no completion callback"
+  | Some stats ->
+    Alcotest.(check int) "stats bytes" (100 * Packet.mss) stats.Flow.bytes;
+    Alcotest.(check bool) "rtt sampled" true (stats.Flow.rtt_samples > 0);
+    Alcotest.(check bool) "min rtt sane" true (stats.Flow.min_rtt > 0.14 && stats.Flow.min_rtt < 0.2)
+
+let test_sender_throughput_bounded_by_link () =
+  let f = sender_fixture ~total:2000 () in
+  Sender.start f.sender;
+  Engine.run f.engine;
+  let stats = Sender.stats f.sender in
+  let thr = Flow.throughput_bps stats in
+  Alcotest.(check bool) "below capacity" true (thr <= 15e6 +. 1e-6);
+  Alcotest.(check bool) "above half capacity" true (thr > 7.5e6)
+
+let test_sender_recovers_from_injected_loss () =
+  let f = sender_fixture ~total:500 () in
+  Link.set_fault_injection f.dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:5)
+    ~drop_probability:0.02;
+  Sender.start f.sender;
+  Engine.run f.engine;
+  Alcotest.(check bool) "completed despite loss" true (Sender.completed f.sender);
+  Alcotest.(check int) "receiver got everything" 500 (Receiver.segments_received f.receiver);
+  Alcotest.(check bool) "did retransmit" true (Sender.retransmitted_segments f.sender > 0)
+
+let test_sender_recovers_from_severe_loss () =
+  let f = sender_fixture ~total:300 () in
+  Link.set_fault_injection f.dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:6)
+    ~drop_probability:0.2;
+  Sender.start f.sender;
+  Engine.run f.engine;
+  Alcotest.(check bool) "completed at 20% loss" true (Sender.completed f.sender)
+
+let test_sender_abort_cancels () =
+  let f = sender_fixture ~total:10_000 () in
+  Sender.start f.sender;
+  Engine.run ~until:1. f.engine;
+  Sender.abort f.sender;
+  Engine.run f.engine;
+  Alcotest.(check bool) "engine drains after abort" true (Engine.pending f.engine = 0)
+
+let test_sender_cwnd_grows_in_slow_start () =
+  let f = sender_fixture ~total:5000 () in
+  Sender.start f.sender;
+  Engine.run ~until:1. f.engine;
+  Alcotest.(check bool) "grew from 2" true (Sender.cwnd f.sender > 8.)
+
+let test_sender_timeout_on_blackout () =
+  (* Drop everything after the first RTT: only the RTO path can notice. *)
+  let f = sender_fixture ~total:50 () in
+  Sender.start f.sender;
+  Engine.run ~until:0.5 f.engine;
+  Link.set_fault_injection f.dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:7)
+    ~drop_probability:1.0;
+  Engine.run ~until:10. f.engine;
+  Alcotest.(check bool) "timeouts fired" true (Sender.timeouts f.sender > 0);
+  (* Heal the path; the transfer must finish. *)
+  Link.set_fault_injection f.dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:8)
+    ~drop_probability:0.;
+  Engine.run f.engine;
+  Alcotest.(check bool) "completed after healing" true (Sender.completed f.sender)
+
+let test_ecn_marks_instead_of_drops () =
+  (* A sane initial ssthresh avoids the slow-start burst that would
+     physically overflow the queue before RED's lagging average reacts;
+     with it, ECN carries the whole congestion signal without a single
+     drop or retransmission. *)
+  let cc () = Cubic.make (Cubic.with_knobs ~initial_ssthresh:64. Cubic.default_params) in
+  let run ~ecn =
+    let f = sender_fixture ~cc:(cc ()) ~total:Sender.persistent_total () in
+    let bneck = f.dumbbell.Topology.bottleneck in
+    Link.set_discipline bneck ~rng:(Prng.create ~seed:11)
+      (Link.Red (Link.default_red ~ecn ~capacity_pkts:(Link.capacity_pkts bneck) ()));
+    Sender.start f.sender;
+    Engine.run ~until:30. f.engine;
+    (f, bneck)
+  in
+  let f_ecn, bneck_ecn = run ~ecn:true in
+  let _f_red, bneck_red = run ~ecn:false in
+  Alcotest.(check bool) "marks happened" true (Link.ecn_marks bneck_ecn > 0);
+  Alcotest.(check int) "no drops" 0 (Link.drops bneck_ecn);
+  Alcotest.(check int) "no retransmissions" 0
+    (Sender.retransmitted_segments f_ecn.sender);
+  Alcotest.(check bool) "sender reduced on echoes" true
+    (Sender.ecn_reductions f_ecn.sender > 0);
+  Alcotest.(check bool) "drop-based RED does drop" true (Link.drops bneck_red > 0);
+  let thr = Flow.throughput_bps (Sender.stats f_ecn.sender) in
+  Alcotest.(check bool) "still near capacity" true (thr > 10e6)
+
+let test_ecn_reacts_at_most_once_per_rtt () =
+  let f = sender_fixture ~total:Sender.persistent_total () in
+  Link.set_discipline f.dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:12)
+    (Link.Red
+       (Link.default_red ~ecn:true
+          ~capacity_pkts:(Link.capacity_pkts f.dumbbell.Topology.bottleneck)
+          ()));
+  Sender.start f.sender;
+  Engine.run ~until:30. f.engine;
+  (* 30 s at ~0.15-0.2 s RTT: reductions bounded by elapsed/RTT. *)
+  Alcotest.(check bool) "reductions rate-limited" true
+    (Sender.ecn_reductions f.sender <= 200)
+
+let test_cwnd_trace_records_growth () =
+  let f = sender_fixture ~total:Sender.persistent_total () in
+  let trace = Cwnd_trace.attach f.engine f.sender ~interval_s:0.1 in
+  Sender.start f.sender;
+  Engine.run ~until:5. f.engine;
+  let series = Cwnd_trace.series trace in
+  Alcotest.(check bool) "sampled" true (Array.length series >= 40);
+  let times = Array.map fst series in
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  Alcotest.(check (array (float 0.))) "time ordered" sorted times;
+  Alcotest.(check bool) "window grew" true (Cwnd_trace.max_cwnd trace > 2.);
+  Cwnd_trace.stop trace;
+  let before = Array.length (Cwnd_trace.series trace) in
+  Engine.run ~until:6. f.engine;
+  Alcotest.(check int) "stop stops sampling" before (Array.length (Cwnd_trace.series trace))
+
+let prop_delivery_integrity =
+  QCheck.Test.make ~name:"tcp delivers everything exactly once under random loss" ~count:25
+    QCheck.(pair (int_range 1 400) (pair (int_range 0 10_000) (int_range 0 15)))
+    (fun (total, (seed, loss_pct)) ->
+      let engine = Engine.create () in
+      let dumbbell =
+        Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 }
+      in
+      let receiver =
+        Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+      in
+      let sender =
+        Sender.create engine
+          ~node:dumbbell.Topology.senders.(0)
+          ~flow:0
+          ~dst:(Topology.receiver_id dumbbell 0)
+          ~cc:(Cubic.make Cubic.default_params) ~total_segments:total ()
+      in
+      Link.set_fault_injection dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed)
+        ~drop_probability:(float_of_int loss_pct /. 100.);
+      Sender.start sender;
+      Engine.run ~until:600. engine;
+      Sender.completed sender
+      && Receiver.segments_received receiver = total
+      && Receiver.next_expected receiver = total)
+
+let suite =
+  [
+    ("rto initial", `Quick, test_rto_initial);
+    ("rto first sample", `Quick, test_rto_first_sample);
+    ("rto converges", `Quick, test_rto_converges);
+    ("rto backoff", `Quick, test_rto_backoff);
+    ("rto min max", `Quick, test_rto_min_max);
+    ("reno slow start then ca", `Quick, test_reno_slow_start_then_ca);
+    ("reno loss halves", `Quick, test_reno_loss_halves);
+    ("reno timeout resets", `Quick, test_reno_timeout_resets);
+    ("reno floor", `Quick, test_reno_floor);
+    ("weighted reno increase", `Quick, test_weighted_reno_increase);
+    ("weighted reno decrease", `Quick, test_weighted_reno_gentle_decrease);
+    ("weighted reno bad weight", `Quick, test_weighted_reno_rejects_bad_weight);
+    ("cubic defaults match table 1", `Quick, test_cubic_defaults_match_table1);
+    ("cubic slow start", `Quick, test_cubic_slow_start);
+    ("cubic beta decrease", `Quick, test_cubic_beta_decrease);
+    ("cubic concave/convex growth", `Quick, test_cubic_concave_convex_growth);
+    ("cubic timeout", `Quick, test_cubic_timeout);
+    ("cubic rejects bad beta", `Quick, test_cubic_rejects_bad_beta);
+    ("cubic params to string", `Quick, test_cubic_params_to_string);
+    ("vegas grows when queue empty", `Quick, test_vegas_grows_when_queue_empty);
+    ("vegas shrinks when queue builds", `Quick, test_vegas_shrinks_when_queue_builds);
+    ("vegas loss vs timeout", `Quick, test_vegas_loss_decrease_gentler_than_timeout);
+    ("vegas validation", `Quick, test_vegas_validation);
+    ("vegas keeps queue short", `Slow, test_vegas_keeps_queue_short_end_to_end);
+    ("receiver in order", `Quick, test_receiver_in_order);
+    ("receiver out of order sack", `Quick, test_receiver_out_of_order_sack);
+    ("receiver duplicate segments", `Quick, test_receiver_duplicate_segments);
+    ("receiver karn", `Quick, test_receiver_karn_no_echo_on_retransmit);
+    ("sender completes clean path", `Quick, test_sender_completes_clean_path);
+    ("sender throughput bounded", `Quick, test_sender_throughput_bounded_by_link);
+    ("sender recovers from loss", `Quick, test_sender_recovers_from_injected_loss);
+    ("sender recovers from severe loss", `Quick, test_sender_recovers_from_severe_loss);
+    ("sender abort", `Quick, test_sender_abort_cancels);
+    ("sender slow start growth", `Quick, test_sender_cwnd_grows_in_slow_start);
+    ("sender timeout on blackout", `Quick, test_sender_timeout_on_blackout);
+    ("ecn marks instead of drops", `Quick, test_ecn_marks_instead_of_drops);
+    ("ecn once per rtt", `Quick, test_ecn_reacts_at_most_once_per_rtt);
+    ("cwnd trace", `Quick, test_cwnd_trace_records_growth);
+    QCheck_alcotest.to_alcotest ~long:true prop_delivery_integrity;
+  ]

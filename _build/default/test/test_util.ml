@@ -1,0 +1,316 @@
+(* Tests for phi_util: PRNG, distributions, statistics, tables. *)
+
+open Phi_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tolerance = Alcotest.(check (float tolerance))
+
+(* {2 Prng} *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_prng_split_independence () =
+  let parent = Prng.create ~seed:7 in
+  let child = Prng.split parent in
+  let a = Prng.bits64 parent and b = Prng.bits64 child in
+  Alcotest.(check bool) "split stream differs" true (a <> b)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:9 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng ~bound:7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng ~bound:0))
+
+let test_prng_int_uniformity () =
+  let rng = Prng.create ~seed:5 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Prng.int rng ~bound:4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      check_close 0.02 "roughly uniform" 0.25 frac)
+    counts
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create ~seed:6 in
+  let a = Array.init 20 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
+
+let test_prng_choose () =
+  let rng = Prng.create ~seed:8 in
+  Alcotest.(check int) "singleton" 5 (Prng.choose rng [| 5 |]);
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose rng [||]))
+
+(* {2 Dist} *)
+
+let mean_of f rng n =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f rng
+  done;
+  !acc /. float_of_int n
+
+let test_exponential_mean () =
+  let rng = Prng.create ~seed:10 in
+  let m = mean_of (fun r -> Dist.exponential r ~mean:2.5) rng 50_000 in
+  check_close 0.1 "mean ~2.5" 2.5 m
+
+let test_exponential_positive () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Dist.exponential rng ~mean:1. >= 0.)
+  done
+
+let test_exponential_rejects_bad_mean () =
+  let rng = Prng.create ~seed:12 in
+  Alcotest.check_raises "mean 0" (Invalid_argument "Dist.exponential: mean must be positive")
+    (fun () -> ignore (Dist.exponential rng ~mean:0.))
+
+let test_normal_moments () =
+  let rng = Prng.create ~seed:13 in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Dist.normal rng ~mu:3. ~sigma:2.) in
+  check_close 0.05 "mean" 3. (Stats.mean samples);
+  check_close 0.1 "stddev" 2. (Stats.stddev samples)
+
+let test_pareto_scale_floor () =
+  let rng = Prng.create ~seed:14 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true (Dist.pareto rng ~shape:1.5 ~scale:4. >= 4.)
+  done
+
+let test_poisson_mean () =
+  let rng = Prng.create ~seed:15 in
+  let m = mean_of (fun r -> float_of_int (Dist.poisson r ~lambda:6.5)) rng 30_000 in
+  check_close 0.15 "mean ~6.5" 6.5 m
+
+let test_poisson_large_lambda () =
+  let rng = Prng.create ~seed:16 in
+  let m = mean_of (fun r -> float_of_int (Dist.poisson r ~lambda:500.)) rng 5_000 in
+  check_close 5. "normal approximation" 500. m
+
+let test_poisson_zero () =
+  let rng = Prng.create ~seed:17 in
+  Alcotest.(check int) "lambda 0" 0 (Dist.poisson rng ~lambda:0.)
+
+let test_zipf_rank_ordering () =
+  let rng = Prng.create ~seed:18 in
+  let z = Dist.zipf ~n:50 ~alpha:1.2 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 50_000 do
+    let i = Dist.zipf_draw z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 10 beats rank 40" true (counts.(10) > counts.(40));
+  Alcotest.(check int) "support" 50 (Dist.zipf_support z)
+
+let test_zipf_bounds () =
+  let rng = Prng.create ~seed:19 in
+  let z = Dist.zipf ~n:5 ~alpha:0.8 in
+  for _ = 1 to 1000 do
+    let i = Dist.zipf_draw z rng in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 5)
+  done
+
+(* {2 Stats} *)
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_close 1e-9 "variance" (32. /. 7.) (Stats.variance xs)
+
+let test_variance_singleton () = check_float "singleton" 0. (Stats.variance [| 42. |])
+
+let test_percentile_interpolation () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "p0" 1. (Stats.percentile xs ~p:0.);
+  check_float "p100" 4. (Stats.percentile xs ~p:100.);
+  check_float "median interpolates" 2.5 (Stats.median xs)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.percentile xs ~p:50.);
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let test_percentile_rejects_out_of_range () =
+  Alcotest.check_raises "p > 100" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile [| 1. |] ~p:101.))
+
+let test_empty_sample_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_cdf_and_survival () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "cdf at 3" 0.6 (Stats.cdf_at xs ~x:3.);
+  check_float "frac >= 4" 0.4 (Stats.fraction_at_least xs ~threshold:4.)
+
+let test_summary () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "count" 101 s.Stats.count;
+  check_float "median" 50. s.Stats.median;
+  check_float "min" 0. s.Stats.min;
+  check_float "max" 100. s.Stats.max;
+  check_float "p90" 90. s.Stats.p90
+
+let test_ewma () =
+  let e = Stats.ewma ~alpha:0.5 in
+  Alcotest.(check (option (float 0.))) "empty" None (Stats.ewma_value e);
+  Stats.ewma_update e 10.;
+  check_float "first sample" 10. (Stats.ewma_value_or e ~default:0.);
+  Stats.ewma_update e 20.;
+  check_float "blended" 15. (Stats.ewma_value_or e ~default:0.)
+
+let test_ewma_alpha_validation () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Stats.ewma: alpha must be in (0, 1]")
+    (fun () -> ignore (Stats.ewma ~alpha:0.))
+
+(* {2 Table} *)
+
+let test_table_render () =
+  let out = Table.render ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ] in
+  Alcotest.(check bool) "contains header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* All non-empty lines share the same width. *)
+  let widths =
+    List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines
+  in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_table_pads_short_rows () =
+  let out = Table.render ~headers:[ "x"; "y" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_fmt_float () =
+  Alcotest.(check string) "2 decimals" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "0 decimals" "3" (Table.fmt_float ~decimals:0 3.14159)
+
+(* {2 Csv} *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain untouched" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Csv.escape "a\"b")
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "phi_test" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "hello" ]; [ "2"; "wo,rld" ] ];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  let l3 = input_line ic in
+  let lines = [ l1; l2; l3 ] in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "contents" [ "x,y"; "1,hello"; "2,\"wo,rld\"" ] lines
+
+(* {2 Properties} *)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 30) (float_bound_exclusive 1000.)) (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (Array.length xs > 0);
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-9)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean between min and max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      QCheck.assume (Array.length xs > 0);
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let prop_zipf_in_support =
+  QCheck.Test.make ~name:"zipf draws stay in support" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let z = Dist.zipf ~n ~alpha:1.0 in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let i = Dist.zipf_draw z rng in
+        if i < 0 || i >= n then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ("prng determinism", `Quick, test_prng_determinism);
+    ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng split independence", `Quick, test_prng_split_independence);
+    ("prng copy", `Quick, test_prng_copy);
+    ("prng float range", `Quick, test_prng_float_range);
+    ("prng int bounds", `Quick, test_prng_int_bounds);
+    ("prng int uniformity", `Quick, test_prng_int_uniformity);
+    ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
+    ("prng choose", `Quick, test_prng_choose);
+    ("exponential mean", `Quick, test_exponential_mean);
+    ("exponential positive", `Quick, test_exponential_positive);
+    ("exponential rejects bad mean", `Quick, test_exponential_rejects_bad_mean);
+    ("normal moments", `Quick, test_normal_moments);
+    ("pareto scale floor", `Quick, test_pareto_scale_floor);
+    ("poisson mean", `Quick, test_poisson_mean);
+    ("poisson large lambda", `Quick, test_poisson_large_lambda);
+    ("poisson zero", `Quick, test_poisson_zero);
+    ("zipf rank ordering", `Quick, test_zipf_rank_ordering);
+    ("zipf bounds", `Quick, test_zipf_bounds);
+    ("mean and variance", `Quick, test_mean_variance);
+    ("variance singleton", `Quick, test_variance_singleton);
+    ("percentile interpolation", `Quick, test_percentile_interpolation);
+    ("percentile does not mutate", `Quick, test_percentile_does_not_mutate);
+    ("percentile range check", `Quick, test_percentile_rejects_out_of_range);
+    ("empty sample rejected", `Quick, test_empty_sample_rejected);
+    ("cdf and survival", `Quick, test_cdf_and_survival);
+    ("summary", `Quick, test_summary);
+    ("ewma", `Quick, test_ewma);
+    ("ewma alpha validation", `Quick, test_ewma_alpha_validation);
+    ("csv escape", `Quick, test_csv_escape);
+    ("csv write roundtrip", `Quick, test_csv_write_roundtrip);
+    ("table render", `Quick, test_table_render);
+    ("table pads short rows", `Quick, test_table_pads_short_rows);
+    ("fmt_float", `Quick, test_fmt_float);
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_within_bounds;
+    QCheck_alcotest.to_alcotest prop_zipf_in_support;
+  ]

@@ -1,0 +1,147 @@
+(* Tests for phi_workload: cloud traces and request streams. *)
+
+module Prng = Phi_util.Prng
+module Stats = Phi_util.Stats
+open Phi_workload
+
+(* {2 Cloud_trace} *)
+
+let small_config =
+  {
+    Cloud_trace.n_servers = 50;
+    n_subnets = 200;
+    zipf_alpha = 1.1;
+    flows_per_minute = 500.;
+    horizon_minutes = 3;
+    mean_flow_packets = 40.;
+  }
+
+let test_trace_volume_and_order () =
+  let rng = Prng.create ~seed:1 in
+  let flows = Cloud_trace.generate rng small_config in
+  let n = List.length flows in
+  Alcotest.(check bool) "about 1500 flows" true (n > 1200 && n < 1800);
+  let sorted = ref true and last = ref neg_infinity in
+  List.iter
+    (fun (f : Cloud_trace.flow) ->
+      if f.Cloud_trace.start_s < !last then sorted := false;
+      last := f.Cloud_trace.start_s)
+    flows;
+  Alcotest.(check bool) "ordered by start" true !sorted
+
+let test_trace_fields_valid () =
+  let rng = Prng.create ~seed:2 in
+  let flows = Cloud_trace.generate rng small_config in
+  List.iter
+    (fun (f : Cloud_trace.flow) ->
+      Alcotest.(check bool) "src in range" true
+        (f.Cloud_trace.src_ip >= 0 && f.Cloud_trace.src_ip < 50);
+      Alcotest.(check bool) "subnet in range" true
+        (Cloud_trace.dst_subnet f >= 0 && Cloud_trace.dst_subnet f < 200);
+      Alcotest.(check bool) "packets positive" true (f.Cloud_trace.packets >= 1);
+      Alcotest.(check bool) "port ephemeral" true (f.Cloud_trace.src_port >= 1024))
+    flows
+
+let test_trace_zipf_skew () =
+  let rng = Prng.create ~seed:3 in
+  let flows = Cloud_trace.generate rng small_config in
+  let counts = Array.make 200 0 in
+  List.iter
+    (fun f -> counts.(Cloud_trace.dst_subnet f) <- counts.(Cloud_trace.dst_subnet f) + 1)
+    flows;
+  (* Top subnet should attract far more than an even share. *)
+  let top = Array.fold_left Stdlib.max 0 counts in
+  let even_share = List.length flows / 200 in
+  Alcotest.(check bool) "skewed" true (top > 5 * even_share)
+
+let test_trace_validation () =
+  let rng = Prng.create ~seed:4 in
+  let raised =
+    try ignore (Cloud_trace.generate rng { small_config with Cloud_trace.n_subnets = 0 }); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad config rejected" true raised
+
+(* {2 Request_stream} *)
+
+let small_rs_config =
+  {
+    Request_stream.metros = [ "m1"; "m2" ];
+    isps = [ "i1"; "i2" ];
+    services = [ "s1" ];
+    base_rate_per_min = 1000.;
+    days = 2;
+  }
+
+let test_stream_shape () =
+  let rng = Prng.create ~seed:5 in
+  let cells = Request_stream.generate rng small_rs_config ~outages:[] in
+  Alcotest.(check int) "cells = 2x2x1" 4 (List.length cells);
+  List.iter
+    (fun (_, series) -> Alcotest.(check int) "2 days of minutes" 2880 (Array.length series))
+    cells
+
+let test_stream_total_rate () =
+  let rng = Prng.create ~seed:6 in
+  let cells = Request_stream.generate rng small_rs_config ~outages:[] in
+  let total = Request_stream.total_series cells in
+  (* The diurnal factor averages to ~1, so the daily mean should be near
+     the configured base rate. *)
+  Alcotest.(check bool) "mean near base rate" true
+    (Float.abs (Stats.mean total -. 1000.) < 60.)
+
+let test_stream_diurnal_variation () =
+  let rng = Prng.create ~seed:7 in
+  let cells = Request_stream.generate rng small_rs_config ~outages:[] in
+  let total = Request_stream.total_series cells in
+  let trough = Stats.mean (Array.sub total 0 120) in
+  let peak = Stats.mean (Array.sub total 660 120) in
+  Alcotest.(check bool) "evening peak above morning trough" true (peak > 1.5 *. trough)
+
+let test_stream_outage_suppresses_scope () =
+  let rng = Prng.create ~seed:8 in
+  let scope = { Request_stream.metro = Some "m1"; isp = Some "i1"; service = None } in
+  let outage = { Request_stream.start_min = 700; duration_min = 60; scope; severity = 1.0 } in
+  let cells = Request_stream.generate rng small_rs_config ~outages:[ outage ] in
+  let affected = Request_stream.sum_where cells scope in
+  let during = Stats.mean (Array.sub affected 700 60) in
+  let before = Stats.mean (Array.sub affected 600 60) in
+  Alcotest.(check (float 0.)) "total outage" 0. during;
+  Alcotest.(check bool) "healthy before" true (before > 0.);
+  (* Unmatched cells are untouched. *)
+  let other =
+    Request_stream.sum_where cells
+      { Request_stream.metro = Some "m2"; isp = None; service = None }
+  in
+  Alcotest.(check bool) "others unaffected" true (Stats.mean (Array.sub other 700 60) > 0.)
+
+let test_stream_scope_matching () =
+  let cell : Request_stream.cell = { Request_stream.metro = "m"; isp = "i"; service = "s" } in
+  let all = { Request_stream.metro = None; isp = None; service = None } in
+  Alcotest.(check bool) "wildcard" true (Request_stream.scope_matches all cell);
+  let wrong = { all with Request_stream.metro = Some "x" } in
+  Alcotest.(check bool) "mismatch" false (Request_stream.scope_matches wrong cell)
+
+let test_stream_severity_validation () =
+  let rng = Prng.create ~seed:9 in
+  let scope = { Request_stream.metro = None; isp = None; service = None } in
+  let bad = { Request_stream.start_min = 0; duration_min = 1; scope; severity = 1.5 } in
+  let raised =
+    try ignore (Request_stream.generate rng small_rs_config ~outages:[ bad ]); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "severity validated" true raised
+
+let suite =
+  [
+    ("trace volume and order", `Quick, test_trace_volume_and_order);
+    ("trace fields valid", `Quick, test_trace_fields_valid);
+    ("trace zipf skew", `Quick, test_trace_zipf_skew);
+    ("trace validation", `Quick, test_trace_validation);
+    ("stream shape", `Quick, test_stream_shape);
+    ("stream total rate", `Quick, test_stream_total_rate);
+    ("stream diurnal variation", `Quick, test_stream_diurnal_variation);
+    ("stream outage suppresses scope", `Quick, test_stream_outage_suppresses_scope);
+    ("stream scope matching", `Quick, test_stream_scope_matching);
+    ("stream severity validation", `Quick, test_stream_severity_validation);
+  ]
