@@ -106,7 +106,7 @@ let print_sweep_points ~keep (sweep : Sweep.t) =
   let others =
     sweep.Sweep.points
     |> List.filter (fun p -> p != best)
-    |> List.sort (fun a b -> compare b.Sweep.mean_power a.Sweep.mean_power)
+    |> List.sort (fun a b -> Float.compare b.Sweep.mean_power a.Sweep.mean_power)
     |> List.filteri (fun i _ -> i < keep)
   in
   Table.print ~align:[ Table.Left; Table.Left ]

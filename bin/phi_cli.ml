@@ -68,7 +68,7 @@ let sweep_cmd =
       ]
     in
     let ranked =
-      List.sort (fun a b -> compare b.Sweep.mean_power a.Sweep.mean_power) sweep.Sweep.points
+      List.sort (fun a b -> Float.compare b.Sweep.mean_power a.Sweep.mean_power) sweep.Sweep.points
     in
     let top = List.filteri (fun i _ -> i < 10) ranked in
     Table.print ~align:[ Table.Left; Table.Left ]

@@ -59,4 +59,14 @@ let () =
   let better = phi_run.Scenario.power > baseline.Scenario.power in
   Printf.printf "\nPhi %s the power metric (%.2f -> %.2f)\n"
     (if better then "improved" else "did not improve")
-    baseline.Scenario.power phi_run.Scenario.power
+    baseline.Scenario.power phi_run.Scenario.power;
+
+  (* Under PHI_SANITIZE=1 the runs above were checked against the
+     simulator's invariants; surface any violation as a failure. *)
+  let module Invariant = Phi_sim.Invariant in
+  if Invariant.enabled () then
+    if Invariant.count () = 0 then print_endline "sanitize: clean"
+    else begin
+      prerr_string (Invariant.report ());
+      exit 1
+    end

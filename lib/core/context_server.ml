@@ -1,4 +1,5 @@
 module Engine = Phi_sim.Engine
+module Invariant = Phi_sim.Invariant
 module Stats = Phi_util.Stats
 
 type report = { finished_at : float; bytes : int; duration_s : float }
@@ -71,10 +72,18 @@ let capacity t st =
 
 let utilization t st =
   match st.oracle with
-  | Some f -> Float.max 0. (Float.min 1. (f ()))
+  | Some f ->
+    let u = f () in
+    if Float.is_finite u then Float.max 0. (Float.min 1. u)
+    else begin
+      (* A NaN here would poison every context lookup on the path. *)
+      Invariant.record ~rule:"metric-finite" ~time:(Engine.now t.engine)
+        (Printf.sprintf "utilization oracle returned %g" u);
+      0.
+    end
   | None ->
     let cap = capacity t st in
-    if cap = infinity then 0. else Float.min 1. (reported_rate t st /. cap)
+    if not (Float.is_finite cap) then 0. else Float.min 1. (reported_rate t st /. cap)
 
 let context t st =
   {
@@ -91,7 +100,38 @@ let lookup t ~path =
   st.active <- st.active + 1;
   ctx
 
+(* Sanitizer hook: reject-and-record NaN/Inf or out-of-range metrics
+   before they reach the EWMAs and the capacity estimate.  The existing
+   guards below already skip such values silently; with PHI_SANITIZE=1
+   the skip becomes a recorded violation.  A min/mean RTT pair that is
+   entirely NaN is the legitimate "no RTT samples" sentinel. *)
+let sanitize_report t ~path ~bytes ~duration_s ~min_rtt ~mean_rtt ~retransmitted ~segments =
+  if Invariant.enabled () then begin
+    let now = Engine.now t.engine in
+    let bad rule detail = Invariant.record ~rule ~time:now detail in
+    if bytes < 0 then bad "metric-range" (Printf.sprintf "report on %s: %d bytes" path bytes);
+    if retransmitted < 0 || segments < 0 then
+      bad "metric-range" (Printf.sprintf "report on %s: negative segment counts" path);
+    if not (Float.is_finite duration_s) || duration_s < 0. then
+      bad "metric-finite" (Printf.sprintf "report on %s: duration %g" path duration_s);
+    match (Float.is_nan min_rtt, Float.is_nan mean_rtt) with
+    | true, true -> ()
+    | false, false ->
+      if not (Float.is_finite min_rtt && Float.is_finite mean_rtt) then
+        bad "metric-finite"
+          (Printf.sprintf "report on %s: rtt min=%g mean=%g" path min_rtt mean_rtt)
+      else if min_rtt -. mean_rtt > 1e-9 *. min_rtt then
+        (* Tolerance: a mean over n equal samples can round an ulp or two
+           below the min; only a materially smaller mean is a violation. *)
+        bad "metric-range"
+          (Printf.sprintf "report on %s: mean rtt %g below min %g" path mean_rtt min_rtt)
+    | _ ->
+      bad "metric-finite"
+        (Printf.sprintf "report on %s: rtt pair min=%g mean=%g" path min_rtt mean_rtt)
+  end
+
 let report t ~path ~bytes ~duration_s ~min_rtt ~mean_rtt ~retransmitted ~segments =
+  sanitize_report t ~path ~bytes ~duration_s ~min_rtt ~mean_rtt ~retransmitted ~segments;
   t.reports <- t.reports + 1;
   let st = path_state t path in
   st.active <- Stdlib.max 0 (st.active - 1);

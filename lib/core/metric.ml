@@ -15,4 +15,4 @@ let compare_desc a b =
   | true, true -> 0
   | true, false -> 1
   | false, true -> -1
-  | false, false -> compare b a
+  | false, false -> Float.compare b a

@@ -12,11 +12,11 @@ let detect ?(reference = 0.5) ?(alarm_threshold = 8.0) ~actual ~baseline () =
   for i = 0 to n - 1 do
     let prev = !s in
     s := Float.max 0. (!s +. ((-.z.(i)) -. reference));
-    if prev = 0. && !s > 0. then run_start := i;
+    if Float.equal prev 0. && !s > 0. then run_start := i;
     (match !alarmed with
     | None -> if !s > alarm_threshold then alarmed := Some (i, !run_start)
     | Some (alarm_min, start_min) ->
-      if !s = 0. then begin
+      if Float.equal !s 0. then begin
         events := { alarm_min; start_min; end_min = i } :: !events;
         alarmed := None
       end)

@@ -12,7 +12,7 @@ let window_sums series (start_min, end_min) baseline =
   done;
   (!actual, !expected)
 
-let uniques values = List.sort_uniq compare values
+let uniques values = List.sort_uniq String.compare values
 
 let candidate_scopes cells =
   let cells_only = List.map fst cells in
@@ -71,7 +71,7 @@ let findings ~cells ~window =
 
 let rank ~cells ~window =
   findings ~cells ~window
-  |> List.sort (fun a b -> compare b.deficit_share a.deficit_share)
+  |> List.sort (fun a b -> Float.compare b.deficit_share a.deficit_share)
 
 let localize ?(explain_threshold = 0.6) ?(drop_threshold = 0.3) ~cells ~window () =
   let explaining =
@@ -83,8 +83,8 @@ let localize ?(explain_threshold = 0.6) ?(drop_threshold = 0.3) ~cells ~window (
   let ordered =
     List.sort
       (fun a b ->
-        match compare (scope_specificity b.scope) (scope_specificity a.scope) with
-        | 0 -> compare b.own_drop a.own_drop
+        match Int.compare (scope_specificity b.scope) (scope_specificity a.scope) with
+        | 0 -> Float.compare b.own_drop a.own_drop
         | c -> c)
       explaining
   in

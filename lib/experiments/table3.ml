@@ -5,7 +5,6 @@ module Flow = Phi_tcp.Flow
 module Prng = Phi_util.Prng
 module Stats = Phi_util.Stats
 module Remy_source = Phi_remy.Remy_source
-module Rule_table = Phi_remy.Rule_table
 
 type row = {
   name : string;

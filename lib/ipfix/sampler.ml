@@ -11,7 +11,7 @@ let default_rate = 4096
 let binomial rng ~n ~p =
   if n < 0 then invalid_arg "Sampler.binomial: negative n";
   if p < 0. || p > 1. then invalid_arg "Sampler.binomial: p out of [0, 1]";
-  if n = 0 || p = 0. then 0
+  if n = 0 || Float.equal p 0. then 0
   else if n < 512 then begin
     let hits = ref 0 in
     for _ = 1 to n do
@@ -43,4 +43,4 @@ let sample_flows rng ~rate flows =
           :: !records
       done)
     flows;
-  List.sort (fun a b -> compare a.ts b.ts) !records
+  List.sort (fun a b -> Float.compare a.ts b.ts) !records

@@ -1,0 +1,332 @@
+type violation = { file : string; line : int; rule : string; message : string }
+
+let rules =
+  [
+    ("obj-magic", "Obj.magic defeats the type system; use a typed representation");
+    ( "poly-compare",
+      "polymorphic compare is unsound on floats (NaN) and float-carrying records; use \
+       Float.compare / Int.compare / String.compare or a dedicated comparator" );
+    ( "float-equal",
+      "(=) or (<>) against a float constant; use Float.equal or an epsilon comparison" );
+    ("list-nth", "List.nth is partial and O(n); use List.nth_opt or an array");
+    ("hashtbl-find", "Hashtbl.find raises Not_found; use Hashtbl.find_opt");
+    ("failwith", "failwith in library code; raise a typed exception or return a result");
+    ("exit", "exit in library code; only binaries may terminate the process");
+    ("missing-mli", "library module has no .mli interface");
+    ("mli-doc", "library interface must open with a (** ... *) doc comment")
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c || c = '\''
+let is_op_char c = String.contains "!$%&*+-/<=>@^|~:" c
+
+(* Tokens that may precede [ident = <float>] when the [=] is a binding
+   (let, record field, functor arg, optional-argument default) rather
+   than a comparison. *)
+let binding_context =
+  [ "let"; "and"; "rec"; "{"; ";"; ","; "with"; "mutable"; "method"; "val"; "module" ]
+
+let float_constants =
+  [
+    "nan"; "infinity"; "neg_infinity"; "epsilon_float"; "max_float"; "min_float";
+    "Float.nan"; "Float.infinity"; "Float.neg_infinity"; "Float.epsilon"; "Float.pi";
+    "Float.max_float"; "Float.min_float"
+  ]
+
+let is_float_literal s =
+  String.length s > 0
+  && is_digit s.[0]
+  && (not
+        (String.length s > 1
+        && s.[0] = '0'
+        && (s.[1] = 'x' || s.[1] = 'X' || s.[1] = 'o' || s.[1] = 'O' || s.[1] = 'b'
+          || s.[1] = 'B')))
+  && (String.contains s '.' || String.contains s 'e' || String.contains s 'E')
+
+let is_floatish s = is_float_literal s || List.mem s float_constants
+
+let in_lib path =
+  let path = if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  let starts = String.length path >= 4 && String.sub path 0 4 = "lib/" in
+  let contains =
+    let n = String.length path in
+    let rec scan i = i + 5 <= n && (String.sub path i 5 = "/lib/" || scan (i + 1)) in
+    scan 0
+  in
+  starts || contains
+
+(* {2 Scanner} *)
+
+type scan = {
+  tokens : (int * string) array;  (* (line, text), comments and strings stripped *)
+  allows : (int * string) list;  (* (line, rule) from "phi-lint: allow" comments *)
+}
+
+(* Extract [allow] directives from one comment body. *)
+let parse_allows ~line text acc =
+  let n = String.length text in
+  let directive = "phi-lint:" in
+  let dn = String.length directive in
+  let is_word c = (c >= 'a' && c <= 'z') || is_digit c || c = '-' in
+  let rec skip_soft i =
+    if i < n && (text.[i] = ' ' || text.[i] = '\t' || text.[i] = ',') then skip_soft (i + 1)
+    else i
+  in
+  let read_word i =
+    let j = ref i in
+    while !j < n && is_word text.[!j] do incr j done;
+    (String.sub text i (!j - i), !j)
+  in
+  let rec find i acc =
+    if i + dn > n then acc
+    else if String.sub text i dn = directive then begin
+      let i = skip_soft (i + dn) in
+      let word, i = read_word i in
+      if word = "allow" then
+        let rec take i acc =
+          let i = skip_soft i in
+          let word, j = read_word i in
+          if word = "" then (acc, i) else take j ((line, word) :: acc)
+        in
+        let acc, i = take i acc in
+        find i acc
+      else find i acc
+    end
+    else find (i + 1) acc
+  in
+  find 0 acc
+
+let scan_source src =
+  let n = String.length src in
+  let tokens = ref [] and allows = ref [] in
+  let line = ref 1 and i = ref 0 in
+  let emit text = tokens := (!line, text) :: !tokens in
+  let bump c = if c = '\n' then incr line in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  (* Skip a string literal; [!i] is on the opening quote. *)
+  let skip_string () =
+    incr i;
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match src.[!i] with
+      | '\\' -> if !i + 1 < n then (bump src.[!i + 1]; incr i)
+      | '"' -> fin := true
+      | c -> bump c);
+      incr i
+    done
+  in
+  (* Skip a quotation {id|...|id}; [!i] is on '{'. Returns false when it
+     is not actually a quotation opener. *)
+  let skip_quotation () =
+    let j = ref (!i + 1) in
+    while !j < n && (src.[!j] >= 'a' && src.[!j] <= 'z' || src.[!j] = '_') do incr j done;
+    if !j < n && src.[!j] = '|' then begin
+      let id = String.sub src (!i + 1) (!j - !i - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let cn = String.length closing in
+      i := !j + 1;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if !i + cn <= n && String.sub src !i cn = closing then begin
+          i := !i + cn;
+          fin := true
+        end
+        else begin
+          bump src.[!i];
+          incr i
+        end
+      done;
+      true
+    end
+    else false
+  in
+  (* Skip a (possibly nested) comment; [!i] is on the '('. Collects any
+     phi-lint directives found inside. *)
+  let skip_comment () =
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    let depth = ref 0 in
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      if src.[!i] = '(' && peek 1 = '*' then begin
+        incr depth;
+        i := !i + 2
+      end
+      else if src.[!i] = '*' && peek 1 = ')' then begin
+        decr depth;
+        i := !i + 2;
+        if !depth = 0 then fin := true
+      end
+      else if src.[!i] = '"' then begin
+        (* String literals inside comments follow string lexing rules. *)
+        let s0 = !i in
+        skip_string ();
+        Buffer.add_string buf (String.sub src s0 (Stdlib.min (!i - s0) (n - s0)))
+      end
+      else begin
+        bump src.[!i];
+        Buffer.add_char buf src.[!i];
+        incr i
+      end
+    done;
+    allows := parse_allows ~line:start_line (Buffer.contents buf) !allows
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && peek 1 = '*' then skip_comment ()
+    else if c = '"' then skip_string ()
+    else if c = '{' && not (skip_quotation ()) then begin
+      emit "{";
+      incr i
+    end
+    else if c = '\'' then begin
+      (* Char literal vs. type variable / polymorphic variant tick. *)
+      if peek 1 = '\\' then begin
+        i := !i + 2;
+        while !i < n && src.[!i] <> '\'' do incr i done;
+        incr i
+      end
+      else if peek 2 = '\'' && peek 1 <> '\'' then i := !i + 3
+      else incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      (* Merge dotted access paths (Stdlib.compare, t.field) into one
+         token so qualified names can be matched exactly. *)
+      while !i + 1 < n && src.[!i] = '.' && is_ident_start src.[!i + 1] do
+        incr i;
+        while !i < n && is_ident_char src.[!i] do incr i done
+      done;
+      emit (String.sub src start (!i - start))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_ident_char src.[!i]
+           || src.[!i] = '.'
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      emit (String.sub src start (!i - start))
+    end
+    else if is_op_char c then begin
+      let start = !i in
+      while !i < n && is_op_char src.[!i] do incr i done;
+      emit (String.sub src start (!i - start))
+    end
+    else begin
+      (match c with
+      | '(' | ')' | '}' | '[' | ']' | ';' | ',' | '?' | '`' | '#' | '.' ->
+        emit (String.make 1 c)
+      | _ -> ());
+      incr i
+    end
+  done;
+  { tokens = Array.of_list (List.rev !tokens); allows = !allows }
+
+(* {2 Rules} *)
+
+let message_of rule =
+  match List.assoc_opt rule rules with Some m -> m | None -> rule
+
+let violation file line rule = { file; line; rule; message = message_of rule }
+
+let token_violations ~path { tokens; _ } =
+  let lib = in_lib path in
+  let out = ref [] in
+  let add line rule = out := violation path line rule :: !out in
+  let text k = if k >= 0 && k < Array.length tokens then snd tokens.(k) else "" in
+  Array.iteri
+    (fun k (line, tok) ->
+      (match tok with
+      | "Obj.magic" -> add line "obj-magic"
+      | "compare" | "Stdlib.compare" -> add line "poly-compare"
+      | "List.nth" -> add line "list-nth"
+      | "Hashtbl.find" -> add line "hashtbl-find"
+      | "failwith" | "Stdlib.failwith" -> if lib then add line "failwith"
+      | "exit" | "Stdlib.exit" -> if lib then add line "exit"
+      | _ -> ());
+      if tok = "=" || tok = "<>" then begin
+        let next = text (k + 1) and prev = text (k - 1) in
+        if is_floatish next || is_floatish prev then begin
+          (* [ident = <float>] directly after let/field/default syntax is
+             a binding, not a comparison. *)
+          let before = text (k - 2) in
+          let binding =
+            List.mem before binding_context || (before = "(" && text (k - 3) = "?")
+          in
+          if not binding then add line "float-equal"
+        end
+      end)
+    tokens;
+  List.rev !out
+
+let suppressed allows v =
+  List.exists (fun (line, rule) -> rule = v.rule && (line = v.line || line = v.line - 1)) allows
+
+let suppressed_anywhere allows rule = List.exists (fun (_, r) -> r = rule) allows
+
+let ends_with ~suffix s =
+  let sn = String.length suffix and n = String.length s in
+  n >= sn && String.sub s (n - sn) sn = suffix
+
+let starts_with_doc_comment src =
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n && (src.[!i] = ' ' || src.[!i] = '\t' || src.[!i] = '\n' || src.[!i] = '\r') do
+    incr i
+  done;
+  !i + 2 < n && src.[!i] = '(' && src.[!i + 1] = '*' && src.[!i + 2] = '*'
+
+let lint_source ~path src =
+  let scan = scan_source src in
+  let vs = token_violations ~path scan in
+  let vs =
+    if ends_with ~suffix:".mli" path && in_lib path && not (starts_with_doc_comment src)
+    then violation path 1 "mli-doc" :: vs
+    else vs
+  in
+  List.filter
+    (fun v ->
+      if v.rule = "mli-doc" then not (suppressed_anywhere scan.allows v.rule)
+      else not (suppressed scan.allows v))
+    vs
+
+let lint_tree files =
+  let paths = List.map fst files in
+  let have path = List.mem path paths in
+  let missing =
+    List.filter_map
+      (fun (path, src) ->
+        if
+          ends_with ~suffix:".ml" path
+          && in_lib path
+          && not (have (path ^ "i"))
+          && not (suppressed_anywhere (scan_source src).allows "missing-mli")
+        then Some (violation path 1 "missing-mli")
+        else None)
+      files
+  in
+  let all = List.concat_map (fun (path, src) -> lint_source ~path src) files @ missing in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> Int.compare a.line b.line
+      | c -> c)
+    all
+
+let to_string v = Printf.sprintf "%s:%d: %s: %s" v.file v.line v.rule v.message

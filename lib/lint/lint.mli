@@ -1,0 +1,53 @@
+(** phi-lint: project-specific static analysis over OCaml sources.
+
+    A line/token-level analyzer enforcing the correctness conventions of
+    this repository: no polymorphic comparison (a silent NaN hazard on
+    the float-carrying records that dominate this codebase), no partial
+    stdlib lookups, no [failwith]/[exit] in library code, and a
+    documented [.mli] for every library module.
+
+    The analyzer is deliberately lexical — it tokenizes the source
+    (stripping comments and string literals) rather than parsing it, so
+    it is dependency-free, runs in microseconds per file, and can be
+    wired into the build as the [@lint] alias.  Violations can be
+    suppressed with a [(* phi-lint: allow <rule> *)] comment on the same
+    line or the line directly above. *)
+
+type violation = {
+  file : string;
+  line : int;  (** 1-based; file-scoped rules report line 1 *)
+  rule : string;
+  message : string;
+}
+
+val rules : (string * string) list
+(** Every rule the analyzer knows, as [(name, description)]:
+    - [obj-magic]: any use of [Obj.magic].
+    - [poly-compare]: bare [compare] / [Stdlib.compare]; require a typed
+      comparator ([Float.compare], [Int.compare], ...).
+    - [float-equal]: [=] or [<>] against a float literal (or [nan],
+      [infinity], ...); require [Float.equal] or an epsilon test.
+    - [list-nth]: [List.nth]; require [List.nth_opt] or an array.
+    - [hashtbl-find]: [Hashtbl.find]; require [Hashtbl.find_opt].
+    - [failwith]: [failwith] inside [lib/]; require a typed exception.
+    - [exit]: [exit] inside [lib/]; only binaries may terminate.
+    - [missing-mli]: a [lib/**/*.ml] with no sibling [.mli].
+    - [mli-doc]: a [lib/**/*.mli] that does not open with a doc comment. *)
+
+val in_lib : string -> bool
+(** Whether a path is under a [lib/] directory, i.e. subject to the
+    library-only rules. *)
+
+val lint_source : path:string -> string -> violation list
+(** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with
+    [phi-lint: allow] suppressions already applied.  [path] is used for
+    diagnostics and to decide whether library-only rules apply; the
+    source itself is passed as a string, so fixtures need no files. *)
+
+val lint_tree : (string * string) list -> violation list
+(** [lint_tree files] lints every [(path, contents)] pair and adds the
+    cross-file [missing-mli] check.  Results are sorted by file and
+    line. *)
+
+val to_string : violation -> string
+(** Renders as [file:line: rule: message] — one diagnostic per line. *)

@@ -1,4 +1,5 @@
 module Engine = Phi_sim.Engine
+module Invariant = Phi_sim.Invariant
 
 type red_params = {
   min_threshold : int;
@@ -30,7 +31,9 @@ type t = {
   mutable busy : bool;
   mutable packets_offered : int;
   mutable packets_delivered : int;
+  mutable bytes_offered : int;
   mutable bytes_delivered : int;
+  mutable bytes_dropped : int;
   mutable drops : int;
   mutable busy_time : float;
   mutable total_queue_wait : float;
@@ -51,11 +54,13 @@ let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
     delay_s;
     capacity_pkts;
     queue = Queue.create ();
-    receiver = (fun _ -> failwith "Link: receiver not set");
+    receiver = (fun _ -> invalid_arg "Link: receiver not set");
     busy = false;
     packets_offered = 0;
     packets_delivered = 0;
+    bytes_offered = 0;
     bytes_delivered = 0;
+    bytes_dropped = 0;
     drops = 0;
     busy_time = 0.;
     total_queue_wait = 0.;
@@ -71,9 +76,36 @@ let set_receiver t f = t.receiver <- f
 let set_fault_injection t ~rng ~drop_probability =
   if drop_probability < 0. || drop_probability > 1. then
     invalid_arg "Link.set_fault_injection: probability out of [0, 1]";
-  t.fault <- if drop_probability = 0. then None else Some (rng, drop_probability)
+  t.fault <- if Float.equal drop_probability 0. then None else Some (rng, drop_probability)
 
 let tx_time t (pkt : Packet.t) = float_of_int (pkt.size * 8) /. t.bandwidth_bps
+
+let queued_bytes t = Queue.fold (fun acc (p : Packet.t) -> acc + p.size) 0 t.queue
+
+(* Sanitizer hook: every packet and byte offered to the link must be
+   delivered, dropped, or still queued — nothing may vanish or be
+   double-counted.  Checked after each enqueue and each service
+   completion when PHI_SANITIZE=1. *)
+let check_conservation t =
+  if Invariant.enabled () then begin
+    let now = Engine.now t.engine in
+    let queued = Queue.length t.queue in
+    if queued > t.capacity_pkts then
+      Invariant.record ~rule:"queue-occupancy" ~time:now
+        (Printf.sprintf "Link: queue %d exceeds capacity %d" queued t.capacity_pkts);
+    let accounted = t.packets_delivered + t.drops + queued in
+    if t.packets_offered <> accounted then
+      Invariant.record ~rule:"link-conservation" ~time:now
+        (Printf.sprintf
+           "Link: %d packets offered <> %d accounted (%d delivered + %d dropped + %d queued)"
+           t.packets_offered accounted t.packets_delivered t.drops queued);
+    let bytes_accounted = t.bytes_delivered + t.bytes_dropped + queued_bytes t in
+    if t.bytes_offered <> bytes_accounted then
+      Invariant.record ~rule:"byte-conservation" ~time:now
+        (Printf.sprintf
+           "Link: %d bytes offered <> %d accounted (%d delivered + %d dropped + %d queued)"
+           t.bytes_offered bytes_accounted t.bytes_delivered t.bytes_dropped (queued_bytes t))
+  end
 
 (* Serve the head-of-line packet: serialization, then propagation, then
    start on the next queued packet.  [busy] guards against starting two
@@ -94,6 +126,7 @@ let rec start_service t =
            t.bytes_delivered <- t.bytes_delivered + pkt.size;
            ignore
              (Engine.schedule_after t.engine ~delay:t.delay_s (fun () -> t.receiver pkt));
+           check_conservation t;
            start_service t))
 
 let set_discipline t ~rng discipline =
@@ -140,13 +173,17 @@ let faulted t =
 
 let send t pkt =
   t.packets_offered <- t.packets_offered + 1;
-  if Queue.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then
-    t.drops <- t.drops + 1
+  t.bytes_offered <- t.bytes_offered + pkt.Packet.size;
+  if Queue.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then begin
+    t.drops <- t.drops + 1;
+    t.bytes_dropped <- t.bytes_dropped + pkt.Packet.size
+  end
   else begin
     pkt.Packet.enqueued_at <- Engine.now t.engine;
     Queue.push pkt t.queue;
     if not t.busy then start_service t
-  end
+  end;
+  check_conservation t
 
 let bandwidth_bps t = t.bandwidth_bps
 let delay_s t = t.delay_s
@@ -154,7 +191,9 @@ let capacity_pkts t = t.capacity_pkts
 let queue_length t = Queue.length t.queue
 let ecn_marks t = t.ecn_marks
 let packets_delivered t = t.packets_delivered
+let bytes_offered t = t.bytes_offered
 let bytes_delivered t = t.bytes_delivered
+let bytes_dropped t = t.bytes_dropped
 let drops t = t.drops
 let packets_offered t = t.packets_offered
 let busy_time t = t.busy_time

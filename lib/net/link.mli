@@ -70,6 +70,13 @@ val bytes_delivered : t -> int
 val drops : t -> int
 val packets_offered : t -> int
 
+val bytes_offered : t -> int
+val bytes_dropped : t -> int
+(** Byte-level twins of [packets_offered]/[drops]; with [bytes_delivered]
+    and the queued bytes they form the conservation identity the
+    [PHI_SANITIZE=1] sanitizer checks after every enqueue and service
+    completion: offered = delivered + dropped + queued. *)
+
 val busy_time : t -> float
 (** Total serialization time so far; divided by elapsed time this is the
     link utilization. *)

@@ -40,7 +40,7 @@ let receive t (pkt : Packet.t) =
       | Some link -> Link.send link pkt
       | None ->
         t.unroutable_drops <- t.unroutable_drops + 1;
-        failwith
+        invalid_arg
           (Printf.sprintf "Node %d: no route for destination %d" t.id pkt.dst))
 
 let unroutable_drops t = t.unroutable_drops

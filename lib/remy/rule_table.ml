@@ -14,7 +14,7 @@ let lookup_quiet t point =
   if Array.length point <> t.dims then invalid_arg "Rule_table.lookup: dimension mismatch";
   match List.find_opt (fun w -> Whisker.contains w.Whisker.box point) t.whiskers with
   | Some w -> w
-  | None -> failwith "Rule_table.lookup: point outside every whisker (broken partition)"
+  | None -> invalid_arg "Rule_table.lookup: point outside every whisker (broken partition)"
 
 let lookup t point =
   let w = lookup_quiet t point in
@@ -74,16 +74,19 @@ let serialize t =
   let header = Printf.sprintf "remy-table|dims=%d" t.dims in
   String.concat "\n" (header :: List.map Whisker.to_line t.whiskers)
 
+let parse_error msg = raise (Whisker.Parse_error msg)
+
 let deserialize s =
   match String.split_on_char '\n' (String.trim s) with
-  | [] -> failwith "Rule_table.deserialize: empty input"
+  | [] -> parse_error "Rule_table.deserialize: empty input"
   | header :: lines -> (
     match String.split_on_char '|' header with
     | [ "remy-table"; dims_field ] -> (
       match String.split_on_char '=' dims_field with
       | [ "dims"; d ] ->
         let dims =
-          try int_of_string d with Failure _ -> failwith "Rule_table.deserialize: bad dims"
+          try int_of_string d
+          with Failure _ -> parse_error "Rule_table.deserialize: bad dims"
         in
         let whiskers =
           List.filter_map
@@ -92,12 +95,12 @@ let deserialize s =
               if line = "" then None else Some (Whisker.of_line line))
             lines
         in
-        if whiskers = [] then failwith "Rule_table.deserialize: no whiskers";
+        if whiskers = [] then parse_error "Rule_table.deserialize: no whiskers";
         List.iter
           (fun w ->
             if Array.length w.Whisker.box.Whisker.lo <> dims then
-              failwith "Rule_table.deserialize: whisker dimension mismatch")
+              parse_error "Rule_table.deserialize: whisker dimension mismatch")
           whiskers;
         { dims; whiskers }
-      | _ -> failwith "Rule_table.deserialize: bad header")
-    | _ -> failwith "Rule_table.deserialize: bad header")
+      | _ -> parse_error "Rule_table.deserialize: bad header")
+    | _ -> parse_error "Rule_table.deserialize: bad header")

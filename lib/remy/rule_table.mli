@@ -14,8 +14,8 @@ val size : t -> int
 
 val lookup : t -> float array -> Whisker.t
 (** The unique whisker containing the point; increments its usage
-    counter.  Raises [Invalid_argument] on dimension mismatch and
-    [Failure] if the partition is somehow broken. *)
+    counter.  Raises [Invalid_argument] on dimension mismatch or if the
+    partition is somehow broken. *)
 
 val lookup_quiet : t -> float array -> Whisker.t
 (** {!lookup} without usage accounting. *)
@@ -47,4 +47,5 @@ val extrude : t -> t
 val serialize : t -> string
 
 val deserialize : string -> t
-(** Inverse of {!serialize}; raises [Failure] on malformed input. *)
+(** Inverse of {!serialize}; raises [Whisker.Parse_error] on malformed
+    input. *)

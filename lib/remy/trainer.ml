@@ -175,7 +175,7 @@ let refine_utilization ?(log = fun _ -> ()) ~table ~scenarios ~top budget =
   ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
   let busiest =
     List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-    |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+    |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
   in
   let rec take n = function
     | [] -> []
@@ -196,7 +196,7 @@ let refine_utilization ?(log = fun _ -> ()) ~table ~scenarios ~top budget =
   ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
   let children =
     List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-    |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+    |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
   in
   List.iter
     (fun w -> improve_whisker ~log ~table ~util:`Ideal ~scenarios ~budget w)
@@ -211,7 +211,7 @@ let train ?(log = fun _ -> ()) ~table ~util ~scenarios budget =
     ignore (evaluate ~table ~util ~seeds:budget.seeds scenarios);
     let by_usage =
       List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-      |> List.sort (fun a b -> compare b.Whisker.usage a.Whisker.usage)
+      |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
     in
     (match by_usage with
     | [] -> log "  no whisker used; stopping early"

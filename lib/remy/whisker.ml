@@ -62,8 +62,10 @@ let to_line t =
   Printf.sprintf "w|%s|%s|%.17g;%.17g;%.17g" (floats t.box.lo) (floats t.box.hi)
     t.action.window_increment t.action.window_multiple t.action.intersend_s
 
+exception Parse_error of string
+
 let of_line line =
-  let fail () = failwith ("Whisker.of_line: malformed line: " ^ line) in
+  let fail () = raise (Parse_error ("Whisker.of_line: malformed line: " ^ line)) in
   match String.split_on_char '|' line with
   | [ "w"; lo; hi; action ] -> (
     let parse_floats s =

@@ -45,7 +45,11 @@ val pp : Format.formatter -> t -> unit
 (** {2 Serialization} — a line-oriented text format used to embed trained
     tables in the library and to save/load them from disk. *)
 
+exception Parse_error of string
+(** Raised by {!of_line} (and [Rule_table.deserialize]) on malformed
+    table text. *)
+
 val to_line : t -> string
 
 val of_line : string -> t
-(** Raises [Failure] on malformed input. *)
+(** Raises {!Parse_error} on malformed input. *)

@@ -13,17 +13,47 @@ let create () = { clock = 0.; queue = Heap.create (); next_seq = 0; stopping = f
 
 let now t = t.clock
 
+(* Scheduling-time anomalies either raise (strict mode) or, with the
+   sanitizer armed, are recorded and clamped to "now" so that one broken
+   timestamp does not abort the whole run. *)
+let checked_time t time =
+  if not (Float.is_finite time) then begin
+    let msg = Printf.sprintf "Engine.schedule_at: non-finite time %g" time in
+    if Invariant.enabled () then begin
+      Invariant.record ~rule:"non-finite-time" ~time:t.clock msg;
+      t.clock
+    end
+    else invalid_arg msg
+  end
+  else if time < t.clock then begin
+    let msg = Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock in
+    if Invariant.enabled () then begin
+      Invariant.record ~rule:"time-in-past" ~time:t.clock msg;
+      t.clock
+    end
+    else invalid_arg msg
+  end
+  else time
+
 let schedule_at t ~time f =
-  if time < t.clock then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  let time = checked_time t time in
   let handle = { live = true } in
   Heap.push t.queue ~priority:time ~seq:t.next_seq { handle; action = f };
   t.next_seq <- t.next_seq + 1;
   handle
 
 let schedule_after t ~delay f =
-  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  let delay =
+    if delay < 0. then begin
+      let msg = Printf.sprintf "Engine.schedule_after: negative delay %g" delay in
+      if Invariant.enabled () then begin
+        Invariant.record ~rule:"negative-delay" ~time:t.clock msg;
+        0.
+      end
+      else invalid_arg msg
+    end
+    else delay
+  in
   schedule_at t ~time:(t.clock +. delay) f
 
 let cancel handle = handle.live <- false
@@ -36,6 +66,9 @@ let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, _seq, event) ->
+    if time < t.clock then
+      Invariant.record ~rule:"event-time-monotonic" ~time:t.clock
+        (Printf.sprintf "Engine.step: popped event at %g behind clock %g" time t.clock);
     t.clock <- Stdlib.max t.clock time;
     if event.handle.live then begin
       event.handle.live <- false;

@@ -18,10 +18,14 @@ val now : t -> float
 
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] when the clock reaches [time].
-    Raises [Invalid_argument] if [time] is in the past. *)
+    Raises [Invalid_argument] if [time] is in the past or not finite —
+    unless the {!Invariant} sanitizer is armed, in which case the
+    anomaly is recorded and [time] is clamped to the current clock so
+    the run can continue and report every violation at once. *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
-(** Relative form of {!schedule_at}; [delay] must be non-negative. *)
+(** Relative form of {!schedule_at}; [delay] must be non-negative (same
+    raise-or-record contract as {!schedule_at}). *)
 
 val cancel : handle -> unit
 (** Cancelled events are skipped when their time comes.  Cancelling twice,

@@ -1,0 +1,74 @@
+type violation = { rule : string; time : float; detail : string }
+
+let enabled_flag =
+  ref (match Sys.getenv_opt "PHI_SANITIZE" with Some "1" -> true | _ -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Keep a bounded prefix of the violations; a broken run can produce one
+   per event, and the first few hundred are what you debug with. *)
+let max_kept = 1000
+
+let kept : violation list ref = ref []  (* newest first *)
+let n_kept = ref 0
+let total = ref 0
+
+let record ~rule ~time detail =
+  if !enabled_flag then begin
+    incr total;
+    if !n_kept < max_kept then begin
+      kept := { rule; time; detail } :: !kept;
+      incr n_kept
+    end
+  end
+
+let check_finite ~rule ~time ~what v =
+  if Float.is_finite v then true
+  else begin
+    record ~rule ~time (Printf.sprintf "%s is not finite (%g)" what v);
+    false
+  end
+
+let violations () = List.rev !kept
+let count () = !total
+
+let clear () =
+  kept := [];
+  n_kept := 0;
+  total := 0
+
+let report () =
+  if !total = 0 then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "phi-sanitize: %d invariant violation(s)\n" !total);
+    List.iter
+      (fun v ->
+        Buffer.add_string buf (Printf.sprintf "  [t=%.9g] %s: %s\n" v.time v.rule v.detail))
+      (violations ());
+    if !total > !n_kept then
+      Buffer.add_string buf (Printf.sprintf "  ... %d more suppressed\n" (!total - !n_kept));
+    Buffer.contents buf
+  end
+
+let with_capture f =
+  let saved_enabled = !enabled_flag in
+  let saved_kept = !kept and saved_n = !n_kept and saved_total = !total in
+  clear ();
+  enabled_flag := true;
+  let restore () =
+    enabled_flag := saved_enabled;
+    kept := saved_kept;
+    n_kept := saved_n;
+    total := saved_total
+  in
+  match f () with
+  | result ->
+    let captured = violations () in
+    restore ();
+    (result, captured)
+  | exception e ->
+    restore ();
+    raise e

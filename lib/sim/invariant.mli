@@ -1,0 +1,63 @@
+(** Runtime invariant sanitizer for simulation runs.
+
+    A silent NaN in a reported metric or a non-monotonic event clock
+    corrupts every experiment downstream, so the hot paths of the
+    engine, links, TCP senders and the context server carry cheap
+    invariant checks that are compiled in but dormant by default.
+    Setting [PHI_SANITIZE=1] in the environment arms them; violations
+    are then accumulated into a global report instead of aborting the
+    run, so a single sweep surfaces every breakage at once.
+
+    Checks performed when armed:
+    - [non-finite-time], [time-in-past], [negative-delay]: scheduling
+      anomalies (recorded, then clamped to "now" so the run proceeds).
+    - [event-time-monotonic]: the engine popped an event timestamped
+      before the current clock.
+    - [link-conservation], [byte-conservation], [queue-occupancy]:
+      per-link packet/byte accounting.
+    - [cwnd-bound]: a congestion window below 1 packet, NaN, or above a
+      configured buffer+BDP bound.
+    - [metric-finite], [metric-range], [conn-stats]: NaN/Inf or
+      out-of-range values in metrics reported to the context server.
+
+    The accumulator is global (simulations are single-threaded); tests
+    use {!with_capture} to arm the sanitizer for one closure and inspect
+    exactly the violations it produced. *)
+
+type violation = {
+  rule : string;  (** stable rule name, e.g. ["negative-delay"] *)
+  time : float;  (** virtual time at which the violation was observed *)
+  detail : string;
+}
+
+val enabled : unit -> bool
+(** Whether checks are armed.  Initialised from [PHI_SANITIZE=1]; can be
+    overridden with {!set_enabled}. *)
+
+val set_enabled : bool -> unit
+
+val record : rule:string -> time:float -> string -> unit
+(** Accumulate one violation.  No-op when disabled.  At most 1000
+    violations are kept; further ones only bump {!count}. *)
+
+val check_finite : rule:string -> time:float -> what:string -> float -> bool
+(** [check_finite ~rule ~time ~what v] returns [true] when [v] is
+    finite; otherwise records a violation (when enabled) and returns
+    [false]. *)
+
+val violations : unit -> violation list
+(** Accumulated violations, oldest first. *)
+
+val count : unit -> int
+(** Total violations recorded, including any beyond the kept cap. *)
+
+val clear : unit -> unit
+
+val report : unit -> string
+(** Human-readable multi-line report; empty string when clean. *)
+
+val with_capture : (unit -> 'a) -> 'a * violation list
+(** [with_capture f] arms the sanitizer, runs [f] against a fresh
+    accumulator, and returns [f]'s result with the violations it
+    recorded.  The previous enabled state and accumulator are restored
+    afterwards, even on exception. *)

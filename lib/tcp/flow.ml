@@ -29,6 +29,32 @@ let throughput_bps t =
 
 let queueing_delay t = t.mean_rtt -. t.min_rtt
 
+(* Sanitizer hook: validate a finished connection's stats before they
+   are reported downstream (context server, experiment aggregation).
+   Both RTTs being NaN is the legitimate "no samples" sentinel. *)
+let sanitize t =
+  let module Invariant = Phi_sim.Invariant in
+  if Invariant.enabled () then begin
+    let bad rule detail = Invariant.record ~rule ~time:t.finished_at detail in
+    if t.finished_at < t.started_at then
+      bad "conn-stats"
+        (Printf.sprintf "flow %d: finished at %g before start %g" t.flow t.finished_at
+           t.started_at);
+    if t.bytes < 0 || t.segments < 0 || t.retransmitted_segments < 0 || t.timeouts < 0 then
+      bad "conn-stats" (Printf.sprintf "flow %d: negative counter" t.flow);
+    if t.rtt_samples > 0 then begin
+      if not (Float.is_finite t.min_rtt && Float.is_finite t.mean_rtt) then
+        bad "metric-finite"
+          (Printf.sprintf "flow %d: rtt min=%g mean=%g with %d samples" t.flow t.min_rtt
+             t.mean_rtt t.rtt_samples)
+      else if t.min_rtt -. t.mean_rtt > 1e-9 *. t.min_rtt then
+        (* Tolerance: a mean over n equal samples can round an ulp or two
+           below the min; only a materially smaller mean is a violation. *)
+        bad "metric-range"
+          (Printf.sprintf "flow %d: mean rtt %g below min rtt %g" t.flow t.mean_rtt t.min_rtt)
+    end
+  end
+
 let pp ppf t =
   Format.fprintf ppf
     "conn[flow=%d src=%d bytes=%d dur=%.3fs thr=%.3fMbps rexmit=%d rto=%d rtt=%.1f/%.1fms]"

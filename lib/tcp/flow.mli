@@ -30,3 +30,10 @@ val queueing_delay : conn_stats -> float
     queues (the signal Phi uses for [q]); [nan] without samples. *)
 
 val pp : Format.formatter -> conn_stats -> unit
+
+val sanitize : conn_stats -> unit
+(** [PHI_SANITIZE=1] hook: record an invariant violation for stats whose
+    timestamps run backwards, whose counters are negative, or whose RTTs
+    are NaN/Inf or inverted despite positive [rtt_samples] (both RTTs
+    NaN is the legitimate "no samples" sentinel).  No-op when the
+    sanitizer is disarmed. *)

@@ -20,7 +20,7 @@ let make_weighted ~weight ?(initial_cwnd = 2.) ?(initial_ssthresh = 65536.) () =
     cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd /. 2.);
     cc.cwnd <- 1.
   in
-  let name = if weight = 1. then "reno" else Printf.sprintf "reno-w%.2g" weight in
+  let name = if Float.equal weight 1. then "reno" else Printf.sprintf "reno-w%.2g" weight in
   Cc.make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout
 
 let make ?initial_cwnd ?initial_ssthresh () =

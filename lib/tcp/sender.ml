@@ -1,4 +1,5 @@
 module Engine = Phi_sim.Engine
+module Invariant = Phi_sim.Invariant
 module Node = Phi_net.Node
 module Packet = Phi_net.Packet
 
@@ -47,6 +48,9 @@ type t = {
   mutable rtt_min : float;
   mutable ecn_reductions : int;
   mutable ecn_reaction_until : float;  (* ignore further ECE until this time *)
+  mutable cwnd_bound : float option;
+      (* sanitizer upper bound (typically buffer + BDP in packets); None
+         disables the upper check *)
 }
 
 let persistent_total = max_int / 2
@@ -79,6 +83,28 @@ let stats t =
 (* RFC 6675-style pipe: data sent minus data known to have left the
    network (sacked or deemed lost), plus retransmissions in flight. *)
 let pipe t = t.snd_nxt - t.snd_una - t.n_sacked - t.n_lost + t.n_retx
+
+let set_cwnd_bound t bound =
+  if bound < 1. then invalid_arg "Sender.set_cwnd_bound: bound must be >= 1 packet";
+  t.cwnd_bound <- Some bound
+
+(* Sanitizer hook: a congestion window that is NaN, below one packet, or
+   above the configured buffer+BDP bound silently corrupts the pacing of
+   every later experiment. *)
+let check_cwnd t =
+  if Invariant.enabled () then begin
+    let c = t.cc.Cc.cwnd in
+    let now = Engine.now t.engine in
+    if Float.is_nan c || c < 1. then
+      Invariant.record ~rule:"cwnd-bound" ~time:now
+        (Printf.sprintf "Sender flow %d: cwnd %g below 1 packet" t.flow c)
+    else
+      match t.cwnd_bound with
+      | Some bound when c > bound ->
+        Invariant.record ~rule:"cwnd-bound" ~time:now
+          (Printf.sprintf "Sender flow %d: cwnd %g above bound %g" t.flow c bound)
+      | _ -> ()
+  end
 
 let cancel_rto t =
   match t.rto_handle with
@@ -222,6 +248,7 @@ and on_rto t =
   end
 
 and try_send t =
+  check_cwnd t;
   let window = int_of_float (Float.max 1. t.cc.Cc.cwnd) in
   let progressed = ref false in
   let continue = ref true in
@@ -247,7 +274,9 @@ let complete t =
   t.finished_at <- Engine.now t.engine;
   cancel_rto t;
   Node.unbind_flow t.node ~flow:t.flow;
-  t.on_complete (stats t)
+  let stats = stats t in
+  Flow.sanitize stats;
+  t.on_complete stats
 
 let record_rtt t sample =
   if sample > 0. then begin
@@ -343,6 +372,7 @@ let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
       rtt_min = infinity;
       ecn_reductions = 0;
       ecn_reaction_until = neg_infinity;
+      cwnd_bound = None;
     }
   in
   Node.bind_flow node ~flow (on_packet t);

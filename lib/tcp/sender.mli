@@ -37,6 +37,13 @@ val abort : t -> unit
     [on_complete] callback fires. *)
 
 val cwnd : t -> float
+
+val set_cwnd_bound : t -> float -> unit
+(** Arm the [PHI_SANITIZE=1] cwnd upper bound for this sender (typically
+    bottleneck buffer + BDP, in packets).  The sanitizer always checks
+    the lower bound (>= 1 packet, non-NaN); the upper check only runs
+    once a bound is set.  Raises [Invalid_argument] if [bound < 1]. *)
+
 val in_recovery : t -> bool
 val acked_segments : t -> int
 val sent_segments : t -> int

@@ -18,7 +18,7 @@ let pareto rng ~shape ~scale =
 
 let poisson rng ~lambda =
   if lambda < 0. then invalid_arg "Dist.poisson: lambda must be non-negative";
-  if lambda = 0. then 0
+  if Float.equal lambda 0. then 0
   else if lambda < 64. then begin
     let limit = exp (-.lambda) in
     let rec count k p =

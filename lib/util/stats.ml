@@ -28,7 +28,7 @@ let percentile xs ~p =
   require_nonempty "Stats.percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.of_int (int_of_float rank)) in

@@ -71,4 +71,4 @@ let generate rng config =
       flows := flow :: !flows
     done
   done;
-  List.sort (fun a b -> compare a.start_s b.start_s) !flows
+  List.sort (fun a b -> Float.compare a.start_s b.start_s) !flows

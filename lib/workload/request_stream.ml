@@ -1,4 +1,3 @@
-module Prng = Phi_util.Prng
 module Dist = Phi_util.Dist
 
 type cell = { metro : string; isp : string; service : string }

@@ -1,0 +1,170 @@
+(* Tests for phi-lint: every rule must fire on a minimal offending
+   fixture, stay silent on the compliant variant, and honour the
+   [phi-lint: allow] suppression comment. *)
+
+let rules_of vs = List.map (fun v -> v.Lint.rule) vs
+
+let lint ?(path = "lib/fake/fixture.ml") src = rules_of (Lint.lint_source ~path src)
+
+let check_rules msg expected actual = Alcotest.(check (list string)) msg expected actual
+
+(* {2 Token rules fire} *)
+
+let test_obj_magic_fires () =
+  check_rules "Obj.magic" [ "obj-magic" ] (lint "let f x = Obj.magic x\n")
+
+let test_poly_compare_fires () =
+  check_rules "bare compare" [ "poly-compare" ] (lint "let s l = List.sort compare l\n");
+  check_rules "Stdlib.compare" [ "poly-compare" ]
+    (lint "let s l = List.sort Stdlib.compare l\n")
+
+let test_float_equal_fires () =
+  check_rules "= on float literal" [ "float-equal" ] (lint "let f x = x = 0.5\n");
+  check_rules "<> on float literal" [ "float-equal" ] (lint "let f x = x <> 1.\n");
+  check_rules "= on nan" [ "float-equal" ] (lint "let f x = x = nan\n");
+  check_rules "= on infinity" [ "float-equal" ] (lint "let f x = x = infinity\n")
+
+let test_list_nth_fires () =
+  check_rules "List.nth" [ "list-nth" ] (lint "let f l = List.nth l 3\n")
+
+let test_hashtbl_find_fires () =
+  check_rules "Hashtbl.find" [ "hashtbl-find" ] (lint "let f h k = Hashtbl.find h k\n")
+
+let test_failwith_fires_in_lib_only () =
+  check_rules "failwith in lib" [ "failwith" ] (lint "let f () = failwith \"boom\"\n");
+  check_rules "failwith outside lib" []
+    (lint ~path:"test/fixture.ml" "let f () = failwith \"boom\"\n")
+
+let test_exit_fires_in_lib_only () =
+  check_rules "exit in lib" [ "exit" ] (lint "let f () = exit 1\n");
+  check_rules "exit outside lib" [] (lint ~path:"bin/fixture.ml" "let f () = exit 1\n")
+
+(* {2 Compliant code stays silent} *)
+
+let test_clean_code_passes () =
+  check_rules "typed comparators" []
+    (lint
+       "let s l = List.sort Float.compare l\n\
+        let eq a b = Float.equal a b\n\
+        let f l = List.nth_opt l 3\n\
+        let g h k = Hashtbl.find_opt h k\n")
+
+let test_float_binding_not_flagged () =
+  (* [=] in binding position is definition, not comparison. *)
+  check_rules "let binding" [] (lint "let x = 0.5\n");
+  check_rules "record field" [] (lint "let r = { weight = 0.5; bias = 1. }\n");
+  check_rules "optional default" [] (lint "let f ?(alpha = 0.2) () = alpha\n");
+  check_rules "mutable field decl" [] (lint "type t = { mutable w : float }\nlet d = { w = 0. }\n")
+
+let test_comments_and_strings_immune () =
+  check_rules "in comment" [] (lint "(* use Obj.magic? never; x = 0.5 is bad *)\nlet x = 1\n");
+  check_rules "in string" [] (lint "let s = \"Obj.magic and List.nth and x = 0.5\"\n");
+  check_rules "in nested comment" [] (lint "(* outer (* failwith *) still comment *)\nlet x = 1\n")
+
+let test_line_numbers () =
+  match Lint.lint_source ~path:"lib/fake/fixture.ml" "let a = 1\n\nlet f l = List.nth l 0\n" with
+  | [ v ] ->
+    Alcotest.(check int) "line 3" 3 v.Lint.line;
+    Alcotest.(check string) "rule" "list-nth" v.Lint.rule
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length vs))
+
+(* {2 Suppression} *)
+
+let test_allow_same_line () =
+  check_rules "suppressed" []
+    (lint "let f l = List.nth l 3 (* phi-lint: allow list-nth *)\n")
+
+let test_allow_previous_line () =
+  check_rules "suppressed" []
+    (lint "(* phi-lint: allow hashtbl-find *)\nlet f h k = Hashtbl.find h k\n")
+
+let test_allow_is_rule_specific () =
+  (* An allow for one rule must not silence a different one. *)
+  check_rules "wrong rule allowed" [ "list-nth" ]
+    (lint "let f l = List.nth l 3 (* phi-lint: allow hashtbl-find *)\n")
+
+let test_allow_does_not_leak_to_later_lines () =
+  check_rules "second use still flagged" [ "list-nth" ]
+    (lint "(* phi-lint: allow list-nth *)\nlet f l = List.nth l 3\nlet g l = List.nth l 4\n")
+
+(* {2 File-scoped rules} *)
+
+let test_mli_doc_fires () =
+  check_rules "undocumented mli" [ "mli-doc" ]
+    (rules_of (Lint.lint_source ~path:"lib/fake/fixture.mli" "val f : int -> int\n"))
+
+let test_mli_doc_satisfied () =
+  check_rules "documented mli" []
+    (rules_of
+       (Lint.lint_source ~path:"lib/fake/fixture.mli" "(** Documented. *)\n\nval f : int -> int\n"))
+
+let test_missing_mli_fires () =
+  let vs =
+    Lint.lint_tree
+      [ ("lib/fake/a.ml", "let x = 1\n"); ("lib/fake/b.ml", "let y = 2\n");
+        ("lib/fake/b.mli", "(** Documented. *)\nval y : int\n") ]
+  in
+  check_rules "a.ml lacks interface" [ "missing-mli" ] (rules_of vs);
+  match vs with
+  | [ v ] -> Alcotest.(check string) "names the file" "lib/fake/a.ml" v.Lint.file
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_missing_mli_lib_only () =
+  check_rules "non-library code needs no mli" []
+    (rules_of (Lint.lint_tree [ ("bin/tool.ml", "let x = 1\n") ]))
+
+let test_in_lib () =
+  Alcotest.(check bool) "lib path" true (Lint.in_lib "lib/sim/engine.ml");
+  Alcotest.(check bool) "test path" false (Lint.in_lib "test/test_sim.ml");
+  Alcotest.(check bool) "bin path" false (Lint.in_lib "bin/phi_cli.ml")
+
+let test_tree_sorted_and_rendered () =
+  let vs =
+    Lint.lint_tree
+      [ ("lib/fake/z.ml", "let f l = List.nth l 0\nlet g h k = Hashtbl.find h k\n");
+        ("lib/fake/z.mli", "(** Doc. *)\nval f : int list -> int\nval g : ('a, 'b) Hashtbl.t -> 'a -> 'b\n")
+      ]
+  in
+  check_rules "sorted by line" [ "list-nth"; "hashtbl-find" ] (rules_of vs);
+  match vs with
+  | v :: _ ->
+    Alcotest.(check string) "rendering"
+      "lib/fake/z.ml:1: list-nth: List.nth is partial and O(n); use List.nth_opt or an array"
+      (Lint.to_string v)
+  | [] -> Alcotest.fail "expected violations"
+
+let test_every_rule_has_description () =
+  Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 9);
+  List.iter
+    (fun (name, desc) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s described" name)
+        true
+        (String.length name > 0 && String.length desc > 0))
+    Lint.rules
+
+let suite =
+  [
+    Alcotest.test_case "obj-magic fires" `Quick test_obj_magic_fires;
+    Alcotest.test_case "poly-compare fires" `Quick test_poly_compare_fires;
+    Alcotest.test_case "float-equal fires" `Quick test_float_equal_fires;
+    Alcotest.test_case "list-nth fires" `Quick test_list_nth_fires;
+    Alcotest.test_case "hashtbl-find fires" `Quick test_hashtbl_find_fires;
+    Alcotest.test_case "failwith is library-only" `Quick test_failwith_fires_in_lib_only;
+    Alcotest.test_case "exit is library-only" `Quick test_exit_fires_in_lib_only;
+    Alcotest.test_case "clean code passes" `Quick test_clean_code_passes;
+    Alcotest.test_case "float bindings not flagged" `Quick test_float_binding_not_flagged;
+    Alcotest.test_case "comments and strings immune" `Quick test_comments_and_strings_immune;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "allow on same line" `Quick test_allow_same_line;
+    Alcotest.test_case "allow on previous line" `Quick test_allow_previous_line;
+    Alcotest.test_case "allow is rule-specific" `Quick test_allow_is_rule_specific;
+    Alcotest.test_case "allow does not leak" `Quick test_allow_does_not_leak_to_later_lines;
+    Alcotest.test_case "mli-doc fires" `Quick test_mli_doc_fires;
+    Alcotest.test_case "mli-doc satisfied" `Quick test_mli_doc_satisfied;
+    Alcotest.test_case "missing-mli fires" `Quick test_missing_mli_fires;
+    Alcotest.test_case "missing-mli is library-only" `Quick test_missing_mli_lib_only;
+    Alcotest.test_case "in_lib classification" `Quick test_in_lib;
+    Alcotest.test_case "tree lint sorted and rendered" `Quick test_tree_sorted_and_rendered;
+    Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
+  ]

@@ -1,3 +1,14 @@
+(* The sanitize-leak suite must run last: with PHI_SANITIZE=1 it proves
+   that every suite before it ran without tripping a simulation
+   invariant outside of the deliberate with_capture injections. *)
+let sanitize_leak_suite =
+  [
+    Alcotest.test_case "no invariant violations leaked" `Quick (fun () ->
+        let report = Phi_sim.Invariant.report () in
+        Alcotest.(check string) "empty report" "" report;
+        Alcotest.(check int) "zero violations" 0 (Phi_sim.Invariant.count ()));
+  ]
+
 let () =
   Alcotest.run "phi"
     [
@@ -13,4 +24,7 @@ let () =
       ("diagnosis", Test_diagnosis.suite);
       ("predict", Test_predict.suite);
       ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite);
+      ("invariant", Test_invariant.suite);
+      ("sanitize-leak", sanitize_leak_suite);
     ]

@@ -270,7 +270,7 @@ let test_node_default_route () =
 let test_node_no_route_fails () =
   let engine = Engine.create () in
   let a = Node.create engine ~id:0 in
-  let raised = try Node.receive a (data ~seq:0); false with Failure _ -> true in
+  let raised = try Node.receive a (data ~seq:0); false with Invalid_argument _ -> true in
   Alcotest.(check bool) "no route raises" true raised
 
 (* {2 Topology} *)

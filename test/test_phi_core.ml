@@ -22,7 +22,7 @@ let test_log_power () =
   Alcotest.(check (float 1e-9)) "ln(r/d)" (log 10.)
     (Metric.log_power ~throughput_bps:1e6 ~delay_s:0.1);
   Alcotest.(check bool) "starved" true
-    (Metric.log_power ~throughput_bps:0. ~delay_s:0.1 = neg_infinity)
+    (Float.equal (Metric.log_power ~throughput_bps:0. ~delay_s:0.1) neg_infinity)
 
 let test_compare_desc () =
   Alcotest.(check bool) "higher first" true (Metric.compare_desc 2. 1. < 0);
@@ -159,7 +159,7 @@ let test_policy_nearest_fallback () =
   (* Far away: falls back to the heuristic, not the lone learned entry. *)
   let far = ctx ~u:0.99 ~q:0.5 ~n:100 () in
   Alcotest.(check bool) "heuristic fallback" true
-    ((Policy.params_for policy far).Cubic.initial_cwnd <> 24.)
+    (not (Float.equal (Policy.params_for policy far).Cubic.initial_cwnd 24.))
 
 let test_policy_learned_listing () =
   let policy = Policy.create () in

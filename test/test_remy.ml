@@ -111,7 +111,9 @@ let test_whisker_line_roundtrip () =
     w'.Whisker.action.Whisker.intersend_s
 
 let test_whisker_of_line_rejects_garbage () =
-  let raised = try ignore (Whisker.of_line "nonsense"); false with Failure _ -> true in
+  let raised =
+    try ignore (Whisker.of_line "nonsense"); false with Whisker.Parse_error _ -> true
+  in
   Alcotest.(check bool) "garbage rejected" true raised
 
 (* {2 Rule_table} *)
@@ -205,8 +207,9 @@ let prop_partition_total =
       let t = Rule_table.create ~dims:3 Whisker.default_action in
       for _ = 1 to splits do
         let ws = Rule_table.whiskers t in
-        let target = List.nth ws (Prng.int rng ~bound:(List.length ws)) in
-        Rule_table.split t target
+        (match List.nth_opt ws (Prng.int rng ~bound:(List.length ws)) with
+        | Some target -> Rule_table.split t target
+        | None -> Alcotest.fail "empty whisker list")
       done;
       let ok = ref true in
       for _ = 1 to 100 do

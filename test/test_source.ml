@@ -46,7 +46,7 @@ let test_source_runs_sequential_connections () =
   (* Every record has a distinct flow id. *)
   let ids = List.map (fun (r : Flow.conn_stats) -> r.Flow.flow) records in
   Alcotest.(check int) "distinct flows" (List.length ids)
-    (List.length (List.sort_uniq compare ids))
+    (List.length (List.sort_uniq Int.compare ids))
 
 let test_source_cc_factory_called_per_connection () =
   let f = fixture () in

@@ -448,7 +448,7 @@ let test_cwnd_trace_records_growth () =
   Alcotest.(check bool) "sampled" true (Array.length series >= 40);
   let times = Array.map fst series in
   let sorted = Array.copy times in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   Alcotest.(check (array (float 0.))) "time ordered" sorted times;
   Alcotest.(check bool) "window grew" true (Cwnd_trace.max_cwnd trace > 2.);
   Cwnd_trace.stop trace;

@@ -68,7 +68,7 @@ let test_prng_shuffle_permutes () =
   let a = Array.init 20 (fun i -> i) in
   Prng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
 
 let test_prng_choose () =
