@@ -2,16 +2,28 @@
    evaluation (plus the DESIGN.md extension experiments), then runs one
    Bechamel micro-benchmark per experiment kernel.
 
-   Usage: dune exec bench/main.exe [-- --quick|--full] [--only ID] [--no-micro] [--csv DIR]
+   Usage: dune exec bench/main.exe [-- --quick|--full] [--only ID] [--no-micro]
+                                   [--csv DIR] [--jobs N] [--json PATH]
 
    The default configuration is a documented downsampling of the paper's
    budgets (coarser parameter grid, fewer seeds) so the whole harness
-   finishes in minutes; --full uses the paper's Table 2 grid and 8 runs. *)
+   finishes in minutes; --full uses the paper's Table 2 grid and 8 runs.
+
+   --jobs N fans the grid-shaped experiments' (setting, seed) cells over
+   N domains via Phi_runner.Pool (default: the core count; --jobs 1 is
+   the serial path).  Tables are bit-for-bit identical for every N.
+
+   --json PATH additionally writes a machine-readable report (schema
+   "phi-bench-report/1"): per-experiment wall clock, cells/sec, the
+   headline figure metrics, and a serial-vs-parallel calibration, so CI
+   can track the perf trajectory across PRs. *)
 
 module Topology = Phi_net.Topology
 module Cubic = Phi_tcp.Cubic
 module Table = Phi_util.Table
 module Stats = Phi_util.Stats
+module Json = Phi_util.Json
+module Pool = Phi_runner.Pool
 open Phi_experiments
 
 type budget = { grid : Sweep.grid; seeds : int list; duration_s : float; label : string }
@@ -50,10 +62,81 @@ let csv_out name ~header rows =
   match !csv_dir with
   | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    (* mkdirs creates missing parents too ("out/run3" used to fail when
+       "out" did not exist) and tolerates concurrent creation. *)
     let path = Filename.concat dir name in
-    Phi_util.Csv.write ~path ~header rows;
+    Phi_util.Csv.write ~mkdirs:true ~path ~header rows;
     Printf.printf "(wrote %s)\n" path
+
+(* Worker-pool width for the grid-shaped experiments (--jobs N). *)
+let jobs = ref 1
+
+(* {2 Machine-readable report (--json PATH)} *)
+
+let timings : (string * float * int) list ref = ref []  (* (id, wall_s, cells), reverse order *)
+let headlines : (string * Json.t) list ref = ref []
+let headline id fields = headlines := (id, Json.Obj fields) :: !headlines
+
+let timed id ~cells f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (id, Unix.gettimeofday () -. t0, cells) :: !timings;
+  r
+
+let sweep_cells budget = (List.length (Sweep.settings budget.grid) + 1) * List.length budget.seeds
+
+let report_json ~budget ~calibration =
+  let experiments =
+    List.rev_map
+      (fun (id, wall_s, cells) ->
+        Json.Obj
+          ([ ("id", Json.String id); ("wall_s", Json.float wall_s); ("cells", Json.Int cells) ]
+          @
+          if wall_s > 0. && cells > 0 then
+            [ ("cells_per_s", Json.float (float_of_int cells /. wall_s)) ]
+          else []))
+      !timings
+  in
+  let total_wall = List.fold_left (fun acc (_, w, _) -> acc +. w) 0. !timings in
+  Json.Obj
+    [
+      ("schema", Json.String "phi-bench-report/1");
+      ("budget", Json.String budget.label);
+      ("jobs", Json.Int !jobs);
+      ("cores", Json.Int (Pool.available_cores ()));
+      ("total_wall_s", Json.float total_wall);
+      ("experiments", Json.List experiments);
+      ("headline", Json.Obj (List.rev !headlines));
+      ("parallel_calibration", calibration);
+    ]
+
+(* Serial-vs-parallel calibration: re-run the Figure 2a sweep cells at
+   --jobs 1 and compare against the recorded wall clock of the same
+   sweep at the requested width.  At --jobs 1 the speedup is 1 by
+   definition and no extra work is done. *)
+let calibrate budget =
+  match List.find_opt (fun (id, _, _) -> id = "figure2a") !timings with
+  | None -> Json.Null
+  | Some (_, parallel_wall, cells) ->
+    let serial_wall =
+      if !jobs = 1 then parallel_wall
+      else begin
+        Printf.printf "\n(calibrating: re-running the figure2a sweep at --jobs 1)\n%!";
+        let t0 = Unix.gettimeofday () in
+        let config = { Scenario.low_utilization with Scenario.duration_s = budget.duration_s } in
+        ignore (Sweep.run ~jobs:1 config budget.grid ~seeds:budget.seeds);
+        Unix.gettimeofday () -. t0
+      end
+    in
+    Json.Obj
+      [
+        ("experiment", Json.String "figure2a");
+        ("cells", Json.Int cells);
+        ("jobs", Json.Int !jobs);
+        ("serial_wall_s", Json.float serial_wall);
+        ("parallel_wall_s", Json.float parallel_wall);
+        ("speedup", Json.float (if parallel_wall > 0. then serial_wall /. parallel_wall else 1.));
+      ]
 
 let mbps bps = Table.fmt_float (bps /. 1e6)
 let ms s = Table.fmt_float (1000. *. s) ~decimals:1
@@ -118,7 +201,26 @@ let print_sweep_points ~keep (sweep : Sweep.t) =
 
 let run_sweep budget config =
   let config = { config with Scenario.duration_s = budget.duration_s } in
-  Sweep.run config budget.grid ~seeds:budget.seeds
+  Sweep.run ~jobs:!jobs config budget.grid ~seeds:budget.seeds
+
+let sweep_headline id (sweep : Sweep.t) =
+  let best = Sweep.optimal sweep in
+  let point (p : Sweep.point) =
+    Json.Obj
+      [
+        ("params", Json.String (Cubic.params_to_string p.Sweep.params));
+        ("mean_throughput_bps", Json.float p.Sweep.mean_throughput_bps);
+        ("mean_queueing_delay_s", Json.float p.Sweep.mean_queueing_delay_s);
+        ("mean_loss_rate", Json.float p.Sweep.mean_loss_rate);
+        ("mean_power", Json.float p.Sweep.mean_power);
+      ]
+  in
+  headline id
+    [
+      ("settings", Json.Int (List.length sweep.Sweep.points));
+      ("optimal", point best);
+      ("default", point sweep.Sweep.default_point);
+    ]
 
 let sweep_csv name (sweep : Sweep.t) =
   let row marker (p : Sweep.point) =
@@ -149,6 +251,7 @@ let bench_figure2a budget =
   let sweep = run_sweep budget Scenario.low_utilization in
   print_sweep_points ~keep:6 sweep;
   sweep_csv "figure2a.csv" sweep;
+  sweep_headline "figure2a" sweep;
   sweep
 
 let bench_figure2b budget =
@@ -164,6 +267,7 @@ let bench_figure2b budget =
     (pct best.Sweep.mean_loss_rate)
     (pct sweep.Sweep.default_point.Sweep.mean_loss_rate);
   sweep_csv "figure2b.csv" sweep;
+  sweep_headline "figure2b" sweep;
   sweep
 
 (* {2 Figure 2c: long-running flows, beta sweep} *)
@@ -173,8 +277,8 @@ let bench_figure2c budget =
   let betas = (Sweep.beta_grid : Sweep.grid).Sweep.beta in
   let n_flows = if budget.label = quick_budget.label then 40 else 100 in
   let results =
-    Sweep.run_longrunning ~spec:Topology.paper_spec ~n_flows ~duration_s:budget.duration_s
-      ~seeds:[ List.hd budget.seeds ] ~betas
+    Sweep.run_longrunning ~jobs:!jobs ~spec:Topology.paper_spec ~n_flows
+      ~duration_s:budget.duration_s ~seeds:[ List.hd budget.seeds ] ~betas ()
   in
   Table.print
     ~headers:[ "beta"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l" ]
@@ -204,7 +308,13 @@ let bench_figure2c budget =
   Printf.printf
     "paper's observation: larger beta (sharper back-off) yields much lower queueing delay\n";
   Printf.printf "  qdelay at beta 0.2: %s ms vs beta 0.8: %s ms (n_flows=%d)\n"
-    (ms (q_of 0.2)) (ms (q_of 0.8)) n_flows
+    (ms (q_of 0.2)) (ms (q_of 0.8)) n_flows;
+  headline "figure2c"
+    [
+      ("n_flows", Json.Int n_flows);
+      ("qdelay_s_beta_0_2", Json.float (q_of 0.2));
+      ("qdelay_s_beta_0_8", Json.float (q_of 0.8));
+    ]
 
 (* {2 Figure 3: leave-one-out stability} *)
 
@@ -278,8 +388,8 @@ let bench_figure4 budget ~(sweep_low : Sweep.t) =
     (ms red.Incremental.unmodified.Incremental.queueing_delay_s);
   (* The DESIGN.md ablation: deployment-fraction sweep. *)
   let sweep =
-    Incremental.fraction_sweep ~fractions:[ 0.25; 0.5; 0.75; 1.0 ] ~params_modified:optimal
-      ~seeds:[ List.hd budget.seeds ] config
+    Incremental.fraction_sweep ~jobs:!jobs ~fractions:[ 0.25; 0.5; 0.75; 1.0 ]
+      ~params_modified:optimal ~seeds:[ List.hd budget.seeds ] config
   in
   Table.print
     ~headers:[ "fraction modified"; "modified P_l"; "unmodified P_l" ]
@@ -327,6 +437,10 @@ let bench_table3 budget =
        rows);
   print_endline
     "shape to reproduce: objective Phi-ideal >= Phi-practical > Remy > Cubic; Cubic worst delay";
+  headline "table3"
+    (List.map
+       (fun (r : Table3.row) -> (r.Table3.name, Json.float r.Table3.median_objective))
+       rows);
   (* Ablation: a delay-based baseline (TCP Vegas) on the same workload,
      for perspective on what autonomous delay feedback achieves without
      any shared state. *)
@@ -362,6 +476,15 @@ let bench_sharing _budget =
   Printf.printf "trace: %d flows, observed after sampling: %d (in %d subnet-minute slices)\n"
     r.Sharing_experiment.total_flows r.Sharing_experiment.sampled_flows
     r.Sharing_experiment.slices;
+  headline "sharing"
+    [
+      ("total_flows", Json.Int r.Sharing_experiment.total_flows);
+      ("sampled_flows", Json.Int r.Sharing_experiment.sampled_flows);
+      ( "share_ge_5",
+        match List.assoc_opt 5 r.Sharing_experiment.ccdf with
+        | Some f -> Json.float f
+        | None -> Json.Null );
+    ];
   Table.print
     ~headers:[ "shares path with >= k others"; "fraction of flows"; "paper" ]
     (List.map
@@ -399,6 +522,11 @@ let bench_figure5 _budget =
       (pct f.Phi_diagnosis.Localize.own_drop)
   | None -> print_endline "no localization (unexpected)");
   Printf.printf "correct localization: %b\n" (Figure5.correctly_localized r);
+  headline "figure5"
+    [
+      ("events_detected", Json.Int (List.length r.Figure5.events));
+      ("correctly_localized", Json.Bool (Figure5.correctly_localized r));
+    ];
   (* The figure itself: the affected slice's volume vs its baseline around
      the event, in 15-minute bins. *)
   let start = Stdlib.max 0 (inj.Phi_workload.Request_stream.start_min - 60) in
@@ -493,6 +621,11 @@ let bench_predict _budget =
     ];
   Printf.printf "cold prefixes served by fallback levels: %d\n"
     r.Predict_experiment.cold_prefixes_served;
+  headline "predict"
+    [
+      ("hierarchical_mape", Json.float r.Predict_experiment.hierarchical_mape);
+      ("global_mape", Json.float r.Predict_experiment.global_mape);
+    ];
   Table.print ~align:[ Table.Left ]
     ~headers:[ "path"; "predicted MOS"; "label" ]
     (List.map
@@ -516,6 +649,13 @@ let bench_adaptation _budget =
     ];
   Printf.printf "latency saved by informed initialization: %s ms\n"
     (Table.fmt_float j.Adaptation_experiment.buffer_saving_ms);
+  headline "adaptation"
+    [
+      ("buffer_saving_ms", Json.float j.Adaptation_experiment.buffer_saving_ms);
+      ( "informed_late_fraction",
+        Json.float j.Adaptation_experiment.informed_late_fraction );
+      ("cold_late_fraction", Json.float j.Adaptation_experiment.cold_late_fraction);
+    ];
   let d = r.Adaptation_experiment.dupack in
   Table.print ~align:[ Table.Left ]
     ~headers:[ "dup-ACK threshold"; "value"; "spurious fast-retransmit rate" ]
@@ -631,45 +771,82 @@ let micro_benchmarks () =
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
-  let budget =
-    if has "--full" then full_budget
-    else if has "--quick" then quick_budget
-    else default_budget
-  in
-  let only =
+  let value_of flag =
     let rec find = function
-      | "--only" :: id :: _ -> Some id
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
-  (csv_dir :=
-     let rec find = function
-       | "--csv" :: dir :: _ -> Some dir
-       | _ :: rest -> find rest
-       | [] -> None
-     in
-     find args);
+  let budget =
+    if has "--full" then full_budget
+    else if has "--quick" then quick_budget
+    else default_budget
+  in
+  let only = value_of "--only" in
+  csv_dir := value_of "--csv";
+  let json_path = value_of "--json" in
+  (jobs :=
+     match value_of "--jobs" with
+     | Some v -> (
+       match int_of_string_opt v with
+       | Some j when j >= 1 -> j
+       | Some _ | None ->
+         prerr_endline "bench: --jobs expects a positive integer";
+         exit 2)
+     | None -> Pool.default_jobs ());
+  (* The invariant sanitizer accumulates into a process-global buffer
+     that is not domain-safe; armed runs must stay serial. *)
+  if Phi_sim.Invariant.enabled () && !jobs > 1 then begin
+    Printf.printf "(PHI_SANITIZE=1: forcing --jobs 1, the sanitizer is not domain-safe)\n";
+    jobs := 1
+  end;
   let want id = match only with None -> true | Some o -> o = id in
+  let run_if id ~cells f = if want id then ignore (timed id ~cells (fun () -> f ())) else () in
+  let cells1 = List.length budget.seeds in
   Printf.printf "Phi benchmark harness — budget: %s\n" budget.label;
-  if want "table1" then bench_table1 budget;
-  if want "table2" then bench_table2 budget;
-  let sweep_low = if want "figure2a" || want "figure3" || want "figure4" then Some (bench_figure2a budget) else None in
-  let sweep_high = if want "figure2b" || want "figure3" then Some (bench_figure2b budget) else None in
-  if want "figure2c" then bench_figure2c budget;
+  Printf.printf "jobs: %d (of %d cores)\n" !jobs (Pool.available_cores ());
+  run_if "table1" ~cells:1 (fun () -> bench_table1 budget);
+  run_if "table2" ~cells:1 (fun () -> bench_table2 budget);
+  let sweep_low =
+    if want "figure2a" || want "figure3" || want "figure4" then
+      Some (timed "figure2a" ~cells:(sweep_cells budget) (fun () -> bench_figure2a budget))
+    else None
+  in
+  let sweep_high =
+    if want "figure2b" || want "figure3" then
+      Some (timed "figure2b" ~cells:(sweep_cells budget) (fun () -> bench_figure2b budget))
+    else None
+  in
+  run_if "figure2c" ~cells:9 (fun () -> bench_figure2c budget);
   (match (sweep_low, sweep_high) with
-  | Some low, Some high when want "figure3" -> bench_figure3 ~sweep_low:low ~sweep_high:high
+  | Some low, Some high when want "figure3" ->
+    run_if "figure3" ~cells:1 (fun () -> bench_figure3 ~sweep_low:low ~sweep_high:high)
   | _ -> ());
   (match sweep_low with
-  | Some low when want "figure4" -> bench_figure4 budget ~sweep_low:low
+  | Some low when want "figure4" ->
+    run_if "figure4" ~cells:6 (fun () -> bench_figure4 budget ~sweep_low:low)
   | _ -> ());
-  if want "table3" then bench_table3 budget;
-  if want "sharing" then bench_sharing budget;
-  if want "figure5" then bench_figure5 budget;
-  if want "priority" then bench_priority budget;
-  if want "secureagg" then bench_secure_agg budget;
-  if want "predict" then bench_predict budget;
-  if want "adaptation" then bench_adaptation budget;
+  run_if "table3" ~cells:(4 * cells1) (fun () -> bench_table3 budget);
+  run_if "sharing" ~cells:1 (fun () -> bench_sharing budget);
+  run_if "figure5" ~cells:1 (fun () -> bench_figure5 budget);
+  run_if "priority" ~cells:1 (fun () -> bench_priority budget);
+  run_if "secureagg" ~cells:1 (fun () -> bench_secure_agg budget);
+  run_if "predict" ~cells:1 (fun () -> bench_predict budget);
+  run_if "adaptation" ~cells:1 (fun () -> bench_adaptation budget);
   if (not (has "--no-micro")) && only = None then micro_benchmarks ();
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let calibration = calibrate budget in
+    let report = report_json ~budget ~calibration in
+    Json.to_file ~path report;
+    (* Re-read and parse: a malformed report must fail loudly here, not
+       downstream in CI. *)
+    (match Json.of_file ~path with
+    | Ok _ -> Printf.printf "\n(wrote %s)\n" path
+    | Error msg ->
+      Printf.eprintf "bench: emitted JSON failed to parse: %s\n" msg;
+      exit 1));
   print_endline "\ndone."

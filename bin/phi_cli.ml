@@ -24,6 +24,13 @@ let duration_arg default =
   let doc = "Simulated seconds per run." in
   Arg.(value & opt float default & info [ "duration" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for grid-shaped experiments (default: the core count; 1 = serial). \
+     Results are identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -47,7 +54,7 @@ let sweep_cmd =
     let doc = "Sweep the paper's full Table 2 grid (576 settings) instead of the coarse grid." in
     Arg.(value & flag & info [ "full" ] ~doc)
   in
-  let run workload full seeds duration =
+  let run workload full seeds duration jobs =
     let config = { (config_of_workload workload) with Scenario.duration_s = duration } in
     let grid = if full then Sweep.paper_grid else Sweep.coarse_grid in
     let total = List.length (Sweep.settings grid) in
@@ -55,7 +62,7 @@ let sweep_cmd =
     let progress done_ total =
       if done_ mod 16 = 0 || done_ = total then Printf.printf "  %d/%d\n%!" done_ total
     in
-    let sweep = Sweep.run ~progress config grid ~seeds in
+    let sweep = Sweep.run ~progress ?jobs config grid ~seeds in
     let best = Sweep.optimal sweep in
     let row tag (p : Sweep.point) =
       [
@@ -82,7 +89,9 @@ let sweep_cmd =
         v.Sweep.default_power v.Sweep.common_power v.Sweep.optimal_power
     end
   in
-  let term = Term.(const run $ workload_arg $ full_arg $ seeds_arg $ duration_arg 90.) in
+  let term =
+    Term.(const run $ workload_arg $ full_arg $ seeds_arg $ duration_arg 90. $ jobs_arg)
+  in
   Cmd.v (Cmd.info "sweep" ~doc:"Cubic parameter sweep (Figures 2a/2b, Figure 3)") term
 
 (* {2 longrun (Figure 2c)} *)
@@ -91,11 +100,11 @@ let longrun_cmd =
   let flows_arg =
     Arg.(value & opt int 100 & info [ "flows" ] ~docv:"N" ~doc:"Long-running connections.")
   in
-  let run flows seeds duration =
+  let run flows seeds duration jobs =
     let betas = List.init 9 (fun i -> 0.1 +. (0.1 *. float_of_int i)) in
     let results =
-      Sweep.run_longrunning ~spec:Topology.paper_spec ~n_flows:flows ~duration_s:duration
-        ~seeds ~betas
+      Sweep.run_longrunning ?jobs ~spec:Topology.paper_spec ~n_flows:flows
+        ~duration_s:duration ~seeds ~betas ()
     in
     Table.print
       ~headers:[ "beta"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l" ]
@@ -110,7 +119,7 @@ let longrun_cmd =
            ])
          results)
   in
-  let term = Term.(const run $ flows_arg $ seeds_arg $ duration_arg 90.) in
+  let term = Term.(const run $ flows_arg $ seeds_arg $ duration_arg 90. $ jobs_arg) in
   Cmd.v (Cmd.info "longrun" ~doc:"Long-running flows, beta sweep (Figure 2c)") term
 
 (* {2 incremental (Figure 4)} *)
@@ -126,14 +135,14 @@ let incremental_cmd =
     let doc = "Modified senders' parameters as ssthresh,initwnd,beta." in
     Arg.(value & opt (t3 float float float) (64., 16., 0.2) & info [ "params" ] ~docv:"P" ~doc)
   in
-  let run workload fractions (ssthresh, init_w, beta) seeds duration =
+  let run workload fractions (ssthresh, init_w, beta) seeds duration jobs =
     let config = { (config_of_workload workload) with Scenario.duration_s = duration } in
     let params =
       Cubic.with_knobs ~initial_cwnd:init_w ~initial_ssthresh:ssthresh ~beta
         Cubic.default_params
     in
     let rows =
-      Incremental.fraction_sweep ~fractions ~params_modified:params ~seeds config
+      Incremental.fraction_sweep ?jobs ~fractions ~params_modified:params ~seeds config
     in
     Table.print
       ~headers:
@@ -153,7 +162,9 @@ let incremental_cmd =
          rows)
   in
   let term =
-    Term.(const run $ workload_arg $ fractions_arg $ params_arg $ seeds_arg $ duration_arg 90.)
+    Term.(
+      const run $ workload_arg $ fractions_arg $ params_arg $ seeds_arg $ duration_arg 90.
+      $ jobs_arg)
   in
   Cmd.v (Cmd.info "incremental" ~doc:"Partial deployment of Phi-tuned parameters (Figure 4)") term
 

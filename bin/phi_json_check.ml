@@ -1,0 +1,32 @@
+(* phi-json-check: validate a bench report produced by
+   [bench/main.exe --json PATH].  Exits non-zero when the file is
+   missing, malformed JSON, or not a phi-bench-report document — the CI
+   gate for the bench smoke run's artifact. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("phi-json-check: " ^ msg); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: phi_json_check REPORT.json";
+      exit 2
+  in
+  match Phi_util.Json.of_file ~path with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok doc ->
+    let module J = Phi_util.Json in
+    (match J.member "schema" doc with
+    | Some (J.String "phi-bench-report/1") -> ()
+    | Some _ | None -> fail "%s: missing or unknown \"schema\" field" path);
+    let require field =
+      match J.member field doc with
+      | Some _ -> ()
+      | None -> fail "%s: missing \"%s\" field" path field
+    in
+    List.iter require [ "budget"; "jobs"; "cores"; "experiments"; "headline" ];
+    (match J.member "experiments" doc with
+    | Some (J.List (_ :: _)) -> ()
+    | _ -> fail "%s: \"experiments\" must be a non-empty array" path);
+    Printf.printf "phi-json-check: %s ok\n" path

@@ -61,3 +61,6 @@ let run ?(n_shared = 2000) ?(n_test = 2000) ~seed () =
     }
   in
   { jitter; dupack }
+
+let run_many ?jobs ?n_shared ?n_test ~seeds () =
+  Phi_runner.Pool.map ?jobs (fun seed -> run ?n_shared ?n_test ~seed ()) seeds

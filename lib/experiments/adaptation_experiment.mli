@@ -33,3 +33,8 @@ val run : ?n_shared:int -> ?n_test:int -> seed:int -> unit -> result
 (** [n_shared] (default 2000) samples are shared by other connections;
     [n_test] (default 2000) fresh samples from the same distributions
     evaluate the choices. *)
+
+val run_many :
+  ?jobs:int -> ?n_shared:int -> ?n_test:int -> seeds:int list -> unit -> result list
+(** One independent run per seed, fanned across [jobs] domains via
+    {!Phi_runner.Pool}; results are in seed order. *)

@@ -43,6 +43,9 @@ let run ?(config = Rs.default_config) ?(outage = default_outage) ~seed () =
     total_series = total;
   }
 
+let run_many ?jobs ?config ?outage ~seeds () =
+  Phi_runner.Pool.map ?jobs (fun seed -> run ?config ?outage ~seed ()) seeds
+
 let correctly_localized result =
   match (result.events, result.localization) with
   | event :: _, Some finding ->

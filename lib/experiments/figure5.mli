@@ -26,6 +26,17 @@ val run :
   unit ->
   result
 
+val run_many :
+  ?jobs:int ->
+  ?config:Phi_workload.Request_stream.config ->
+  ?outage:Phi_workload.Request_stream.outage ->
+  seeds:int list ->
+  unit ->
+  result list
+(** One independent detection run per seed, fanned across [jobs] domains
+    via {!Phi_runner.Pool} (default {!Phi_runner.Pool.default_jobs});
+    results are in seed order regardless of [jobs]. *)
+
 val correctly_localized : result -> bool
 (** The first detected event overlaps the injected window and the
     localization names exactly the injected (metro, ISP). *)

@@ -78,17 +78,23 @@ let average_groups groups =
     connections = List.fold_left (fun acc g -> acc + g.connections) 0 groups;
   }
 
-let fraction_sweep ~fractions ~params_modified ~seeds config =
+let fraction_sweep ?jobs ~fractions ~params_modified ~seeds config =
   if seeds = [] then invalid_arg "Incremental.fraction_sweep: no seeds";
-  List.map
-    (fun fraction ->
-      let results =
-        List.map
-          (fun seed ->
-            run ~fraction_modified:fraction ~params_modified { config with Scenario.seed })
-          seeds
-      in
+  let cells =
+    List.concat_map (fun f -> List.map (fun seed -> (f, seed)) seeds) fractions
+  in
+  let results =
+    Phi_runner.Pool.map ?jobs
+      (fun (fraction, seed) ->
+        run ~fraction_modified:fraction ~params_modified { config with Scenario.seed })
+      cells
+  in
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list results in
+  List.mapi
+    (fun i fraction ->
+      let per_seed = Array.to_list (Array.sub arr (i * n_seeds) n_seeds) in
       ( fraction,
-        average_groups (List.map (fun r -> r.modified) results),
-        average_groups (List.map (fun r -> r.unmodified) results) ))
+        average_groups (List.map (fun r -> r.modified) per_seed),
+        average_groups (List.map (fun r -> r.unmodified) per_seed) ))
     fractions

@@ -30,6 +30,7 @@ val run :
     {!Scenario.run} — the hook used by the queue-discipline ablation. *)
 
 val fraction_sweep :
+  ?jobs:int ->
   fractions:float list ->
   params_modified:Phi_tcp.Cubic.params ->
   seeds:int list ->
@@ -37,4 +38,7 @@ val fraction_sweep :
   (float * group_result * group_result) list
 (** The DESIGN.md ablation: benefit as a function of deployment fraction.
     Each entry is [(fraction, modified, unmodified)] with the group
-    metrics averaged across [seeds]. *)
+    metrics averaged across [seeds].  (fraction, seed) cells fan out
+    across [jobs] domains via {!Phi_runner.Pool} (default
+    {!Phi_runner.Pool.default_jobs}); results are deterministic for
+    every [jobs] value. *)

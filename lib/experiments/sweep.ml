@@ -1,5 +1,6 @@
 module Cubic = Phi_tcp.Cubic
 module Stats = Phi_util.Stats
+module Pool = Phi_runner.Pool
 
 type grid = { ssthresh : float list; init_w : float list; beta : float list }
 
@@ -66,27 +67,37 @@ let point_of ~params by_seed =
     mean_power = mean_of (fun (r : Scenario.result) -> r.Scenario.power) by_seed;
   }
 
-let eval_params config seeds params =
-  let by_seed =
-    Array.of_list
-      (List.map (fun seed -> Scenario.run_cubic ~params { config with Scenario.seed }) seeds)
-  in
-  point_of ~params by_seed
+(* Group a flat (setting-major, seed-minor) cell-result list back into
+   one point per setting.  The pool returns results in submission order,
+   so the regrouping is positional and the parallel sweep is bit-for-bit
+   identical to the serial one. *)
+let regroup ~n_seeds settings results =
+  let arr = Array.of_list results in
+  List.mapi (fun i params -> point_of ~params (Array.sub arr (i * n_seeds) n_seeds)) settings
 
-let run ?(progress = fun _ _ -> ()) config grid ~seeds =
+let run ?(progress = fun _ _ -> ()) ?jobs config grid ~seeds =
   if seeds = [] then invalid_arg "Sweep.run: no seeds";
   let all = settings grid in
   let total = List.length all in
-  let points =
-    List.mapi
-      (fun i params ->
-        let point = eval_params config seeds params in
-        progress (i + 1) total;
-        point)
-      all
+  (* One cell per (setting, seed) — the finest independent unit, so the
+     pool load-balances across both axes.  The Table 1 default setting
+     rides along as the last group of cells. *)
+  let cells =
+    List.concat_map
+      (fun params -> List.map (fun seed -> (params, seed)) seeds)
+      (all @ [ Cubic.default_params ])
   in
-  let default_point = eval_params config seeds Cubic.default_params in
-  { config; seeds; points; default_point }
+  let results =
+    Pool.map ?jobs
+      (fun (params, seed) -> Scenario.run_cubic ~params { config with Scenario.seed })
+      cells
+  in
+  let points = regroup ~n_seeds:(List.length seeds) (all @ [ Cubic.default_params ]) results in
+  List.iteri (fun i _ -> progress (i + 1) total) all;
+  match List.rev points with
+  | default_point :: rev_points ->
+    { config; seeds; points = List.rev rev_points; default_point }
+  | [] -> invalid_arg "Sweep.run: empty grid"
 
 let optimal t =
   match t.points with
@@ -94,17 +105,20 @@ let optimal t =
   | first :: rest ->
     List.fold_left (fun best p -> if p.mean_power > best.mean_power then p else best) first rest
 
-let run_longrunning ~spec ~n_flows ~duration_s ~seeds ~betas =
-  List.map
-    (fun beta ->
-      let params = Cubic.with_knobs ~beta Cubic.default_params in
-      let by_seed =
-        Array.of_list
-          (List.map
-             (fun seed -> Scenario.run_persistent ~params ~n_flows ~duration_s ~spec ~seed ())
-             seeds)
-      in
-      (beta, point_of ~params by_seed))
+let run_longrunning ?jobs ~spec ~n_flows ~duration_s ~seeds ~betas () =
+  let cells = List.concat_map (fun beta -> List.map (fun seed -> (beta, seed)) seeds) betas in
+  let results =
+    Pool.map ?jobs
+      (fun (beta, seed) ->
+        let params = Cubic.with_knobs ~beta Cubic.default_params in
+        Scenario.run_persistent ~params ~n_flows ~duration_s ~spec ~seed ())
+      cells
+  in
+  let params_of beta = Cubic.with_knobs ~beta Cubic.default_params in
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list results in
+  List.mapi
+    (fun i beta -> (beta, point_of ~params:(params_of beta) (Array.sub arr (i * n_seeds) n_seeds)))
     betas
 
 type validation = { default_power : float; optimal_power : float; common_power : float }

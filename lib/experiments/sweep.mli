@@ -37,21 +37,31 @@ type t = {
 
 val settings : grid -> Phi_tcp.Cubic.params list
 
-val run : ?progress:(int -> int -> unit) -> Scenario.config -> grid -> seeds:int list -> t
-(** [progress done_ total] is called after each grid setting. *)
+val run :
+  ?progress:(int -> int -> unit) -> ?jobs:int -> Scenario.config -> grid -> seeds:int list -> t
+(** Runs every (setting, seed) cell as an independent job on a
+    {!Phi_runner.Pool} of [jobs] domains (default
+    {!Phi_runner.Pool.default_jobs}; [jobs:1] is the serial path).
+    Results are reassembled in grid order, so the outcome is identical
+    for every [jobs] value.  [progress done_ total] is called once per
+    grid setting after the batch completes (with [jobs:1] the pool still
+    drains the whole batch before progress fires). *)
 
 val optimal : t -> point
 (** Highest mean [P_l]. *)
 
 val run_longrunning :
+  ?jobs:int ->
   spec:Phi_net.Topology.spec ->
   n_flows:int ->
   duration_s:float ->
   seeds:int list ->
   betas:float list ->
+  unit ->
   (float * point) list
 (** Figure 2c: persistent flows, sweeping beta only.  Returns
-    [(beta, point)] pairs. *)
+    [(beta, point)] pairs.  (beta, seed) cells fan out across [jobs]
+    domains like {!run}. *)
 
 (** {2 Figure 3: leave-one-out validation} *)
 

@@ -13,7 +13,10 @@ let rules =
     ("failwith", "failwith in library code; raise a typed exception or return a result");
     ("exit", "exit in library code; only binaries may terminate the process");
     ("missing-mli", "library module has no .mli interface");
-    ("mli-doc", "library interface must open with a (** ... *) doc comment")
+    ("mli-doc", "library interface must open with a (** ... *) doc comment");
+    ( "domain-global",
+      "top-level mutable state in a pool-driven library is shared across worker domains; \
+       allocate it per run (from the seed) or suppress with an explicit justification" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -45,6 +48,20 @@ let is_float_literal s =
   && (String.contains s '.' || String.contains s 'e' || String.contains s 'E')
 
 let is_floatish s = is_float_literal s || List.mem s float_constants
+
+(* Directories whose code runs inside Phi_runner.Pool worker domains:
+   top-level mutable state there is shared mutable state. *)
+let in_domain_pool path =
+  let has_dir dir =
+    let needle = "/" ^ dir ^ "/" in
+    let n = String.length path and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub path i m = needle || scan (i + 1)) in
+    let prefix = dir ^ "/" in
+    (String.length path >= String.length prefix
+    && String.sub path 0 (String.length prefix) = prefix)
+    || scan 0
+  in
+  has_dir "lib/experiments" || has_dir "lib/runner"
 
 let in_lib path =
   let path = if String.length path > 2 && String.sub path 0 2 = "./" then
@@ -284,6 +301,49 @@ let ends_with ~suffix s =
   let sn = String.length suffix and n = String.length s in
   n >= sn && String.sub s (n - sn) sn = suffix
 
+(* [domain-global]: a top-level [let] in a pool-driven library that
+   binds a value built from a mutable-state constructor.  Lexical like
+   everything else here: "top-level" means the [let] starts in column 0
+   (ocamlformat indents every nested binding), "value binding" means the
+   token after the bound name is [=], [:] or [,] (anything else is a
+   parameter, i.e. a function definition whose state is per call), and
+   the constructor must appear on the same line. *)
+let mutable_constructors =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Atomic.make"; "Array.make"; "Bytes.create"; "Bytes.make"
+  ]
+
+let domain_global_violations ~path src { tokens; _ } =
+  if not (in_domain_pool path && ends_with ~suffix:".ml" path) then []
+  else begin
+    let by_line = Hashtbl.create 64 in
+    Array.iter
+      (fun (line, tok) ->
+        let prev = match Hashtbl.find_opt by_line line with Some l -> l | None -> [] in
+        Hashtbl.replace by_line line (tok :: prev))
+      tokens;
+    let line_tokens line =
+      match Hashtbl.find_opt by_line line with Some l -> List.rev l | None -> []
+    in
+    let out = ref [] in
+    List.iteri
+      (fun i0 raw ->
+        let line = i0 + 1 in
+        if String.length raw >= 4 && String.sub raw 0 4 = "let " then
+          match line_tokens line with
+          | "let" :: rest ->
+            let rest = match rest with "rec" :: r -> r | r -> r in
+            (match rest with
+            | _name :: next :: _ when next = "=" || next = ":" || next = "," ->
+              if List.exists (fun t -> List.mem t mutable_constructors) rest then
+                out := violation path line "domain-global" :: !out
+            | _ -> ())
+          | _ -> ())
+      (String.split_on_char '\n' src);
+    List.rev !out
+  end
+
 let starts_with_doc_comment src =
   let n = String.length src in
   let i = ref 0 in
@@ -294,7 +354,7 @@ let starts_with_doc_comment src =
 
 let lint_source ~path src =
   let scan = scan_source src in
-  let vs = token_violations ~path scan in
+  let vs = token_violations ~path scan @ domain_global_violations ~path src scan in
   let vs =
     if ends_with ~suffix:".mli" path && in_lib path && not (starts_with_doc_comment src)
     then violation path 1 "mli-doc" :: vs

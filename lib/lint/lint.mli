@@ -32,11 +32,23 @@ val rules : (string * string) list
     - [failwith]: [failwith] inside [lib/]; require a typed exception.
     - [exit]: [exit] inside [lib/]; only binaries may terminate.
     - [missing-mli]: a [lib/**/*.ml] with no sibling [.mli].
-    - [mli-doc]: a [lib/**/*.mli] that does not open with a doc comment. *)
+    - [mli-doc]: a [lib/**/*.mli] that does not open with a doc comment.
+    - [domain-global]: a top-level [let] binding mutable state ([ref],
+      [Hashtbl.create], [Atomic.make], ...) in a library whose code runs
+      inside {!Phi_runner.Pool} worker domains ([lib/experiments],
+      [lib/runner]) — such state is shared across domains and breaks the
+      pool's per-job isolation.  Lexical approximation: the [let] must
+      start in column 0, bind a value (not a function), and construct
+      the mutable state on the same line. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
     library-only rules. *)
+
+val in_domain_pool : string -> bool
+(** Whether a path is under [lib/experiments/] or [lib/runner/], i.e.
+    subject to the [domain-global] rule because its code is executed by
+    {!Phi_runner.Pool} worker domains. *)
 
 val lint_source : path:string -> string -> violation list
 (** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with

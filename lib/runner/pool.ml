@@ -1,0 +1,65 @@
+type error = { index : int; exn : exn; backtrace : string }
+
+exception Job_failed of error list
+
+let available_cores () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "PHI_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> available_cores ())
+  | None -> available_cores ()
+
+let run_one f items results i =
+  let r =
+    try Ok (f items.(i))
+    with e -> Error { index = i; exn = e; backtrace = Printexc.get_backtrace () }
+  in
+  results.(i) <- Some r
+
+let try_map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.try_map: jobs must be >= 1";
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let results = Array.make n None in
+  let workers = Stdlib.min jobs n in
+  if workers <= 1 then
+    (* The serial path: no domain is spawned, jobs run in submission
+       order in the calling domain. *)
+    for i = 0 to n - 1 do
+      run_one f items results i
+    done
+  else begin
+    (* Work-stealing over a shared cursor: each worker claims the next
+       unclaimed index.  Each slot of [results] is written by exactly
+       one domain, and [Domain.join] publishes those writes before the
+       reassembly below reads them. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false else run_one f items results i
+      done
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  List.init n (fun i ->
+      match results.(i) with
+      | Some r -> r
+      | None -> Error { index = i; exn = Not_found; backtrace = "" })
+
+let map ?jobs f xs =
+  let results = try_map ?jobs f xs in
+  let errors =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) results
+  in
+  if errors <> [] then raise (Job_failed errors);
+  List.map (function Ok v -> v | Error _ -> assert false) results
+
+let error_to_string e = Printf.sprintf "job %d: %s" e.index (Printexc.to_string e.exn)

@@ -1,0 +1,61 @@
+(** Domain-based fan-out for embarrassingly parallel experiment grids.
+
+    Every (setting, seed) cell of a parameter sweep is an independent
+    deterministic simulation, so a sweep is a [map] over cells.  [map]
+    fans the cells across OCaml 5 domains and reassembles the results in
+    submission order, making the parallel run's output bit-for-bit
+    identical to the serial run's — callers never observe completion
+    order.
+
+    {2 Domain-safety contract}
+
+    The job function is executed concurrently on several domains, so it
+    must not touch shared mutable state.  The experiment harness
+    satisfies this by constructing everything per run from the seed: a
+    job builds its own {!Phi_util.Prng.t}, engine, topology and result
+    records, and returns a pure value.  Global accumulators are the one
+    exception in this codebase — the {!Phi_sim.Invariant} sanitizer's
+    report buffer is process-global and unsynchronized, so armed
+    sanitizer runs ([PHI_SANITIZE=1]) must use [jobs:1] (the bench
+    driver enforces this).  A phi-lint rule ([domain-global]) guards
+    against introducing new top-level mutable state under
+    [lib/experiments] and [lib/runner]. *)
+
+type error = {
+  index : int;  (** position of the failed job in the submission list *)
+  exn : exn;
+  backtrace : string;  (** raw backtrace, empty unless recording is on *)
+}
+
+exception Job_failed of error list
+(** Raised by {!map} after the whole batch has drained, carrying every
+    failure (submission order).  One failing job never kills the pool or
+    its sibling jobs. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism the hardware
+    offers this process. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the [PHI_JOBS]
+    environment variable when set to a positive integer, otherwise
+    {!available_cores}. *)
+
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** [try_map ~jobs f xs] applies [f] to every element of [xs] on a pool
+    of [min jobs (List.length xs)] domains (the calling domain counts as
+    one worker, so [jobs:4] spawns three).  Results are returned in
+    submission order regardless of completion order.  A job that raises
+    is captured as [Error] — siblings run to completion.  [jobs:1] (or a
+    batch of one) runs everything serially in the calling domain with no
+    domain spawned at all — exactly the pre-pool code path.
+
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!try_map} but unwraps the results.
+
+    @raise Job_failed when any job raised, after all jobs finished. *)
+
+val error_to_string : error -> string
+(** [job 17: Failure("boom")] — one line per failure, for reports. *)

@@ -22,7 +22,22 @@
 
     The accumulator is global (simulations are single-threaded); tests
     use {!with_capture} to arm the sanitizer for one closure and inspect
-    exactly the violations it produced. *)
+    exactly the violations it produced.
+
+    {2 Domain-safety}
+
+    Simulation state is per-run — engine, topology, flows and PRNG are
+    all constructed from the seed inside one run and never shared, which
+    is what lets [Phi_runner.Pool] fan (setting, seed) cells across
+    domains.  This module is the deliberate exception: the violation
+    accumulator is process-global and unsynchronized, so armed runs
+    ([PHI_SANITIZE=1] or {!set_enabled}) must stay serial ([--jobs 1];
+    the bench driver enforces this, and {!with_capture} likewise must
+    not wrap a parallel batch).  When dormant (the default) the checks
+    only read {!enabled} and record nothing, so parallel unarmed runs
+    are safe.  The phi-lint [domain-global] rule guards against
+    introducing further shared mutable globals under [lib/experiments]
+    and [lib/runner]. *)
 
 type violation = {
   rule : string;  (** stable rule name, e.g. ["negative-delay"] *)

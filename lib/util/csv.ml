@@ -14,7 +14,19 @@ let escape s =
   end
   else s
 
-let write ~path ~header rows =
+let rec mkdir_p dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* Attempt-then-check rather than check-then-attempt: two concurrent
+       writers racing to create the same directory must both succeed. *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+  else if Sys.file_exists dir && not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "mkdir_p: %s exists and is not a directory" dir))
+
+let write ?(mkdirs = false) ~path ~header rows =
+  if mkdirs then mkdir_p (Filename.dirname path);
   let oc = open_out path in
   let emit row = output_string oc (String.concat "," (List.map escape row) ^ "\n") in
   (try

@@ -4,8 +4,18 @@
 val escape : string -> string
 (** Quote a field if it contains commas, quotes or newlines. *)
 
-val write : path:string -> header:string list -> string list list -> unit
-(** Write a header plus rows.  Creates/truncates [path]. *)
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents, like [mkdir -p].
+    Tolerates concurrent creation of the same directories (two
+    experiments exporting under the same [--csv DIR] at once must both
+    succeed).
+
+    @raise Sys_error when a path component exists but is not a
+    directory, naming the offending component. *)
+
+val write : ?mkdirs:bool -> path:string -> header:string list -> string list list -> unit
+(** Write a header plus rows.  Creates/truncates [path].  [mkdirs]
+    (default [false]) first creates [path]'s parent directories. *)
 
 val float_cell : float -> string
 (** Full-precision float rendering ([%.17g]). *)

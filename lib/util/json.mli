@@ -1,0 +1,40 @@
+(** Minimal JSON tree, writer and parser — just enough for the bench
+    harness's machine-readable reports ([bench/main.exe --json PATH])
+    and for CI to validate them, with no external dependency.
+
+    The writer renders every float as its shortest exact decimal form
+    where possible ([%.17g]), so report numbers round-trip bit-for-bit;
+    non-finite floats have no JSON representation and are emitted as
+    [null].  The parser is a strict recursive-descent reader of the JSON
+    the writer produces (objects, arrays, strings with escapes, numbers,
+    booleans, null) and rejects trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float : float -> t
+(** [Float x], or [Null] when [x] is NaN or infinite. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render with [indent]-space indentation (default 2); [indent:0]
+    renders compactly on one line. *)
+
+val to_file : ?indent:int -> path:string -> t -> unit
+(** {!to_string} plus a trailing newline, written atomically via a
+    temporary file in the same directory (a crashed or concurrent run
+    never leaves a half-written report). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a byte offset and
+    reason. *)
+
+val of_file : path:string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on other constructors. *)

@@ -133,6 +133,48 @@ let test_tree_sorted_and_rendered () =
       (Lint.to_string v)
   | [] -> Alcotest.fail "expected violations"
 
+(* {2 domain-global: shared mutable state in pooled libraries} *)
+
+let exp_path = "lib/experiments/fixture.ml"
+
+let test_domain_global_fires () =
+  check_rules "top-level ref" [ "domain-global" ]
+    (lint ~path:exp_path "let counter = ref 0\n");
+  check_rules "top-level Hashtbl" [ "domain-global" ]
+    (lint ~path:exp_path "let cache = Hashtbl.create 16\n");
+  check_rules "top-level Atomic" [ "domain-global" ]
+    (lint ~path:exp_path "let hits = Atomic.make 0\n");
+  check_rules "lib/runner in scope" [ "domain-global" ]
+    (lint ~path:"lib/runner/fixture.ml" "let state = Queue.create ()\n")
+
+let test_domain_global_scope () =
+  (* The rule covers only code that runs inside pool worker domains. *)
+  check_rules "lib/sim out of scope" []
+    (lint ~path:"lib/sim/fixture.ml" "let counter = ref 0\n");
+  check_rules "bin out of scope" []
+    (lint ~path:"bin/fixture.ml" "let counter = ref 0\n")
+
+let test_domain_global_silent_on_local_state () =
+  (* Functions that construct fresh mutable state per call are exactly
+     the per-job isolation the pool wants — never flagged. *)
+  check_rules "function returning ref" []
+    (lint ~path:exp_path "let make_counter () = ref 0\n");
+  check_rules "local ref inside function" []
+    (lint ~path:exp_path "let f x =\n  let acc = ref x in\n  !acc\n");
+  check_rules "plain immutable binding" []
+    (lint ~path:exp_path "let default_seeds = [ 1; 2; 3 ]\n")
+
+let test_domain_global_allow () =
+  check_rules "suppressed with allow" []
+    (lint ~path:exp_path
+       "(* phi-lint: allow domain-global *)\nlet cache = Hashtbl.create 16\n")
+
+let test_in_domain_pool () =
+  Alcotest.(check bool) "experiments" true (Lint.in_domain_pool "lib/experiments/sweep.ml");
+  Alcotest.(check bool) "runner" true (Lint.in_domain_pool "lib/runner/pool.ml");
+  Alcotest.(check bool) "sim" false (Lint.in_domain_pool "lib/sim/engine.ml");
+  Alcotest.(check bool) "test" false (Lint.in_domain_pool "test/test_runner.ml")
+
 let test_every_rule_has_description () =
   Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 9);
   List.iter
@@ -166,5 +208,10 @@ let suite =
     Alcotest.test_case "missing-mli is library-only" `Quick test_missing_mli_lib_only;
     Alcotest.test_case "in_lib classification" `Quick test_in_lib;
     Alcotest.test_case "tree lint sorted and rendered" `Quick test_tree_sorted_and_rendered;
+    Alcotest.test_case "domain-global fires" `Quick test_domain_global_fires;
+    Alcotest.test_case "domain-global scope" `Quick test_domain_global_scope;
+    Alcotest.test_case "domain-global local state ok" `Quick test_domain_global_silent_on_local_state;
+    Alcotest.test_case "domain-global allow" `Quick test_domain_global_allow;
+    Alcotest.test_case "in_domain_pool classification" `Quick test_in_domain_pool;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
   ]

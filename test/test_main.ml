@@ -24,6 +24,7 @@ let () =
       ("diagnosis", Test_diagnosis.suite);
       ("predict", Test_predict.suite);
       ("experiments", Test_experiments.suite);
+      ("runner", Test_runner.suite);
       ("lint", Test_lint.suite);
       ("invariant", Test_invariant.suite);
       ("sanitize-leak", sanitize_leak_suite);

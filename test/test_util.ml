@@ -243,6 +243,97 @@ let test_csv_write_roundtrip () =
   Sys.remove path;
   Alcotest.(check (list string)) "contents" [ "x,y"; "1,hello"; "2,\"wo,rld\"" ] lines
 
+let test_csv_write_mkdirs () =
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "phi_test_mkdirs_%d" (Unix.getpid ()))
+  in
+  let path = Filename.concat (Filename.concat base "nested") "out.csv" in
+  Csv.write ~mkdirs:true ~path ~header:[ "a" ] [ [ "1" ] ];
+  Alcotest.(check bool) "file created under new dirs" true (Sys.file_exists path);
+  (* Idempotent: the directories already exist on the second write. *)
+  Csv.write ~mkdirs:true ~path ~header:[ "a" ] [ [ "2" ] ];
+  Sys.remove path;
+  Sys.rmdir (Filename.concat base "nested");
+  Sys.rmdir base
+
+let test_csv_mkdir_p_rejects_file_component () =
+  let file = Filename.temp_file "phi_test" ".notdir" in
+  Alcotest.(check bool) "raises Sys_error" true
+    (match Csv.mkdir_p (Filename.concat file "sub") with
+    | () -> false
+    | exception Sys_error _ -> true);
+  Sys.remove file
+
+(* {2 Json} *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("schema", Json.String "phi-bench-report/1");
+      ("jobs", Json.Int 4);
+      ("wall_s", Json.Float 1.25);
+      ("ok", Json.Bool true);
+      ("nothing", Json.Null);
+      ("xs", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ("label", Json.String "quo\"te\nline");
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match Json.of_string (Json.to_string ~indent sample_json) with
+      | Ok parsed ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip indent=%d" indent)
+          true (parsed = sample_json)
+      | Error e -> Alcotest.fail ("parse failed: " ^ e))
+    [ 0; 2 ]
+
+let test_json_float_precision () =
+  (* %.17g must round-trip any finite float bit-for-bit. *)
+  List.iter
+    (fun x ->
+      match Json.of_string (Json.to_string (Json.float x)) with
+      | Ok v ->
+        let y = match v with Json.Float f -> f | Json.Int i -> float_of_int i | _ -> nan in
+        Alcotest.(check (float 0.)) (Printf.sprintf "roundtrip %h" x) x y
+      | Error e -> Alcotest.fail e)
+    [ 0.1; 1. /. 3.; 12345.6789e-12; 1.7976931348623157e308 ]
+
+let test_json_nonfinite_is_null () =
+  let is_null = function Json.Null -> true | _ -> false in
+  Alcotest.(check bool) "nan" true (is_null (Json.float nan));
+  Alcotest.(check bool) "inf" true (is_null (Json.float infinity))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" src))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 trailing"; "\"unterminated"; "nul" ]
+
+let test_json_unicode_escape () =
+  match Json.of_string "\"\\u0041\\u00e9\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "decoded escapes" "A\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape parse failed"
+
+let test_json_member () =
+  Alcotest.(check (option int)) "present" (Some 4)
+    (match Json.member "jobs" sample_json with Some (Json.Int i) -> Some i | _ -> None);
+  Alcotest.(check bool) "absent" true (Json.member "missing" sample_json = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 1) = None)
+
+let test_json_to_file_roundtrip () =
+  let path = Filename.temp_file "phi_test" ".json" in
+  Json.to_file ~path sample_json;
+  Alcotest.(check bool) "no tmp file left" false (Sys.file_exists (path ^ ".tmp"));
+  (match Json.of_file ~path with
+  | Ok parsed -> Alcotest.(check bool) "file roundtrip" true (parsed = sample_json)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
 (* {2 Properties} *)
 
 let prop_percentile_monotone =
