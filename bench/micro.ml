@@ -1,0 +1,369 @@
+(* Event-core microbenchmarks: the allocation-free engine against a
+   verbatim copy of the pre-refactor implementation.
+
+   Usage: dune exec bench/micro.exe [-- --quick] [--json PATH]
+
+   Two metric families:
+
+   - events/s: a timer-churn workload (65536 outstanding
+     self-rescheduling chains, one cancelled bystander per 8 events)
+     run against the old boxed binary-heap engine
+     ([Legacy_heap]/[Legacy_engine] below) and against
+     [Phi_sim.Engine], both through the closure API and through the
+     closure-free port API.  The legacy copy is embedded here so the
+     comparison survives the old code's deletion.
+
+   - packets/s: the link pipeline under saturation — a closed loop of
+     packets circulating through one 1 Gbps link, and the paper dumbbell
+     at ~99% utilization with 8 persistent Cubic flows (data packets
+     counted; ACKs roughly double the true event rate).
+
+   --json PATH merges a "micro" section into an existing
+   phi-bench-report/1 document (bench/main.exe --json output), or writes
+   a standalone report when PATH does not exist yet. *)
+
+module Engine = Phi_sim.Engine
+module Link = Phi_net.Link
+module Packet = Phi_net.Packet
+module Topology = Phi_net.Topology
+module Scenario = Phi_experiments.Scenario
+module Json = Phi_util.Json
+module Pool = Phi_runner.Pool
+
+(* {2 The pre-refactor event core, embedded verbatim}
+
+   Boxed heap entries, a record handle and a record event per schedule —
+   exactly the code this PR replaced, minus the sanitizer hooks (which
+   cost nothing on the hot path when disarmed). *)
+
+module Legacy_heap = struct
+  type 'a entry = { priority : float; seq : int; payload : 'a }
+  type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+  let grow t entry =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ncap = Stdlib.max 16 (2 * cap) in
+      let ndata = Array.make ncap entry in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t.data.(i) t.data.(parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let push t ~priority ~seq payload =
+    let entry = { priority; seq; payload } in
+    grow t entry;
+    t.data.(t.len) <- entry;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let e = t.data.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        sift_down t 0
+      end;
+      Some (e.priority, e.seq, e.payload)
+    end
+end
+
+module Legacy_engine = struct
+  type handle = { mutable live : bool }
+  type event = { handle : handle; action : unit -> unit }
+
+  type t = {
+    mutable clock : float;
+    queue : event Legacy_heap.t;
+    mutable next_seq : int;
+  }
+
+  let create () = { clock = 0.; queue = Legacy_heap.create (); next_seq = 0 }
+
+  let schedule_at t ~time f =
+    if time < t.clock then invalid_arg "Legacy_engine.schedule_at: time in the past";
+    let handle = { live = true } in
+    Legacy_heap.push t.queue ~priority:time ~seq:t.next_seq { handle; action = f };
+    t.next_seq <- t.next_seq + 1;
+    handle
+
+  let schedule_after t ~delay f = schedule_at t ~time:(t.clock +. delay) f
+  let cancel handle = handle.live <- false
+
+  let step t =
+    match Legacy_heap.pop t.queue with
+    | None -> false
+    | Some (time, _seq, event) ->
+      t.clock <- Stdlib.max t.clock time;
+      if event.handle.live then begin
+        event.handle.live <- false;
+        event.action ()
+      end;
+      true
+
+  let run t = while step t do () done
+end
+
+(* {2 Harness} *)
+
+let quick = ref false
+let repetitions = 3
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let rate n wall = if wall > 0. then float_of_int n /. wall else 0.
+
+(* {2 events/s: timer churn}
+
+   65536 outstanding chains; every fired event reschedules itself 1 s
+   out, and every 8th event also schedules a bystander and cancels it —
+   the TCP-timer pattern (RTO armed per segment, cancelled by the ACK).
+   The outstanding-event count matches a very busy many-flow simulation
+   (tens of thousands of flows each holding a timer or two); deep
+   queues are where the old engine's boxed, pointer-chasing heap
+   entries hurt most and where the flat arrays pull ahead hardest. *)
+
+let churn_legacy chains total () =
+  let e = Legacy_engine.create () in
+  let count = ref 0 in
+  let rec handler () =
+    incr count;
+    if !count land 7 = 0 then
+      Legacy_engine.cancel (Legacy_engine.schedule_after e ~delay:0.5 ignore);
+    if !count < total then ignore (Legacy_engine.schedule_after e ~delay:1. handler)
+  in
+  for _ = 1 to chains do
+    ignore (Legacy_engine.schedule_after e ~delay:1. handler)
+  done;
+  Legacy_engine.run e
+
+let churn_new chains total () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec handler () =
+    incr count;
+    if !count land 7 = 0 then
+      Engine.cancel e (Engine.schedule_after e ~delay:0.5 ignore);
+    if !count < total then ignore (Engine.schedule_after e ~delay:1. handler)
+  in
+  for _ = 1 to chains do
+    ignore (Engine.schedule_after e ~delay:1. handler)
+  done;
+  Engine.run e
+
+(* The same workload with the recurring timer as a {!Engine.port} —
+   registered once, rescheduled by reference — while the cancelled
+   bystanders still go through the closure API (ports are not
+   cancellable).  This is exactly how the real code divides the work:
+   links reschedule ports, TCP timers are cancellable closures.  All
+   three variants perform the identical event sequence, so the rates
+   are directly comparable. *)
+let churn_ports chains total () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let p = ref (Engine.port e ignore) in
+  p :=
+    Engine.port e (fun () ->
+        incr count;
+        if !count land 7 = 0 then
+          Engine.cancel e (Engine.schedule_after e ~delay:0.5 ignore);
+        if !count < total then Engine.schedule_port_after e ~delay:1. !p);
+  for _ = 1 to chains do
+    Engine.schedule_port_after e ~delay:1. !p
+  done;
+  Engine.run e
+
+(* {2 packets/s: saturated link pipeline} *)
+
+let link_loop n () =
+  let engine = Engine.create () in
+  let link = Link.create engine ~bandwidth_bps:1e9 ~delay_s:1e-4 ~capacity_pkts:128 in
+  let delivered = ref 0 in
+  Link.set_receiver link (fun pkt ->
+      incr delivered;
+      if !delivered < n then Link.send link pkt);
+  for i = 0 to 31 do
+    Link.send link (Packet.data ~flow:0 ~src:0 ~dst:1 ~seq:i ~now:0. ~retransmit:false)
+  done;
+  Engine.run engine;
+  !delivered
+
+let dumbbell_packets duration_s () =
+  let r =
+    Scenario.run_persistent ~n_flows:8 ~duration_s ~spec:Topology.paper_spec ~seed:1 ()
+  in
+  List.fold_left
+    (fun acc (s : Phi_tcp.Flow.conn_stats) -> acc + (s.Phi_tcp.Flow.bytes / Packet.mss))
+    0 r.Scenario.records
+
+(* {2 Driver} *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  quick := List.mem "--quick" args;
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let churn_total = if !quick then 200_000 else 2_000_000 in
+  (* The quick (CI smoke) budget scales the outstanding-chain count down
+     with the event count, so setup does not dominate the measurement. *)
+  let chains = if !quick then 8192 else 65536 in
+  let loop_packets = if !quick then 100_000 else 1_000_000 in
+  let dumbbell_s = if !quick then 10. else 30. in
+  Printf.printf "Event-core microbenchmarks (%s budget, best of %d)\n%!"
+    (if !quick then "quick" else "default")
+    repetitions;
+
+  (* Interleave the repetitions (legacy, new, ports, legacy, ...) so a
+     load spike on the shared machine cannot hit one variant's whole
+     sample; each variant keeps its best wall. *)
+  let legacy_wall = ref infinity in
+  let new_wall = ref infinity in
+  let port_wall = ref infinity in
+  for _ = 1 to repetitions do
+    let keep best f = let wall, () = timed f in if wall < !best then best := wall in
+    keep legacy_wall (churn_legacy chains churn_total);
+    keep new_wall (churn_new chains churn_total);
+    keep port_wall (churn_ports chains churn_total)
+  done;
+  let legacy_wall = !legacy_wall in
+  let new_wall = !new_wall in
+  let port_wall = !port_wall in
+  let legacy_eps = rate churn_total legacy_wall in
+  let new_eps = rate churn_total new_wall in
+  let port_eps = rate churn_total port_wall in
+  let speedup = if legacy_wall > 0. then legacy_wall /. new_wall else 1. in
+  Printf.printf "\n  timer churn, %d events (%d chains, 1-in-8 cancelled bystander):\n"
+    churn_total chains;
+  Printf.printf "    legacy engine (boxed heap, record handles) %10.0f events/s\n" legacy_eps;
+  Printf.printf "    new engine    (SoA 8-ary heap, cell slab)  %10.0f events/s  (%.2fx)\n"
+    new_eps speedup;
+  Printf.printf "    new engine, recurring timer as a port      %10.0f events/s  (%.2fx)\n%!"
+    port_eps
+    (if legacy_wall > 0. then legacy_wall /. port_wall else 1.);
+
+  let loop_wall, loop_delivered =
+    let best = ref (infinity, 0) in
+    for _ = 1 to repetitions do
+      let wall, d = timed (link_loop loop_packets) in
+      if wall < fst !best then best := (wall, d)
+    done;
+    !best
+  in
+  let loop_pps = rate loop_delivered loop_wall in
+  Printf.printf "\n  saturated 1 Gbps link, closed loop of 32 packets:\n";
+  Printf.printf "    %d packets delivered                  %10.0f packets/s\n%!" loop_delivered
+    loop_pps;
+
+  let dumbbell_wall, data_packets = timed (dumbbell_packets dumbbell_s) in
+  let dumbbell_pps = rate data_packets dumbbell_wall in
+  Printf.printf "\n  paper dumbbell, 8 persistent Cubic flows, %.0f simulated s:\n" dumbbell_s;
+  Printf.printf "    %d data packets delivered               %10.0f packets/s (wall %.2f s)\n%!"
+    data_packets dumbbell_pps dumbbell_wall;
+
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let micro =
+      Json.Obj
+        [
+          ("quick", Json.Bool !quick);
+          ( "events",
+            Json.Obj
+              [
+                ("events", Json.Int churn_total);
+                ("chains", Json.Int chains);
+                ("legacy_events_per_s", Json.float legacy_eps);
+                ("new_events_per_s", Json.float new_eps);
+                ("port_events_per_s", Json.float port_eps);
+                ("speedup_vs_legacy", Json.float speedup);
+                ( "port_speedup_vs_legacy",
+                  Json.float (if legacy_wall > 0. then legacy_wall /. port_wall else 1.) );
+              ] );
+          ( "packets",
+            Json.Obj
+              [
+                ("link_loop_packets", Json.Int loop_delivered);
+                ("link_loop_packets_per_s", Json.float loop_pps);
+                ("dumbbell_sim_s", Json.float dumbbell_s);
+                ("dumbbell_data_packets", Json.Int data_packets);
+                ("dumbbell_packets_per_s", Json.float dumbbell_pps);
+              ] );
+        ]
+    in
+    let doc =
+      match Json.of_file ~path with
+      | Ok (Json.Obj fields) ->
+        (* Merge into an existing bench report, replacing any stale
+           micro section. *)
+        Json.Obj (List.filter (fun (k, _) -> k <> "micro") fields @ [ ("micro", micro) ])
+      | Ok _ | Error _ ->
+        (* Standalone report: the minimal valid phi-bench-report/1
+           document plus the micro section. *)
+        let experiment id wall cells =
+          Json.Obj
+            [ ("id", Json.String id); ("wall_s", Json.float wall); ("cells", Json.Int cells) ]
+        in
+        Json.Obj
+          [
+            ("schema", Json.String "phi-bench-report/1");
+            ( "budget",
+              Json.String
+                (if !quick then "micro-only (quick)" else "micro-only (default)") );
+            ("jobs", Json.Int 1);
+            ("cores", Json.Int (Pool.available_cores ()));
+            ( "total_wall_s",
+              Json.float (legacy_wall +. new_wall +. port_wall +. loop_wall +. dumbbell_wall)
+            );
+            ( "experiments",
+              Json.List
+                [
+                  experiment "micro-churn-legacy" legacy_wall churn_total;
+                  experiment "micro-churn-new" new_wall churn_total;
+                  experiment "micro-churn-ports" port_wall churn_total;
+                  experiment "micro-link-loop" loop_wall loop_delivered;
+                  experiment "micro-dumbbell" dumbbell_wall data_packets;
+                ] );
+            ("headline", Json.Obj []);
+            ("micro", micro);
+          ]
+    in
+    Json.to_file ~path doc;
+    Printf.printf "\n(wrote %s)\n" path);
+  print_endline "\ndone."

@@ -29,4 +29,33 @@ let () =
     (match J.member "experiments" doc with
     | Some (J.List (_ :: _)) -> ()
     | _ -> fail "%s: \"experiments\" must be a non-empty array" path);
+    (* The "micro" section (bench/micro.exe --json) is optional, but
+       when present it must carry both metric families with positive
+       rates — a zero or missing rate means the harness mis-ran. *)
+    (match J.member "micro" doc with
+    | None -> ()
+    | Some micro ->
+      let positive_rate section field =
+        match J.member field section with
+        | Some (J.Float v) when v > 0. -> ()
+        | Some (J.Int v) when v > 0 -> ()
+        | Some _ -> fail "%s: micro field \"%s\" must be a positive number" path field
+        | None -> fail "%s: micro section missing \"%s\"" path field
+      in
+      (match J.member "events" micro with
+      | Some (J.Obj _ as events) ->
+        List.iter (positive_rate events)
+          [
+            "legacy_events_per_s";
+            "new_events_per_s";
+            "port_events_per_s";
+            "speedup_vs_legacy";
+            "port_speedup_vs_legacy";
+          ]
+      | Some _ | None -> fail "%s: micro section missing \"events\" object" path);
+      match J.member "packets" micro with
+      | Some (J.Obj _ as packets) ->
+        List.iter (positive_rate packets)
+          [ "link_loop_packets_per_s"; "dumbbell_packets_per_s" ]
+      | Some _ | None -> fail "%s: micro section missing \"packets\" object" path);
     Printf.printf "phi-json-check: %s ok\n" path

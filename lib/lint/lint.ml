@@ -16,7 +16,10 @@ let rules =
     ("mli-doc", "library interface must open with a (** ... *) doc comment");
     ( "domain-global",
       "top-level mutable state in a pool-driven library is shared across worker domains; \
-       allocate it per run (from the seed) or suppress with an explicit justification" )
+       allocate it per run (from the seed) or suppress with an explicit justification" );
+    ( "hot-queue",
+      "Stdlib.Queue allocates one cons cell per element; hot-path simulation code \
+       (lib/net, lib/sim) must use Phi_sim.Ring instead" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -49,19 +52,22 @@ let is_float_literal s =
 
 let is_floatish s = is_float_literal s || List.mem s float_constants
 
+let path_has_dir path dir =
+  let needle = "/" ^ dir ^ "/" in
+  let n = String.length path and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub path i m = needle || scan (i + 1)) in
+  let prefix = dir ^ "/" in
+  (String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix)
+  || scan 0
+
 (* Directories whose code runs inside Phi_runner.Pool worker domains:
    top-level mutable state there is shared mutable state. *)
-let in_domain_pool path =
-  let has_dir dir =
-    let needle = "/" ^ dir ^ "/" in
-    let n = String.length path and m = String.length needle in
-    let rec scan i = i + m <= n && (String.sub path i m = needle || scan (i + 1)) in
-    let prefix = dir ^ "/" in
-    (String.length path >= String.length prefix
-    && String.sub path 0 (String.length prefix) = prefix)
-    || scan 0
-  in
-  has_dir "lib/experiments" || has_dir "lib/runner"
+let in_domain_pool path = path_has_dir path "lib/experiments" || path_has_dir path "lib/runner"
+
+(* The per-packet hot path: every simulated packet crosses lib/net and
+   lib/sim, so container choices there are perf-critical. *)
+let in_hot_path path = path_has_dir path "lib/net" || path_has_dir path "lib/sim"
 
 let in_lib path =
   let path = if String.length path > 2 && String.sub path 0 2 = "./" then
@@ -262,8 +268,13 @@ let message_of rule =
 
 let violation file line rule = { file; line; rule; message = message_of rule }
 
+let starts_with ~prefix s =
+  let pn = String.length prefix in
+  String.length s >= pn && String.sub s 0 pn = prefix
+
 let token_violations ~path { tokens; _ } =
   let lib = in_lib path in
+  let hot = in_hot_path path in
   let out = ref [] in
   let add line rule = out := violation path line rule :: !out in
   let text k = if k >= 0 && k < Array.length tokens then snd tokens.(k) else "" in
@@ -277,6 +288,11 @@ let token_violations ~path { tokens; _ } =
       | "failwith" | "Stdlib.failwith" -> if lib then add line "failwith"
       | "exit" | "Stdlib.exit" -> if lib then add line "exit"
       | _ -> ());
+      if
+        hot
+        && (tok = "Queue" || starts_with ~prefix:"Queue." tok || tok = "Stdlib.Queue"
+          || starts_with ~prefix:"Stdlib.Queue." tok)
+      then add line "hot-queue";
       if tok = "=" || tok = "<>" then begin
         let next = text (k + 1) and prev = text (k - 1) in
         if is_floatish next || is_floatish prev then begin

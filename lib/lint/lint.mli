@@ -39,7 +39,10 @@ val rules : (string * string) list
       [lib/runner]) — such state is shared across domains and breaks the
       pool's per-job isolation.  Lexical approximation: the [let] must
       start in column 0, bind a value (not a function), and construct
-      the mutable state on the same line. *)
+      the mutable state on the same line.
+    - [hot-queue]: any [Queue]/[Stdlib.Queue] use inside the per-packet
+      hot-path libraries ([lib/net], [lib/sim]) — the stdlib queue
+      allocates a cons cell per element; use {!Phi_sim.Ring}. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
@@ -49,6 +52,11 @@ val in_domain_pool : string -> bool
 (** Whether a path is under [lib/experiments/] or [lib/runner/], i.e.
     subject to the [domain-global] rule because its code is executed by
     {!Phi_runner.Pool} worker domains. *)
+
+val in_hot_path : string -> bool
+(** Whether a path is under [lib/net/] or [lib/sim/], i.e. subject to
+    the [hot-queue] rule because its code runs once (or more) per
+    simulated packet. *)
 
 val lint_source : path:string -> string -> violation list
 (** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with

@@ -1,4 +1,5 @@
 module Engine = Phi_sim.Engine
+module Ring = Phi_sim.Ring
 module Invariant = Phi_sim.Invariant
 
 type red_params = {
@@ -26,7 +27,25 @@ type t = {
   bandwidth_bps : float;
   delay_s : float;
   capacity_pkts : int;
-  queue : Packet.t Queue.t;
+  queue : Packet.t Ring.t;
+  (* Packets serialized but still propagating.  Every delivery on a link
+     takes the same [delay_s], so deliveries complete in FIFO order and
+     the pre-registered delivery port can simply pop this ring — no
+     per-packet closure capturing the packet. *)
+  in_flight : Packet.t Ring.t;
+  mutable tx_done_port : Engine.port;
+  mutable deliver_port : Engine.port;
+  (* Serialization time of the packet at the head of [queue], recorded
+     when its service starts. *)
+  mutable in_service_tx : float;
+  (* One-entry [tx_time] memo.  Traffic on a link is dominated by one or
+     two packet sizes (MSS data, 40-byte ACKs), so this removes the
+     per-packet division while keeping the exact IEEE quotient —
+     multiplying by a precomputed 1/bandwidth would perturb event times
+     in the last ulp and break bit-for-bit reproducibility against
+     recorded runs. *)
+  mutable memo_size : int;
+  mutable memo_tx : float;
   mutable receiver : Packet.t -> unit;
   mutable busy : bool;
   mutable packets_offered : int;
@@ -44,33 +63,6 @@ type t = {
   mutable ecn_marks : int;
 }
 
-let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
-  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
-  if delay_s < 0. then invalid_arg "Link.create: negative delay";
-  if capacity_pkts < 1 then invalid_arg "Link.create: capacity must be >= 1";
-  {
-    engine;
-    bandwidth_bps;
-    delay_s;
-    capacity_pkts;
-    queue = Queue.create ();
-    receiver = (fun _ -> invalid_arg "Link: receiver not set");
-    busy = false;
-    packets_offered = 0;
-    packets_delivered = 0;
-    bytes_offered = 0;
-    bytes_delivered = 0;
-    bytes_dropped = 0;
-    drops = 0;
-    busy_time = 0.;
-    total_queue_wait = 0.;
-    fault = None;
-    discipline = Drop_tail;
-    red_rng = None;
-    red_avg = 0.;
-    ecn_marks = 0;
-  }
-
 let set_receiver t f = t.receiver <- f
 
 let set_fault_injection t ~rng ~drop_probability =
@@ -78,9 +70,16 @@ let set_fault_injection t ~rng ~drop_probability =
     invalid_arg "Link.set_fault_injection: probability out of [0, 1]";
   t.fault <- if Float.equal drop_probability 0. then None else Some (rng, drop_probability)
 
-let tx_time t (pkt : Packet.t) = float_of_int (pkt.size * 8) /. t.bandwidth_bps
+let tx_time t (pkt : Packet.t) =
+  if pkt.size = t.memo_size then t.memo_tx
+  else begin
+    let tx = float_of_int (pkt.size * 8) /. t.bandwidth_bps in
+    t.memo_size <- pkt.size;
+    t.memo_tx <- tx;
+    tx
+  end
 
-let queued_bytes t = Queue.fold (fun acc (p : Packet.t) -> acc + p.size) 0 t.queue
+let queued_bytes t = Ring.fold (fun acc (p : Packet.t) -> acc + p.size) 0 t.queue
 
 (* Sanitizer hook: every packet and byte offered to the link must be
    delivered, dropped, or still queued — nothing may vanish or be
@@ -89,7 +88,7 @@ let queued_bytes t = Queue.fold (fun acc (p : Packet.t) -> acc + p.size) 0 t.que
 let check_conservation t =
   if Invariant.enabled () then begin
     let now = Engine.now t.engine in
-    let queued = Queue.length t.queue in
+    let queued = Ring.length t.queue in
     if queued > t.capacity_pkts then
       Invariant.record ~rule:"queue-occupancy" ~time:now
         (Printf.sprintf "Link: queue %d exceeds capacity %d" queued t.capacity_pkts);
@@ -107,27 +106,71 @@ let check_conservation t =
            t.bytes_offered bytes_accounted t.bytes_delivered t.bytes_dropped (queued_bytes t))
   end
 
-(* Serve the head-of-line packet: serialization, then propagation, then
-   start on the next queued packet.  [busy] guards against starting two
-   transmissions at once. *)
-let rec start_service t =
-  match Queue.peek_opt t.queue with
+(* The self-rescheduling transmit loop.  Serve the head-of-line packet:
+   serialization (the [tx_done] port), then propagation (the [deliver]
+   port), then start on the next queued packet.  [busy] guards against
+   starting two transmissions at once.  Both ports are registered once
+   at link creation, so the per-packet path schedules them without
+   allocating a single closure. *)
+let start_service t =
+  match Ring.peek_opt t.queue with
   | None -> t.busy <- false
   | Some pkt ->
     t.busy <- true;
     let now = Engine.now t.engine in
     t.total_queue_wait <- t.total_queue_wait +. (now -. pkt.enqueued_at);
-    let tx = tx_time t pkt in
-    ignore
-      (Engine.schedule_after t.engine ~delay:tx (fun () ->
-           ignore (Queue.pop t.queue);
-           t.busy_time <- t.busy_time +. tx;
-           t.packets_delivered <- t.packets_delivered + 1;
-           t.bytes_delivered <- t.bytes_delivered + pkt.size;
-           ignore
-             (Engine.schedule_after t.engine ~delay:t.delay_s (fun () -> t.receiver pkt));
-           check_conservation t;
-           start_service t))
+    t.in_service_tx <- tx_time t pkt;
+    Engine.schedule_port_after t.engine ~delay:t.in_service_tx t.tx_done_port
+
+let on_tx_done t =
+  let pkt = Ring.pop t.queue in
+  t.busy_time <- t.busy_time +. t.in_service_tx;
+  t.packets_delivered <- t.packets_delivered + 1;
+  t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+  Ring.push t.in_flight pkt;
+  Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port;
+  check_conservation t;
+  start_service t
+
+let on_deliver t = t.receiver (Ring.pop t.in_flight)
+
+let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
+  if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  if capacity_pkts < 1 then invalid_arg "Link.create: capacity must be >= 1";
+  let t =
+    {
+      engine;
+      bandwidth_bps;
+      delay_s;
+      capacity_pkts;
+      queue = Ring.create ();
+      in_flight = Ring.create ();
+      tx_done_port = Engine.port engine (fun () -> ());
+      deliver_port = Engine.port engine (fun () -> ());
+      in_service_tx = 0.;
+      memo_size = -1;
+      memo_tx = 0.;
+      receiver = (fun _ -> invalid_arg "Link: receiver not set");
+      busy = false;
+      packets_offered = 0;
+      packets_delivered = 0;
+      bytes_offered = 0;
+      bytes_delivered = 0;
+      bytes_dropped = 0;
+      drops = 0;
+      busy_time = 0.;
+      total_queue_wait = 0.;
+      fault = None;
+      discipline = Drop_tail;
+      red_rng = None;
+      red_avg = 0.;
+      ecn_marks = 0;
+    }
+  in
+  t.tx_done_port <- Engine.port engine (fun () -> on_tx_done t);
+  t.deliver_port <- Engine.port engine (fun () -> on_deliver t);
+  t
 
 let set_discipline t ~rng discipline =
   (match discipline with
@@ -140,13 +183,13 @@ let set_discipline t ~rng discipline =
   | Drop_tail -> ());
   t.discipline <- discipline;
   t.red_rng <- Some rng;
-  t.red_avg <- float_of_int (Queue.length t.queue)
+  t.red_avg <- float_of_int (Ring.length t.queue)
 
 (* RED early-drop/mark decision (simplified: no idle-time correction, no
    between-drop spacing).  With [mark_ecn], band "drops" become CE marks
    on data packets; only forced drops above max_threshold still drop. *)
 let red_rejects t p (pkt : Packet.t) =
-  t.red_avg <- ((1. -. p.weight) *. t.red_avg) +. (p.weight *. float_of_int (Queue.length t.queue));
+  t.red_avg <- ((1. -. p.weight) *. t.red_avg) +. (p.weight *. float_of_int (Ring.length t.queue));
   if t.red_avg < float_of_int p.min_threshold then false
   else if t.red_avg >= float_of_int p.max_threshold then true
   else begin
@@ -174,13 +217,13 @@ let faulted t =
 let send t pkt =
   t.packets_offered <- t.packets_offered + 1;
   t.bytes_offered <- t.bytes_offered + pkt.Packet.size;
-  if Queue.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then begin
+  if Ring.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then begin
     t.drops <- t.drops + 1;
     t.bytes_dropped <- t.bytes_dropped + pkt.Packet.size
   end
   else begin
     pkt.Packet.enqueued_at <- Engine.now t.engine;
-    Queue.push pkt t.queue;
+    Ring.push t.queue pkt;
     if not t.busy then start_service t
   end;
   check_conservation t
@@ -188,7 +231,7 @@ let send t pkt =
 let bandwidth_bps t = t.bandwidth_bps
 let delay_s t = t.delay_s
 let capacity_pkts t = t.capacity_pkts
-let queue_length t = Queue.length t.queue
+let queue_length t = Ring.length t.queue
 let ecn_marks t = t.ecn_marks
 let packets_delivered t = t.packets_delivered
 let bytes_offered t = t.bytes_offered

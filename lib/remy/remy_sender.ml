@@ -59,15 +59,15 @@ let stats t =
     mean_rtt = (if t.rtt_count > 0 then t.rtt_sum /. float_of_int t.rtt_count else nan);
   }
 
-let cancel_timer handle_ref cancel_set =
+let cancel_timer engine handle_ref cancel_set =
   match handle_ref with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel engine h;
     cancel_set ()
   | None -> ()
 
-let cancel_send_timer t = cancel_timer t.send_timer (fun () -> t.send_timer <- None)
-let cancel_rto t = cancel_timer t.rto_handle (fun () -> t.rto_handle <- None)
+let cancel_send_timer t = cancel_timer t.engine t.send_timer (fun () -> t.send_timer <- None)
+let cancel_rto t = cancel_timer t.engine t.rto_handle (fun () -> t.rto_handle <- None)
 
 let send_segment t seq =
   let retransmit = seq < t.highest_sent in

@@ -2,14 +2,26 @@ type error = { index : int; exn : exn; backtrace : string }
 
 exception Job_failed of error list
 
-let available_cores () = Domain.recommended_domain_count ()
-
-let default_jobs () =
-  match Sys.getenv_opt "PHI_JOBS" with
+let positive_env name =
+  match Sys.getenv_opt name with
+  | None -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some j when j >= 1 -> j
-    | Some _ | None -> available_cores ())
+    | Some v when v >= 1 -> Some v
+    | Some _ | None -> None)
+
+(* [Domain.recommended_domain_count] folds in cgroup quotas and CPU
+   affinity, so it is the robust default; PHI_CORES overrides it for
+   containers that misreport (a CI runner pinned to one core used to
+   make bench reports claim "cores": 1 while running --jobs 4). *)
+let available_cores () =
+  match positive_env "PHI_CORES" with
+  | Some c -> c
+  | None -> Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match positive_env "PHI_JOBS" with
+  | Some j -> j
   | None -> available_cores ()
 
 let run_one f items results i =

@@ -33,8 +33,12 @@ exception Job_failed of error list
     its sibling jobs. *)
 
 val available_cores : unit -> int
-(** [Domain.recommended_domain_count ()]: the parallelism the hardware
-    offers this process. *)
+(** The parallelism available to this process: the [PHI_CORES]
+    environment variable when set to a positive integer (the escape
+    hatch for containers whose limits misreport), otherwise
+    [Domain.recommended_domain_count ()] — which already accounts for
+    cgroup quotas and CPU affinity.  This is what bench reports record
+    as ["cores"] and the default width for [--jobs]. *)
 
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: the [PHI_JOBS]

@@ -1,17 +1,225 @@
-type handle = { mutable live : bool }
+(* Allocation-free event core.
 
-type event = { handle : handle; action : unit -> unit }
+   The previous engine allocated, per scheduled event: a [handle] record,
+   an [event] record, the action closure, and a boxed float inside the
+   heap entry.  At ~10 events per simulated packet that allocation (and
+   the GC work to collect it) dominated the per-packet cost.
+
+   This version keeps everything in flat arrays:
+
+   - The event queue is a structure-of-arrays 8-ary min-heap ordered by
+     (time, seq): [hp.(i)] holds entry [i]'s timestamp in a [floatarray]
+     (unboxed), and [hm] interleaves the FIFO tie-break sequence number
+     ([hm.(2i)]) with the payload key ([hm.(2i+1)]) so both land on the
+     same cache line.  The heap is inlined here rather than reusing the
+     generic {!Heap}: without flambda, [Heap.pop]'s cross-module call
+     and the [Some (time, seq, v)] tuple it allocates (including a
+     freshly boxed float) cost about 2x on the event-churn
+     microbenchmark (bench/micro.ml).
+
+   - Cancellable events live in a slab of reusable cells in parallel
+     arrays.  A cell is identified by its index and a generation
+     counter; the packed [((generation << idx_bits) | index) << 1] int
+     is both the heap payload and the cancellation handle — an
+     immediate, so scheduling allocates nothing.  Cancellation bumps the
+     cell's generation (entries already in the heap become stale and are
+     skipped when popped) and recycles the cell through a free list.  A
+     stale handle — cancelled, fired, or pointing at a recycled cell —
+     always fails the generation check, so cancel-after-recycle is safe.
+
+   - Hot paths that fire the same logical event over and over (a link's
+     transmit-complete and propagation-delivery) pre-register their
+     handler once as a {!port}: an index into a per-engine registry,
+     carried in the heap key with tag bit 0 set.  Scheduling a port
+     touches no cell, no free list and no closure — one heap push.
+
+   Timestamps are compared with raw [<] / [=] rather than
+   [Float.compare]: {!checked_time} / {!checked_delay} guarantee every
+   queued time is finite (strict mode raises on NaN/infinite input, the
+   armed sanitizer clamps to the current clock, itself always finite),
+   and on finite floats the raw comparisons agree with [Float.compare]'s
+   total order up to -0. = 0. — a tie the seq number then breaks in
+   scheduling order, which is exactly the documented FIFO contract. *)
+
+type handle = int
+
+type port = int
+
+(* 2^25 simultaneous cells is far beyond any simulation here; the
+   remaining 37 bits of generation would take ~1.4e11 reuses of one cell
+   to wrap. *)
+let idx_bits = 25
+let idx_mask = (1 lsl idx_bits) - 1
+
+let nop () = ()
 
 type t = {
   mutable clock : float;
-  queue : event Heap.t;
+  (* 8-ary min-heap over (time, seq, key). *)
+  mutable hp : floatarray;
+  mutable hm : int array;  (* hm.(2i) = seq, hm.(2i+1) = key *)
+  mutable hlen : int;
   mutable next_seq : int;
   mutable stopping : bool;
+  (* Event-cell slab (struct of arrays) plus its free list.  Every cell
+     is at all times either live (scheduled, counted by [n_live]) or on
+     the free list — the [cell-accounting] sanitizer rule checks this. *)
+  mutable cell_gen : int array;
+  mutable cell_act : (unit -> unit) array;
+  mutable free : int array;
+  mutable free_len : int;
+  mutable n_live : int;
+  (* Pre-registered port handlers; never unregistered. *)
+  mutable ports : (unit -> unit) array;
+  mutable n_ports : int;
 }
 
-let create () = { clock = 0.; queue = Heap.create (); next_seq = 0; stopping = false }
+let create () =
+  {
+    clock = 0.;
+    hp = Float.Array.create 0;
+    hm = [||];
+    hlen = 0;
+    next_seq = 0;
+    stopping = false;
+    cell_gen = [||];
+    cell_act = [||];
+    free = [||];
+    free_len = 0;
+    n_live = 0;
+    ports = [||];
+    n_ports = 0;
+  }
 
 let now t = t.clock
+
+(* {2 Heap primitives}
+
+   Hole-style sifts: keep the moving element in registers, shift
+   entries over it, write it once at its final slot.  The unsafe
+   accessors are justified by the loop bounds: indices stay within
+   [0, hlen) and the arrays never shrink. *)
+
+let grow_heap t =
+  let cap = Float.Array.length t.hp in
+  let ncap = Stdlib.max 64 (2 * cap) in
+  let np = Float.Array.create ncap in
+  Float.Array.blit t.hp 0 np 0 t.hlen;
+  t.hp <- np;
+  let nm = Array.make (2 * ncap) 0 in
+  Array.blit t.hm 0 nm 0 (2 * t.hlen);
+  t.hm <- nm
+
+(* [hp]/[hm] are hoisted into locals in both sifts: they are mutable
+   record fields, so the compiler would otherwise reload them after
+   every array store in the loop.  Safe because the arrays cannot be
+   replaced (no grow) while a sift is running. *)
+let sift_up t i0 time seq key =
+  let hp = t.hp and hm = t.hm in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) lsr 3 in
+    let pt = Float.Array.unsafe_get hp parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get hm (2 * parent)) then begin
+      Float.Array.unsafe_set hp !i pt;
+      Array.unsafe_set hm (2 * !i) (Array.unsafe_get hm (2 * parent));
+      Array.unsafe_set hm ((2 * !i) + 1) (Array.unsafe_get hm ((2 * parent) + 1));
+      i := parent
+    end
+    else continue := false
+  done;
+  Float.Array.unsafe_set hp !i time;
+  Array.unsafe_set hm (2 * !i) seq;
+  Array.unsafe_set hm ((2 * !i) + 1) key
+
+let push t ~time ~seq key =
+  if t.hlen = Float.Array.length t.hp then grow_heap t;
+  let i = t.hlen in
+  t.hlen <- i + 1;
+  sift_up t i time seq key
+
+(* Re-seat [(time, seq, key)] (the former last entry) starting from the
+   root, after the minimum has been removed. *)
+let sift_down t time seq key =
+  let hp = t.hp and hm = t.hm in
+  let len = t.hlen in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let base = (8 * !i) + 1 in
+    if base >= len then continue := false
+    else begin
+      (* Find the smallest of the up-to-eight children. *)
+      let last = Stdlib.min (base + 7) (len - 1) in
+      let m = ref base in
+      let mt = ref (Float.Array.unsafe_get hp base) in
+      let ms = ref (Array.unsafe_get hm (2 * base)) in
+      for j = base + 1 to last do
+        let jt = Float.Array.unsafe_get hp j in
+        if jt < !mt || (jt = !mt && Array.unsafe_get hm (2 * j) < !ms) then begin
+          m := j;
+          mt := jt;
+          ms := Array.unsafe_get hm (2 * j)
+        end
+      done;
+      if !mt < time || (!mt = time && !ms < seq) then begin
+        Float.Array.unsafe_set hp !i !mt;
+        Array.unsafe_set hm (2 * !i) !ms;
+        Array.unsafe_set hm ((2 * !i) + 1) (Array.unsafe_get hm ((2 * !m) + 1));
+        i := !m
+      end
+      else continue := false
+    end
+  done;
+  Float.Array.unsafe_set hp !i time;
+  Array.unsafe_set hm (2 * !i) seq;
+  Array.unsafe_set hm ((2 * !i) + 1) key
+
+(* {2 Event cells} *)
+
+let grow_slab t =
+  let cap = Array.length t.cell_gen in
+  let ncap = Stdlib.max 64 (2 * cap) in
+  if ncap > idx_mask + 1 then invalid_arg "Engine: event slab exceeds 2^25 cells";
+  let ngen = Array.make ncap 0 in
+  Array.blit t.cell_gen 0 ngen 0 cap;
+  t.cell_gen <- ngen;
+  let nact = Array.make ncap nop in
+  Array.blit t.cell_act 0 nact 0 cap;
+  t.cell_act <- nact;
+  let nfree = Array.make ncap 0 in
+  Array.blit t.free 0 nfree 0 t.free_len;
+  t.free <- nfree;
+  (* Hand out low indices first: the busiest cells stay clustered. *)
+  for i = ncap - 1 downto cap do
+    t.free.(t.free_len) <- i;
+    t.free_len <- t.free_len + 1
+  done
+
+(* Return a cell to the free list and invalidate every outstanding
+   handle/heap entry for it.  Runs before the action fires, so a handler
+   cancelling itself is a no-op, exactly like the old [live] flag.
+
+   The fire path deliberately leaves the fired closure in [cell_act]:
+   overwriting it with [nop] costs a write barrier per event, and the
+   cell is reused (overwriting the slot anyway) as soon as the next
+   event is scheduled.  [cancel] does pay for the [nop] store — a
+   cancelled closure may capture a packet that would otherwise be
+   pinned until the cell's next reuse, and cancellation is off the
+   per-event hot path. *)
+let consume t idx =
+  Array.unsafe_set t.cell_gen idx (Array.unsafe_get t.cell_gen idx + 1);
+  Array.unsafe_set t.free t.free_len idx;
+  t.free_len <- t.free_len + 1;
+  t.n_live <- t.n_live - 1
+
+let check_cells t =
+  let cap = Array.length t.cell_gen in
+  if t.n_live < 0 || t.free_len + t.n_live <> cap then
+    Invariant.record ~rule:"cell-accounting" ~time:t.clock
+      (Printf.sprintf "Engine: %d live + %d free cells <> %d slab capacity" t.n_live
+         t.free_len cap)
 
 (* Scheduling-time anomalies either raise (strict mode) or, with the
    sanitizer armed, are recorded and clamped to "now" so that one broken
@@ -35,46 +243,105 @@ let checked_time t time =
   end
   else time
 
-let schedule_at t ~time f =
-  let time = checked_time t time in
-  let handle = { live = true } in
-  Heap.push t.queue ~priority:time ~seq:t.next_seq { handle; action = f };
-  t.next_seq <- t.next_seq + 1;
-  handle
-
-let schedule_after t ~delay f =
-  let delay =
-    if delay < 0. then begin
-      let msg = Printf.sprintf "Engine.schedule_after: negative delay %g" delay in
-      if Invariant.enabled () then begin
-        Invariant.record ~rule:"negative-delay" ~time:t.clock msg;
-        0.
-      end
-      else invalid_arg msg
+let checked_delay t delay =
+  if delay < 0. then begin
+    let msg = Printf.sprintf "Engine.schedule_after: negative delay %g" delay in
+    if Invariant.enabled () then begin
+      Invariant.record ~rule:"negative-delay" ~time:t.clock msg;
+      0.
     end
-    else delay
-  in
-  schedule_at t ~time:(t.clock +. delay) f
+    else invalid_arg msg
+  end
+  else delay
 
-let cancel handle = handle.live <- false
+let enqueue t ~time action =
+  if t.free_len = 0 then grow_slab t;
+  t.free_len <- t.free_len - 1;
+  let idx = Array.unsafe_get t.free t.free_len in
+  t.cell_act.(idx) <- action;
+  t.n_live <- t.n_live + 1;
+  let key = ((Array.unsafe_get t.cell_gen idx lsl idx_bits) lor idx) lsl 1 in
+  push t ~time ~seq:t.next_seq key;
+  t.next_seq <- t.next_seq + 1;
+  key
 
-let cancelled handle = not handle.live
+let schedule_at t ~time f = enqueue t ~time:(checked_time t time) f
 
-let pending t = Heap.size t.queue
+let schedule_after t ~delay f = enqueue t ~time:(t.clock +. checked_delay t delay) f
+
+(* {2 Ports} *)
+
+let port t f =
+  let cap = Array.length t.ports in
+  if t.n_ports = cap then begin
+    let np = Array.make (Stdlib.max 8 (2 * cap)) nop in
+    Array.blit t.ports 0 np 0 cap;
+    t.ports <- np
+  end;
+  t.ports.(t.n_ports) <- f;
+  t.n_ports <- t.n_ports + 1;
+  t.n_ports - 1
+
+let push_port t ~time id =
+  if id < 0 || id >= t.n_ports then
+    invalid_arg "Engine.schedule_port: port is not registered on this engine";
+  push t ~time ~seq:t.next_seq ((id lsl 1) lor 1);
+  t.next_seq <- t.next_seq + 1
+
+let schedule_port_at t ~time id = push_port t ~time:(checked_time t time) id
+
+let schedule_port_after t ~delay id =
+  push_port t ~time:(t.clock +. checked_delay t delay) id
+
+(* {2 Cancellation} *)
+
+let cancel t handle =
+  let k = handle lsr 1 in
+  let idx = k land idx_mask in
+  if idx < Array.length t.cell_gen && t.cell_gen.(idx) = k lsr idx_bits then begin
+    consume t idx;
+    t.cell_act.(idx) <- nop
+  end
+
+let cancelled t handle =
+  let k = handle lsr 1 in
+  let idx = k land idx_mask in
+  not (idx < Array.length t.cell_gen && t.cell_gen.(idx) = k lsr idx_bits)
+
+let pending t = t.hlen
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, _seq, event) ->
+  if t.hlen = 0 then false
+  else begin
+    let time = Float.Array.unsafe_get t.hp 0 in
+    let key = Array.unsafe_get t.hm 1 in
+    let len = t.hlen - 1 in
+    t.hlen <- len;
+    if len > 0 then
+      sift_down t
+        (Float.Array.unsafe_get t.hp len)
+        (Array.unsafe_get t.hm (2 * len))
+        (Array.unsafe_get t.hm ((2 * len) + 1));
     if time < t.clock then
       Invariant.record ~rule:"event-time-monotonic" ~time:t.clock
-        (Printf.sprintf "Engine.step: popped event at %g behind clock %g" time t.clock);
-    t.clock <- Stdlib.max t.clock time;
-    if event.handle.live then begin
-      event.handle.live <- false;
-      event.action ()
+        (Printf.sprintf "Engine.step: popped event at %g behind clock %g" time t.clock)
+    else t.clock <- time;
+    if key land 1 = 1 then (Array.unsafe_get t.ports (key lsr 1)) ()
+    else begin
+      let k = key lsr 1 in
+      let idx = k land idx_mask in
+      (* Indices in heap keys were valid at enqueue time and the slab
+         never shrinks, so the unsafe read is in bounds; the generation
+         check rejects stale (cancelled or recycled) entries. *)
+      if Array.unsafe_get t.cell_gen idx = k lsr idx_bits then begin
+        let action = Array.unsafe_get t.cell_act idx in
+        consume t idx;
+        if !Invariant.armed then check_cells t;
+        action ()
+      end
     end;
     true
+  end
 
 let stop t = t.stopping <- true
 
@@ -83,10 +350,7 @@ let run ?until t =
   let horizon_reached () =
     match until with
     | None -> false
-    | Some limit -> (
-      match Heap.peek t.queue with
-      | None -> true
-      | Some (time, _, _) -> time > limit)
+    | Some limit -> t.hlen = 0 || Float.Array.get t.hp 0 > limit
   in
   let rec loop () =
     if t.stopping then ()

@@ -1,14 +1,24 @@
 (** Discrete-event simulation engine.
 
     This is the substitute for ns-2's scheduler: a virtual clock plus an
-    ordered queue of callbacks.  Events scheduled for the same instant run
-    in scheduling order, and every event may be cancelled (needed for TCP
-    retransmission timers). *)
+    ordered queue of callbacks.  Events scheduled for the same instant
+    run in scheduling order, and every event may be cancelled (needed
+    for TCP retransmission timers).
+
+    Internally the engine keeps a slab of reusable, generation-stamped
+    event cells over a structure-of-arrays 8-ary heap: scheduling,
+    firing and cancelling allocate nothing beyond the caller's own
+    closure, and the per-packet hot paths avoid even that via
+    {!port}s — handlers registered once and scheduled by reference. *)
 
 type t
 
 type handle
-(** Token identifying a scheduled event; used only for cancellation. *)
+(** Token identifying a scheduled event; used only for cancellation.
+    Handles are immediates (no allocation) and are generation-checked:
+    a handle whose event has fired, been cancelled, or whose cell has
+    been recycled for a newer event is simply stale — cancelling it is
+    a safe no-op. *)
 
 val create : unit -> t
 (** Fresh engine with the clock at 0. *)
@@ -27,11 +37,39 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** Relative form of {!schedule_at}; [delay] must be non-negative (same
     raise-or-record contract as {!schedule_at}). *)
 
-val cancel : handle -> unit
-(** Cancelled events are skipped when their time comes.  Cancelling twice,
-    or after the event fired, is a no-op. *)
+(** {2 Closure-free fast path}
 
-val cancelled : handle -> bool
+    The two dominant event kinds of a packet simulation — link
+    transmit-complete and propagation-delivery — fire the same handler
+    millions of times.  A {!port} registers that handler exactly once
+    in a per-engine table; the [schedule_port_*] functions then enqueue
+    its index with zero allocation per event — no closure, no event
+    cell, no write barrier, just one heap push.  Port events cannot be
+    cancelled individually. *)
+
+type port
+
+val port : t -> (unit -> unit) -> port
+(** Pre-register a reusable handler on this engine.  Build ports at
+    component-creation time, never per event (that would grow the
+    registry without bound); registrations are permanent.  A port is
+    only valid on the engine it was registered with — scheduling it
+    elsewhere raises [Invalid_argument]. *)
+
+val schedule_port_at : t -> time:float -> port -> unit
+(** Like {!schedule_at} for a pre-registered handler: no closure, no
+    handle.  Same time-validation contract. *)
+
+val schedule_port_after : t -> delay:float -> port -> unit
+
+(** {2 Cancellation} *)
+
+val cancel : t -> handle -> unit
+(** Cancelled events are skipped when their time comes and their cell is
+    recycled immediately.  Cancelling twice, after the event fired, or
+    after the cell was recycled is a no-op (generation-checked). *)
+
+val cancelled : t -> handle -> bool
 
 val pending : t -> int
 (** Number of not-yet-fired (and not cancelled-and-collected) events. *)
@@ -40,8 +78,8 @@ val step : t -> bool
 (** Execute the next event.  Returns [false] when the queue is empty. *)
 
 val run : ?until:float -> t -> unit
-(** Drain the queue.  With [until], stops once the next event lies strictly
-    beyond that time and advances the clock to [until]. *)
+(** Drain the queue.  With [until], stops once the next event lies
+    strictly beyond that time and advances the clock to [until]. *)
 
 val stop : t -> unit
 (** Make the current [run] return after the in-flight event completes. *)

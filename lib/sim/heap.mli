@@ -1,8 +1,13 @@
-(** Array-backed binary min-heap keyed by [(priority, seq)].
+(** Structure-of-arrays 4-ary min-heap keyed by [(priority, seq)].
 
-    The integer sequence number breaks ties so that events scheduled for
-    the same instant fire in FIFO order — the property the whole simulator
-    relies on for deterministic replay. *)
+    Priorities are stored unboxed in a [Float.Array.t] with seqs and
+    payloads in parallel arrays — no per-entry records, no boxed floats,
+    no allocation on push or pop.  Ordering is the explicit total order
+    [Float.compare] (NaN sorts first, deterministically, rather than
+    corrupting the heap) with the integer sequence number breaking ties
+    so that events scheduled for the same instant pop in FIFO order —
+    the property the whole simulator relies on for deterministic
+    replay. *)
 
 type 'a t
 

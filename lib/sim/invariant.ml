@@ -1,10 +1,10 @@
 type violation = { rule : string; time : float; detail : string }
 
-let enabled_flag =
+let armed =
   ref (match Sys.getenv_opt "PHI_SANITIZE" with Some "1" -> true | _ -> false)
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled () = !armed
+let set_enabled b = armed := b
 
 (* Keep a bounded prefix of the violations; a broken run can produce one
    per event, and the first few hundred are what you debug with. *)
@@ -15,7 +15,7 @@ let n_kept = ref 0
 let total = ref 0
 
 let record ~rule ~time detail =
-  if !enabled_flag then begin
+  if !armed then begin
     incr total;
     if !n_kept < max_kept then begin
       kept := { rule; time; detail } :: !kept;
@@ -54,12 +54,12 @@ let report () =
   end
 
 let with_capture f =
-  let saved_enabled = !enabled_flag in
+  let saved_enabled = !armed in
   let saved_kept = !kept and saved_n = !n_kept and saved_total = !total in
   clear ();
-  enabled_flag := true;
+  armed := true;
   let restore () =
-    enabled_flag := saved_enabled;
+    armed := saved_enabled;
     kept := saved_kept;
     n_kept := saved_n;
     total := saved_total

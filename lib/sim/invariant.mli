@@ -49,6 +49,12 @@ val enabled : unit -> bool
 (** Whether checks are armed.  Initialised from [PHI_SANITIZE=1]; can be
     overridden with {!set_enabled}. *)
 
+val armed : bool ref
+(** The flag behind {!enabled}, exposed so per-event hot paths (the
+    engine's step loop) can test it with a single load instead of a
+    cross-module call.  Read-only outside this module: flip it with
+    {!set_enabled} (or {!with_capture}), never by assignment. *)
+
 val set_enabled : bool -> unit
 
 val record : rule:string -> time:float -> string -> unit

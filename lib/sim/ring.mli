@@ -1,0 +1,36 @@
+(** Growable circular FIFO buffer — the hot-path replacement for
+    [Stdlib.Queue].
+
+    [Stdlib.Queue] allocates one cons cell per element; on the link
+    transmit path that is one allocation per packet.  This ring keeps
+    elements in a contiguous array (amortized zero allocation per
+    push/pop) and doubles in place when full.  The phi-lint [hot-queue]
+    rule steers [lib/net] and [lib/sim] code here. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the head.  Raises [Invalid_argument] when empty. *)
+
+val pop_opt : 'a t -> 'a option
+
+val peek : 'a t -> 'a
+(** Head without removing it.  Raises [Invalid_argument] when empty. *)
+
+val peek_opt : 'a t -> 'a option
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Head-to-tail fold over the queued elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+(** Drop every element and release the backing storage. *)

@@ -109,7 +109,7 @@ let check_cwnd t =
 let cancel_rto t =
   match t.rto_handle with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     t.rto_handle <- None
   | None -> ()
 

@@ -136,6 +136,55 @@ let test_validation_stability () =
   Alcotest.(check bool) "common beats default" true
     (v.Sweep.common_power > v.Sweep.default_power)
 
+(* {2 Byte-identical replay (golden)} *)
+
+(* Hex-float ([%h]) captures of a reduced figure2a sweep, recorded from
+   the pre-refactor event core (boxed binary heap, per-event closures,
+   [Stdlib.Queue] links).  The allocation-free core must reproduce every
+   output bit — the whole point of keeping exact IEEE division on the
+   link and the (priority, seq) tie-break in the heap — and the domain
+   pool must not perturb it either, so each config is checked at
+   [jobs:1] and [jobs:4]. *)
+let golden_grid = { Sweep.ssthresh = [ 2.; 64. ]; init_w = [ 2.; 16. ]; beta = [ 0.2 ] }
+
+(* Rows: throughput, queueing delay, loss rate, power — grid points in
+   settings order, then the default point. *)
+let golden_low =
+  [
+    "0x1.821a1e6f50c64p+19 0x1.948393971b91ep-10 0x0p+0 0x1.4dc1a2a5e7926p+2";
+    "0x1.727097236ba1ap+20 0x1.a41775bf1b893p-10 0x0p+0 0x1.403a6142fa516p+3";
+    "0x1.18c340ab45612p+21 0x1.475caba53ba63p-7 0x0p+0 0x1.cc596fbb6f4ep+3";
+    "0x1.92cb23a9f1ef1p+21 0x1.0300b574c94f7p-6 0x0p+0 0x1.3e839afa56ec4p+4";
+    "0x1.2051aef0d00abp+21 0x1.aea1e5feb36d6p-5 0x0p+0 0x1.79fbb98405e8p+3";
+  ]
+
+let golden_high =
+  [
+    "0x1.890a01e8ae77ap+19 0x1.3a44206b27c68p-9 0x0p+0 0x1.51f34ce8c3a94p+2";
+    "0x1.714922a983d06p+20 0x1.87e7fb1074d72p-9 0x0p+0 0x1.3c5d5007a718ep+3";
+    "0x1.d3087e73925ap+20 0x1.dab746cf198a2p-5 0x0p+0 0x1.28687b6dcbddcp+3";
+    "0x1.ede21cb2d21ap+20 0x1.ad0bd1b7857d3p-4 0x0p+0 0x1.fd460ecaa2c2ep+2";
+    "0x1.93ac45b5116e6p+20 0x1.570557754442ap-3 0x1.a2c2a87c51cap-9 0x1.505d7c8401c56p+2";
+  ]
+
+let run_golden config jobs =
+  let sweep = Sweep.run ~jobs config golden_grid ~seeds:[ 1; 2 ] in
+  List.map
+    (fun (p : Sweep.point) ->
+      Printf.sprintf "%h %h %h %h" p.Sweep.mean_throughput_bps p.Sweep.mean_queueing_delay_s
+        p.Sweep.mean_loss_rate p.Sweep.mean_power)
+    (sweep.Sweep.points @ [ sweep.Sweep.default_point ])
+
+let test_golden_low_utilization () =
+  let config = { Scenario.low_utilization with Scenario.duration_s = 8. } in
+  Alcotest.(check (list string)) "serial replay" golden_low (run_golden config 1);
+  Alcotest.(check (list string)) "parallel replay" golden_low (run_golden config 4)
+
+let test_golden_high_utilization () =
+  let config = { Scenario.high_utilization with Scenario.duration_s = 12. } in
+  Alcotest.(check (list string)) "serial replay" golden_high (run_golden config 1);
+  Alcotest.(check (list string)) "parallel replay" golden_high (run_golden config 4)
+
 (* {2 Incremental deployment (Figure 4)} *)
 
 let test_incremental_modified_benefit () =
@@ -254,6 +303,8 @@ let suite =
     ("sweep structure", `Quick, test_sweep_structure);
     ("sweep finds optimum", `Slow, test_sweep_runs_and_finds_optimum);
     ("validation stability (fig 3)", `Slow, test_validation_stability);
+    ("golden replay low (bit-exact)", `Slow, test_golden_low_utilization);
+    ("golden replay high (bit-exact)", `Slow, test_golden_high_utilization);
     ("incremental benefit (fig 4)", `Slow, test_incremental_modified_benefit);
     ("incremental extremes", `Quick, test_incremental_fraction_extremes);
     ("table 3 rows and overhead", `Slow, test_table3_rows_and_overhead);

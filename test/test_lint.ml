@@ -175,8 +175,39 @@ let test_in_domain_pool () =
   Alcotest.(check bool) "sim" false (Lint.in_domain_pool "lib/sim/engine.ml");
   Alcotest.(check bool) "test" false (Lint.in_domain_pool "test/test_runner.ml")
 
+(* {2 hot-queue: Stdlib.Queue in per-packet libraries} *)
+
+let test_hot_queue_fires () =
+  check_rules "Queue.create in lib/net" [ "hot-queue" ]
+    (lint ~path:"lib/net/fixture.ml" "let f () = Queue.create ()\n");
+  check_rules "Queue.push in lib/sim" [ "hot-queue" ]
+    (lint ~path:"lib/sim/fixture.ml" "let f q x = Queue.push x q\n");
+  check_rules "Stdlib.Queue qualified" [ "hot-queue" ]
+    (lint ~path:"lib/net/fixture.ml" "let f () = Stdlib.Queue.create ()\n");
+  check_rules "bare Queue type use" [ "hot-queue" ]
+    (lint ~path:"lib/sim/fixture.ml" "type t = { q : int Queue.t }\n")
+
+let test_hot_queue_scope () =
+  (* Only the per-packet hot-path libraries are covered; a queue in a
+     sender or a test is not a hot-path allocation. *)
+  check_rules "lib/tcp out of scope" []
+    (lint ~path:"lib/tcp/fixture.ml" "let f () = Queue.create ()\n");
+  check_rules "test out of scope" []
+    (lint ~path:"test/fixture.ml" "let f () = Queue.create ()\n")
+
+let test_hot_queue_allow () =
+  check_rules "suppressed with allow" []
+    (lint ~path:"lib/net/fixture.ml"
+       "(* phi-lint: allow hot-queue *)\nlet f () = Queue.create ()\n")
+
+let test_in_hot_path () =
+  Alcotest.(check bool) "net" true (Lint.in_hot_path "lib/net/link.ml");
+  Alcotest.(check bool) "sim" true (Lint.in_hot_path "lib/sim/engine.ml");
+  Alcotest.(check bool) "tcp" false (Lint.in_hot_path "lib/tcp/sender.ml");
+  Alcotest.(check bool) "test" false (Lint.in_hot_path "test/test_sim.ml")
+
 let test_every_rule_has_description () =
-  Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 9);
+  Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 10);
   List.iter
     (fun (name, desc) ->
       Alcotest.(check bool)
@@ -213,5 +244,9 @@ let suite =
     Alcotest.test_case "domain-global local state ok" `Quick test_domain_global_silent_on_local_state;
     Alcotest.test_case "domain-global allow" `Quick test_domain_global_allow;
     Alcotest.test_case "in_domain_pool classification" `Quick test_in_domain_pool;
+    Alcotest.test_case "hot-queue fires" `Quick test_hot_queue_fires;
+    Alcotest.test_case "hot-queue scope" `Quick test_hot_queue_scope;
+    Alcotest.test_case "hot-queue allow" `Quick test_hot_queue_allow;
+    Alcotest.test_case "in_hot_path classification" `Quick test_in_hot_path;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
   ]

@@ -1,6 +1,8 @@
-(* Tests for phi_sim: the binary heap and the discrete-event engine. *)
+(* Tests for phi_sim: the 4-ary heap, the ring buffer, and the
+   discrete-event engine with its recycled event cells. *)
 
 module Heap = Phi_sim.Heap
+module Ring = Phi_sim.Ring
 module Engine = Phi_sim.Engine
 module Invariant = Phi_sim.Invariant
 
@@ -59,6 +61,27 @@ let test_heap_grows () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+(* [Float.compare] is a total order with nan below every other float, so
+   a nan priority must sort first deterministically rather than poison
+   the sift comparisons (every [<] against nan is false, which under the
+   old polymorphic-style comparison could strand elements). *)
+let test_heap_nan_total_order () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1. ~seq:0 "one";
+  Heap.push h ~priority:Float.nan ~seq:1 "nan";
+  Heap.push h ~priority:2. ~seq:2 "two";
+  (match Heap.pop h with
+  | Some (p, _, v) ->
+    Alcotest.(check bool) "nan first" true (Float.is_nan p);
+    Alcotest.(check string) "nan payload" "nan" v
+  | None -> Alcotest.fail "empty");
+  let rest =
+    List.init 2 (fun _ ->
+        match Heap.pop h with Some (_, _, v) -> v | None -> Alcotest.fail "short")
+  in
+  Alcotest.(check (list string)) "rest in order" [ "one"; "two" ] rest;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
     QCheck.(list (float_bound_exclusive 1000.))
@@ -71,6 +94,103 @@ let prop_heap_sorts =
         | Some (p, _, ()) -> if p < last then false else drain p
       in
       drain neg_infinity)
+
+(* The SoA 4-ary heap against a sorted-list reference model: 10k mixed
+   push/pop operations with tie-heavy priorities (8 distinct values, so
+   the FIFO tie-break is exercised constantly), then a full drain.
+   Every pop must match the model exactly — priority, seq and payload. *)
+let prop_heap_matches_reference =
+  QCheck.Test.make ~name:"heap matches sorted-list reference over 10k ops" ~count:5
+    QCheck.(int_bound 0xFFFFFF)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let h = Heap.create () in
+      (* Reference: a list kept sorted by (priority, seq) ascending. *)
+      let model = ref [] in
+      let insert p s v =
+        let rec go = function
+          | [] -> [ (p, s, v) ]
+          | ((p', s', _) as hd) :: tl ->
+            let c = Float.compare p p' in
+            if c < 0 || (c = 0 && s < s') then (p, s, v) :: hd :: tl else hd :: go tl
+        in
+        model := go !model
+      in
+      let seq = ref 0 in
+      let ok = ref true in
+      let check_pop () =
+        match (Heap.pop h, !model) with
+        | Some (p, s, v), (p', s', v') :: tl ->
+          model := tl;
+          if not (Float.compare p p' = 0 && s = s' && v = v') then ok := false
+        | None, [] -> ()
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      for _ = 1 to 10_000 do
+        if Random.State.int rng 3 < 2 || !model = [] then begin
+          let p = float_of_int (Random.State.int rng 8) in
+          Heap.push h ~priority:p ~seq:!seq !seq;
+          insert p !seq !seq;
+          incr seq
+        end
+        else check_pop ()
+      done;
+      while !model <> [] || not (Heap.is_empty h) do
+        check_pop ()
+      done;
+      !ok)
+
+(* {2 Ring} *)
+
+let test_ring_fifo () =
+  let r = Ring.create () in
+  Alcotest.(check bool) "starts empty" true (Ring.is_empty r);
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length" 5 (Ring.length r);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.init 5 (fun _ -> Ring.pop r));
+  Alcotest.(check bool) "drained" true (Ring.is_empty r)
+
+(* Interleaved pushes and pops walk head and tail around the backing
+   array across several in-place growth cycles; FIFO order must survive
+   every wrap. *)
+let test_ring_wraparound () =
+  let r = Ring.create () in
+  let next_in = ref 0 in
+  let next_out = ref 0 in
+  for _ = 1 to 300 do
+    for _ = 1 to 3 do
+      Ring.push r !next_in;
+      incr next_in
+    done;
+    Alcotest.(check int) "fifo through wrap" !next_out (Ring.pop r);
+    incr next_out
+  done;
+  while not (Ring.is_empty r) do
+    Alcotest.(check int) "drain in order" !next_out (Ring.pop r);
+    incr next_out
+  done;
+  Alcotest.(check int) "every element seen once" !next_in !next_out
+
+let test_ring_peek_fold_clear () =
+  let r = Ring.create () in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check int) "peek" 1 (Ring.peek r);
+  Alcotest.(check int) "peek is non-destructive" 1 (Ring.peek r);
+  Alcotest.(check int) "length after peeks" 3 (Ring.length r);
+  Alcotest.(check int) "fold sum" 6 (Ring.fold ( + ) 0 r);
+  let seen = ref [] in
+  Ring.iter (fun v -> seen := v :: !seen) r;
+  Alcotest.(check (list int)) "iter head-to-tail" [ 1; 2; 3 ] (List.rev !seen);
+  Ring.clear r;
+  Alcotest.(check bool) "cleared" true (Ring.is_empty r);
+  Alcotest.(check bool) "peek_opt none" true (Ring.peek_opt r = None);
+  Alcotest.(check bool) "pop_opt none" true (Ring.pop_opt r = None)
+
+let test_ring_empty_pop_raises () =
+  let r : int Ring.t = Ring.create () in
+  let raises f = try ignore (f r); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "pop raises" true (raises Ring.pop);
+  Alcotest.(check bool) "peek raises" true (raises Ring.peek)
 
 (* {2 Engine} *)
 
@@ -123,18 +243,107 @@ let test_engine_cancellation () =
   let engine = Engine.create () in
   let fired = ref false in
   let handle = Engine.schedule_at engine ~time:1. (fun () -> fired := true) in
-  Alcotest.(check bool) "not yet cancelled" false (Engine.cancelled handle);
-  Engine.cancel handle;
-  Alcotest.(check bool) "cancelled" true (Engine.cancelled handle);
+  Alcotest.(check bool) "not yet cancelled" false (Engine.cancelled engine handle);
+  Engine.cancel engine handle;
+  Alcotest.(check bool) "cancelled" true (Engine.cancelled engine handle);
   Engine.run engine;
   Alcotest.(check bool) "did not fire" false !fired
 
 let test_engine_cancel_twice_is_noop () =
   let engine = Engine.create () in
   let handle = Engine.schedule_at engine ~time:1. (fun () -> ()) in
-  Engine.cancel handle;
-  Engine.cancel handle;
+  Engine.cancel engine handle;
+  Engine.cancel engine handle;
   Engine.run engine
+
+(* A fired event's cell is recycled for the next schedule; the handle of
+   the fired event must read as stale and cancelling it must not touch
+   the new occupant of the cell. *)
+let test_engine_cell_recycling_generation_safety () =
+  let engine = Engine.create () in
+  let first = ref false in
+  let second = ref false in
+  let h1 = Engine.schedule_at engine ~time:1. (fun () -> first := true) in
+  Engine.run engine;
+  Alcotest.(check bool) "first fired" true !first;
+  Alcotest.(check bool) "fired handle is stale" true (Engine.cancelled engine h1);
+  (* The slab hands low indices out first, so h2 reuses h1's cell. *)
+  let h2 = Engine.schedule_at engine ~time:2. (fun () -> second := true) in
+  Engine.cancel engine h1;
+  Alcotest.(check bool) "new occupant unaffected" false (Engine.cancelled engine h2);
+  Engine.run engine;
+  Alcotest.(check bool) "second fired" true !second
+
+(* Cancelling recycles the cell immediately; the stale entry still in
+   the heap must be skipped when its time comes, without disturbing the
+   event that reused the cell. *)
+let test_engine_cancel_then_recycle_stale_heap_entry () =
+  let engine = Engine.create () in
+  let cancelled_fired = ref false in
+  let reused_fired = ref false in
+  let h1 = Engine.schedule_at engine ~time:1. (fun () -> cancelled_fired := true) in
+  Engine.cancel engine h1;
+  ignore (Engine.schedule_at engine ~time:1. (fun () -> reused_fired := true));
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled event silent" false !cancelled_fired;
+  Alcotest.(check bool) "recycled cell's event fired" true !reused_fired;
+  Alcotest.(check (float 0.)) "clock advanced" 1. (Engine.now engine)
+
+(* The cell is consumed before the action runs, so a handler cancelling
+   its own handle is a generation-checked no-op. *)
+let test_engine_cancel_self_inside_handler () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let self = ref None in
+  let h =
+    Engine.schedule_at engine ~time:1. (fun () ->
+        (match !self with Some h -> Engine.cancel engine h | None -> ());
+        fired := true)
+  in
+  self := Some h;
+  Engine.run engine;
+  Alcotest.(check bool) "fired despite self-cancel" true !fired
+
+let test_engine_cancel_other_inside_handler () =
+  let engine = Engine.create () in
+  let victim_fired = ref false in
+  let h2 = Engine.schedule_at engine ~time:2. (fun () -> victim_fired := true) in
+  ignore (Engine.schedule_at engine ~time:1. (fun () -> Engine.cancel engine h2));
+  Engine.run engine;
+  Alcotest.(check bool) "victim cancelled from handler" false !victim_fired
+
+(* Ports: registered once, scheduled by reference, including a port that
+   reschedules itself — the link transmit loop's shape. *)
+let test_engine_ports () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let p = ref (Engine.port engine (fun () -> ())) in
+  p :=
+    Engine.port engine (fun () ->
+        incr count;
+        if !count < 5 then Engine.schedule_port_after engine ~delay:1. !p);
+  Engine.schedule_port_at engine ~time:1. !p;
+  Engine.run engine;
+  Alcotest.(check int) "self-rescheduling port fired 5 times" 5 !count;
+  Alcotest.(check (float 0.)) "clock at last firing" 5. (Engine.now engine)
+
+(* Heavy churn through the slab: a long self-rescheduling chain plus
+   cancelled bystanders must leave the engine fully drained. *)
+let test_engine_slab_churn () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain () =
+    incr count;
+    if !count < 1000 then begin
+      ignore (Engine.schedule_after engine ~delay:1. chain);
+      let doomed = Engine.schedule_after engine ~delay:0.5 (fun () -> Alcotest.fail "doomed") in
+      Engine.cancel engine doomed
+    end
+  in
+  ignore (Engine.schedule_after engine ~delay:1. chain);
+  Engine.run engine;
+  Alcotest.(check int) "chain completed" 1000 !count;
+  Alcotest.(check int) "queue drained" 0 (Engine.pending engine)
 
 let test_engine_until_horizon () =
   let engine = Engine.create () in
@@ -200,13 +409,25 @@ let suite =
     ("heap orders by priority", `Quick, test_heap_orders_by_priority);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
     ("heap grows", `Quick, test_heap_grows);
+    ("heap nan total order", `Quick, test_heap_nan_total_order);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_matches_reference;
+    ("ring fifo", `Quick, test_ring_fifo);
+    ("ring wraparound", `Quick, test_ring_wraparound);
+    ("ring peek/fold/clear", `Quick, test_ring_peek_fold_clear);
+    ("ring empty pop raises", `Quick, test_ring_empty_pop_raises);
     ("engine time order", `Quick, test_engine_runs_in_time_order);
     ("engine same-time fifo", `Quick, test_engine_same_time_fifo);
     ("engine rejects past", `Quick, test_engine_rejects_past);
     ("engine schedule_after", `Quick, test_engine_schedule_after);
     ("engine cancellation", `Quick, test_engine_cancellation);
     ("engine cancel twice", `Quick, test_engine_cancel_twice_is_noop);
+    ("engine cell recycling", `Quick, test_engine_cell_recycling_generation_safety);
+    ("engine cancel then recycle", `Quick, test_engine_cancel_then_recycle_stale_heap_entry);
+    ("engine cancel self in handler", `Quick, test_engine_cancel_self_inside_handler);
+    ("engine cancel other in handler", `Quick, test_engine_cancel_other_inside_handler);
+    ("engine ports", `Quick, test_engine_ports);
+    ("engine slab churn", `Quick, test_engine_slab_churn);
     ("engine run until", `Quick, test_engine_until_horizon);
     ("engine stop", `Quick, test_engine_stop);
     ("engine step", `Quick, test_engine_step);
