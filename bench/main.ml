@@ -16,7 +16,11 @@
    --json PATH additionally writes a machine-readable report (schema
    "phi-bench-report/1"): per-experiment wall clock, cells/sec, the
    headline figure metrics, and a serial-vs-parallel calibration, so CI
-   can track the perf trajectory across PRs. *)
+   can track the perf trajectory across PRs.  Running
+   bench/micro.exe --json on the same path merges in the "micro" and
+   "alloc" sections and stamps the schema to "phi-bench-report/2", which
+   is what bin/phi_json_check gates on in CI (including the committed
+   allocations-per-packet budget). *)
 
 module Topology = Phi_net.Topology
 module Cubic = Phi_tcp.Cubic

@@ -18,9 +18,16 @@
      at ~99% utilization with 8 persistent Cubic flows (data packets
      counted; ACKs roughly double the true event rate).
 
-   --json PATH merges a "micro" section into an existing
-   phi-bench-report/1 document (bench/main.exe --json output), or writes
-   a standalone report when PATH does not exist yet. *)
+   Both families also report an allocation profile: [Gc.minor_words]
+   deltas around the port-churn and link-loop runs give minor words per
+   event and per packet (the regression gate [phi_json_check] enforces a
+   committed budget on the latter), and the link-loop packet pool
+   reports its high-water mark.
+
+   --json PATH merges "micro" and "alloc" sections into an existing
+   phi-bench-report document (bench/main.exe --json output), stamping
+   the schema to phi-bench-report/2, or writes a standalone report when
+   PATH does not exist yet. *)
 
 module Engine = Phi_sim.Engine
 module Link = Phi_net.Link
@@ -208,16 +215,22 @@ let churn_ports chains total () =
 
 let link_loop n () =
   let engine = Engine.create () in
-  let link = Link.create engine ~bandwidth_bps:1e9 ~delay_s:1e-4 ~capacity_pkts:128 in
+  let pool = Packet.create_pool () in
+  let link = Link.create engine pool ~bandwidth_bps:1e9 ~delay_s:1e-4 ~capacity_pkts:128 in
   let delivered = ref 0 in
   Link.set_receiver link (fun pkt ->
       incr delivered;
-      if !delivered < n then Link.send link pkt);
+      (* The receiver owns the handle on delivery; the closed loop hands
+         it straight back to the link, so 32 slab cells serve the whole
+         run.  Once the quota is met the stragglers go back to the free
+         list. *)
+      if !delivered < n then Link.send link pkt else Packet.release pool pkt);
   for i = 0 to 31 do
-    Link.send link (Packet.data ~flow:0 ~src:0 ~dst:1 ~seq:i ~now:0. ~retransmit:false)
+    Link.send link
+      (Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:i ~now:0. ~retransmit:false)
   done;
   Engine.run engine;
-  !delivered
+  (!delivered, Packet.high_water pool)
 
 let dumbbell_packets duration_s () =
   let r =
@@ -250,21 +263,32 @@ let () =
     (if !quick then "quick" else "default")
     repetitions;
 
+  (* Size the minor heap the way sweep workers do, so the numbers below
+     reflect the tuned configuration the experiments actually run in. *)
+  Pool.tune_gc ();
+
   (* Interleave the repetitions (legacy, new, ports, legacy, ...) so a
      load spike on the shared machine cannot hit one variant's whole
-     sample; each variant keeps its best wall. *)
+     sample; each variant keeps its best wall.  The port variant also
+     keeps its smallest [Gc.minor_words] delta — the steady-state
+     allocation profile, free of first-run warm-up noise. *)
   let legacy_wall = ref infinity in
   let new_wall = ref infinity in
   let port_wall = ref infinity in
+  let port_minor = ref infinity in
   for _ = 1 to repetitions do
     let keep best f = let wall, () = timed f in if wall < !best then best := wall in
     keep legacy_wall (churn_legacy chains churn_total);
     keep new_wall (churn_new chains churn_total);
-    keep port_wall (churn_ports chains churn_total)
+    let m0 = Gc.minor_words () in
+    keep port_wall (churn_ports chains churn_total);
+    let m = Gc.minor_words () -. m0 in
+    if m < !port_minor then port_minor := m
   done;
   let legacy_wall = !legacy_wall in
   let new_wall = !new_wall in
   let port_wall = !port_wall in
+  let port_minor = !port_minor in
   let legacy_eps = rate churn_total legacy_wall in
   let new_eps = rate churn_total new_wall in
   let port_eps = rate churn_total port_wall in
@@ -278,18 +302,34 @@ let () =
     port_eps
     (if legacy_wall > 0. then legacy_wall /. port_wall else 1.);
 
-  let loop_wall, loop_delivered =
-    let best = ref (infinity, 0) in
+  let loop_wall, loop_delivered, loop_minor, loop_high_water =
+    let best_wall = ref infinity in
+    let best_d = ref 0 in
+    let best_minor = ref infinity in
+    let high_water = ref 0 in
     for _ = 1 to repetitions do
-      let wall, d = timed (link_loop loop_packets) in
-      if wall < fst !best then best := (wall, d)
+      let m0 = Gc.minor_words () in
+      let wall, (d, hw) = timed (link_loop loop_packets) in
+      let m = Gc.minor_words () -. m0 in
+      if wall < !best_wall then begin
+        best_wall := wall;
+        best_d := d
+      end;
+      if m < !best_minor then best_minor := m;
+      if hw > !high_water then high_water := hw
     done;
-    !best
+    (!best_wall, !best_d, !best_minor, !high_water)
   in
   let loop_pps = rate loop_delivered loop_wall in
+  let words_per_event = port_minor /. float_of_int churn_total in
+  let words_per_packet = loop_minor /. float_of_int loop_delivered in
   Printf.printf "\n  saturated 1 Gbps link, closed loop of 32 packets:\n";
   Printf.printf "    %d packets delivered                  %10.0f packets/s\n%!" loop_delivered
     loop_pps;
+  Printf.printf "\n  allocation (best of %d, Gc.minor_words deltas):\n" repetitions;
+  Printf.printf "    port churn   %10.4f minor words/event\n" words_per_event;
+  Printf.printf "    link loop    %10.4f minor words/packet  (pool high water %d cells)\n%!"
+    words_per_packet loop_high_water;
 
   let dumbbell_wall, data_packets = timed (dumbbell_packets dumbbell_s) in
   let dumbbell_pps = rate data_packets dumbbell_wall in
@@ -327,22 +367,36 @@ let () =
               ] );
         ]
     in
+    let alloc =
+      Json.Obj
+        [
+          ("minor_words_per_event", Json.float words_per_event);
+          ("minor_words_per_packet", Json.float words_per_packet);
+          ("pool_high_water", Json.Int loop_high_water);
+        ]
+    in
     let doc =
       match Json.of_file ~path with
       | Ok (Json.Obj fields) ->
         (* Merge into an existing bench report, replacing any stale
-           micro section. *)
-        Json.Obj (List.filter (fun (k, _) -> k <> "micro") fields @ [ ("micro", micro) ])
+           micro/alloc sections and stamping the /2 schema (the alloc
+           section is what distinguishes the versions). *)
+        let fields =
+          List.filter (fun (k, _) -> k <> "micro" && k <> "alloc" && k <> "schema") fields
+        in
+        Json.Obj
+          ((("schema", Json.String "phi-bench-report/2") :: fields)
+          @ [ ("alloc", alloc); ("micro", micro) ])
       | Ok _ | Error _ ->
-        (* Standalone report: the minimal valid phi-bench-report/1
-           document plus the micro section. *)
+        (* Standalone report: the minimal valid phi-bench-report/2
+           document plus the alloc and micro sections. *)
         let experiment id wall cells =
           Json.Obj
             [ ("id", Json.String id); ("wall_s", Json.float wall); ("cells", Json.Int cells) ]
         in
         Json.Obj
           [
-            ("schema", Json.String "phi-bench-report/1");
+            ("schema", Json.String "phi-bench-report/2");
             ( "budget",
               Json.String
                 (if !quick then "micro-only (quick)" else "micro-only (default)") );
@@ -361,6 +415,7 @@ let () =
                   experiment "micro-dumbbell" dumbbell_wall data_packets;
                 ] );
             ("headline", Json.Obj []);
+            ("alloc", alloc);
             ("micro", micro);
           ]
     in

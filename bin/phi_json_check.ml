@@ -1,7 +1,19 @@
 (* phi-json-check: validate a bench report produced by
-   [bench/main.exe --json PATH].  Exits non-zero when the file is
-   missing, malformed JSON, or not a phi-bench-report document — the CI
-   gate for the bench smoke run's artifact. *)
+   [bench/main.exe --json PATH] (schema phi-bench-report/1), optionally
+   upgraded by [bench/micro.exe --json PATH] to phi-bench-report/2 with
+   an "alloc" section.  Exits non-zero when the file is missing,
+   malformed JSON, not a phi-bench-report document, or over the
+   committed allocation budget — the CI gate for the bench smoke run's
+   artifact. *)
+
+(* The allocation-regression budget: minor words allocated per packet
+   through the saturated link loop (pool acquire -> enqueue -> tx ->
+   deliver).  The pooled packet path allocates nothing per packet in
+   steady state, so the measured value is ~0; the budget leaves room for
+   measurement noise (a stray minor collection's bookkeeping) but fails
+   the moment someone reintroduces a per-packet box — one record on the
+   hot path costs >= 3 words and blows straight past it. *)
+let max_minor_words_per_packet = 0.5
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("phi-json-check: " ^ msg); exit 1) fmt
 
@@ -17,9 +29,12 @@ let () =
   | Error msg -> fail "%s: %s" path msg
   | Ok doc ->
     let module J = Phi_util.Json in
-    (match J.member "schema" doc with
-    | Some (J.String "phi-bench-report/1") -> ()
-    | Some _ | None -> fail "%s: missing or unknown \"schema\" field" path);
+    let version =
+      match J.member "schema" doc with
+      | Some (J.String "phi-bench-report/1") -> 1
+      | Some (J.String "phi-bench-report/2") -> 2
+      | Some _ | None -> fail "%s: missing or unknown \"schema\" field" path
+    in
     let require field =
       match J.member field doc with
       | Some _ -> ()
@@ -58,4 +73,27 @@ let () =
         List.iter (positive_rate packets)
           [ "link_loop_packets_per_s"; "dumbbell_packets_per_s" ]
       | Some _ | None -> fail "%s: micro section missing \"packets\" object" path);
+    (* The "alloc" section is what distinguishes a /2 report; its
+       per-packet figure is enforced against the committed budget so an
+       allocation regression on the packet path fails CI, not just a
+       benchmark graph. *)
+    (match J.member "alloc" doc with
+    | None -> if version >= 2 then fail "%s: phi-bench-report/2 requires an \"alloc\" section" path
+    | Some alloc ->
+      let number field =
+        match J.member field alloc with
+        | Some (J.Float v) -> v
+        | Some (J.Int v) -> float_of_int v
+        | Some _ -> fail "%s: alloc field \"%s\" must be a number" path field
+        | None -> fail "%s: alloc section missing \"%s\"" path field
+      in
+      let per_packet = number "minor_words_per_packet" in
+      let per_event = number "minor_words_per_event" in
+      let high_water = number "pool_high_water" in
+      if per_packet < 0. || per_event < 0. then
+        fail "%s: alloc counters must be non-negative" path;
+      if high_water < 1. then fail "%s: alloc \"pool_high_water\" must be >= 1" path;
+      if per_packet > max_minor_words_per_packet then
+        fail "%s: allocation regression: %.4f minor words/packet exceeds the budget of %g"
+          path per_packet max_minor_words_per_packet);
     Printf.printf "phi-json-check: %s ok\n" path

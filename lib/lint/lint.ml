@@ -19,7 +19,11 @@ let rules =
        allocate it per run (from the seed) or suppress with an explicit justification" );
     ( "hot-queue",
       "Stdlib.Queue allocates one cons cell per element; hot-path simulation code \
-       (lib/net, lib/sim) must use Phi_sim.Ring instead" )
+       (lib/net, lib/sim) must use Phi_sim.Ring instead" );
+    ( "packet-escape",
+      "pooled packet handles die at release: construct packets only through the pool \
+       (Packet.acquire_data / Packet.acquire_ack), never store a handle in a mutable \
+       field, and never touch one after Packet.release" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -272,9 +276,22 @@ let starts_with ~prefix s =
   let pn = String.length prefix in
   String.length s >= pn && String.sub s 0 pn = prefix
 
+let ends_with ~suffix s =
+  let sn = String.length suffix and n = String.length s in
+  n >= sn && String.sub s (n - sn) sn = suffix
+
+(* [packet-escape] polices the pooled-packet ownership contract in the
+   layers that handle live packets (lib/net, lib/tcp).  The pool module
+   itself is exempt — it is the one place allowed to mint handles. *)
+let in_packet_scope path =
+  (path_has_dir path "lib/net" || path_has_dir path "lib/tcp")
+  && not (ends_with ~suffix:"/packet.ml" path)
+  && not (ends_with ~suffix:"/packet.mli" path)
+
 let token_violations ~path { tokens; _ } =
   let lib = in_lib path in
   let hot = in_hot_path path in
+  let packet_scope = in_packet_scope path in
   let out = ref [] in
   let add line rule = out := violation path line rule :: !out in
   let text k = if k >= 0 && k < Array.length tokens then snd tokens.(k) else "" in
@@ -287,6 +304,35 @@ let token_violations ~path { tokens; _ } =
       | "Hashtbl.find" -> add line "hashtbl-find"
       | "failwith" | "Stdlib.failwith" -> if lib then add line "failwith"
       | "exit" | "Stdlib.exit" -> if lib then add line "exit"
+      (* The legacy heap-allocating packet constructors: everything must
+         go through the pool's acquire_data/acquire_ack. *)
+      | "Packet.data" | "Packet.ack" -> if packet_scope then add line "packet-escape"
+      (* A [mutable f : Packet.handle] record field retains a handle
+         across events — it dangles the moment the packet is released.
+         A handle-consuming callback field ([...: Packet.handle -> unit])
+         stores a function, not a handle, and is fine. *)
+      | "Packet.handle" ->
+        if
+          packet_scope
+          && text (k - 1) = ":"
+          && text (k - 3) = "mutable"
+          && text (k + 1) <> "->"
+        then add line "packet-escape"
+      (* Touching a handle after releasing it on the same line: the
+         cheap lexical slice of use-after-free (the sanitizer's
+         generation stamps catch the cross-line cases at runtime). *)
+      | "Packet.release" ->
+        if packet_scope then begin
+          let h = text (k + 2) in
+          if h <> "" && is_ident_start h.[0] then begin
+            let rec reused j =
+              j < Array.length tokens
+              && fst tokens.(j) = line
+              && (snd tokens.(j) = h || reused (j + 1))
+            in
+            if reused (k + 3) then add line "packet-escape"
+          end
+        end
       | _ -> ());
       if
         hot
@@ -312,10 +358,6 @@ let suppressed allows v =
   List.exists (fun (line, rule) -> rule = v.rule && (line = v.line || line = v.line - 1)) allows
 
 let suppressed_anywhere allows rule = List.exists (fun (_, r) -> r = rule) allows
-
-let ends_with ~suffix s =
-  let sn = String.length suffix and n = String.length s in
-  n >= sn && String.sub s (n - sn) sn = suffix
 
 (* [domain-global]: a top-level [let] in a pool-driven library that
    binds a value built from a mutable-state constructor.  Lexical like

@@ -42,7 +42,16 @@ val rules : (string * string) list
       the mutable state on the same line.
     - [hot-queue]: any [Queue]/[Stdlib.Queue] use inside the per-packet
       hot-path libraries ([lib/net], [lib/sim]) — the stdlib queue
-      allocates a cons cell per element; use {!Phi_sim.Ring}. *)
+      allocates a cons cell per element; use {!Phi_sim.Ring}.
+    - [packet-escape]: violations of the pooled-packet ownership
+      contract in the packet-handling layers ([lib/net], [lib/tcp],
+      except the pool module itself): constructing a packet through the
+      legacy [Packet.data]/[Packet.ack] heap constructors instead of the
+      pool's acquire functions, declaring a [mutable] record field of
+      type [Packet.handle] (retaining a handle across events dangles it
+      once the packet is released; handle-consuming callback fields are
+      fine), or mentioning a handle again on the same line after
+      [Packet.release] passed it back to the free list. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
@@ -57,6 +66,12 @@ val in_hot_path : string -> bool
 (** Whether a path is under [lib/net/] or [lib/sim/], i.e. subject to
     the [hot-queue] rule because its code runs once (or more) per
     simulated packet. *)
+
+val in_packet_scope : string -> bool
+(** Whether a path is subject to the [packet-escape] rule: under
+    [lib/net/] or [lib/tcp/] but not the pool module
+    ([packet.ml]/[packet.mli]) itself, which is the one place allowed to
+    mint and recycle handles. *)
 
 val lint_source : path:string -> string -> violation list
 (** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with

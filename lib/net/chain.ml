@@ -31,6 +31,7 @@ let hop_buffer_pkts spec ~hop =
 type t = {
   engine : Engine.t;
   spec : spec;
+  pool : Packet.pool;
   long_sender : Node.t;
   long_receiver : Node.t;
   cross_senders : Node.t array;
@@ -55,14 +56,15 @@ let create engine spec =
     (fun bw -> if bw <= 0. then invalid_arg "Chain.create: hop bandwidth must be positive")
     spec.hop_bw_bps;
   let hops = spec.hops in
-  let routers = Array.init (hops + 1) (fun i -> Node.create engine ~id:(router_id i)) in
-  let long_sender = Node.create engine ~id:0 in
-  let long_receiver = Node.create engine ~id:1 in
-  let cross_senders = Array.init hops (fun i -> Node.create engine ~id:(100 + i)) in
-  let cross_receivers = Array.init hops (fun i -> Node.create engine ~id:(200 + i)) in
+  let pool = Packet.create_pool () in
+  let routers = Array.init (hops + 1) (fun i -> Node.create engine pool ~id:(router_id i)) in
+  let long_sender = Node.create engine pool ~id:0 in
+  let long_receiver = Node.create engine pool ~id:1 in
+  let cross_senders = Array.init hops (fun i -> Node.create engine pool ~id:(100 + i)) in
+  let cross_receivers = Array.init hops (fun i -> Node.create engine pool ~id:(200 + i)) in
   let access ~to_ =
     let link =
-      Link.create engine ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
+      Link.create engine pool ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
         ~capacity_pkts:10_000
     in
     Link.set_receiver link (Node.receive to_);
@@ -70,7 +72,7 @@ let create engine spec =
   in
   let hop_link i ~reverse =
     let link =
-      Link.create engine ~bandwidth_bps:spec.hop_bw_bps.(i) ~delay_s:spec.hop_delay_s
+      Link.create engine pool ~bandwidth_bps:spec.hop_bw_bps.(i) ~delay_s:spec.hop_delay_s
         ~capacity_pkts:(hop_buffer_pkts spec ~hop:i)
     in
     let dst = if reverse then routers.(i) else routers.(i + 1) in
@@ -116,6 +118,7 @@ let create engine spec =
   {
     engine;
     spec;
+    pool;
     long_sender;
     long_receiver;
     cross_senders;

@@ -28,6 +28,7 @@ val default_spec : hops:int -> spec
 type t = {
   engine : Phi_sim.Engine.t;
   spec : spec;
+  pool : Packet.pool;  (** the packet slab shared by every node and link *)
   long_sender : Node.t;
   long_receiver : Node.t;
   cross_senders : Node.t array;  (** one per hop *)

@@ -24,29 +24,20 @@ type discipline = Drop_tail | Red of red_params
 
 type t = {
   engine : Engine.t;
+  pool : Packet.pool;
   bandwidth_bps : float;
   delay_s : float;
   capacity_pkts : int;
-  queue : Packet.t Ring.t;
+  queue : Packet.handle Ring.t;
   (* Packets serialized but still propagating.  Every delivery on a link
      takes the same [delay_s], so deliveries complete in FIFO order and
      the pre-registered delivery port can simply pop this ring — no
      per-packet closure capturing the packet. *)
-  in_flight : Packet.t Ring.t;
+  in_flight : Packet.handle Ring.t;
   mutable tx_done_port : Engine.port;
   mutable deliver_port : Engine.port;
-  (* Serialization time of the packet at the head of [queue], recorded
-     when its service starts. *)
-  mutable in_service_tx : float;
-  (* One-entry [tx_time] memo.  Traffic on a link is dominated by one or
-     two packet sizes (MSS data, 40-byte ACKs), so this removes the
-     per-packet division while keeping the exact IEEE quotient —
-     multiplying by a precomputed 1/bandwidth would perturb event times
-     in the last ulp and break bit-for-bit reproducibility against
-     recorded runs. *)
   mutable memo_size : int;
-  mutable memo_tx : float;
-  mutable receiver : Packet.t -> unit;
+  mutable receiver : Packet.handle -> unit;
   mutable busy : bool;
   mutable packets_offered : int;
   mutable packets_delivered : int;
@@ -54,14 +45,35 @@ type t = {
   mutable bytes_delivered : int;
   mutable bytes_dropped : int;
   mutable drops : int;
-  mutable busy_time : float;
-  mutable total_queue_wait : float;
+  (* The per-packet float state (see the [fs_*] indices below) lives in
+     a [floatarray] rather than mutable float fields: storing a float
+     into a mixed record allocates a fresh box on every write, and
+     several of these are written for every packet served. *)
+  fs : floatarray;
   mutable fault : (Phi_util.Prng.t * float) option;
   mutable discipline : discipline;
   mutable red_rng : Phi_util.Prng.t option;
-  mutable red_avg : float;  (* RED's average queue estimate *)
   mutable ecn_marks : int;
 }
+
+(* Serialization time of the packet at the head of [queue], recorded
+   when its service starts. *)
+let fs_in_service_tx = 0
+
+(* One-entry [tx_time] memo (keyed by [memo_size]).  Traffic on a link
+   is dominated by one or two packet sizes (MSS data, 40-byte ACKs), so
+   this removes the per-packet division while keeping the exact IEEE
+   quotient — multiplying by a precomputed 1/bandwidth would perturb
+   event times in the last ulp and break bit-for-bit reproducibility
+   against recorded runs. *)
+let fs_memo_tx = 1
+let fs_busy_time = 2
+let fs_total_queue_wait = 3
+let fs_red_avg = 4  (* RED's average queue estimate *)
+let fs_len = 5
+
+let[@inline] fs_get t i = Float.Array.unsafe_get t.fs i
+let[@inline] fs_set t i v = Float.Array.unsafe_set t.fs i v
 
 let set_receiver t f = t.receiver <- f
 
@@ -70,16 +82,16 @@ let set_fault_injection t ~rng ~drop_probability =
     invalid_arg "Link.set_fault_injection: probability out of [0, 1]";
   t.fault <- if Float.equal drop_probability 0. then None else Some (rng, drop_probability)
 
-let tx_time t (pkt : Packet.t) =
-  if pkt.size = t.memo_size then t.memo_tx
+let[@inline] tx_time t size =
+  if size = t.memo_size then fs_get t fs_memo_tx
   else begin
-    let tx = float_of_int (pkt.size * 8) /. t.bandwidth_bps in
-    t.memo_size <- pkt.size;
-    t.memo_tx <- tx;
+    let tx = float_of_int (size * 8) /. t.bandwidth_bps in
+    t.memo_size <- size;
+    fs_set t fs_memo_tx tx;
     tx
   end
 
-let queued_bytes t = Ring.fold (fun acc (p : Packet.t) -> acc + p.size) 0 t.queue
+let queued_bytes t = Ring.fold (fun acc p -> acc + Packet.size t.pool p) 0 t.queue
 
 (* Sanitizer hook: every packet and byte offered to the link must be
    delivered, dropped, or still queued — nothing may vanish or be
@@ -111,22 +123,26 @@ let check_conservation t =
    port), then start on the next queued packet.  [busy] guards against
    starting two transmissions at once.  Both ports are registered once
    at link creation, so the per-packet path schedules them without
-   allocating a single closure. *)
+   allocating a single closure — and the rings hold pool handles
+   (immediate ints), so no packet is ever boxed either. *)
 let start_service t =
-  match Ring.peek_opt t.queue with
-  | None -> t.busy <- false
-  | Some pkt ->
+  if Ring.is_empty t.queue then t.busy <- false
+  else begin
+    let pkt = Ring.peek t.queue in
     t.busy <- true;
     let now = Engine.now t.engine in
-    t.total_queue_wait <- t.total_queue_wait +. (now -. pkt.enqueued_at);
-    t.in_service_tx <- tx_time t pkt;
-    Engine.schedule_port_after t.engine ~delay:t.in_service_tx t.tx_done_port
+    fs_set t fs_total_queue_wait
+      (fs_get t fs_total_queue_wait +. (now -. Packet.enqueued_at t.pool pkt));
+    let tx = tx_time t (Packet.size t.pool pkt) in
+    fs_set t fs_in_service_tx tx;
+    Engine.schedule_port_after t.engine ~delay:tx t.tx_done_port
+  end
 
 let on_tx_done t =
   let pkt = Ring.pop t.queue in
-  t.busy_time <- t.busy_time +. t.in_service_tx;
+  fs_set t fs_busy_time (fs_get t fs_busy_time +. fs_get t fs_in_service_tx);
   t.packets_delivered <- t.packets_delivered + 1;
-  t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+  t.bytes_delivered <- t.bytes_delivered + Packet.size t.pool pkt;
   Ring.push t.in_flight pkt;
   Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port;
   check_conservation t;
@@ -134,13 +150,14 @@ let on_tx_done t =
 
 let on_deliver t = t.receiver (Ring.pop t.in_flight)
 
-let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
+let create engine pool ~bandwidth_bps ~delay_s ~capacity_pkts =
   if bandwidth_bps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay_s < 0. then invalid_arg "Link.create: negative delay";
   if capacity_pkts < 1 then invalid_arg "Link.create: capacity must be >= 1";
   let t =
     {
       engine;
+      pool;
       bandwidth_bps;
       delay_s;
       capacity_pkts;
@@ -148,9 +165,7 @@ let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
       in_flight = Ring.create ();
       tx_done_port = Engine.port engine (fun () -> ());
       deliver_port = Engine.port engine (fun () -> ());
-      in_service_tx = 0.;
       memo_size = -1;
-      memo_tx = 0.;
       receiver = (fun _ -> invalid_arg "Link: receiver not set");
       busy = false;
       packets_offered = 0;
@@ -159,12 +174,10 @@ let create engine ~bandwidth_bps ~delay_s ~capacity_pkts =
       bytes_delivered = 0;
       bytes_dropped = 0;
       drops = 0;
-      busy_time = 0.;
-      total_queue_wait = 0.;
+      fs = Float.Array.make fs_len 0.;
       fault = None;
       discipline = Drop_tail;
       red_rng = None;
-      red_avg = 0.;
       ecn_marks = 0;
     }
   in
@@ -183,23 +196,27 @@ let set_discipline t ~rng discipline =
   | Drop_tail -> ());
   t.discipline <- discipline;
   t.red_rng <- Some rng;
-  t.red_avg <- float_of_int (Ring.length t.queue)
+  fs_set t fs_red_avg (float_of_int (Ring.length t.queue))
 
 (* RED early-drop/mark decision (simplified: no idle-time correction, no
    between-drop spacing).  With [mark_ecn], band "drops" become CE marks
    on data packets; only forced drops above max_threshold still drop. *)
-let red_rejects t p (pkt : Packet.t) =
-  t.red_avg <- ((1. -. p.weight) *. t.red_avg) +. (p.weight *. float_of_int (Ring.length t.queue));
-  if t.red_avg < float_of_int p.min_threshold then false
-  else if t.red_avg >= float_of_int p.max_threshold then true
+let red_rejects t p pkt =
+  let avg =
+    ((1. -. p.weight) *. fs_get t fs_red_avg)
+    +. (p.weight *. float_of_int (Ring.length t.queue))
+  in
+  fs_set t fs_red_avg avg;
+  if avg < float_of_int p.min_threshold then false
+  else if avg >= float_of_int p.max_threshold then true
   else begin
     let range = float_of_int (p.max_threshold - p.min_threshold) in
-    let drop_p = p.max_probability *. (t.red_avg -. float_of_int p.min_threshold) /. range in
+    let drop_p = p.max_probability *. (avg -. float_of_int p.min_threshold) /. range in
     let hit =
       match t.red_rng with Some rng -> Phi_util.Prng.float rng < drop_p | None -> false
     in
-    if hit && p.mark_ecn && Packet.is_data pkt then begin
-      pkt.Packet.ce <- true;
+    if hit && p.mark_ecn && Packet.is_data t.pool pkt then begin
+      Packet.mark_ce t.pool pkt;
       t.ecn_marks <- t.ecn_marks + 1;
       false
     end
@@ -215,14 +232,17 @@ let faulted t =
   | Some (rng, p) -> Phi_util.Prng.float rng < p
 
 let send t pkt =
+  let size = Packet.size t.pool pkt in
   t.packets_offered <- t.packets_offered + 1;
-  t.bytes_offered <- t.bytes_offered + pkt.Packet.size;
+  t.bytes_offered <- t.bytes_offered + size;
   if Ring.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then begin
     t.drops <- t.drops + 1;
-    t.bytes_dropped <- t.bytes_dropped + pkt.Packet.size
+    t.bytes_dropped <- t.bytes_dropped + size;
+    (* A drop is the end of the packet's life: back to the free list. *)
+    Packet.release t.pool pkt
   end
   else begin
-    pkt.Packet.enqueued_at <- Engine.now t.engine;
+    Packet.set_enqueued_at t.pool pkt (Engine.now t.engine);
     Ring.push t.queue pkt;
     if not t.busy then start_service t
   end;
@@ -239,9 +259,10 @@ let bytes_delivered t = t.bytes_delivered
 let bytes_dropped t = t.bytes_dropped
 let drops t = t.drops
 let packets_offered t = t.packets_offered
-let busy_time t = t.busy_time
-let total_queue_wait t = t.total_queue_wait
+let busy_time t = fs_get t fs_busy_time
+let total_queue_wait t = fs_get t fs_total_queue_wait
 
 let utilization_since t ~since_busy_time ~since_clock ~now =
   let elapsed = now -. since_clock in
-  if elapsed <= 0. then 0. else Float.min 1. ((t.busy_time -. since_busy_time) /. elapsed)
+  if elapsed <= 0. then 0.
+  else Float.min 1. ((fs_get t fs_busy_time -. since_busy_time) /. elapsed)

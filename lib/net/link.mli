@@ -36,22 +36,29 @@ val set_discipline : t -> rng:Phi_util.Prng.t -> discipline -> unit
 
 val create :
   Phi_sim.Engine.t ->
+  Packet.pool ->
   bandwidth_bps:float ->
   delay_s:float ->
   capacity_pkts:int ->
   t
-(** All parameters must be positive ([capacity_pkts >= 1]). *)
+(** All parameters must be positive ([capacity_pkts >= 1]).  Every
+    packet offered to the link must come from the given pool. *)
 
-val set_receiver : t -> (Packet.t -> unit) -> unit
-(** Where delivered packets go.  Must be set before traffic flows. *)
+val set_receiver : t -> (Packet.handle -> unit) -> unit
+(** Where delivered packets go.  Must be set before traffic flows.  The
+    receiver takes ownership of each delivered handle: it must consume
+    it ([Node.receive] does), re-send it, or release it back to the
+    pool. *)
 
 val set_fault_injection : t -> rng:Phi_util.Prng.t -> drop_probability:float -> unit
 (** Drop each arriving packet independently with the given probability
     (on top of queue overflows).  For tests and failure-injection
     experiments; probability 0 disables. *)
 
-val send : t -> Packet.t -> unit
-(** Enqueue a packet (or drop it if the queue is full). *)
+val send : t -> Packet.handle -> unit
+(** Enqueue a packet (or drop it if the queue is full).  Consumes the
+    handle: a dropped packet is released back to the pool immediately,
+    a carried one is handed to the receiver on delivery. *)
 
 val bandwidth_bps : t -> float
 val delay_s : t -> float

@@ -5,6 +5,7 @@ type t = {
   link : Link.t;
   interval_s : float;
   started_at : float;
+  mutable sample_port : Engine.port;
   mutable last_busy_time : float;
   mutable last_clock : float;
   mutable current_utilization : float;
@@ -15,7 +16,10 @@ type t = {
   mutable running : bool;
 }
 
-let rec sample t =
+(* Periodic sampling rides the engine's port registry, like the link
+   pipeline: the handler is registered once at creation and reschedules
+   itself by index — no fresh closure per interval. *)
+let sample t =
   if t.running then begin
     let now = Engine.now t.engine in
     let busy = Link.busy_time t.link in
@@ -29,7 +33,7 @@ let rec sample t =
     t.queue_sample_count <- t.queue_sample_count + 1;
     t.last_busy_time <- busy;
     t.last_clock <- now;
-    ignore (Engine.schedule_after t.engine ~delay:t.interval_s (fun () -> sample t))
+    Engine.schedule_port_after t.engine ~delay:t.interval_s t.sample_port
   end
 
 let create engine link ~interval_s =
@@ -40,6 +44,7 @@ let create engine link ~interval_s =
       link;
       interval_s;
       started_at = Engine.now engine;
+      sample_port = Engine.port engine (fun () -> ());
       last_busy_time = Link.busy_time link;
       last_clock = Engine.now engine;
       current_utilization = 0.;
@@ -50,7 +55,8 @@ let create engine link ~interval_s =
       running = true;
     }
   in
-  ignore (Engine.schedule_after engine ~delay:interval_s (fun () -> sample t));
+  t.sample_port <- Engine.port engine (fun () -> sample t);
+  Engine.schedule_port_after engine ~delay:interval_s t.sample_port;
   t
 
 let current_utilization t = t.current_utilization

@@ -1,15 +1,17 @@
 type t = {
   id : int;
+  pool : Packet.pool;
   routes : (int, Link.t) Hashtbl.t;
   mutable default_route : Link.t option;
-  flows : (int, Packet.t -> unit) Hashtbl.t;
+  flows : (int, Packet.handle -> unit) Hashtbl.t;
   mutable unroutable_drops : int;
   mutable unclaimed_deliveries : int;
 }
 
-let create _engine ~id =
+let create _engine pool ~id =
   {
     id;
+    pool;
     routes = Hashtbl.create 16;
     default_route = None;
     flows = Hashtbl.create 16;
@@ -18,6 +20,7 @@ let create _engine ~id =
   }
 
 let id t = t.id
+let pool t = t.pool
 
 let add_route t ~dst link = Hashtbl.replace t.routes dst link
 
@@ -27,21 +30,30 @@ let bind_flow t ~flow handler = Hashtbl.replace t.flows flow handler
 
 let unbind_flow t ~flow = Hashtbl.remove t.flows flow
 
-let receive t (pkt : Packet.t) =
-  if pkt.dst = t.id then
-    match Hashtbl.find_opt t.flows pkt.flow with
-    | Some handler -> handler pkt
-    | None -> t.unclaimed_deliveries <- t.unclaimed_deliveries + 1
+(* Lookups use [Hashtbl.find] + exception matching rather than
+   [find_opt]: this is the per-packet path and the [Some] box would be
+   one allocation per forwarded/delivered packet.  [Not_found] here is a
+   preallocated constant, so the miss path is allocation-free too. *)
+let receive t pkt =
+  let dst = Packet.dst t.pool pkt in
+  if dst = t.id then begin
+    (match Hashtbl.find t.flows (Packet.flow t.pool pkt) (* phi-lint: allow hashtbl-find *) with
+    | handler -> handler pkt
+    | exception Not_found -> t.unclaimed_deliveries <- t.unclaimed_deliveries + 1);
+    (* Local delivery ends the packet's life: handlers read fields out
+       and must not retain the handle. *)
+    Packet.release t.pool pkt
+  end
   else
-    match Hashtbl.find_opt t.routes pkt.dst with
-    | Some link -> Link.send link pkt
-    | None -> (
+    match Hashtbl.find t.routes dst (* phi-lint: allow hashtbl-find *) with
+    | link -> Link.send link pkt
+    | exception Not_found -> (
       match t.default_route with
       | Some link -> Link.send link pkt
       | None ->
         t.unroutable_drops <- t.unroutable_drops + 1;
-        invalid_arg
-          (Printf.sprintf "Node %d: no route for destination %d" t.id pkt.dst))
+        Packet.release t.pool pkt;
+        invalid_arg (Printf.sprintf "Node %d: no route for destination %d" t.id dst))
 
 let unroutable_drops t = t.unroutable_drops
 let unclaimed_deliveries t = t.unclaimed_deliveries

@@ -4,13 +4,25 @@
     flow id to the handler a sender/receiver registered) or forwards it on
     the link its routing table maps the destination to.  This is all the
     routing the paper's dumbbell experiments need, while staying general
-    enough for arbitrary topologies. *)
+    enough for arbitrary topologies.
+
+    Nodes speak pool handles: [receive] consumes the handle it is given —
+    a locally delivered packet is released back to the pool after its
+    flow handler returns (handlers copy fields out and must not retain
+    the handle), and a forwarded packet's ownership passes to
+    [Link.send]. *)
 
 type t
 
-val create : Phi_sim.Engine.t -> id:int -> t
+val create : Phi_sim.Engine.t -> Packet.pool -> id:int -> t
+(** All packets this node touches must come from the given pool (one
+    pool per simulation; topology builders handle this). *)
 
 val id : t -> int
+
+val pool : t -> Packet.pool
+(** The packet pool this node (and its whole topology) uses.  Senders
+    and receivers acquire their outgoing packets here. *)
 
 val add_route : t -> dst:int -> Link.t -> unit
 (** Route packets destined to node [dst] out of the given link.  Replaces
@@ -19,15 +31,18 @@ val add_route : t -> dst:int -> Link.t -> unit
 val set_default_route : t -> Link.t -> unit
 (** Fallback when no per-destination route matches. *)
 
-val bind_flow : t -> flow:int -> (Packet.t -> unit) -> unit
-(** Local delivery handler for packets of [flow] addressed to this node. *)
+val bind_flow : t -> flow:int -> (Packet.handle -> unit) -> unit
+(** Local delivery handler for packets of [flow] addressed to this node.
+    The handle is only valid for the duration of the call — the node
+    releases it when the handler returns. *)
 
 val unbind_flow : t -> flow:int -> unit
 
-val receive : t -> Packet.t -> unit
+val receive : t -> Packet.handle -> unit
 (** Entry point used by links (and by local senders to originate traffic).
-    Packets addressed to this node with no bound flow are counted and
-    dropped; packets with no route raise [Failure]. *)
+    Consumes the handle.  Packets addressed to this node with no bound
+    flow are counted and released; packets with no route are released,
+    counted, and raise [Invalid_argument]. *)
 
 val unroutable_drops : t -> int
 val unclaimed_deliveries : t -> int

@@ -29,6 +29,7 @@ let buffer_packets spec =
 type dumbbell = {
   engine : Engine.t;
   spec : spec;
+  pool : Packet.pool;
   senders : Node.t array;
   receivers : Node.t array;
   left_router : Node.t;
@@ -52,14 +53,15 @@ let bottleneck_delay spec =
 let dumbbell engine spec =
   if spec.n < 1 then invalid_arg "Topology.dumbbell: need at least one sender";
   let n = spec.n in
-  let senders = Array.init n (fun i -> Node.create engine ~id:i) in
-  let receivers = Array.init n (fun i -> Node.create engine ~id:(n + i)) in
-  let left_router = Node.create engine ~id:(2 * n) in
-  let right_router = Node.create engine ~id:((2 * n) + 1) in
+  let pool = Packet.create_pool () in
+  let senders = Array.init n (fun i -> Node.create engine pool ~id:i) in
+  let receivers = Array.init n (fun i -> Node.create engine pool ~id:(n + i)) in
+  let left_router = Node.create engine pool ~id:(2 * n) in
+  let right_router = Node.create engine pool ~id:((2 * n) + 1) in
   let access_capacity = 10_000 in
   let access ~from ~to_ =
     let link =
-      Link.create engine ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
+      Link.create engine pool ~bandwidth_bps:spec.access_bw_bps ~delay_s:spec.access_delay_s
         ~capacity_pkts:access_capacity
     in
     Link.set_receiver link (Node.receive to_);
@@ -69,12 +71,12 @@ let dumbbell engine spec =
   let bneck_delay = bottleneck_delay spec in
   let capacity = buffer_packets spec in
   let bottleneck =
-    Link.create engine ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
+    Link.create engine pool ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
       ~capacity_pkts:capacity
   in
   Link.set_receiver bottleneck (Node.receive right_router);
   let reverse_bottleneck =
-    Link.create engine ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
+    Link.create engine pool ~bandwidth_bps:spec.bottleneck_bw_bps ~delay_s:bneck_delay
       ~capacity_pkts:capacity
   in
   Link.set_receiver reverse_bottleneck (Node.receive left_router);
@@ -97,4 +99,14 @@ let dumbbell engine spec =
      senders behind the left one. *)
   Node.set_default_route left_router bottleneck;
   Node.set_default_route right_router reverse_bottleneck;
-  { engine; spec; senders; receivers; left_router; right_router; bottleneck; reverse_bottleneck }
+  {
+    engine;
+    spec;
+    pool;
+    senders;
+    receivers;
+    left_router;
+    right_router;
+    bottleneck;
+    reverse_bottleneck;
+  }

@@ -26,6 +26,7 @@ val buffer_packets : spec -> int
 type dumbbell = {
   engine : Phi_sim.Engine.t;
   spec : spec;
+  pool : Packet.pool;  (** the packet slab shared by every node and link *)
   senders : Node.t array;
   receivers : Node.t array;
   left_router : Node.t;

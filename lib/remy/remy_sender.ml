@@ -9,6 +9,7 @@ type util_feed = [ `None | `At_start of (unit -> float) | `Live of (unit -> floa
 type t = {
   engine : Engine.t;
   node : Node.t;
+  pool : Packet.pool;
   flow : int;
   dst : int;
   table : Rule_table.t;
@@ -73,8 +74,8 @@ let send_segment t seq =
   let retransmit = seq < t.highest_sent in
   if retransmit then t.retransmitted <- t.retransmitted + 1;
   let pkt =
-    Packet.data ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq ~now:(Engine.now t.engine)
-      ~retransmit
+    Packet.acquire_data t.pool ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq
+      ~now:(Engine.now t.engine) ~retransmit
   in
   Node.receive t.node pkt;
   if seq >= t.highest_sent then t.highest_sent <- seq + 1
@@ -140,37 +141,37 @@ let apply_whisker t =
   t.cwnd <- Whisker.apply whisker.Whisker.action ~cwnd:t.cwnd;
   t.intersend <- whisker.Whisker.action.Whisker.intersend_s
 
-let on_packet t (pkt : Packet.t) =
-  match pkt.kind with
-  | Packet.Data -> ()
-  | Packet.Ack { echo_sent_at; _ } ->
-    if not t.completed then begin
-      let now = Engine.now t.engine in
-      if pkt.seq > t.snd_una then begin
-        t.snd_una <- pkt.seq;
-        (match echo_sent_at with
-        | Some sent_at ->
-          let rtt = now -. sent_at in
-          if rtt > 0. then begin
-            Rto.observe t.rto ~rtt;
-            t.rtt_count <- t.rtt_count + 1;
-            t.rtt_sum <- t.rtt_sum +. rtt;
-            if rtt < t.rtt_min then t.rtt_min <- rtt
-          end;
-          Memory.on_ack t.memory ~now ~echo_sent_at:sent_at;
-          (match t.util with
-          | `Live f -> Memory.set_utilization t.memory (f ())
-          | `At_start _ | `None -> ());
-          apply_whisker t
-        | None -> ());
-        if t.snd_una >= t.total then complete t
-        else begin
-          arm_rto t;
-          pump t
-        end
+let on_packet t pkt =
+  (* Remy senders only consume ACKs; fields are copied out of the pooled
+     handle before it dies. *)
+  if (not (Packet.is_data t.pool pkt)) && not t.completed then begin
+    let now = Engine.now t.engine in
+    let ack_seq = Packet.seq t.pool pkt in
+    if ack_seq > t.snd_una then begin
+      t.snd_una <- ack_seq;
+      (if Packet.ack_has_echo t.pool pkt then begin
+         let sent_at = Packet.ack_echo_sent_at t.pool pkt in
+         let rtt = now -. sent_at in
+         if rtt > 0. then begin
+           Rto.observe t.rto ~rtt;
+           t.rtt_count <- t.rtt_count + 1;
+           t.rtt_sum <- t.rtt_sum +. rtt;
+           if rtt < t.rtt_min then t.rtt_min <- rtt
+         end;
+         Memory.on_ack t.memory ~now ~echo_sent_at:sent_at;
+         (match t.util with
+         | `Live f -> Memory.set_utilization t.memory (f ())
+         | `At_start _ | `None -> ());
+         apply_whisker t
+       end);
+      if t.snd_una >= t.total then complete t
+      else begin
+        arm_rto t;
+        pump t
       end
-      else pump t
     end
+    else pump t
+  end
 
 let create engine ~node ~flow ~dst ~table ~util ~total_segments ?(source_index = 0)
     ?(on_complete = fun _ -> ()) () =
@@ -188,6 +189,7 @@ let create engine ~node ~flow ~dst ~table ~util ~total_segments ?(source_index =
     {
       engine;
       node;
+      pool = Node.pool node;
       flow;
       dst;
       table;

@@ -45,6 +45,16 @@ val default_jobs : unit -> int
     environment variable when set to a positive integer, otherwise
     {!available_cores}. *)
 
+val tune_gc : unit -> unit
+(** Size the calling domain's minor heap for sweep workloads: the
+    [PHI_MINOR_HEAP] environment variable (in words) when set to a
+    positive integer, otherwise 64 Kwords (512 KB) — small enough to
+    stay cache-resident next to the event and packet slabs, which is
+    what matters now that the steady-state hot path allocates nothing.
+    {!try_map} applies this to every worker domain (and to the calling
+    domain on the serial path), so sweeps get it automatically;
+    standalone drivers may call it directly. *)
+
 val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** [try_map ~jobs f xs] applies [f] to every element of [xs] on a pool
     of [min jobs (List.length xs)] domains (the calling domain counts as

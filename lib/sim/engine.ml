@@ -54,7 +54,15 @@ let idx_mask = (1 lsl idx_bits) - 1
 let nop () = ()
 
 type t = {
-  mutable clock : float;
+  (* The clock and the sift scratch cell live in one-slot [floatarray]s
+     rather than mutable float fields: storing a float into a mixed
+     record allocates a fresh box on every write (one per event for the
+     clock), while a [floatarray] store is an unboxed write.  The same
+     reasoning moves the in-flight sift timestamp into [tscratch]: it
+     lets [push]/[step] hand a timestamp to the sifts without a float
+     argument, which the non-flambda compiler would box at the call. *)
+  clock : floatarray;
+  tscratch : floatarray;
   (* 8-ary min-heap over (time, seq, key). *)
   mutable hp : floatarray;
   mutable hm : int array;  (* hm.(2i) = seq, hm.(2i+1) = key *)
@@ -76,7 +84,8 @@ type t = {
 
 let create () =
   {
-    clock = 0.;
+    clock = Float.Array.make 1 0.;
+    tscratch = Float.Array.make 1 0.;
     hp = Float.Array.create 0;
     hm = [||];
     hlen = 0;
@@ -91,7 +100,8 @@ let create () =
     n_ports = 0;
   }
 
-let now t = t.clock
+let[@inline] now t = Float.Array.unsafe_get t.clock 0
+let[@inline] set_clock t v = Float.Array.unsafe_set t.clock 0 v
 
 (* {2 Heap primitives}
 
@@ -114,7 +124,11 @@ let grow_heap t =
    record fields, so the compiler would otherwise reload them after
    every array store in the loop.  Safe because the arrays cannot be
    replaced (no grow) while a sift is running. *)
-let sift_up t i0 time seq key =
+(* Both sifts take their timestamp through [tscratch] rather than a
+   float parameter: their callers read it out of a [floatarray] (or
+   compute it), and a float argument would be boxed at the call. *)
+let sift_up t i0 seq key =
+  let time = Float.Array.unsafe_get t.tscratch 0 in
   let hp = t.hp and hm = t.hm in
   let i = ref i0 in
   let continue = ref true in
@@ -133,15 +147,17 @@ let sift_up t i0 time seq key =
   Array.unsafe_set hm (2 * !i) seq;
   Array.unsafe_set hm ((2 * !i) + 1) key
 
-let push t ~time ~seq key =
+(* [push] takes its timestamp through [tscratch] (see the sifts). *)
+let push t ~seq key =
   if t.hlen = Float.Array.length t.hp then grow_heap t;
   let i = t.hlen in
   t.hlen <- i + 1;
-  sift_up t i time seq key
+  sift_up t i seq key
 
 (* Re-seat [(time, seq, key)] (the former last entry) starting from the
    root, after the minimum has been removed. *)
-let sift_down t time seq key =
+let sift_down t seq key =
+  let time = Float.Array.unsafe_get t.tscratch 0 in
   let hp = t.hp and hm = t.hm in
   let len = t.hlen in
   let i = ref 0 in
@@ -217,57 +233,67 @@ let consume t idx =
 let check_cells t =
   let cap = Array.length t.cell_gen in
   if t.n_live < 0 || t.free_len + t.n_live <> cap then
-    Invariant.record ~rule:"cell-accounting" ~time:t.clock
+    Invariant.record ~rule:"cell-accounting" ~time:(now t)
       (Printf.sprintf "Engine: %d live + %d free cells <> %d slab capacity" t.n_live
          t.free_len cap)
 
 (* Scheduling-time anomalies either raise (strict mode) or, with the
    sanitizer armed, are recorded and clamped to "now" so that one broken
-   timestamp does not abort the whole run. *)
-let checked_time t time =
-  if not (Float.is_finite time) then begin
-    let msg = Printf.sprintf "Engine.schedule_at: non-finite time %g" time in
-    if Invariant.enabled () then begin
-      Invariant.record ~rule:"non-finite-time" ~time:t.clock msg;
-      t.clock
-    end
-    else invalid_arg msg
+   timestamp does not abort the whole run.  The anomaly handlers stay
+   out of line so the checks themselves inline into the per-event
+   scheduling path. *)
+let[@inline never] bad_time t time =
+  let msg = Printf.sprintf "Engine.schedule_at: non-finite time %g" time in
+  if Invariant.enabled () then begin
+    Invariant.record ~rule:"non-finite-time" ~time:(now t) msg;
+    now t
   end
-  else if time < t.clock then begin
-    let msg = Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock in
-    if Invariant.enabled () then begin
-      Invariant.record ~rule:"time-in-past" ~time:t.clock msg;
-      t.clock
-    end
-    else invalid_arg msg
+  else invalid_arg msg
+
+let[@inline never] past_time t time =
+  let msg = Printf.sprintf "Engine.schedule_at: time %g is before now %g" time (now t) in
+  if Invariant.enabled () then begin
+    Invariant.record ~rule:"time-in-past" ~time:(now t) msg;
+    now t
   end
+  else invalid_arg msg
+
+let[@inline never] negative_delay t delay =
+  let msg = Printf.sprintf "Engine.schedule_after: negative delay %g" delay in
+  if Invariant.enabled () then begin
+    Invariant.record ~rule:"negative-delay" ~time:(now t) msg;
+    0.
+  end
+  else invalid_arg msg
+
+let[@inline] checked_time t time =
+  if not (Float.is_finite time) then bad_time t time
+  else if time < now t then past_time t time
   else time
 
-let checked_delay t delay =
-  if delay < 0. then begin
-    let msg = Printf.sprintf "Engine.schedule_after: negative delay %g" delay in
-    if Invariant.enabled () then begin
-      Invariant.record ~rule:"negative-delay" ~time:t.clock msg;
-      0.
-    end
-    else invalid_arg msg
-  end
-  else delay
+let[@inline] checked_delay t delay = if delay < 0. then negative_delay t delay else delay
 
-let enqueue t ~time action =
+(* The enqueue path hands timestamps to [push] through [tscratch] and is
+   forced inline so the timestamp never crosses a call boundary as a
+   float argument (which would box it, once per scheduled event). *)
+let[@inline] enqueue t action =
   if t.free_len = 0 then grow_slab t;
   t.free_len <- t.free_len - 1;
   let idx = Array.unsafe_get t.free t.free_len in
   t.cell_act.(idx) <- action;
   t.n_live <- t.n_live + 1;
   let key = ((Array.unsafe_get t.cell_gen idx lsl idx_bits) lor idx) lsl 1 in
-  push t ~time ~seq:t.next_seq key;
+  push t ~seq:t.next_seq key;
   t.next_seq <- t.next_seq + 1;
   key
 
-let schedule_at t ~time f = enqueue t ~time:(checked_time t time) f
+let[@inline] schedule_at t ~time f =
+  Float.Array.unsafe_set t.tscratch 0 (checked_time t time);
+  enqueue t f
 
-let schedule_after t ~delay f = enqueue t ~time:(t.clock +. checked_delay t delay) f
+let[@inline] schedule_after t ~delay f =
+  Float.Array.unsafe_set t.tscratch 0 (now t +. checked_delay t delay);
+  enqueue t f
 
 (* {2 Ports} *)
 
@@ -282,16 +308,19 @@ let port t f =
   t.n_ports <- t.n_ports + 1;
   t.n_ports - 1
 
-let push_port t ~time id =
+let[@inline] push_port t id =
   if id < 0 || id >= t.n_ports then
     invalid_arg "Engine.schedule_port: port is not registered on this engine";
-  push t ~time ~seq:t.next_seq ((id lsl 1) lor 1);
+  push t ~seq:t.next_seq ((id lsl 1) lor 1);
   t.next_seq <- t.next_seq + 1
 
-let schedule_port_at t ~time id = push_port t ~time:(checked_time t time) id
+let[@inline] schedule_port_at t ~time id =
+  Float.Array.unsafe_set t.tscratch 0 (checked_time t time);
+  push_port t id
 
-let schedule_port_after t ~delay id =
-  push_port t ~time:(t.clock +. checked_delay t delay) id
+let[@inline] schedule_port_after t ~delay id =
+  Float.Array.unsafe_set t.tscratch 0 (now t +. checked_delay t delay);
+  push_port t id
 
 (* {2 Cancellation} *)
 
@@ -310,6 +339,10 @@ let cancelled t handle =
 
 let pending t = t.hlen
 
+let[@inline never] record_nonmonotonic t time =
+  Invariant.record ~rule:"event-time-monotonic" ~time:(now t)
+    (Printf.sprintf "Engine.step: popped event at %g behind clock %g" time (now t))
+
 let step t =
   if t.hlen = 0 then false
   else begin
@@ -317,15 +350,11 @@ let step t =
     let key = Array.unsafe_get t.hm 1 in
     let len = t.hlen - 1 in
     t.hlen <- len;
-    if len > 0 then
-      sift_down t
-        (Float.Array.unsafe_get t.hp len)
-        (Array.unsafe_get t.hm (2 * len))
-        (Array.unsafe_get t.hm ((2 * len) + 1));
-    if time < t.clock then
-      Invariant.record ~rule:"event-time-monotonic" ~time:t.clock
-        (Printf.sprintf "Engine.step: popped event at %g behind clock %g" time t.clock)
-    else t.clock <- time;
+    if len > 0 then begin
+      Float.Array.unsafe_set t.tscratch 0 (Float.Array.unsafe_get t.hp len);
+      sift_down t (Array.unsafe_get t.hm (2 * len)) (Array.unsafe_get t.hm ((2 * len) + 1))
+    end;
+    if time < now t then record_nonmonotonic t time else set_clock t time;
     if key land 1 = 1 then (Array.unsafe_get t.ports (key lsr 1)) ()
     else begin
       let k = key lsr 1 in
@@ -359,5 +388,5 @@ let run ?until t =
   in
   loop ();
   match until with
-  | Some limit when not t.stopping -> t.clock <- Stdlib.max t.clock limit
+  | Some limit when not t.stopping -> if limit > now t then set_clock t limit
   | _ -> ()

@@ -8,6 +8,7 @@ let dupthresh = 3
 type t = {
   engine : Engine.t;
   node : Node.t;
+  pool : Packet.pool;
   flow : int;
   dst : int;
   cc : Cc.t;
@@ -117,8 +118,8 @@ let send_segment t seq =
   let retransmit = seq < t.highest_sent in
   if retransmit then t.retransmitted <- t.retransmitted + 1;
   let pkt =
-    Packet.data ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq ~now:(Engine.now t.engine)
-      ~retransmit
+    Packet.acquire_data t.pool ~flow:t.flow ~src:(Node.id t.node) ~dst:t.dst ~seq
+      ~now:(Engine.now t.engine) ~retransmit
   in
   Node.receive t.node pkt;
   if seq >= t.highest_sent then t.highest_sent <- seq + 1
@@ -149,14 +150,15 @@ let mark_sacked t seq =
     if seq + 1 > t.highest_sacked then t.highest_sacked <- seq + 1
   end
 
-let merge_sack t blocks =
-  List.iter
-    (fun (lo, hi) ->
-      let lo = Stdlib.max lo t.snd_una and hi = Stdlib.min hi t.snd_nxt in
-      for seq = lo to hi - 1 do
-        mark_sacked t seq
-      done)
-    blocks
+(* Mark every segment the ACK's inline SACK ranges cover. *)
+let merge_sack t pkt =
+  for i = 0 to Packet.sack_count t.pool pkt - 1 do
+    let lo = Stdlib.max (Packet.sack_lo t.pool pkt i) t.snd_una
+    and hi = Stdlib.min (Packet.sack_hi t.pool pkt i) t.snd_nxt in
+    for seq = lo to hi - 1 do
+      mark_sacked t seq
+    done
+  done
 
 (* RACK-style rescue: the paths are FIFO, so once an ACK echoes a
    transmission time later than a retransmission's send time, that
@@ -164,17 +166,21 @@ let merge_sack t blocks =
    cumulatively ACKed by now) or was dropped.  If its segment is still
    outstanding, re-queue it instead of waiting for the RTO. *)
 let requeue_lost_retransmissions t =
-  let stale =
-    Hashtbl.fold
-      (fun seq sent_at acc -> if sent_at < t.delivered_tx_high then seq :: acc else acc)
-      t.retx []
-  in
-  List.iter
-    (fun seq ->
-      Hashtbl.remove t.retx seq;
-      t.n_retx <- t.n_retx - 1;
-      Queue.push seq t.retx_queue)
-    stale
+  (* Guarded on table size: the fold's closure would otherwise be an
+     allocation on every ACK of a loss-free steady state. *)
+  if Hashtbl.length t.retx > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun seq sent_at acc -> if sent_at < t.delivered_tx_high then seq :: acc else acc)
+        t.retx []
+    in
+    List.iter
+      (fun seq ->
+        Hashtbl.remove t.retx seq;
+        t.n_retx <- t.n_retx - 1;
+        Queue.push seq t.retx_queue)
+      stale
+  end
 
 (* A segment is deemed lost once the receiver holds data [dupthresh]
    segments above it (the SACK analogue of three duplicate ACKs). *)
@@ -296,16 +302,22 @@ let on_ecn_echo t ~now =
     t.ecn_reaction_until <- now +. rtt
   end
 
-let on_ack t ~ack_seq ~echo ~tx_time ~sack ~ece =
+(* [pkt] must be an ACK handle; every field is read through the pooled
+   accessors and nothing of the packet survives this call. *)
+let on_ack t pkt =
   let now = Engine.now t.engine in
-  if ece then on_ecn_echo t ~now;
+  let ack_seq = Packet.seq t.pool pkt in
+  let has_echo = Packet.ack_has_echo t.pool pkt in
+  let echo_sent_at = Packet.ack_echo_sent_at t.pool pkt in
+  let tx_time = Packet.ack_echo_tx_time t.pool pkt in
+  if Packet.ack_ece t.pool pkt then on_ecn_echo t ~now;
   if tx_time > t.delivered_tx_high then t.delivered_tx_high <- tx_time;
-  merge_sack t sack;
+  merge_sack t pkt;
   requeue_lost_retransmissions t;
   let newly_acked = Stdlib.max 0 (ack_seq - t.snd_una) in
   if newly_acked > 0 then begin
     advance_una t ack_seq;
-    (match echo with Some sent_at -> record_rtt t (now -. sent_at) | None -> ())
+    if has_echo then record_rtt t (now -. echo_sent_at)
   end;
   detect_losses t;
   if t.in_recovery && t.snd_una >= t.recover then t.in_recovery <- false;
@@ -315,7 +327,7 @@ let on_ack t ~ack_seq ~echo ~tx_time ~sack ~ece =
     t.cc.Cc.on_loss t.cc ~now
   end;
   if newly_acked > 0 && not t.in_recovery then begin
-    let rtt = match echo with Some sent_at -> Some (now -. sent_at) | None -> None in
+    let rtt = if has_echo then Some (now -. echo_sent_at) else None in
     t.cc.Cc.on_ack t.cc ~now ~rtt ~newly_acked
   end;
   if t.snd_una >= t.total then complete t
@@ -324,12 +336,9 @@ let on_ack t ~ack_seq ~echo ~tx_time ~sack ~ece =
     try_send t
   end
 
-let on_packet t (pkt : Packet.t) =
-  match pkt.kind with
-  | Packet.Data -> () (* senders only consume ACKs *)
-  | Packet.Ack { echo_sent_at; echo_tx_time; sack; ece } ->
-    if not t.completed then
-      on_ack t ~ack_seq:pkt.seq ~echo:echo_sent_at ~tx_time:echo_tx_time ~sack ~ece
+let on_packet t pkt =
+  (* Senders only consume ACKs. *)
+  if (not (Packet.is_data t.pool pkt)) && not t.completed then on_ack t pkt
 
 let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
     ?(on_complete = fun _ -> ()) () =
@@ -338,6 +347,7 @@ let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
     {
       engine;
       node;
+      pool = Node.pool node;
       flow;
       dst;
       cc;

@@ -5,6 +5,7 @@
 module Engine = Phi_sim.Engine
 module Invariant = Phi_sim.Invariant
 module Topology = Phi_net.Topology
+module Packet = Phi_net.Packet
 open Phi_tcp
 
 let rules_of violations = List.map (fun v -> v.Invariant.rule) violations
@@ -182,6 +183,48 @@ let test_cwnd_bound_rejects_sub_packet () =
   in
   Alcotest.(check bool) "bound < 1 rejected" true raised
 
+(* {2 Packet-pool generation stamps} *)
+
+let test_packet_double_release_recorded () =
+  let in_use, vs =
+    Invariant.with_capture (fun () ->
+        let pool = Packet.create_pool () in
+        let h = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:3 ~now:0. ~retransmit:false in
+        Packet.release pool h;
+        (* Armed, the second release is recorded rather than raised so the
+           simulation can keep running under PHI_SANITIZE=1. *)
+        Packet.release pool h;
+        Packet.in_use pool)
+  in
+  check_rules "double release recorded" [ "packet-double-release" ] vs;
+  Alcotest.(check int) "free list not corrupted" 0 in_use
+
+let test_packet_stale_handle_recorded () =
+  let (), vs =
+    Invariant.with_capture (fun () ->
+        let pool = Packet.create_pool () in
+        let h = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:3 ~now:0. ~retransmit:false in
+        Packet.release pool h;
+        (* The cell's generation was bumped on release, so any accessor
+           through the old handle trips the stamp check. *)
+        ignore (Packet.seq pool h))
+  in
+  check_rules "stale access recorded" [ "packet-stale-handle" ] vs
+
+let test_packet_recycled_handle_is_clean () =
+  let (), vs =
+    Invariant.with_capture (fun () ->
+        let pool = Packet.create_pool () in
+        let a = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:1 ~now:0. ~retransmit:false in
+        Packet.release pool a;
+        (* Re-acquiring the same cell mints a fresh generation: accesses
+           through the new handle are legitimate and record nothing. *)
+        let b = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:2 ~now:0. ~retransmit:false in
+        Alcotest.(check int) "cell reinitialized" 2 (Packet.seq pool b);
+        Packet.release pool b)
+  in
+  check_rules "recycled handle is clean" [] vs
+
 (* {2 Healthy runs stay clean} *)
 
 let test_healthy_transfer_records_nothing () =
@@ -250,6 +293,12 @@ let suite =
     Alcotest.test_case "NaN cwnd recorded" `Quick test_cwnd_nan_recorded;
     Alcotest.test_case "cwnd above bound recorded" `Quick test_cwnd_above_bound_recorded;
     Alcotest.test_case "sub-packet bound rejected" `Quick test_cwnd_bound_rejects_sub_packet;
+    Alcotest.test_case "packet double release recorded" `Quick
+      test_packet_double_release_recorded;
+    Alcotest.test_case "packet stale handle recorded" `Quick
+      test_packet_stale_handle_recorded;
+    Alcotest.test_case "recycled packet handle is clean" `Quick
+      test_packet_recycled_handle_is_clean;
     Alcotest.test_case "healthy transfer records nothing" `Quick
       test_healthy_transfer_records_nothing;
     Alcotest.test_case "with_capture isolates and restores" `Quick

@@ -206,6 +206,57 @@ let test_in_hot_path () =
   Alcotest.(check bool) "tcp" false (Lint.in_hot_path "lib/tcp/sender.ml");
   Alcotest.(check bool) "test" false (Lint.in_hot_path "test/test_sim.ml")
 
+(* {2 packet-escape: pooled packet ownership} *)
+
+let net_path = "lib/net/fixture.ml"
+
+let test_packet_escape_fires_on_legacy_constructors () =
+  check_rules "Packet.data outside the pool" [ "packet-escape" ]
+    (lint ~path:net_path
+       "let f () = Packet.data ~flow:0 ~src:0 ~dst:1 ~seq:0 ~now:0. ~retransmit:false\n");
+  check_rules "Packet.ack outside the pool" [ "packet-escape" ]
+    (lint ~path:"lib/tcp/fixture.ml" "let f () = Packet.ack ~flow:0\n")
+
+let test_packet_escape_fires_on_mutable_handle_field () =
+  check_rules "mutable handle field" [ "packet-escape" ]
+    (lint ~path:net_path "type t = { mutable last : Packet.handle }\n")
+
+let test_packet_escape_fires_on_use_after_release () =
+  check_rules "handle touched after release" [ "packet-escape" ]
+    (lint ~path:net_path "let f pool pkt = Packet.release pool pkt; consume pkt\n")
+
+let test_packet_escape_silent_on_contract_code () =
+  (* The pool's own acquire calls, immutable/callback handle positions,
+     and release-as-last-use are exactly the contract. *)
+  check_rules "acquire is fine" []
+    (lint ~path:net_path
+       "let f pool = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq:0 ~now:0. \
+        ~retransmit:false\n");
+  check_rules "handle-consuming callback field is fine" []
+    (lint ~path:net_path "type t = { mutable receiver : Packet.handle -> unit }\n");
+  check_rules "non-mutable handle argument type is fine" []
+    (lint ~path:net_path "val send : t -> Packet.handle -> unit\n");
+  check_rules "release as last use is fine" []
+    (lint ~path:net_path "let f pool pkt = Packet.release pool pkt\n")
+
+let test_packet_escape_scope () =
+  (* The pool module mints handles; code outside the packet layers never
+     sees one. *)
+  check_rules "packet.ml itself exempt" []
+    (lint ~path:"lib/net/packet.ml" "let data = 1\nlet f () = Packet.data\n");
+  check_rules "bench out of scope" []
+    (lint ~path:"bench/fixture.ml" "let f () = Packet.data ~flow:0\n");
+  Alcotest.(check bool) "link in scope" true (Lint.in_packet_scope "lib/net/link.ml");
+  Alcotest.(check bool) "sender in scope" true (Lint.in_packet_scope "lib/tcp/sender.ml");
+  Alcotest.(check bool) "pool exempt" false (Lint.in_packet_scope "lib/net/packet.ml");
+  Alcotest.(check bool) "pool mli exempt" false (Lint.in_packet_scope "lib/net/packet.mli");
+  Alcotest.(check bool) "sim out of scope" false (Lint.in_packet_scope "lib/sim/engine.ml")
+
+let test_packet_escape_allow () =
+  check_rules "suppressed with allow" []
+    (lint ~path:net_path
+       "(* phi-lint: allow packet-escape *)\ntype t = { mutable last : Packet.handle }\n")
+
 let test_every_rule_has_description () =
   Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 10);
   List.iter
@@ -248,5 +299,15 @@ let suite =
     Alcotest.test_case "hot-queue scope" `Quick test_hot_queue_scope;
     Alcotest.test_case "hot-queue allow" `Quick test_hot_queue_allow;
     Alcotest.test_case "in_hot_path classification" `Quick test_in_hot_path;
+    Alcotest.test_case "packet-escape fires on legacy constructors" `Quick
+      test_packet_escape_fires_on_legacy_constructors;
+    Alcotest.test_case "packet-escape fires on mutable handle field" `Quick
+      test_packet_escape_fires_on_mutable_handle_field;
+    Alcotest.test_case "packet-escape fires on use-after-release" `Quick
+      test_packet_escape_fires_on_use_after_release;
+    Alcotest.test_case "packet-escape silent on contract code" `Quick
+      test_packet_escape_silent_on_contract_code;
+    Alcotest.test_case "packet-escape scope" `Quick test_packet_escape_scope;
+    Alcotest.test_case "packet-escape allow" `Quick test_packet_escape_allow;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
   ]

@@ -1,4 +1,4 @@
-(* Tests for phi_net: packets, links, nodes, topology, monitors. *)
+(* Tests for phi_net: pooled packets, links, nodes, topology, monitors. *)
 
 module Engine = Phi_sim.Engine
 module Packet = Phi_net.Packet
@@ -8,120 +8,192 @@ module Topology = Phi_net.Topology
 module Monitor = Phi_net.Monitor
 module Prng = Phi_util.Prng
 
-let data ~seq = Packet.data ~flow:0 ~src:0 ~dst:1 ~seq ~now:0. ~retransmit:false
+let data pool ~seq = Packet.acquire_data pool ~flow:0 ~src:0 ~dst:1 ~seq ~now:0. ~retransmit:false
 
-(* {2 Packet} *)
+(* {2 Packet pool} *)
 
 let test_packet_constructors () =
-  let d = data ~seq:7 in
-  Alcotest.(check bool) "data is data" true (Packet.is_data d);
-  Alcotest.(check int) "data size" Packet.mss d.Packet.size;
+  let pool = Packet.create_pool () in
+  let d = data pool ~seq:7 in
+  Alcotest.(check bool) "data is data" true (Packet.is_data pool d);
+  Alcotest.(check int) "data size" Packet.mss (Packet.size pool d);
+  Alcotest.(check int) "data seq" 7 (Packet.seq pool d);
   let a =
-    Packet.ack ~flow:0 ~src:1 ~dst:0 ~next_expected:8 ~echo_sent_at:(Some 1.) ~echo_tx_time:1.
-      ~sack:[ (10, 12) ] ~ece:false ~now:2.
+    Packet.acquire_ack pool ~flow:0 ~src:1 ~dst:0 ~next_expected:8 ~has_echo:true
+      ~echo_sent_at:1. ~echo_tx_time:1. ~ece:false ~now:2.
   in
-  Alcotest.(check bool) "ack is not data" false (Packet.is_data a);
-  Alcotest.(check int) "ack size" Packet.ack_size a.Packet.size;
-  Alcotest.(check int) "cumulative seq" 8 a.Packet.seq
+  Packet.add_sack pool a ~lo:10 ~hi:12;
+  Alcotest.(check bool) "ack is not data" false (Packet.is_data pool a);
+  Alcotest.(check int) "ack size" Packet.ack_size (Packet.size pool a);
+  Alcotest.(check int) "cumulative seq" 8 (Packet.seq pool a);
+  Alcotest.(check int) "sack count" 1 (Packet.sack_count pool a);
+  Alcotest.(check int) "sack lo" 10 (Packet.sack_lo pool a 0);
+  Alcotest.(check int) "sack hi" 12 (Packet.sack_hi pool a 0)
 
 let test_packet_sack_limit () =
+  let pool = Packet.create_pool () in
+  let a =
+    Packet.acquire_ack pool ~flow:0 ~src:1 ~dst:0 ~next_expected:0 ~has_echo:false
+      ~echo_sent_at:0. ~echo_tx_time:0. ~ece:false ~now:0.
+  in
+  for i = 0 to Packet.max_sack_blocks - 1 do
+    Packet.add_sack pool a ~lo:(2 * i) ~hi:((2 * i) + 1)
+  done;
   let raised =
     try
-      ignore
-        (Packet.ack ~flow:0 ~src:1 ~dst:0 ~next_expected:0 ~echo_sent_at:None ~echo_tx_time:0.
-           ~sack:[ (1, 2); (3, 4); (5, 6); (7, 8) ] ~ece:false ~now:0.);
+      Packet.add_sack pool a ~lo:100 ~hi:101;
       false
     with Invalid_argument _ -> true
   in
   Alcotest.(check bool) "sack limit enforced" true raised
 
+let test_packet_recycling () =
+  let pool = Packet.create_pool () in
+  let d = data pool ~seq:1 in
+  Alcotest.(check int) "one cell in use" 1 (Packet.in_use pool);
+  Packet.release pool d;
+  Alcotest.(check int) "cell returned" 0 (Packet.in_use pool);
+  (* The freed cell is reused: the high-water mark stays at one across
+     many acquire/release cycles, and every reincarnation starts from a
+     clean slate (fresh seq, no stale SACK blocks). *)
+  for i = 0 to 99 do
+    let p = data pool ~seq:i in
+    Alcotest.(check int) "reinitialized seq" i (Packet.seq pool p);
+    Alcotest.(check int) "no stale sack" 0 (Packet.sack_count pool p);
+    Packet.release pool p
+  done;
+  Alcotest.(check int) "high water stays 1" 1 (Packet.high_water pool);
+  Alcotest.(check int) "nothing leaked" 0 (Packet.in_use pool)
+
+let test_packet_double_release_rejected () =
+  if Phi_sim.Invariant.enabled () then
+    (* Under PHI_SANITIZE the stale release is recorded, not raised;
+       capture it so the leak check stays clean (the armed path is
+       covered in test_invariant.ml). *)
+    let (), vs =
+      Phi_sim.Invariant.with_capture (fun () ->
+          let pool = Packet.create_pool () in
+          let d = data pool ~seq:0 in
+          Packet.release pool d;
+          Packet.release pool d)
+    in
+    Alcotest.(check (list string))
+      "double release recorded" [ "packet-double-release" ]
+      (List.map (fun v -> v.Phi_sim.Invariant.rule) vs)
+  else
+    let pool = Packet.create_pool () in
+    let d = data pool ~seq:0 in
+    Packet.release pool d;
+    let raised = try Packet.release pool d; false with Invalid_argument _ -> true in
+    Alcotest.(check bool) "double release rejected" true raised
+
 (* {2 Link} *)
 
-let make_link ?(bandwidth_bps = 8e6) ?(delay_s = 0.01) ?(capacity_pkts = 4) engine =
-  Link.create engine ~bandwidth_bps ~delay_s ~capacity_pkts
+let make_link ?(bandwidth_bps = 8e6) ?(delay_s = 0.01) ?(capacity_pkts = 4) engine pool =
+  Link.create engine pool ~bandwidth_bps ~delay_s ~capacity_pkts
 
 let test_link_delivery_timing () =
   let engine = Engine.create () in
-  let link = make_link engine in
+  let pool = Packet.create_pool () in
+  let link = make_link engine pool in
   let arrived = ref (-1.) in
-  Link.set_receiver link (fun _ -> arrived := Engine.now engine);
-  Link.send link (data ~seq:0);
+  Link.set_receiver link (fun p ->
+      arrived := Engine.now engine;
+      Packet.release pool p);
+  Link.send link (data pool ~seq:0);
   Engine.run engine;
   (* 1500 B at 8 Mb/s = 1.5 ms serialization, + 10 ms propagation. *)
   Alcotest.(check (float 1e-9)) "tx + prop" 0.0115 !arrived;
   Alcotest.(check int) "delivered count" 1 (Link.packets_delivered link);
-  Alcotest.(check int) "bytes" Packet.mss (Link.bytes_delivered link)
+  Alcotest.(check int) "bytes" Packet.mss (Link.bytes_delivered link);
+  Alcotest.(check int) "no cell leaked" 0 (Packet.in_use pool)
 
 let test_link_fifo_order () =
   let engine = Engine.create () in
-  let link = make_link engine in
+  let pool = Packet.create_pool () in
+  let link = make_link engine pool in
   let order = ref [] in
-  Link.set_receiver link (fun p -> order := p.Packet.seq :: !order);
+  Link.set_receiver link (fun p ->
+      order := Packet.seq pool p :: !order;
+      Packet.release pool p);
   for seq = 0 to 3 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   Engine.run engine;
   Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3 ] (List.rev !order)
 
 let test_link_drop_tail () =
   let engine = Engine.create () in
-  let link = make_link ~capacity_pkts:2 engine in
-  Link.set_receiver link (fun _ -> ());
+  let pool = Packet.create_pool () in
+  let link = make_link ~capacity_pkts:2 engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
   for seq = 0 to 4 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   (* Queue capacity 2: packets 0,1 accepted; 2..4 dropped (no service
      between sends since no events ran). *)
   Alcotest.(check int) "drops" 3 (Link.drops link);
   Alcotest.(check int) "offered" 5 (Link.packets_offered link);
+  (* A dropped packet goes straight back to the free list. *)
+  Alcotest.(check int) "drops released" 2 (Packet.in_use pool);
   Engine.run engine;
-  Alcotest.(check int) "delivered rest" 2 (Link.packets_delivered link)
+  Alcotest.(check int) "delivered rest" 2 (Link.packets_delivered link);
+  Alcotest.(check int) "all cells home" 0 (Packet.in_use pool)
 
 let test_link_busy_time_utilization () =
   let engine = Engine.create () in
-  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine in
-  Link.set_receiver link (fun _ -> ());
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
   (* 1 packet/s serialization: 2 packets = 2 s busy. *)
-  Link.send link (data ~seq:0);
-  Link.send link (data ~seq:1);
+  Link.send link (data pool ~seq:0);
+  Link.send link (data pool ~seq:1);
   Engine.run engine;
   Alcotest.(check (float 1e-9)) "busy time" 2. (Link.busy_time link)
 
 let test_link_queue_wait () =
   let engine = Engine.create () in
-  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine in
-  Link.set_receiver link (fun _ -> ());
-  Link.send link (data ~seq:0);
-  Link.send link (data ~seq:1);
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:(float_of_int (Packet.mss * 8)) ~delay_s:0. engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
+  Link.send link (data pool ~seq:0);
+  Link.send link (data pool ~seq:1);
   Engine.run engine;
   (* Second packet waited exactly one serialization time. *)
   Alcotest.(check (float 1e-9)) "wait" 1. (Link.total_queue_wait link)
 
 let test_link_fault_injection () =
   let engine = Engine.create () in
-  let link = make_link ~capacity_pkts:10_000 engine in
-  Link.set_receiver link (fun _ -> ());
+  let pool = Packet.create_pool () in
+  let link = make_link ~capacity_pkts:10_000 engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
   Link.set_fault_injection link ~rng:(Prng.create ~seed:1) ~drop_probability:0.5;
   for seq = 0 to 999 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   let drops = Link.drops link in
-  Alcotest.(check bool) "about half dropped" true (drops > 400 && drops < 600)
+  Alcotest.(check bool) "about half dropped" true (drops > 400 && drops < 600);
+  Engine.run engine;
+  Alcotest.(check int) "every cell recycled" 0 (Packet.in_use pool)
 
 let test_link_validation () =
   let engine = Engine.create () in
+  let pool = Packet.create_pool () in
   let raised f = try f (); false with Invalid_argument _ -> true in
   Alcotest.(check bool) "bw" true
-    (raised (fun () -> ignore (Link.create engine ~bandwidth_bps:0. ~delay_s:0. ~capacity_pkts:1)));
+    (raised (fun () ->
+         ignore (Link.create engine pool ~bandwidth_bps:0. ~delay_s:0. ~capacity_pkts:1)));
   Alcotest.(check bool) "capacity" true
-    (raised (fun () -> ignore (Link.create engine ~bandwidth_bps:1. ~delay_s:0. ~capacity_pkts:0)))
+    (raised (fun () ->
+         ignore (Link.create engine pool ~bandwidth_bps:1. ~delay_s:0. ~capacity_pkts:0)))
 
 (* {2 RED} *)
 
 let test_red_no_drops_below_min_threshold () =
   let engine = Engine.create () in
-  let link = make_link ~capacity_pkts:100 engine in
-  Link.set_receiver link (fun _ -> ());
+  let pool = Packet.create_pool () in
+  let link = make_link ~capacity_pkts:100 engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
   Link.set_discipline link ~rng:(Prng.create ~seed:1)
     (Link.Red
        {
@@ -132,14 +204,15 @@ let test_red_no_drops_below_min_threshold () =
          mark_ecn = false;
        });
   for seq = 0 to 9 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   Alcotest.(check int) "no early drops" 0 (Link.drops link)
 
 let test_red_drops_above_max_threshold () =
   let engine = Engine.create () in
-  let link = make_link ~capacity_pkts:1000 engine in
-  Link.set_receiver link (fun _ -> ());
+  let pool = Packet.create_pool () in
+  let link = make_link ~capacity_pkts:1000 engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
   (* weight 1.0: the average tracks the instantaneous queue exactly. *)
   Link.set_discipline link ~rng:(Prng.create ~seed:2)
     (Link.Red
@@ -151,7 +224,7 @@ let test_red_drops_above_max_threshold () =
          mark_ecn = false;
        });
   for seq = 0 to 99 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   (* Once the queue average passes 10, every arrival is dropped. *)
   Alcotest.(check bool) "forced drops" true (Link.drops link >= 85);
@@ -159,11 +232,12 @@ let test_red_drops_above_max_threshold () =
 
 let test_red_probabilistic_band () =
   let engine = Engine.create () in
+  let pool = Packet.create_pool () in
   let link =
     (* Slow link so the queue sits in the band while we offer arrivals. *)
-    Link.create engine ~bandwidth_bps:1e3 ~delay_s:0. ~capacity_pkts:10_000
+    Link.create engine pool ~bandwidth_bps:1e3 ~delay_s:0. ~capacity_pkts:10_000
   in
-  Link.set_receiver link (fun _ -> ());
+  Link.set_receiver link (fun p -> Packet.release pool p);
   Link.set_discipline link ~rng:(Prng.create ~seed:3)
     (Link.Red
        {
@@ -174,7 +248,7 @@ let test_red_probabilistic_band () =
          mark_ecn = false;
        });
   for seq = 0 to 999 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   let drops = Link.drops link in
   (* In the band the drop probability ramps towards 0.2 but stays tiny
@@ -184,7 +258,8 @@ let test_red_probabilistic_band () =
 
 let test_red_validation () =
   let engine = Engine.create () in
-  let link = make_link engine in
+  let pool = Packet.create_pool () in
+  let link = make_link engine pool in
   let raised =
     try
       Link.set_discipline link ~rng:(Prng.create ~seed:4)
@@ -232,46 +307,62 @@ let test_red_keeps_cubic_queue_short_end_to_end () =
 
 let test_node_local_delivery () =
   let engine = Engine.create () in
-  let node = Node.create engine ~id:1 in
+  let pool = Packet.create_pool () in
+  let node = Node.create engine pool ~id:1 in
   let got = ref [] in
-  Node.bind_flow node ~flow:0 (fun p -> got := p.Packet.seq :: !got);
-  Node.receive node (data ~seq:5);
+  Node.bind_flow node ~flow:0 (fun p -> got := Packet.seq pool p :: !got);
+  Node.receive node (data pool ~seq:5);
   Alcotest.(check (list int)) "delivered locally" [ 5 ] !got;
+  (* The node releases a locally delivered packet once the handler
+     returns. *)
+  Alcotest.(check int) "cell recycled after handler" 0 (Packet.in_use pool);
   Node.unbind_flow node ~flow:0;
-  Node.receive node (data ~seq:6);
-  Alcotest.(check int) "unclaimed counted" 1 (Node.unclaimed_deliveries node)
+  Node.receive node (data pool ~seq:6);
+  Alcotest.(check int) "unclaimed counted" 1 (Node.unclaimed_deliveries node);
+  Alcotest.(check int) "unclaimed still recycled" 0 (Packet.in_use pool)
 
 let test_node_forwarding () =
   let engine = Engine.create () in
-  let a = Node.create engine ~id:0 in
-  let b = Node.create engine ~id:1 in
-  let link = make_link engine in
+  let pool = Packet.create_pool () in
+  let a = Node.create engine pool ~id:0 in
+  let b = Node.create engine pool ~id:1 in
+  let link = make_link engine pool in
   Link.set_receiver link (Node.receive b);
   Node.add_route a ~dst:1 link;
   let got = ref 0 in
   Node.bind_flow b ~flow:0 (fun _ -> incr got);
-  Node.receive a (data ~seq:0);
+  Node.receive a (data pool ~seq:0);
   Engine.run engine;
   Alcotest.(check int) "forwarded" 1 !got
 
 let test_node_default_route () =
   let engine = Engine.create () in
-  let a = Node.create engine ~id:0 in
-  let b = Node.create engine ~id:9 in
-  let link = make_link engine in
+  let pool = Packet.create_pool () in
+  let a = Node.create engine pool ~id:0 in
+  let b = Node.create engine pool ~id:9 in
+  let link = make_link engine pool in
   Link.set_receiver link (Node.receive b);
   Node.set_default_route a link;
   let got = ref 0 in
   Node.bind_flow b ~flow:0 (fun _ -> incr got);
-  Node.receive a { (data ~seq:0) with Packet.dst = 9 };
+  Node.receive a
+    (Packet.acquire_data pool ~flow:0 ~src:0 ~dst:9 ~seq:0 ~now:0. ~retransmit:false);
   Engine.run engine;
   Alcotest.(check int) "default routed" 1 !got
 
 let test_node_no_route_fails () =
   let engine = Engine.create () in
-  let a = Node.create engine ~id:0 in
-  let raised = try Node.receive a (data ~seq:0); false with Invalid_argument _ -> true in
-  Alcotest.(check bool) "no route raises" true raised
+  let pool = Packet.create_pool () in
+  let a = Node.create engine pool ~id:0 in
+  let raised =
+    try
+      Node.receive a (data pool ~seq:0);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "no route raises" true raised;
+  (* Even the failure path returns the cell. *)
+  Alcotest.(check int) "unroutable packet released" 0 (Packet.in_use pool)
 
 (* {2 Topology} *)
 
@@ -288,25 +379,31 @@ let test_dumbbell_dimensions () =
 let test_dumbbell_end_to_end_rtt () =
   let engine = Engine.create () in
   let d = Topology.dumbbell engine Topology.paper_spec in
+  let pool = d.Topology.pool in
   let rtt = ref 0. in
   (* Send one data packet from sender 0 to receiver 0 and bounce an ACK
      back; measure the echo time. *)
   let flow = 0 in
   Node.bind_flow d.Topology.receivers.(0) ~flow (fun pkt ->
+      let sent_at = Packet.sent_at pool pkt in
+      let next_expected = Packet.seq pool pkt + 1 in
       let ack =
-        Packet.ack ~flow ~src:(Packet.mss * 0) ~dst:0 ~next_expected:(pkt.Packet.seq + 1)
-          ~echo_sent_at:(Some pkt.Packet.sent_at) ~echo_tx_time:pkt.Packet.sent_at ~sack:[]
+        Packet.acquire_ack pool ~flow
+          ~src:(Topology.receiver_id d 0)
+          ~dst:0 ~next_expected ~has_echo:true ~echo_sent_at:sent_at ~echo_tx_time:sent_at
           ~ece:false ~now:(Engine.now engine)
       in
-      let ack = { ack with Packet.src = Topology.receiver_id d 0 } in
       Node.receive d.Topology.receivers.(0) ack);
   Node.bind_flow d.Topology.senders.(0) ~flow (fun _ -> rtt := Engine.now engine);
   Node.receive
     d.Topology.senders.(0)
-    (Packet.data ~flow ~src:0 ~dst:(Topology.receiver_id d 0) ~seq:0 ~now:0. ~retransmit:false);
+    (Packet.acquire_data pool ~flow ~src:0
+       ~dst:(Topology.receiver_id d 0)
+       ~seq:0 ~now:0. ~retransmit:false);
   Engine.run engine;
   (* RTT = propagation (150 ms) + serialization of data and ack. *)
-  Alcotest.(check bool) "close to 150 ms" true (!rtt > 0.150 && !rtt < 0.153)
+  Alcotest.(check bool) "close to 150 ms" true (!rtt > 0.150 && !rtt < 0.153);
+  Alcotest.(check int) "round trip leaked nothing" 0 (Packet.in_use pool)
 
 let test_dumbbell_rejects_tiny_rtt () =
   let engine = Engine.create () in
@@ -403,16 +500,17 @@ let test_chain_validation () =
 
 let test_monitor_utilization_bins () =
   let engine = Engine.create () in
+  let pool = Packet.create_pool () in
   let link =
-    Link.create engine
+    Link.create engine pool
       ~bandwidth_bps:(float_of_int (Packet.mss * 8) *. 10.)
       ~delay_s:0. ~capacity_pkts:100
   in
-  Link.set_receiver link (fun _ -> ());
+  Link.set_receiver link (fun p -> Packet.release pool p);
   let monitor = Monitor.create engine link ~interval_s:1.0 in
   (* 5 packets at 10 pkt/s = 0.5 s busy in the first second. *)
   for seq = 0 to 4 do
-    Link.send link (data ~seq)
+    Link.send link (data pool ~seq)
   done;
   Engine.run ~until:2.5 engine;
   Alcotest.(check (float 1e-6)) "first bin ~50%" 0.5 (snd (Monitor.utilization_series monitor).(0));
@@ -427,6 +525,8 @@ let suite =
   [
     ("packet constructors", `Quick, test_packet_constructors);
     ("packet sack limit", `Quick, test_packet_sack_limit);
+    ("packet recycling", `Quick, test_packet_recycling);
+    ("packet double release", `Quick, test_packet_double_release_rejected);
     ("link delivery timing", `Quick, test_link_delivery_timing);
     ("link fifo order", `Quick, test_link_fifo_order);
     ("link drop tail", `Quick, test_link_drop_tail);

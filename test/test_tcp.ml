@@ -220,29 +220,37 @@ let test_vegas_keeps_queue_short_end_to_end () =
 (* {2 Receiver} *)
 
 (* A loopback node pair: receiver on node 1, ACKs captured by a probe
-   bound on node 0 via a direct link pair. *)
+   bound on node 0 via a direct link pair.  The probe copies every field
+   out of the pooled handle before it is recycled, recording
+   (cumulative ack, rtt echo, sack blocks) per ACK, newest first. *)
 let receiver_fixture () =
   let engine = Engine.create () in
-  let a = Node.create engine ~id:0 in
-  let b = Node.create engine ~id:1 in
-  let ab = Link.create engine ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
-  let ba = Link.create engine ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
+  let pool = Packet.create_pool () in
+  let a = Node.create engine pool ~id:0 in
+  let b = Node.create engine pool ~id:1 in
+  let ab = Link.create engine pool ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
+  let ba = Link.create engine pool ~bandwidth_bps:1e9 ~delay_s:0.001 ~capacity_pkts:1000 in
   Link.set_receiver ab (Node.receive b);
   Link.set_receiver ba (Node.receive a);
   Node.add_route a ~dst:1 ab;
   Node.add_route b ~dst:0 ba;
   let acks = ref [] in
-  Node.bind_flow a ~flow:0 (fun pkt -> acks := pkt :: !acks);
+  Node.bind_flow a ~flow:0 (fun pkt ->
+      let echo =
+        if Packet.ack_has_echo pool pkt then Some (Packet.ack_echo_sent_at pool pkt) else None
+      in
+      let sack =
+        List.init (Packet.sack_count pool pkt) (fun i ->
+            (Packet.sack_lo pool pkt i, Packet.sack_hi pool pkt i))
+      in
+      acks := (Packet.seq pool pkt, echo, sack) :: !acks);
   let recv = Receiver.create engine ~node:b ~flow:0 ~peer:0 in
   (engine, a, recv, acks)
 
 let send_data engine node ~seq ~retransmit =
-  Node.receive node (Packet.data ~flow:0 ~src:0 ~dst:1 ~seq ~now:(Engine.now engine) ~retransmit)
-
-let ack_fields pkt =
-  match pkt.Packet.kind with
-  | Packet.Ack { echo_sent_at; sack; _ } -> (pkt.Packet.seq, echo_sent_at, sack)
-  | Packet.Data -> Alcotest.fail "expected ack"
+  Node.receive node
+    (Packet.acquire_data (Node.pool node) ~flow:0 ~src:0 ~dst:1 ~seq ~now:(Engine.now engine)
+       ~retransmit)
 
 let test_receiver_in_order () =
   let engine, a, recv, acks = receiver_fixture () in
@@ -252,7 +260,7 @@ let test_receiver_in_order () =
   Engine.run engine;
   Alcotest.(check int) "next expected" 3 (Receiver.next_expected recv);
   Alcotest.(check int) "three acks" 3 (List.length !acks);
-  let cums = List.rev_map (fun p -> let c, _, _ = ack_fields p in c) !acks in
+  let cums = List.rev_map (fun (c, _, _) -> c) !acks in
   Alcotest.(check (list int)) "cumulative acks" [ 1; 2; 3 ] cums
 
 let test_receiver_out_of_order_sack () =
@@ -262,7 +270,7 @@ let test_receiver_out_of_order_sack () =
   send_data engine a ~seq:3 ~retransmit:false;
   Engine.run engine;
   Alcotest.(check int) "stuck at 1" 1 (Receiver.next_expected recv);
-  let _, _, sack = ack_fields (List.hd !acks) in
+  let _, _, sack = List.hd !acks in
   Alcotest.(check (list (pair int int))) "sack block [2,4)" [ (2, 4) ] sack;
   (* Filling the hole advances over the buffered run. *)
   send_data engine a ~seq:1 ~retransmit:false;
@@ -282,8 +290,90 @@ let test_receiver_karn_no_echo_on_retransmit () =
   let engine, a, _recv, acks = receiver_fixture () in
   send_data engine a ~seq:0 ~retransmit:true;
   Engine.run engine;
-  let _, echo, _ = ack_fields (List.hd !acks) in
+  let _, echo, _ = List.hd !acks in
   Alcotest.(check bool) "no echo" true (echo = None)
+
+(* The flat in-slab SACK ring must emit exactly the blocks the old
+   cons-list collector did.  [Sack_model] is that old algorithm kept
+   verbatim (list state, filter/take); the property drives the real
+   receiver and the model over the same random arrival order and
+   compares every ACK. *)
+module Sack_model = struct
+  type t = {
+    buffered : (int, unit) Hashtbl.t;
+    mutable recent : int list;
+    mutable next_expected : int;
+  }
+
+  let create () = { buffered = Hashtbl.create 16; recent = []; next_expected = 0 }
+
+  let block_around t seq =
+    let lo = ref seq in
+    while Hashtbl.mem t.buffered (!lo - 1) do decr lo done;
+    let hi = ref (seq + 1) in
+    while Hashtbl.mem t.buffered !hi do incr hi done;
+    (!lo, !hi)
+
+  let sack_blocks t =
+    let rec collect acc seen = function
+      | [] -> List.rev acc
+      | _ when List.length acc >= Packet.max_sack_blocks -> List.rev acc
+      | seq :: rest ->
+        if seq < t.next_expected || not (Hashtbl.mem t.buffered seq) then collect acc seen rest
+        else
+          let lo, hi = block_around t seq in
+          if List.mem (lo, hi) seen then collect acc seen rest
+          else collect ((lo, hi) :: acc) ((lo, hi) :: seen) rest
+    in
+    collect [] [] t.recent
+
+  let remember_recent t seq =
+    let keep = List.filter (fun s -> s <> seq && s >= t.next_expected) t.recent in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.recent <- seq :: take (Packet.max_sack_blocks * 2) keep
+
+  (* One data arrival; returns (cumulative ack, sack) exactly as the old
+     receiver would have ACKed it. *)
+  let receive t seq =
+    if seq < t.next_expected || Hashtbl.mem t.buffered seq then (t.next_expected, sack_blocks t)
+    else if seq = t.next_expected then begin
+      t.next_expected <- t.next_expected + 1;
+      while Hashtbl.mem t.buffered t.next_expected do
+        Hashtbl.remove t.buffered t.next_expected;
+        t.next_expected <- t.next_expected + 1
+      done;
+      t.recent <- List.filter (fun s -> s >= t.next_expected) t.recent;
+      (t.next_expected, sack_blocks t)
+    end
+    else begin
+      Hashtbl.add t.buffered seq ();
+      remember_recent t seq;
+      (t.next_expected, sack_blocks t)
+    end
+end
+
+let prop_sack_ring_matches_list_model =
+  QCheck.Test.make
+    ~name:"flat SACK ring emits the same blocks as the old cons-list collector" ~count:200
+    QCheck.(pair (int_range 0 10_000) (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Prng.create ~seed in
+      (* A scrambled arrival order with a few duplicates at the end. *)
+      let arrivals = Array.init n (fun i -> i) in
+      Prng.shuffle rng arrivals;
+      let dups = List.init (Stdlib.min 5 n) (fun _ -> arrivals.(Prng.int rng ~bound:n)) in
+      let order = Array.to_list arrivals @ dups in
+      let engine, a, _recv, acks = receiver_fixture () in
+      let model = Sack_model.create () in
+      let expected = List.map (Sack_model.receive model) order in
+      List.iter (fun seq -> send_data engine a ~seq ~retransmit:false) order;
+      Engine.run engine;
+      let got = List.rev_map (fun (cum, _echo, sack) -> (cum, sack)) !acks in
+      got = expected)
 
 (* {2 Sender end-to-end} *)
 
@@ -512,6 +602,7 @@ let suite =
     ("receiver out of order sack", `Quick, test_receiver_out_of_order_sack);
     ("receiver duplicate segments", `Quick, test_receiver_duplicate_segments);
     ("receiver karn", `Quick, test_receiver_karn_no_echo_on_retransmit);
+    QCheck_alcotest.to_alcotest prop_sack_ring_matches_list_model;
     ("sender completes clean path", `Quick, test_sender_completes_clean_path);
     ("sender throughput bounded", `Quick, test_sender_throughput_bounded_by_link);
     ("sender recovers from loss", `Quick, test_sender_recovers_from_injected_loss);
