@@ -4,6 +4,7 @@
 
    Usage: dune exec bench/main.exe [-- --quick|--full] [--only ID] [--no-micro]
                                    [--csv DIR] [--jobs N] [--json PATH]
+                                   [--cc NAME[,NAME...]]
 
    The default configuration is a documented downsampling of the paper's
    budgets (coarser parameter grid, fewer seeds) so the whole harness
@@ -15,12 +16,16 @@
 
    --json PATH additionally writes a machine-readable report (schema
    "phi-bench-report/1"): per-experiment wall clock, cells/sec, the
-   headline figure metrics, and a serial-vs-parallel calibration, so CI
-   can track the perf trajectory across PRs.  Running
-   bench/micro.exe --json on the same path merges in the "micro" and
-   "alloc" sections and stamps the schema to "phi-bench-report/2", which
-   is what bin/phi_json_check gates on in CI (including the committed
-   allocations-per-packet budget). *)
+   headline figure metrics, the cross-algorithm "cc_matrix" cells, and a
+   serial-vs-parallel calibration, so CI can track the perf trajectory
+   across PRs.  Running bench/micro.exe --json on the same path merges
+   in the "micro" and "alloc" sections and stamps the schema to
+   "phi-bench-report/2" — or "phi-bench-report/3" when the report
+   carries a cc_matrix section — which is what bin/phi_json_check gates
+   on in CI (including the committed allocations-per-packet budget).
+
+   --cc NAME[,NAME...] restricts the cross-algorithm matrix to a subset
+   of the registry (default: every registered algorithm). *)
 
 module Topology = Phi_net.Topology
 module Cubic = Phi_tcp.Cubic
@@ -87,6 +92,15 @@ let timed id ~cells f =
   timings := (id, Unix.gettimeofday () -. t0, cells) :: !timings;
   r
 
+(* Cells of the cross-algorithm matrix, kept for the JSON report.
+   bench/micro.exe stamps the merged schema to /3 when this section is
+   present. *)
+let cc_matrix_json : Json.t option ref = ref None
+
+(* Matrix algorithm subset (--cc NAME[,NAME...]; default: the whole
+   registry). *)
+let matrix_algorithms = ref Phi.Cc_algo.all
+
 let sweep_cells budget = (List.length (Sweep.settings budget.grid) + 1) * List.length budget.seeds
 
 let report_json ~budget ~calibration =
@@ -103,7 +117,7 @@ let report_json ~budget ~calibration =
   in
   let total_wall = List.fold_left (fun acc (_, w, _) -> acc +. w) 0. !timings in
   Json.Obj
-    [
+    ([
       ("schema", Json.String "phi-bench-report/1");
       ("budget", Json.String budget.label);
       ("jobs", Json.Int !jobs);
@@ -113,6 +127,9 @@ let report_json ~budget ~calibration =
       ("headline", Json.Obj (List.rev !headlines));
       ("parallel_calibration", calibration);
     ]
+    @ (match !cc_matrix_json with
+      | Some cells -> [ ("cc_matrix", cells) ]
+      | None -> []))
 
 (* Serial-vs-parallel calibration: re-run the Figure 2a sweep cells at
    --jobs 1 and compare against the recorded wall clock of the same
@@ -411,7 +428,7 @@ let bench_figure4 budget ~(sweep_low : Sweep.t) =
 let bench_table3 budget =
   section "Table 3: Remy / Remy-Phi / Cubic on the paper dumbbell";
   let config = { Scenario.table3 with Scenario.duration_s = Float.min 60. budget.duration_s } in
-  let rows = Table3.run ~seeds:budget.seeds config in
+  let rows = Table3.run ~jobs:!jobs ~seeds:budget.seeds config in
   let paper name =
     match List.find_opt (fun (n, _, _, _) -> n = name) Table3.paper_rows with
     | Some (_, thr, d, obj) ->
@@ -471,6 +488,72 @@ let bench_table3 budget =
   in
   Printf.printf "ablation — TCP Vegas (autonomous, delay-based): %s Mbps median, %s ms qdelay\n"
     (mbps thr) (ms qd)
+
+(* {2 Cross-algorithm matrix} *)
+
+let bench_matrix budget =
+  section "Cross-algorithm matrix: the Cc_algo registry over low/high dumbbells";
+  let duration_s = Float.min 30. budget.duration_s in
+  let cells =
+    Cc_matrix.run ~jobs:!jobs ~algorithms:!matrix_algorithms ~duration_s
+      ~seeds:budget.seeds ()
+  in
+  Table.print ~align:[ Table.Left; Table.Left ]
+    ~headers:[ "algorithm"; "workload"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l"; "conns" ]
+    (List.map
+       (fun (c : Cc_matrix.cell) ->
+         [
+           c.Cc_matrix.algorithm;
+           c.Cc_matrix.workload;
+           mbps c.Cc_matrix.mean_throughput_bps;
+           ms c.Cc_matrix.mean_queueing_delay_s;
+           pct c.Cc_matrix.mean_loss_rate;
+           Table.fmt_float c.Cc_matrix.mean_power;
+           string_of_int c.Cc_matrix.connections;
+         ])
+       cells);
+  Printf.printf "(%d algorithms x %d workloads, means over %d seeds, %g s runs)\n"
+    (List.length !matrix_algorithms)
+    (List.length Cc_matrix.workloads)
+    (List.length budget.seeds) duration_s;
+  csv_out "cc_matrix.csv"
+    ~header:
+      [ "algorithm"; "workload"; "throughput_bps"; "queueing_delay_s"; "loss_rate"; "power";
+        "connections" ]
+    (List.map
+       (fun (c : Cc_matrix.cell) ->
+         [
+           c.Cc_matrix.algorithm;
+           c.Cc_matrix.workload;
+           Phi_util.Csv.float_cell c.Cc_matrix.mean_throughput_bps;
+           Phi_util.Csv.float_cell c.Cc_matrix.mean_queueing_delay_s;
+           Phi_util.Csv.float_cell c.Cc_matrix.mean_loss_rate;
+           Phi_util.Csv.float_cell c.Cc_matrix.mean_power;
+           string_of_int c.Cc_matrix.connections;
+         ])
+       cells);
+  headline "matrix"
+    (List.map
+       (fun (c : Cc_matrix.cell) ->
+         ( c.Cc_matrix.algorithm ^ "/" ^ c.Cc_matrix.workload,
+           Json.float c.Cc_matrix.mean_power ))
+       cells);
+  cc_matrix_json :=
+    Some
+      (Json.List
+         (List.map
+            (fun (c : Cc_matrix.cell) ->
+              Json.Obj
+                [
+                  ("algorithm", Json.String c.Cc_matrix.algorithm);
+                  ("workload", Json.String c.Cc_matrix.workload);
+                  ("mean_throughput_bps", Json.float c.Cc_matrix.mean_throughput_bps);
+                  ("mean_queueing_delay_s", Json.float c.Cc_matrix.mean_queueing_delay_s);
+                  ("mean_loss_rate", Json.float c.Cc_matrix.mean_loss_rate);
+                  ("mean_power", Json.float c.Cc_matrix.mean_power);
+                  ("connections", Json.Int c.Cc_matrix.connections);
+                ])
+            cells))
 
 (* {2 Section 2.1: path sharing} *)
 
@@ -701,7 +784,8 @@ let micro_benchmarks () =
   let cubic_kernel () =
     let cc = Cubic.make Cubic.default_params in
     for i = 1 to 1000 do
-      cc.Phi_tcp.Cc.on_ack cc ~now:(float_of_int i *. 0.01) ~rtt:(Some 0.1) ~newly_acked:1
+      let now = float_of_int i *. 0.01 in
+      cc.Phi_tcp.Cc.on_ack cc ~now ~rtt:(Some 0.1) ~sent_at:(now -. 0.1) ~newly_acked:1
     done
   in
   let scenario_kernel () =
@@ -806,6 +890,15 @@ let () =
     Printf.printf "(PHI_SANITIZE=1: forcing --jobs 1, the sanitizer is not domain-safe)\n";
     jobs := 1
   end;
+  (match value_of "--cc" with
+  | None -> ()
+  | Some spec -> (
+    try
+      matrix_algorithms :=
+        List.map Cc_select.parse_cc (String.split_on_char ',' spec)
+    with Invalid_argument msg ->
+      prerr_endline ("bench: --cc: " ^ msg);
+      exit 2));
   let want id = match only with None -> true | Some o -> o = id in
   let run_if id ~cells f = if want id then ignore (timed id ~cells (fun () -> f ())) else () in
   let cells1 = List.length budget.seeds in
@@ -833,6 +926,9 @@ let () =
     run_if "figure4" ~cells:6 (fun () -> bench_figure4 budget ~sweep_low:low)
   | _ -> ());
   run_if "table3" ~cells:(4 * cells1) (fun () -> bench_table3 budget);
+  run_if "matrix"
+    ~cells:(List.length !matrix_algorithms * List.length Cc_matrix.workloads * cells1)
+    (fun () -> bench_matrix budget);
   run_if "sharing" ~cells:1 (fun () -> bench_sharing budget);
   run_if "figure5" ~cells:1 (fun () -> bench_figure5 budget);
   run_if "priority" ~cells:1 (fun () -> bench_priority budget);

@@ -26,8 +26,9 @@
 
    --json PATH merges "micro" and "alloc" sections into an existing
    phi-bench-report document (bench/main.exe --json output), stamping
-   the schema to phi-bench-report/2, or writes a standalone report when
-   PATH does not exist yet. *)
+   the schema to phi-bench-report/2 — or phi-bench-report/3 when the
+   document carries the cross-algorithm "cc_matrix" section — or writes
+   a standalone /2 report when PATH does not exist yet. *)
 
 module Engine = Phi_sim.Engine
 module Link = Phi_net.Link
@@ -379,13 +380,18 @@ let () =
       match Json.of_file ~path with
       | Ok (Json.Obj fields) ->
         (* Merge into an existing bench report, replacing any stale
-           micro/alloc sections and stamping the /2 schema (the alloc
-           section is what distinguishes the versions). *)
+           micro/alloc sections.  The schema stamp records what the
+           document now carries: /2 for micro+alloc, /3 when the
+           cross-algorithm cc_matrix section is present too. *)
         let fields =
           List.filter (fun (k, _) -> k <> "micro" && k <> "alloc" && k <> "schema") fields
         in
+        let schema =
+          if List.mem_assoc "cc_matrix" fields then "phi-bench-report/3"
+          else "phi-bench-report/2"
+        in
         Json.Obj
-          ((("schema", Json.String "phi-bench-report/2") :: fields)
+          ((("schema", Json.String schema) :: fields)
           @ [ ("alloc", alloc); ("micro", micro) ])
       | Ok _ | Error _ ->
         (* Standalone report: the minimal valid phi-bench-report/2

@@ -176,11 +176,11 @@ let table3_cmd =
   let table_arg name doc =
     Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
   in
-  let run seeds duration remy_file phi_file =
+  let run seeds duration jobs remy_file phi_file =
     let config = { Scenario.table3 with Scenario.duration_s = duration } in
     let remy_table = Option.map read_table remy_file in
     let remy_phi_table = Option.map read_table phi_file in
-    let rows = Table3.run ?remy_table ?remy_phi_table ~seeds config in
+    let rows = Table3.run ?jobs ?remy_table ?remy_phi_table ~seeds config in
     Table.print ~align:[ Table.Left ]
       ~headers:[ "Algorithm"; "thr Mbps"; "qdelay ms"; "objective"; "conns"; "msgs" ]
       (List.map
@@ -197,11 +197,66 @@ let table3_cmd =
   in
   let term =
     Term.(
-      const run $ seeds_arg $ duration_arg 60.
+      const run $ seeds_arg $ duration_arg 60. $ jobs_arg
       $ table_arg "remy-table" "Serialized 3-dim rule table (default: pretrained)."
       $ table_arg "phi-table" "Serialized 4-dim rule table (default: pretrained).")
   in
   Cmd.v (Cmd.info "table3" ~doc:"Remy / Remy-Phi / Cubic comparison (Table 3)") term
+
+(* {2 matrix} *)
+
+let matrix_cmd =
+  let cc_conv =
+    let parse s =
+      match Cc_select.parse_cc s with
+      | algo -> Ok algo
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print ppf algo = Format.pp_print_string ppf (Phi.Cc_algo.name algo) in
+    Arg.conv (parse, print)
+  in
+  let cc_arg =
+    let doc =
+      "Algorithm to include (repeatable; default: every algorithm registered in Phi.Cc_algo)."
+    in
+    Arg.(value & opt_all cc_conv [] & info [ "cc" ] ~docv:"NAME" ~doc)
+  in
+  let table_arg name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+  in
+  let run seeds duration jobs ccs remy_file phi_file =
+    let algorithms = match ccs with [] -> Phi.Cc_algo.all | l -> l in
+    let remy_table = Option.map read_table remy_file in
+    let remy_phi_table = Option.map read_table phi_file in
+    let cells =
+      Cc_matrix.run ?jobs ~algorithms ?remy_table ?remy_phi_table ~duration_s:duration
+        ~seeds ()
+    in
+    Table.print ~align:[ Table.Left; Table.Left ]
+      ~headers:[ "algorithm"; "workload"; "thr Mbps"; "qdelay ms"; "loss"; "power P_l"; "conns" ]
+      (List.map
+         (fun (c : Cc_matrix.cell) ->
+           [
+             c.Cc_matrix.algorithm;
+             c.Cc_matrix.workload;
+             mbps c.Cc_matrix.mean_throughput_bps;
+             ms c.Cc_matrix.mean_queueing_delay_s;
+             pct c.Cc_matrix.mean_loss_rate;
+             Table.fmt_float c.Cc_matrix.mean_power;
+             string_of_int c.Cc_matrix.connections;
+           ])
+         cells)
+  in
+  let term =
+    Term.(
+      const run $ seeds_arg $ duration_arg 30. $ jobs_arg $ cc_arg
+      $ table_arg "remy-table" "Serialized 3-dim rule table (default: pretrained)."
+      $ table_arg "phi-table" "Serialized 4-dim rule table (default: pretrained).")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Cross-algorithm matrix: the Cc_algo registry over low/high dumbbells")
+    term
 
 (* {2 train-remy} *)
 
@@ -382,6 +437,7 @@ let () =
             longrun_cmd;
             incremental_cmd;
             table3_cmd;
+            matrix_cmd;
             train_remy_cmd;
             sharing_cmd;
             diagnose_cmd;

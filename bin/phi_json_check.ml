@@ -1,10 +1,12 @@
 (* phi-json-check: validate a bench report produced by
    [bench/main.exe --json PATH] (schema phi-bench-report/1), optionally
    upgraded by [bench/micro.exe --json PATH] to phi-bench-report/2 with
-   an "alloc" section.  Exits non-zero when the file is missing,
-   malformed JSON, not a phi-bench-report document, or over the
-   committed allocation budget — the CI gate for the bench smoke run's
-   artifact. *)
+   an "alloc" section — or to phi-bench-report/3 when the report also
+   carries the cross-algorithm "cc_matrix" section, which must then
+   cover every algorithm registered in [Phi.Cc_algo].  Exits non-zero
+   when the file is missing, malformed JSON, not a phi-bench-report
+   document, or over the committed allocation budget — the CI gate for
+   the bench smoke run's artifact. *)
 
 (* The allocation-regression budget: minor words allocated per packet
    through the saturated link loop (pool acquire -> enqueue -> tx ->
@@ -33,6 +35,7 @@ let () =
       match J.member "schema" doc with
       | Some (J.String "phi-bench-report/1") -> 1
       | Some (J.String "phi-bench-report/2") -> 2
+      | Some (J.String "phi-bench-report/3") -> 3
       | Some _ | None -> fail "%s: missing or unknown \"schema\" field" path
     in
     let require field =
@@ -96,4 +99,37 @@ let () =
       if per_packet > max_minor_words_per_packet then
         fail "%s: allocation regression: %.4f minor words/packet exceeds the budget of %g"
           path per_packet max_minor_words_per_packet);
+    (* The "cc_matrix" section is what distinguishes a /3 report: the
+       cross-algorithm matrix must cover every algorithm registered in
+       the unified control plane, so a registry addition that never
+       reaches the harness fails CI here. *)
+    (match J.member "cc_matrix" doc with
+    | None ->
+      if version >= 3 then
+        fail "%s: phi-bench-report/3 requires a \"cc_matrix\" section" path
+    | Some (J.List (_ :: _ as cells)) ->
+      let algo_of = function
+        | J.Obj _ as cell -> (
+          (match J.member "workload" cell with
+          | Some (J.String _) -> ()
+          | Some _ | None -> fail "%s: cc_matrix cell missing \"workload\" string" path);
+          (match J.member "connections" cell with
+          | Some (J.Int n) when n > 0 -> ()
+          | Some _ | None ->
+            fail "%s: cc_matrix cell missing positive \"connections\"" path);
+          match J.member "algorithm" cell with
+          | Some (J.String a) -> a
+          | Some _ | None -> fail "%s: cc_matrix cell missing \"algorithm\" string" path)
+        | _ -> fail "%s: cc_matrix cells must be objects" path
+      in
+      let covered = List.map algo_of cells in
+      (* Full registry coverage is what the /3 stamp asserts; a /1
+         report may carry a --cc-filtered subset. *)
+      if version >= 3 then
+        List.iter
+          (fun name ->
+            if not (List.mem name covered) then
+              fail "%s: cc_matrix does not cover registered algorithm %S" path name)
+          Phi.Cc_algo.names
+    | Some _ -> fail "%s: \"cc_matrix\" must be a non-empty array" path);
     Printf.printf "phi-json-check: %s ok\n" path

@@ -43,10 +43,10 @@ let () =
             ()
         in
         let policy = Phi.Policy.create () in
-        client := Some (Phi.Phi_client.create ~server ~policy ~path:"egress"))
+        client := Some (Phi.Phi_client.create ~server ~policy ~path:"egress" ()))
       ~cc_factory:(fun _index () ->
         match !client with
-        | Some c -> Phi.Phi_client.cubic_factory c ()
+        | Some c -> Phi.Phi_client.factory c ()
         | None -> assert false)
       ~on_conn_end:(fun stats ->
         match !client with

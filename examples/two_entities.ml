@@ -62,11 +62,11 @@ let run ~a_uses_phi =
               ()
           in
           let policy = Phi.Policy.create () in
-          client := Some (Phi.Phi_client.create ~server ~policy ~path:"entity-a")
+          client := Some (Phi.Phi_client.create ~server ~policy ~path:"entity-a" ())
         end)
       ~cc_factory:(fun index () ->
         match (!client, index < 4) with
-        | Some c, true -> Phi.Phi_client.cubic_factory c ()
+        | Some c, true -> Phi.Phi_client.factory c ()
         | _ -> Phi_tcp.Cubic.make Phi_tcp.Cubic.default_params)
       ~on_conn_end:(fun stats ->
         match (!client, stats.Flow.source_index < 4) with

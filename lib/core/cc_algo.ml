@@ -1,0 +1,39 @@
+module Cubic = Phi_tcp.Cubic
+
+type t =
+  | Cubic of Cubic.params
+  | Reno of float
+  | Vegas
+  | Remy
+  | Remy_phi
+
+let name = function
+  | Cubic _ -> "cubic"
+  | Reno _ -> "reno"
+  | Vegas -> "vegas"
+  | Remy -> "remy"
+  | Remy_phi -> "remy-phi"
+
+let all = [ Cubic Cubic.default_params; Reno 1.; Vegas; Remy; Remy_phi ]
+
+let names = List.map name all
+
+let of_name = function
+  | "cubic" -> Some (Cubic Cubic.default_params)
+  | "reno" -> Some (Reno 1.)
+  | "vegas" -> Some Vegas
+  | "remy" -> Some Remy
+  | "remy-phi" -> Some Remy_phi
+  | _ -> None
+
+type builder = ctx:Context.t -> t -> Phi_tcp.Cc.t
+
+let basic_builder ~ctx:_ algo =
+  match algo with
+  | Cubic params -> Cubic.make params
+  | Reno weight -> Phi_tcp.Reno.make_weighted ~weight ()
+  | Vegas -> Phi_tcp.Vegas.make ()
+  | Remy | Remy_phi ->
+    invalid_arg
+      ("Cc_algo.basic_builder: " ^ name algo
+     ^ " needs a rule table; install a Remy-capable builder (see Phi_experiments.Cc_select)")

@@ -2,21 +2,23 @@ type t = {
   server : Context_server.t;
   policy : Policy.t;
   path : string;
+  builder : Cc_algo.builder;
   mutable last_context : Context.t option;
-  mutable last_params : Phi_tcp.Cubic.params option;
+  mutable last_choice : Cc_algo.t option;
 }
 
-let create ~server ~policy ~path = { server; policy; path; last_context = None; last_params = None }
+let create ?(builder = Cc_algo.basic_builder) ~server ~policy ~path () =
+  { server; policy; path; builder; last_context = None; last_choice = None }
 
-let cubic_factory t () =
+let factory t () =
   let ctx = Context_server.lookup t.server ~path:t.path in
-  let params = Policy.params_for t.policy ctx in
+  let choice = Policy.choice_for t.policy ctx in
   t.last_context <- Some ctx;
-  t.last_params <- Some params;
-  Phi_tcp.Cubic.make params
+  t.last_choice <- Some choice;
+  t.builder ~ctx choice
 
 let on_conn_end t stats = Context_server.report_stats t.server ~path:t.path stats
 
 let last_context t = t.last_context
 
-let last_params t = t.last_params
+let last_choice t = t.last_choice

@@ -2,16 +2,30 @@
 
     Bundles the per-connection protocol of Section 2.2.2 into the two
     hooks {!Phi_tcp.Source} exposes: a congestion-controller factory
-    (which performs the context-server lookup and applies the policy) and
-    an end-of-connection callback (which reports back). *)
+    (which performs the context-server lookup, applies the policy and
+    builds whichever algorithm it chose) and an end-of-connection
+    callback (which reports back).
+
+    [factory] replaces the old Cubic-only [cubic_factory]: the policy now
+    returns a {!Cc_algo.t} choice and the client's [builder] constructs
+    it.  The default {!Cc_algo.basic_builder} covers Cubic/Reno/Vegas;
+    pass a richer builder at {!create} to serve the Remy variants from
+    the same single lookup. *)
 
 type t
 
-val create : server:Context_server.t -> policy:Policy.t -> path:string -> t
+val create :
+  ?builder:Cc_algo.builder ->
+  server:Context_server.t ->
+  policy:Policy.t ->
+  path:string ->
+  unit ->
+  t
+(** [builder] defaults to {!Cc_algo.basic_builder}. *)
 
-val cubic_factory : t -> unit -> Phi_tcp.Cc.t
-(** Looks the context up, asks the policy for parameters and builds a
-    Cubic controller.  Exactly one context-server round trip. *)
+val factory : t -> unit -> Phi_tcp.Cc.t
+(** Looks the context up, asks the policy for an algorithm choice and
+    builds the controller.  Exactly one context-server round trip. *)
 
 val on_conn_end : t -> Phi_tcp.Flow.conn_stats -> unit
 (** Reports the finished connection to the context server. *)
@@ -19,5 +33,5 @@ val on_conn_end : t -> Phi_tcp.Flow.conn_stats -> unit
 val last_context : t -> Context.t option
 (** The context returned by the most recent lookup (introspection). *)
 
-val last_params : t -> Phi_tcp.Cubic.params option
-(** The parameters chosen at the most recent lookup. *)
+val last_choice : t -> Cc_algo.t option
+(** The algorithm chosen at the most recent lookup. *)

@@ -1,43 +1,45 @@
 module Cubic = Phi_tcp.Cubic
 
-type t = { default : Cubic.params; table : (Context.bucket, Cubic.params) Hashtbl.t }
+type t = { default : Cc_algo.t; table : (Context.bucket, Cc_algo.t) Hashtbl.t }
 
-let create ?(default = Cubic.default_params) () = { default; table = Hashtbl.create 32 }
+let create ?(default = Cc_algo.Cubic Cubic.default_params) () =
+  { default; table = Hashtbl.create 32 }
 
-let learn t bucket params = Hashtbl.replace t.table bucket params
+let learn t bucket choice = Hashtbl.replace t.table bucket choice
 
-let learned t = Hashtbl.fold (fun b p acc -> (b, p) :: acc) t.table []
+let learned t = Hashtbl.fold (fun b c acc -> (b, c) :: acc) t.table []
 
 let heuristic ctx =
   let severity = Context.severity ctx in
   let deep_queue = ctx.Context.queue_delay_s > 0.05 in
-  if severity < 0.25 then
-    Cubic.with_knobs ~initial_cwnd:32. ~initial_ssthresh:128. ~beta:0.2 Cubic.default_params
-  else if severity < 0.5 then
-    Cubic.with_knobs ~initial_cwnd:16. ~initial_ssthresh:64. ~beta:0.2 Cubic.default_params
-  else if severity < 0.75 then
-    Cubic.with_knobs ~initial_cwnd:8. ~initial_ssthresh:32.
-      ~beta:(if deep_queue then 0.4 else 0.2)
-      Cubic.default_params
-  else
-    Cubic.with_knobs ~initial_cwnd:2. ~initial_ssthresh:8.
-      ~beta:(if deep_queue then 0.5 else 0.3)
-      Cubic.default_params
+  Cc_algo.Cubic
+    (if severity < 0.25 then
+       Cubic.with_knobs ~initial_cwnd:32. ~initial_ssthresh:128. ~beta:0.2 Cubic.default_params
+     else if severity < 0.5 then
+       Cubic.with_knobs ~initial_cwnd:16. ~initial_ssthresh:64. ~beta:0.2 Cubic.default_params
+     else if severity < 0.75 then
+       Cubic.with_knobs ~initial_cwnd:8. ~initial_ssthresh:32.
+         ~beta:(if deep_queue then 0.4 else 0.2)
+         Cubic.default_params
+     else
+       Cubic.with_knobs ~initial_cwnd:2. ~initial_ssthresh:8.
+         ~beta:(if deep_queue then 0.5 else 0.3)
+         Cubic.default_params)
 
 let nearest t bucket =
   Hashtbl.fold
-    (fun b p best ->
+    (fun b c best ->
       let d = Context.bucket_distance bucket b in
       match best with
       | Some (best_d, _) when best_d <= d -> best
-      | _ -> Some (d, p))
+      | _ -> Some (d, c))
     t.table None
 
-let params_for t ctx =
+let choice_for t ctx =
   let bucket = Context.bucketize ctx in
   match Hashtbl.find_opt t.table bucket with
-  | Some params -> params
+  | Some choice -> choice
   | None -> (
     match nearest t bucket with
-    | Some (d, params) when d <= 2 -> params
+    | Some (d, choice) when d <= 2 -> choice
     | Some _ | None -> heuristic ctx)

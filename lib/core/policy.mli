@@ -1,30 +1,32 @@
-(** Mapping congestion context to TCP Cubic parameters.
+(** Mapping congestion context to a congestion-control choice.
 
     Phi's coordination, concretely: every cooperating sender asks the
-    policy which parameter setting fits the current network weather.  A
-    policy is a table keyed on {!Context.bucket} — populated from offline
-    sweeps exactly like the paper's Section 2.2.1 grid search — with a
-    documented heuristic fallback for buckets never swept (derived from
-    the paper's observations: shift to smaller initial windows and
-    slow-start thresholds, and sharper back-off, as congestion rises). *)
+    policy which algorithm (and parameter setting) fits the current
+    network weather.  A policy is a table keyed on {!Context.bucket} —
+    populated from offline sweeps exactly like the paper's Section 2.2.1
+    grid search — with a documented heuristic fallback for buckets never
+    swept (derived from the paper's observations: shift to smaller
+    initial windows and slow-start thresholds, and sharper back-off, as
+    congestion rises).  Choices are {!Cc_algo.t} values, so a bucket can
+    select any registered algorithm, not just Cubic parameters. *)
 
 type t
 
-val create : ?default:Phi_tcp.Cubic.params -> unit -> t
-(** [default] backs the final fallback; defaults to
+val create : ?default:Cc_algo.t -> unit -> t
+(** [default] backs the final fallback; defaults to Cubic with
     {!Phi_tcp.Cubic.default_params}. *)
 
-val learn : t -> Context.bucket -> Phi_tcp.Cubic.params -> unit
-(** Record the optimal parameters found for a bucket (overwrites). *)
+val learn : t -> Context.bucket -> Cc_algo.t -> unit
+(** Record the optimal choice found for a bucket (overwrites). *)
 
-val learned : t -> (Context.bucket * Phi_tcp.Cubic.params) list
+val learned : t -> (Context.bucket * Cc_algo.t) list
 
-val params_for : t -> Context.t -> Phi_tcp.Cubic.params
+val choice_for : t -> Context.t -> Cc_algo.t
 (** Exact bucket hit; otherwise the nearest learned bucket (L1 bucket
     distance, at most 2 away); otherwise {!heuristic}. *)
 
-val heuristic : Context.t -> Phi_tcp.Cubic.params
-(** Rule-based parameters from the paper's findings: low congestion
+val heuristic : Context.t -> Cc_algo.t
+(** Rule-based Cubic parameters from the paper's findings: low congestion
     admits an aggressive start (large initial window, generous ssthresh);
     high congestion calls for a conservative start; persistent heavy
     congestion with deep queues also calls for a larger beta (sharper

@@ -1,0 +1,98 @@
+module Topology = Phi_net.Topology
+module Stats = Phi_util.Stats
+module Pool = Phi_runner.Pool
+module Cc_algo = Phi.Cc_algo
+module Remy_cc = Phi_remy.Remy_cc
+module Rule_table = Phi_remy.Rule_table
+
+type cell = {
+  algorithm : string;
+  workload : string;
+  mean_throughput_bps : float;
+  mean_queueing_delay_s : float;
+  mean_loss_rate : float;
+  mean_power : float;
+  connections : int;
+}
+
+let workloads =
+  [ ("low", Scenario.low_utilization); ("high", Scenario.high_utilization) ]
+
+(* One seeded run of one algorithm over one workload.  The window-based
+   controllers come straight from the registry's basic builder; Remy uses
+   a private copy of the pretrained table; Remy-Phi follows the practical
+   protocol — a context server fed by end-of-connection reports, one
+   utilization lookup when each connection starts. *)
+let run_one ~remy_table ~remy_phi_table ~seed (config : Scenario.config) algo =
+  let config = { config with Scenario.seed } in
+  match algo with
+  | Cc_algo.Cubic _ | Cc_algo.Reno _ | Cc_algo.Vegas ->
+    Scenario.run ~cc_factory:(fun _ () -> Cc_algo.basic_builder ~ctx:Phi.Context.empty algo) config
+  | Cc_algo.Remy ->
+    let table = Rule_table.copy remy_table in
+    Scenario.run ~cc_factory:(fun _ () -> Remy_cc.make ~table ~util:`None ()) config
+  | Cc_algo.Remy_phi ->
+    let table = Rule_table.copy remy_phi_table in
+    let util_feed : Remy_cc.util_feed ref = ref `None in
+    let reporter = ref (fun (_ : Phi_tcp.Flow.conn_stats) -> ()) in
+    let observe engine (_ : Topology.dumbbell) =
+      let server =
+        Phi.Context_server.create engine
+          ~capacity_bps:config.Scenario.spec.Topology.bottleneck_bw_bps ()
+      in
+      util_feed :=
+        `At_start
+          (fun () -> (Phi.Context_server.lookup server ~path:"dumbbell").Phi.Context.utilization);
+      reporter := fun stats -> Phi.Context_server.report_stats server ~path:"dumbbell" stats
+    in
+    Scenario.run ~observe
+      ~cc_factory:(fun _ () -> Remy_cc.make ~table ~util:!util_feed ())
+      ~on_conn_end:(fun stats -> !reporter stats)
+      config
+
+let cell_of ~algorithm ~workload (results : Scenario.result array) =
+  let mean f = Stats.mean (Array.map f results) in
+  {
+    algorithm;
+    workload;
+    mean_throughput_bps = mean (fun r -> r.Scenario.throughput_bps);
+    mean_queueing_delay_s = mean (fun r -> r.Scenario.queueing_delay_s);
+    mean_loss_rate = mean (fun r -> r.Scenario.loss_rate);
+    mean_power = mean (fun r -> r.Scenario.power);
+    connections = Array.fold_left (fun acc r -> acc + r.Scenario.connections) 0 results;
+  }
+
+let run ?jobs ?(algorithms = Cc_algo.all) ?remy_table ?remy_phi_table ?duration_s ~seeds () =
+  if seeds = [] then invalid_arg "Cc_matrix.run: no seeds";
+  if algorithms = [] then invalid_arg "Cc_matrix.run: no algorithms";
+  let remy_table = match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy () in
+  let remy_phi_table =
+    match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ()
+  in
+  let config_of base =
+    match duration_s with
+    | Some d -> { base with Scenario.duration_s = d }
+    | None -> base
+  in
+  (* (algorithm, workload)-major, seed-minor: the pool returns results in
+     submission order, so the regrouping below is positional. *)
+  let groups =
+    List.concat_map
+      (fun algo -> List.map (fun (wname, cfg) -> (algo, wname, config_of cfg)) workloads)
+      algorithms
+  in
+  let cells =
+    List.concat_map (fun (algo, wname, cfg) -> List.map (fun seed -> (algo, wname, cfg, seed)) seeds)
+      groups
+  in
+  let results =
+    Pool.map ?jobs
+      (fun (algo, _wname, cfg, seed) -> run_one ~remy_table ~remy_phi_table ~seed cfg algo)
+      cells
+  in
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list results in
+  List.mapi
+    (fun i (algo, wname, _) ->
+      cell_of ~algorithm:(Cc_algo.name algo) ~workload:wname (Array.sub arr (i * n_seeds) n_seeds))
+    groups

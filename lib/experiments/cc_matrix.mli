@@ -1,0 +1,35 @@
+(** Cross-algorithm matrix: every registered congestion-control algorithm
+    over the low- and high-utilization dumbbells.
+
+    The CoCo-Beholder-style harness check for the unified control plane:
+    one scenario runner, one sender transport, five algorithms selected
+    through the {!Phi.Cc_algo} registry.  Cells fan out one
+    [(algorithm, workload, seed)] run per pool job; per-workload rows are
+    means over seeds. *)
+
+type cell = {
+  algorithm : string;  (** registry name *)
+  workload : string;  (** ["low"] or ["high"] *)
+  mean_throughput_bps : float;
+  mean_queueing_delay_s : float;
+  mean_loss_rate : float;
+  mean_power : float;
+  connections : int;  (** total completed connections across seeds *)
+}
+
+val workloads : (string * Scenario.config) list
+(** [("low", Scenario.low_utilization); ("high", Scenario.high_utilization)]. *)
+
+val run :
+  ?jobs:int ->
+  ?algorithms:Phi.Cc_algo.t list ->
+  ?remy_table:Phi_remy.Rule_table.t ->
+  ?remy_phi_table:Phi_remy.Rule_table.t ->
+  ?duration_s:float ->
+  seeds:int list ->
+  unit ->
+  cell list
+(** Cells come back algorithm-major, workload-minor, in registry order
+    (default [algorithms]: {!Phi.Cc_algo.all}).  [duration_s] overrides
+    both workloads' durations (for quick runs).  Results are identical
+    for every [jobs] value. *)

@@ -1,0 +1,31 @@
+module Cc_algo = Phi.Cc_algo
+module Remy_cc = Phi_remy.Remy_cc
+module Rule_table = Phi_remy.Rule_table
+
+type t = { remy_table : Rule_table.t; remy_phi_table : Rule_table.t }
+
+let create ?remy_table ?remy_phi_table () =
+  {
+    remy_table = (match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy ());
+    remy_phi_table =
+      (match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ());
+  }
+
+let builder t : Cc_algo.builder =
+ fun ~ctx algo ->
+  match algo with
+  | Cc_algo.Remy -> Remy_cc.make ~table:t.remy_table ~util:`None ()
+  | Cc_algo.Remy_phi ->
+    (* The utilization signal is the one the Phi lookup already returned:
+       same single round trip as every other algorithm. *)
+    let u = ctx.Phi.Context.utilization in
+    Remy_cc.make ~table:t.remy_phi_table ~util:(`At_start (fun () -> u)) ()
+  | Cc_algo.Cubic _ | Cc_algo.Reno _ | Cc_algo.Vegas -> Cc_algo.basic_builder ~ctx algo
+
+let parse_cc s =
+  match Cc_algo.of_name (String.lowercase_ascii (String.trim s)) with
+  | Some algo -> algo
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown congestion-control algorithm %S (registered: %s)" s
+         (String.concat ", " Cc_algo.names))

@@ -1,0 +1,21 @@
+(** Registry-backed construction of every algorithm, pretrained tables
+    included.
+
+    {!Phi.Cc_algo.basic_builder} covers the window-based controllers but
+    cannot build the Remy variants (the core library has no rule tables).
+    This module completes the registry: {!builder} serves all five
+    algorithms and plugs straight into {!Phi.Phi_client.create}, with
+    Remy-Phi consuming the utilization from the context of the client's
+    single per-connection lookup. *)
+
+type t
+
+val create : ?remy_table:Phi_remy.Rule_table.t -> ?remy_phi_table:Phi_remy.Rule_table.t -> unit -> t
+(** Tables default to {!Phi_remy.Pretrained}. *)
+
+val builder : t -> Phi.Cc_algo.builder
+(** Builds any registered algorithm. *)
+
+val parse_cc : string -> Phi.Cc_algo.t
+(** Parse a [--cc NAME] argument (case-insensitive, trimmed).  Raises
+    [Invalid_argument] with the registered names for unknown input. *)

@@ -1,10 +1,10 @@
-module Engine = Phi_sim.Engine
 module Topology = Phi_net.Topology
 module Monitor = Phi_net.Monitor
 module Flow = Phi_tcp.Flow
-module Prng = Phi_util.Prng
 module Stats = Phi_util.Stats
-module Remy_source = Phi_remy.Remy_source
+module Pool = Phi_runner.Pool
+module Remy_cc = Phi_remy.Remy_cc
+module Rule_table = Phi_remy.Rule_table
 
 type row = {
   name : string;
@@ -56,83 +56,93 @@ type variant =
   | Remy_classic
   | Remy_phi of [ `Ideal | `Practical ]
 
-(* One seeded run of one variant; returns (records, server messages). *)
+(* One seeded run of one variant on the shared scenario runner; returns
+   (records, server messages).  The Remy variants are ordinary
+   controllers on the unified sender: [observe] attaches the context
+   server (and, for the ideal feed, a bottleneck monitor) right after
+   topology construction, and the controller factory consumes the feed. *)
 let run_variant ~remy_table ~remy_phi_table ~seed (config : Scenario.config) variant =
   match variant with
   | Cubic_default ->
     let result = Scenario.run { config with Scenario.seed } in
     (result.Scenario.records, 0)
   | Remy_classic | Remy_phi _ ->
-    let engine = Engine.create () in
-    let dumbbell = Topology.dumbbell engine config.Scenario.spec in
     let server_messages = ref 0 in
-    let server =
-      Phi.Context_server.create engine
-        ~capacity_bps:config.Scenario.spec.Topology.bottleneck_bw_bps ()
-    in
-    let util_feed : Phi_remy.Remy_sender.util_feed =
+    let util_feed : Remy_cc.util_feed ref = ref `None in
+    let on_conn_end = ref (fun (_ : Flow.conn_stats) -> ()) in
+    let observe engine (dumbbell : Topology.dumbbell) =
+      let server =
+        Phi.Context_server.create engine
+          ~capacity_bps:config.Scenario.spec.Topology.bottleneck_bw_bps ()
+      in
       match variant with
-      | Remy_classic | Cubic_default -> `None
+      | Remy_classic | Cubic_default -> ignore server
       | Remy_phi `Ideal ->
         let monitor = Monitor.create engine dumbbell.Topology.bottleneck ~interval_s:0.1 in
-        `Live (fun () -> Monitor.current_utilization monitor)
+        util_feed := `Live (fun () -> Monitor.current_utilization monitor)
       | Remy_phi `Practical ->
-        `At_start
-          (fun () ->
+        util_feed :=
+          `At_start
+            (fun () ->
+              incr server_messages;
+              (Phi.Context_server.lookup server ~path:"dumbbell").Phi.Context.utilization);
+        on_conn_end :=
+          fun stats ->
             incr server_messages;
-            (Phi.Context_server.lookup server ~path:"dumbbell").Phi.Context.utilization)
+            Phi.Context_server.report_stats server ~path:"dumbbell" stats
     in
-    let table = match variant with Remy_phi _ -> remy_phi_table | _ -> remy_table in
-    let on_conn_end =
+    let table =
       match variant with
-      | Remy_phi `Practical ->
-        fun stats ->
-          incr server_messages;
-          Phi.Context_server.report_stats server ~path:"dumbbell" stats
-      | _ -> fun _ -> ()
+      | Remy_phi _ -> remy_phi_table
+      | Remy_classic | Cubic_default -> remy_table
     in
-    let rng = Prng.create ~seed in
-    let flows = Flow.allocator () in
-    let records = ref [] in
-    let sources =
-      Array.init config.Scenario.spec.Topology.n (fun i ->
-          Remy_source.create engine ~rng:(Prng.split rng) ~flows
-            ~src_node:dumbbell.Topology.senders.(i)
-            ~dst_node:dumbbell.Topology.receivers.(i)
-            ~index:i ~table ~util:util_feed
-            ~on_conn_end:(fun stats ->
-              records := stats :: !records;
-              on_conn_end stats)
-            {
-              Remy_source.mean_on_bytes = config.Scenario.workload.Scenario.mean_on_bytes;
-              mean_off_s = config.Scenario.workload.Scenario.mean_off_s;
-            })
+    let result =
+      Scenario.run
+        ~cc_factory:(fun _ () -> Remy_cc.make ~table ~util:!util_feed ())
+        ~on_conn_end:(fun stats -> !on_conn_end stats)
+        ~observe
+        { config with Scenario.seed }
     in
-    Array.iter Remy_source.start sources;
-    Engine.run ~until:config.Scenario.duration_s engine;
-    Array.iter Remy_source.abort_current sources;
-    (!records, !server_messages)
+    (result.Scenario.records, !server_messages)
 
-let run ?remy_table ?remy_phi_table ~seeds config =
+let variants =
+  [
+    ("Remy-Phi-practical", Remy_phi `Practical);
+    ("Remy-Phi-ideal", Remy_phi `Ideal);
+    ("Remy", Remy_classic);
+    ("Cubic", Cubic_default);
+  ]
+
+let run ?jobs ?remy_table ?remy_phi_table ~seeds config =
   if seeds = [] then invalid_arg "Table3.run: no seeds";
   let remy_table = match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy () in
   let remy_phi_table =
     match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ()
   in
-  let pooled variant =
-    List.fold_left
-      (fun (records, msgs) seed ->
-        let r, m = run_variant ~remy_table ~remy_phi_table ~seed config variant in
-        (r @ records, m + msgs))
-      ([], 0) seeds
+  (* One cell per (variant, seed), variant-major so the regrouping is
+     positional.  Each cell copies its rule table: lookups mutate usage
+     counters, which must not be shared across worker domains. *)
+  let cells =
+    List.concat_map (fun (_, variant) -> List.map (fun seed -> (variant, seed)) seeds) variants
   in
-  List.map
-    (fun (name, variant) ->
-      let records, msgs = pooled variant in
+  let results =
+    Pool.map ?jobs
+      (fun (variant, seed) ->
+        run_variant
+          ~remy_table:(Rule_table.copy remy_table)
+          ~remy_phi_table:(Rule_table.copy remy_phi_table)
+          ~seed config variant)
+      cells
+  in
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list results in
+  List.mapi
+    (fun i (name, _) ->
+      let records, msgs =
+        Array.fold_left
+          (fun (records, msgs) (r, m) -> (r @ records, m + msgs))
+          ([], 0)
+          (Array.sub arr (i * n_seeds) n_seeds)
+      in
       row_of ~name ~server_messages:msgs records)
-    [
-      ("Remy-Phi-practical", Remy_phi `Practical);
-      ("Remy-Phi-ideal", Remy_phi `Ideal);
-      ("Remy", Remy_classic);
-      ("Cubic", Cubic_default);
-    ]
+    variants

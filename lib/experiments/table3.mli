@@ -25,10 +25,14 @@ val paper_rows : (string * float * float * float) list
     side-by-side printing in EXPERIMENTS.md. *)
 
 val run :
+  ?jobs:int ->
   ?remy_table:Phi_remy.Rule_table.t ->
   ?remy_phi_table:Phi_remy.Rule_table.t ->
   seeds:int list ->
   Scenario.config ->
   row list
 (** Tables default to the pretrained ones shipped in
-    {!Phi_remy.Pretrained}.  Rows come back in the paper's order. *)
+    {!Phi_remy.Pretrained}.  Rows come back in the paper's order.
+    [(variant, seed)] cells fan out over a {!Phi_runner.Pool} with [jobs]
+    workers (default: core count); results are identical for every
+    [jobs] value. *)

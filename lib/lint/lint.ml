@@ -23,7 +23,11 @@ let rules =
     ( "packet-escape",
       "pooled packet handles die at release: construct packets only through the pool \
        (Packet.acquire_data / Packet.acquire_ack), never store a handle in a mutable \
-       field, and never touch one after Packet.release" )
+       field, and never touch one after Packet.release" );
+    ( "transport-unified",
+      "one sender transport: outside lib/tcp, do not bind flows on Phi_net.Node directly \
+       or call legacy Remy_sender entry points; build a Phi_tcp.Cc controller (Remy_cc \
+       for Remy) and drive it through Phi_tcp.Sender / Phi_tcp.Source" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -288,10 +292,18 @@ let in_packet_scope path =
   && not (ends_with ~suffix:"/packet.ml" path)
   && not (ends_with ~suffix:"/packet.mli" path)
 
+(* [transport-unified] polices the single-sender-transport invariant:
+   only lib/tcp (the transport itself) and lib/net (the substrate it
+   binds to) may touch flow binding; everything above goes through
+   Phi_tcp.Sender / Phi_tcp.Source with a Cc controller. *)
+let in_transport_scope path =
+  in_lib path && not (path_has_dir path "lib/tcp") && not (path_has_dir path "lib/net")
+
 let token_violations ~path { tokens; _ } =
   let lib = in_lib path in
   let hot = in_hot_path path in
   let packet_scope = in_packet_scope path in
+  let transport_scope = in_transport_scope path in
   let out = ref [] in
   let add line rule = out := violation path line rule :: !out in
   let text k = if k >= 0 && k < Array.length tokens then snd tokens.(k) else "" in
@@ -333,7 +345,16 @@ let token_violations ~path { tokens; _ } =
             if reused (k + 3) then add line "packet-escape"
           end
         end
+      | "Node.bind_flow" | "Phi_net.Node.bind_flow" ->
+        if transport_scope then add line "transport-unified"
       | _ -> ());
+      if
+        transport_scope
+        && (tok = "Remy_sender"
+           || starts_with ~prefix:"Remy_sender." tok
+           || tok = "Phi_remy.Remy_sender"
+           || starts_with ~prefix:"Phi_remy.Remy_sender." tok)
+      then add line "transport-unified";
       if
         hot
         && (tok = "Queue" || starts_with ~prefix:"Queue." tok || tok = "Stdlib.Queue"

@@ -51,7 +51,12 @@ val rules : (string * string) list
       type [Packet.handle] (retaining a handle across events dangles it
       once the packet is released; handle-consuming callback fields are
       fine), or mentioning a handle again on the same line after
-      [Packet.release] passed it back to the free list. *)
+      [Packet.release] passed it back to the free list.
+    - [transport-unified]: library code outside [lib/tcp] / [lib/net]
+      that binds flows on [Phi_net.Node] directly or references the
+      deleted [Remy_sender] transport — there is exactly one sender
+      transport; algorithms are [Phi_tcp.Cc] controllers driven by
+      [Phi_tcp.Sender]/[Phi_tcp.Source]. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
@@ -72,6 +77,11 @@ val in_packet_scope : string -> bool
     [lib/net/] or [lib/tcp/] but not the pool module
     ([packet.ml]/[packet.mli]) itself, which is the one place allowed to
     mint and recycle handles. *)
+
+val in_transport_scope : string -> bool
+(** Whether a path is subject to the [transport-unified] rule: library
+    code outside [lib/tcp/] (the transport) and [lib/net/] (the
+    substrate it binds to). *)
 
 val lint_source : path:string -> string -> violation list
 (** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with

@@ -1,0 +1,45 @@
+module Cc = Phi_tcp.Cc
+
+type util_feed = [ `None | `At_start of (unit -> float) | `Live of (unit -> float) ]
+
+let make ?name ~table ~util () =
+  let dims =
+    match util with `None -> Memory.dims_remy | `At_start _ | `Live _ -> Memory.dims_phi
+  in
+  if Rule_table.dims table <> dims then
+    invalid_arg "Remy_cc.make: table dimensionality does not match utilization feed";
+  let memory = Memory.create () in
+  (match util with
+  | `At_start f | `Live f -> Memory.set_utilization memory (f ())
+  | `None -> ());
+  let apply_whisker (cc : Cc.t) =
+    let whisker = Rule_table.lookup table (Memory.to_point memory ~dims) in
+    cc.Cc.cwnd <- Whisker.apply whisker.Whisker.action ~cwnd:cc.Cc.cwnd;
+    cc.Cc.pacing_gap_s <- whisker.Whisker.action.Whisker.intersend_s
+  in
+  let on_ack cc ~now ~rtt ~sent_at ~newly_acked:_ =
+    match rtt with
+    | None -> ()
+    | Some _ ->
+      Memory.on_ack memory ~now ~echo_sent_at:sent_at;
+      (match util with
+      | `Live f -> Memory.set_utilization memory (f ())
+      | `At_start _ | `None -> ());
+      apply_whisker cc
+  in
+  (* Remy prescribes no loss response; on timeout the window collapses and
+     the rule table rebuilds it from subsequent ACKs. *)
+  let on_loss _cc ~now:_ = () in
+  let on_timeout (cc : Cc.t) ~now:_ = cc.Cc.cwnd <- 1. in
+  (* The initial whisker (matching the blank memory) sets the starting
+     window and pacing. *)
+  let whisker = Rule_table.lookup_quiet table (Memory.to_point memory ~dims) in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> ( match util with `None -> "remy" | `At_start _ | `Live _ -> "remy-phi")
+  in
+  Cc.make ~name
+    ~initial_cwnd:(Whisker.apply whisker.Whisker.action ~cwnd:1.)
+    ~initial_ssthresh:65536. ~recovery:Cc.Go_back_n
+    ~pacing_gap_s:whisker.Whisker.action.Whisker.intersend_s ~on_ack ~on_loss ~on_timeout ()

@@ -1,0 +1,25 @@
+(** Remy as a congestion controller on the unified {!Phi_tcp.Sender}.
+
+    On every (RTT-sampling) ACK the controller updates its {!Memory.t},
+    looks up the matching whisker in the {!Rule_table.t} and applies its
+    action: the window map becomes [Cc.cwnd], the minimum intersend
+    spacing becomes [Cc.pacing_gap_s] (the sender paces transmissions
+    accordingly).  Recovery is [Cc.Go_back_n]: Remy's control law is
+    loss-agnostic, so losses repair through the retransmission timeout
+    alone and SACK information is ignored.
+
+    Utilization feeds (the Phi extension) come in two flavours matching
+    the paper: [`Live] re-reads an oracle at every ACK (Remy-Phi-ideal),
+    [`At_start] samples once when the controller is created — i.e. at
+    connection start (Remy-Phi-practical); [`None] is classic Remy. *)
+
+type util_feed =
+  [ `None  (** classic Remy: 3-dimensional memory *)
+  | `At_start of (unit -> float)  (** sampled once at connection start *)
+  | `Live of (unit -> float)  (** re-read on every ACK *) ]
+
+val make : ?name:string -> table:Rule_table.t -> util:util_feed -> unit -> Phi_tcp.Cc.t
+(** A fresh controller for one connection ([name] defaults to ["remy"] or
+    ["remy-phi"] by feed).  Raises [Invalid_argument] when the table's
+    dimensionality does not match the utilization feed (3 for [`None],
+    4 otherwise). *)

@@ -2,6 +2,7 @@ module Engine = Phi_sim.Engine
 module Topology = Phi_net.Topology
 module Monitor = Phi_net.Monitor
 module Flow = Phi_tcp.Flow
+module Source = Phi_tcp.Source
 module Prng = Phi_util.Prng
 module Stats = Phi_util.Stats
 
@@ -43,7 +44,7 @@ let conn_objective (stats : Flow.conn_stats) =
 let run_once ~table ~util ~seed scenario =
   let engine = Engine.create () in
   let dumbbell = Topology.dumbbell engine scenario.spec in
-  let util_feed : Remy_sender.util_feed =
+  let util_feed : Remy_cc.util_feed =
     match util with
     | `None -> `None
     | `Ideal ->
@@ -55,16 +56,17 @@ let run_once ~table ~util ~seed scenario =
   let records = ref [] in
   let sources =
     Array.init scenario.spec.Topology.n (fun i ->
-        Remy_source.create engine ~rng:(Prng.split rng) ~flows
+        Source.create engine ~rng:(Prng.split rng) ~flows
           ~src_node:dumbbell.Topology.senders.(i)
           ~dst_node:dumbbell.Topology.receivers.(i)
-          ~index:i ~table ~util:util_feed
+          ~index:i
+          ~cc_factory:(fun () -> Remy_cc.make ~table ~util:util_feed ())
           ~on_conn_end:(fun st -> records := st :: !records)
-          { Remy_source.mean_on_bytes = scenario.mean_on_bytes; mean_off_s = scenario.mean_off_s })
+          { Source.mean_on_bytes = scenario.mean_on_bytes; mean_off_s = scenario.mean_off_s })
   in
-  Array.iter Remy_source.start sources;
+  Array.iter Source.start sources;
   Engine.run ~until:scenario.duration_s engine;
-  Array.iter Remy_source.abort_current sources;
+  Array.iter Source.abort_current sources;
   !records
 
 let evaluate ~table ~util ~seeds scenarios =

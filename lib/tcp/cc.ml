@@ -1,16 +1,31 @@
+type recovery = Sack | Go_back_n
+
 type t = {
   name : string;
   mutable cwnd : float;
   mutable ssthresh : float;
-  on_ack : t -> now:float -> rtt:float option -> newly_acked:int -> unit;
+  mutable pacing_gap_s : float;
+  recovery : recovery;
+  on_ack : t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit;
   on_loss : t -> now:float -> unit;
   on_timeout : t -> now:float -> unit;
 }
 
-let make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout =
+let make ~name ~initial_cwnd ~initial_ssthresh ?(recovery = Sack) ?(pacing_gap_s = 0.) ~on_ack
+    ~on_loss ~on_timeout () =
   if initial_cwnd < 1. then invalid_arg "Cc.make: initial_cwnd must be >= 1";
   if initial_ssthresh < 1. then invalid_arg "Cc.make: initial_ssthresh must be >= 1";
-  { name; cwnd = initial_cwnd; ssthresh = initial_ssthresh; on_ack; on_loss; on_timeout }
+  if not (pacing_gap_s >= 0.) then invalid_arg "Cc.make: pacing_gap_s must be >= 0";
+  {
+    name;
+    cwnd = initial_cwnd;
+    ssthresh = initial_ssthresh;
+    pacing_gap_s;
+    recovery;
+    on_ack;
+    on_loss;
+    on_timeout;
+  }
 
 let min_cwnd = 2.
 

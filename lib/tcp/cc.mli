@@ -4,14 +4,30 @@
     threshold (both in segments, as in ns-2) and reacts to the three
     events the sender machinery reports: a new cumulative ACK, a fast-
     retransmit loss indication (three duplicate ACKs) and a retransmission
-    timeout.  Algorithm-private state lives inside the event closures. *)
+    timeout.  Algorithm-private state lives inside the event closures.
+
+    Beyond the window, a controller can dictate two transport behaviours
+    the shared sender honours: a minimum intersend gap ([pacing_gap_s],
+    for rate-paced algorithms such as Remy) and the recovery style
+    ([recovery]: SACK scoreboard retransmission, or timeout-driven
+    go-back-N for controllers that model loss through their own rules). *)
+
+type recovery =
+  | Sack  (** RFC 6675 scoreboard: SACK-driven fast retransmit. *)
+  | Go_back_n  (** No fast retransmit; losses repair via RTO only. *)
 
 type t = {
   name : string;
   mutable cwnd : float;  (** congestion window, segments *)
   mutable ssthresh : float;  (** slow-start threshold, segments *)
-  on_ack : t -> now:float -> rtt:float option -> newly_acked:int -> unit;
-      (** [rtt] is the sample from this ACK when one was available. *)
+  mutable pacing_gap_s : float;
+      (** minimum gap between segment transmissions, seconds; [0.] sends
+          back-to-back (pure window control) *)
+  recovery : recovery;
+  on_ack : t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit;
+      (** [rtt] is the sample from this ACK when one was available;
+          [sent_at] is the exact echoed transmission timestamp the sample
+          was computed from (meaningful only when [rtt] is [Some _]). *)
   on_loss : t -> now:float -> unit;
   on_timeout : t -> now:float -> unit;
 }
@@ -20,13 +36,17 @@ val make :
   name:string ->
   initial_cwnd:float ->
   initial_ssthresh:float ->
-  on_ack:(t -> now:float -> rtt:float option -> newly_acked:int -> unit) ->
+  ?recovery:recovery ->
+  ?pacing_gap_s:float ->
+  on_ack:(t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit) ->
   on_loss:(t -> now:float -> unit) ->
   on_timeout:(t -> now:float -> unit) ->
+  unit ->
   t
 
 val min_cwnd : float
-(** Floor applied by all controllers after a decrease (2 segments, per
-    RFC 5681). *)
+(** Floor the sender enforces on [cwnd] and [ssthresh] after every
+    [on_loss] (2 segments, per RFC 5681).  Controllers may go lower only
+    through [on_timeout], where the sender floors [cwnd] at one segment. *)
 
 val in_slow_start : t -> bool

@@ -62,7 +62,7 @@ let make params =
     end;
     s.w_tcp <- cc.cwnd
   in
-  let on_ack (cc : Cc.t) ~now ~rtt ~newly_acked =
+  let on_ack (cc : Cc.t) ~now ~rtt ~sent_at:_ ~newly_acked =
     (match rtt with
     | Some sample -> if sample > 0. then s.min_rtt <- Float.min s.min_rtt sample
     | None -> ());
@@ -94,19 +94,21 @@ let make params =
       end
     end
   in
+  (* The sender floors cwnd/ssthresh at [Cc.min_cwnd] after these events;
+     the controller only computes the multiplicative decrease. *)
   let on_loss (cc : Cc.t) ~now:_ =
     s.epoch_start <- None;
     if params.fast_convergence && cc.cwnd < s.w_max then
       s.w_max <- cc.cwnd *. (2. -. params.beta) /. 2.
     else s.w_max <- cc.cwnd;
-    cc.cwnd <- Float.max Cc.min_cwnd (cc.cwnd *. (1. -. params.beta));
+    cc.cwnd <- cc.cwnd *. (1. -. params.beta);
     cc.ssthresh <- cc.cwnd
   in
   let on_timeout (cc : Cc.t) ~now:_ =
     s.epoch_start <- None;
     s.w_max <- cc.cwnd;
-    cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd *. (1. -. params.beta));
+    cc.ssthresh <- cc.cwnd *. (1. -. params.beta);
     cc.cwnd <- 1.
   in
   Cc.make ~name:"cubic" ~initial_cwnd:params.initial_cwnd
-    ~initial_ssthresh:params.initial_ssthresh ~on_ack ~on_loss ~on_timeout
+    ~initial_ssthresh:params.initial_ssthresh ~on_ack ~on_loss ~on_timeout ()

@@ -1,6 +1,6 @@
 let make_weighted ~weight ?(initial_cwnd = 2.) ?(initial_ssthresh = 65536.) () =
   if weight <= 0. then invalid_arg "Reno.make_weighted: weight must be positive";
-  let on_ack (cc : Cc.t) ~now:_ ~rtt:_ ~newly_acked =
+  let on_ack (cc : Cc.t) ~now:_ ~rtt:_ ~sent_at:_ ~newly_acked =
     let acked = float_of_int newly_acked in
     if Cc.in_slow_start cc then
       (* Weighted slow start opens the window [weight] segments per ACKed
@@ -10,18 +10,19 @@ let make_weighted ~weight ?(initial_cwnd = 2.) ?(initial_ssthresh = 65536.) () =
   in
   let decrease (cc : Cc.t) =
     (* MulTCP decrease: one of the [weight] virtual flows halves, so the
-       ensemble drops by a factor 1 - 1/(2w). *)
+       ensemble drops by a factor 1 - 1/(2w).  The sender floors the
+       result at [Cc.min_cwnd]. *)
     let factor = 1. -. (1. /. (2. *. weight)) in
-    cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd *. factor);
+    cc.ssthresh <- cc.cwnd *. factor;
     cc.cwnd <- cc.ssthresh
   in
   let on_loss cc ~now:_ = decrease cc in
   let on_timeout (cc : Cc.t) ~now:_ =
-    cc.ssthresh <- Float.max Cc.min_cwnd (cc.cwnd /. 2.);
+    cc.ssthresh <- cc.cwnd /. 2.;
     cc.cwnd <- 1.
   in
   let name = if Float.equal weight 1. then "reno" else Printf.sprintf "reno-w%.2g" weight in
-  Cc.make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout
+  Cc.make ~name ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout ()
 
 let make ?initial_cwnd ?initial_ssthresh () =
   make_weighted ~weight:1. ?initial_cwnd ?initial_ssthresh ()

@@ -39,6 +39,8 @@ type t = {
          earlier has either been delivered or dropped (paths are FIFO) *)
   mutable in_recovery : bool;
   mutable recover : int;  (* recovery ends when snd_una reaches this *)
+  mutable next_send_at : float;  (* earliest paced transmission time *)
+  mutable send_timer : Engine.handle option;  (* pending paced-send wakeup *)
   mutable rto_handle : Engine.handle option;
   mutable started_at : float;
   mutable finished_at : float;
@@ -113,6 +115,27 @@ let cancel_rto t =
     Engine.cancel t.engine h;
     t.rto_handle <- None
   | None -> ()
+
+let cancel_send_timer t =
+  match t.send_timer with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.send_timer <- None
+  | None -> ()
+
+(* The [min_cwnd] floor lives here, not in each controller: after a loss
+   event both the window and the threshold stay at or above two segments
+   (RFC 5681), and after a timeout the window stays at or above one.  The
+   [not (_ >= _)] form also repairs NaN from a buggy controller. *)
+let clamp_after_loss t =
+  let cc = t.cc in
+  if not (cc.Cc.cwnd >= Cc.min_cwnd) then cc.Cc.cwnd <- Cc.min_cwnd;
+  if not (cc.Cc.ssthresh >= Cc.min_cwnd) then cc.Cc.ssthresh <- Cc.min_cwnd
+
+let clamp_after_timeout t =
+  let cc = t.cc in
+  if not (cc.Cc.cwnd >= 1.) then cc.Cc.cwnd <- 1.;
+  if not (cc.Cc.ssthresh >= Cc.min_cwnd) then cc.Cc.ssthresh <- Cc.min_cwnd
 
 let send_segment t seq =
   let retransmit = seq < t.highest_sent in
@@ -244,6 +267,7 @@ and on_rto t =
     t.timeouts <- t.timeouts + 1;
     Rto.backoff t.rto;
     t.cc.Cc.on_timeout t.cc ~now:(Engine.now t.engine);
+    clamp_after_timeout t;
     t.in_recovery <- false;
     (* Conservative go-back-N: assume SACK state reneged, resume from the
        first unacknowledged segment. *)
@@ -255,30 +279,53 @@ and on_rto t =
 
 and try_send t =
   check_cwnd t;
+  let now = Engine.now t.engine in
+  let gap = t.cc.Cc.pacing_gap_s in
   let window = int_of_float (Float.max 1. t.cc.Cc.cwnd) in
   let progressed = ref false in
+  let blocked = ref false in
   let continue = ref true in
   while !continue && pipe t < window do
-    match next_retransmit t with
-    | Some seq ->
-      send_segment t seq;
-      Hashtbl.add t.retx seq (Engine.now t.engine);
-      t.n_retx <- t.n_retx + 1;
-      progressed := true
-    | None ->
-      if t.snd_nxt < t.total then begin
-        send_segment t t.snd_nxt;
-        t.snd_nxt <- t.snd_nxt + 1;
-        progressed := true
-      end
-      else continue := false
+    if
+      gap > 0.
+      && now < t.next_send_at
+      && ((not (Queue.is_empty t.retx_queue)) || t.snd_nxt < t.total)
+    then begin
+      blocked := true;
+      continue := false
+    end
+    else
+      match next_retransmit t with
+      | Some seq ->
+        send_segment t seq;
+        Hashtbl.add t.retx seq (Engine.now t.engine);
+        t.n_retx <- t.n_retx + 1;
+        progressed := true;
+        if gap > 0. then t.next_send_at <- Float.max now t.next_send_at +. gap
+      | None ->
+        if t.snd_nxt < t.total then begin
+          send_segment t t.snd_nxt;
+          t.snd_nxt <- t.snd_nxt + 1;
+          progressed := true;
+          if gap > 0. then t.next_send_at <- Float.max now t.next_send_at +. gap
+        end
+        else continue := false
   done;
-  if !progressed && t.rto_handle = None then arm_rto t
+  if !progressed && t.rto_handle = None then arm_rto t;
+  if !blocked && t.send_timer = None then begin
+    let delay = Float.max 0. (t.next_send_at -. now) in
+    t.send_timer <-
+      Some
+        (Engine.schedule_after t.engine ~delay (fun () ->
+             t.send_timer <- None;
+             if not t.completed then try_send t))
+  end
 
 let complete t =
   t.completed <- true;
   t.finished_at <- Engine.now t.engine;
   cancel_rto t;
+  cancel_send_timer t;
   Node.unbind_flow t.node ~flow:t.flow;
   let stats = stats t in
   Flow.sanitize stats;
@@ -297,6 +344,7 @@ let record_rtt t sample =
 let on_ecn_echo t ~now =
   if now >= t.ecn_reaction_until then begin
     t.cc.Cc.on_loss t.cc ~now;
+    clamp_after_loss t;
     t.ecn_reductions <- t.ecn_reductions + 1;
     let rtt = match Rto.srtt t.rto with Some s -> s | None -> 0.2 in
     t.ecn_reaction_until <- now +. rtt
@@ -312,7 +360,10 @@ let on_ack t pkt =
   let tx_time = Packet.ack_echo_tx_time t.pool pkt in
   if Packet.ack_ece t.pool pkt then on_ecn_echo t ~now;
   if tx_time > t.delivered_tx_high then t.delivered_tx_high <- tx_time;
-  merge_sack t pkt;
+  (* A go-back-N controller repairs losses through the RTO alone: ignore
+     the receiver's SACK blocks so the scoreboard stays empty and no fast
+     retransmit ever fires. *)
+  (match t.cc.Cc.recovery with Cc.Sack -> merge_sack t pkt | Cc.Go_back_n -> ());
   requeue_lost_retransmissions t;
   let newly_acked = Stdlib.max 0 (ack_seq - t.snd_una) in
   if newly_acked > 0 then begin
@@ -324,11 +375,12 @@ let on_ack t pkt =
   if (not t.in_recovery) && t.n_lost > 0 then begin
     t.in_recovery <- true;
     t.recover <- t.snd_nxt;
-    t.cc.Cc.on_loss t.cc ~now
+    t.cc.Cc.on_loss t.cc ~now;
+    clamp_after_loss t
   end;
   if newly_acked > 0 && not t.in_recovery then begin
     let rtt = if has_echo then Some (now -. echo_sent_at) else None in
-    t.cc.Cc.on_ack t.cc ~now ~rtt ~newly_acked
+    t.cc.Cc.on_ack t.cc ~now ~rtt ~sent_at:echo_sent_at ~newly_acked
   end;
   if t.snd_una >= t.total then complete t
   else begin
@@ -371,6 +423,8 @@ let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
       loss_scan = 0;
       in_recovery = false;
       recover = 0;
+      next_send_at = 0.;
+      send_timer = None;
       delivered_tx_high = neg_infinity;
       rto_handle = None;
       started_at = Engine.now engine;
@@ -400,5 +454,6 @@ let abort t =
     t.completed <- true;
     t.finished_at <- Engine.now t.engine;
     cancel_rto t;
+    cancel_send_timer t;
     Node.unbind_flow t.node ~flow:t.flow
   end

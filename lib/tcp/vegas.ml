@@ -10,7 +10,7 @@ let make ?(alpha = 2.) ?(beta = 4.) ?(gamma = 1.) ?(initial_cwnd = 2.)
   if alpha > beta then invalid_arg "Vegas.make: alpha must be <= beta";
   if alpha <= 0. then invalid_arg "Vegas.make: alpha must be positive";
   let s = { base_rtt = infinity; rtt_sum = 0.; rtt_count = 0; next_adjust_at = 0. } in
-  let on_ack (cc : Cc.t) ~now ~rtt ~newly_acked =
+  let on_ack (cc : Cc.t) ~now ~rtt ~sent_at:_ ~newly_acked =
     (match rtt with
     | Some sample when sample > 0. ->
       if sample < s.base_rtt then s.base_rtt <- sample;
@@ -41,12 +41,14 @@ let make ?(alpha = 2.) ?(beta = 4.) ?(gamma = 1.) ?(initial_cwnd = 2.)
     else if Cc.in_slow_start cc then
       cc.Cc.cwnd <- Float.min (cc.Cc.cwnd +. (0.5 *. float_of_int newly_acked)) (Float.max cc.Cc.ssthresh cc.Cc.cwnd)
   in
+  (* Loss/timeout decreases rely on the sender's [Cc.min_cwnd] floor; the
+     in-epoch decreases above keep their own clamps (algorithmic). *)
   let on_loss (cc : Cc.t) ~now:_ =
-    cc.Cc.ssthresh <- Float.max Cc.min_cwnd (cc.Cc.cwnd *. 0.75);
+    cc.Cc.ssthresh <- cc.Cc.cwnd *. 0.75;
     cc.Cc.cwnd <- cc.Cc.ssthresh
   in
   let on_timeout (cc : Cc.t) ~now:_ =
-    cc.Cc.ssthresh <- Float.max Cc.min_cwnd (cc.Cc.cwnd /. 2.);
+    cc.Cc.ssthresh <- cc.Cc.cwnd /. 2.;
     cc.Cc.cwnd <- 1.
   in
-  Cc.make ~name:"vegas" ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout
+  Cc.make ~name:"vegas" ~initial_cwnd ~initial_ssthresh ~on_ack ~on_loss ~on_timeout ()

@@ -84,9 +84,9 @@ let test_phi_pipeline_improves_power () =
             ~capacity_bps:(Phi_net.Link.bandwidth_bps dumbbell.Phi_net.Topology.bottleneck)
             ()
         in
-        client := Some (Phi.Phi_client.create ~server ~policy:(Phi.Policy.create ()) ~path:"p"))
+        client := Some (Phi.Phi_client.create ~server ~policy:(Phi.Policy.create ()) ~path:"p" ()))
       ~cc_factory:(fun _ () ->
-        match !client with Some c -> Phi.Phi_client.cubic_factory c () | None -> assert false)
+        match !client with Some c -> Phi.Phi_client.factory c () | None -> assert false)
       ~on_conn_end:(fun stats ->
         match !client with Some c -> Phi.Phi_client.on_conn_end c stats | None -> ())
       config
@@ -184,6 +184,100 @@ let test_golden_high_utilization () =
   let config = { Scenario.high_utilization with Scenario.duration_s = 12. } in
   Alcotest.(check (list string)) "serial replay" golden_high (run_golden config 1);
   Alcotest.(check (list string)) "parallel replay" golden_high (run_golden config 4)
+
+(* Table 3 under the unified control plane, recorded from the dedicated
+   Remy_sender transport immediately before its deletion.  The Remy
+   migration onto the shared Phi_tcp.Sender (go-back-N recovery + whisker
+   pacing as controller policy) must reproduce every output bit, and the
+   pool fan-out over (variant, seed) cells must not perturb it. *)
+let golden_table3 =
+  [
+    "Remy-Phi-practical 0x1.a4725cb6ba7f7p+20 0x1.b26761838338p-9 0x1.3294f547a59e2p+1 376 756";
+    "Remy-Phi-ideal 0x1.a06e095998bc3p+20 0x1.cc04db805388p-10 0x1.31eaf78afd10bp+1 371 0";
+    "Remy 0x1.8eb1d30ab60f2p+20 0x1.8c89320aeep-13 0x1.2e23aebe5e3b4p+1 368 0";
+    "Cubic 0x1.49dae35e17cd7p+19 0x1.4d9b05b5bad4p-8 0x1.78ae6521f328ap+0 252 0";
+  ]
+
+let run_golden_table3 jobs =
+  let config = { Scenario.table3 with Scenario.duration_s = 20. } in
+  List.map
+    (fun (r : Table3.row) ->
+      Printf.sprintf "%s %h %h %h %d %d" r.Table3.name r.Table3.median_throughput_bps
+        r.Table3.median_queueing_delay_s r.Table3.median_objective r.Table3.connections
+        r.Table3.server_messages)
+    (Table3.run ~jobs ~seeds:[ 1; 2 ] config)
+
+let test_golden_table3 () =
+  Alcotest.(check (list string)) "serial replay" golden_table3 (run_golden_table3 1);
+  Alcotest.(check (list string)) "parallel replay" golden_table3 (run_golden_table3 4)
+
+(* {2 Algorithm registry (unified control plane)} *)
+
+let test_registry_round_trip () =
+  let names = Phi.Cc_algo.names in
+  Alcotest.(check (list string)) "five registered algorithms"
+    [ "cubic"; "reno"; "vegas"; "remy"; "remy-phi" ]
+    names;
+  List.iter
+    (fun algo ->
+      match Phi.Cc_algo.of_name (Phi.Cc_algo.name algo) with
+      | Some a ->
+        Alcotest.(check string)
+          ("of_name round-trips " ^ Phi.Cc_algo.name algo)
+          (Phi.Cc_algo.name algo) (Phi.Cc_algo.name a)
+      | None -> Alcotest.fail ("of_name missed " ^ Phi.Cc_algo.name algo))
+    Phi.Cc_algo.all;
+  (* parse_cc is the --cc entry point: case-insensitive, trimmed. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check string) ("parse_cc accepts " ^ n) n
+        (Phi.Cc_algo.name (Cc_select.parse_cc ("  " ^ String.uppercase_ascii n ^ " "))))
+    names;
+  let rejected = try ignore (Cc_select.parse_cc "bogus"); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "unknown name rejected" true rejected
+
+let test_cc_select_builds_every_algorithm () =
+  let sel = Cc_select.create () in
+  let build = Cc_select.builder sel in
+  List.iter
+    (fun algo ->
+      let cc = build ~ctx:Phi.Context.empty algo in
+      Alcotest.(check bool)
+        (Phi.Cc_algo.name algo ^ " starts with a usable window")
+        true
+        (Float.is_finite cc.Phi_tcp.Cc.cwnd && cc.Phi_tcp.Cc.cwnd >= 1.))
+    Phi.Cc_algo.all
+
+let test_cc_matrix_covers_registry () =
+  let cells = Cc_matrix.run ~jobs:2 ~duration_s:8. ~seeds:[ 1 ] () in
+  Alcotest.(check int) "5 algorithms x 2 workloads" 10 (List.length cells);
+  List.iter
+    (fun name ->
+      List.iter
+        (fun workload ->
+          match
+            List.find_opt
+              (fun (c : Cc_matrix.cell) ->
+                c.Cc_matrix.algorithm = name && c.Cc_matrix.workload = workload)
+              cells
+          with
+          | Some cell ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s ran connections" name workload)
+              true (cell.Cc_matrix.connections > 0)
+          | None -> Alcotest.fail (Printf.sprintf "missing cell %s/%s" name workload))
+        [ "low"; "high" ])
+    Phi.Cc_algo.names;
+  (* Pool fan-out must not perturb the cells. *)
+  let serial = Cc_matrix.run ~jobs:1 ~duration_s:8. ~seeds:[ 1 ] () in
+  Alcotest.(check bool) "jobs-invariant" true
+    (List.for_all2
+       (fun (a : Cc_matrix.cell) (b : Cc_matrix.cell) ->
+         a.Cc_matrix.algorithm = b.Cc_matrix.algorithm
+         && a.Cc_matrix.workload = b.Cc_matrix.workload
+         && Float.equal a.Cc_matrix.mean_throughput_bps b.Cc_matrix.mean_throughput_bps
+         && Float.equal a.Cc_matrix.mean_power b.Cc_matrix.mean_power)
+       cells serial)
 
 (* {2 Incremental deployment (Figure 4)} *)
 
@@ -305,6 +399,10 @@ let suite =
     ("validation stability (fig 3)", `Slow, test_validation_stability);
     ("golden replay low (bit-exact)", `Slow, test_golden_low_utilization);
     ("golden replay high (bit-exact)", `Slow, test_golden_high_utilization);
+    ("golden replay table 3 (bit-exact)", `Slow, test_golden_table3);
+    ("registry round trip and parse_cc", `Quick, test_registry_round_trip);
+    ("cc_select builds every algorithm", `Quick, test_cc_select_builds_every_algorithm);
+    ("cc matrix covers registry", `Slow, test_cc_matrix_covers_registry);
     ("incremental benefit (fig 4)", `Slow, test_incremental_modified_benefit);
     ("incremental extremes", `Quick, test_incremental_fraction_extremes);
     ("table 3 rows and overhead", `Slow, test_table3_rows_and_overhead);

@@ -257,6 +257,45 @@ let test_packet_escape_allow () =
     (lint ~path:net_path
        "(* phi-lint: allow packet-escape *)\ntype t = { mutable last : Packet.handle }\n")
 
+(* {2 transport-unified: one sender transport} *)
+
+let test_transport_unified_fires () =
+  check_rules "Node.bind_flow outside the transport" [ "transport-unified" ]
+    (lint ~path:"lib/experiments/fixture.ml"
+       "let f node flow = Phi_net.Node.bind_flow node flow\n");
+  check_rules "unqualified bind_flow" [ "transport-unified" ]
+    (lint ~path:"lib/core/fixture.ml" "let f node flow = Node.bind_flow node flow\n");
+  check_rules "legacy Remy_sender entry point" [ "transport-unified" ]
+    (lint ~path:"lib/remy/fixture.ml" "let f () = Remy_sender.create ()\n");
+  check_rules "qualified legacy sender" [ "transport-unified" ]
+    (lint ~path:"lib/experiments/fixture.ml" "let f () = Phi_remy.Remy_sender.create ()\n")
+
+let test_transport_unified_scope () =
+  (* The transport itself and the substrate it binds to are the two
+     places allowed to touch flow binding; tests and binaries are out of
+     scope entirely. *)
+  check_rules "lib/tcp may bind flows" []
+    (lint ~path:"lib/tcp/fixture.ml" "let f node flow = Phi_net.Node.bind_flow node flow\n");
+  check_rules "lib/net may bind flows" []
+    (lint ~path:"lib/net/fixture.ml" "let f node flow = Node.bind_flow node flow\n");
+  check_rules "tests out of scope" []
+    (lint ~path:"test/fixture.ml" "let f node flow = Phi_net.Node.bind_flow node flow\n");
+  check_rules "binaries out of scope" []
+    (lint ~path:"bin/fixture.ml" "let f () = Remy_sender.create ()\n")
+
+let test_transport_unified_allow () =
+  check_rules "suppressed with allow" []
+    (lint ~path:"lib/experiments/fixture.ml"
+       "(* phi-lint: allow transport-unified *)\nlet f node flow = Node.bind_flow node flow\n")
+
+let test_in_transport_scope () =
+  Alcotest.(check bool) "experiments in scope" true
+    (Lint.in_transport_scope "lib/experiments/scenario.ml");
+  Alcotest.(check bool) "core in scope" true (Lint.in_transport_scope "lib/core/phi_client.ml");
+  Alcotest.(check bool) "tcp exempt" false (Lint.in_transport_scope "lib/tcp/sender.ml");
+  Alcotest.(check bool) "net exempt" false (Lint.in_transport_scope "lib/net/node.ml");
+  Alcotest.(check bool) "test exempt" false (Lint.in_transport_scope "test/test_tcp.ml")
+
 let test_every_rule_has_description () =
   Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 10);
   List.iter
@@ -309,5 +348,9 @@ let suite =
       test_packet_escape_silent_on_contract_code;
     Alcotest.test_case "packet-escape scope" `Quick test_packet_escape_scope;
     Alcotest.test_case "packet-escape allow" `Quick test_packet_escape_allow;
+    Alcotest.test_case "transport-unified fires" `Quick test_transport_unified_fires;
+    Alcotest.test_case "transport-unified scope" `Quick test_transport_unified_scope;
+    Alcotest.test_case "transport-unified allow" `Quick test_transport_unified_allow;
+    Alcotest.test_case "in_transport_scope classification" `Quick test_in_transport_scope;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
   ]

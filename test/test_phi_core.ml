@@ -131,9 +131,16 @@ let test_server_learns_capacity () =
 
 (* {2 Policy} *)
 
+(* Policy choices are registry values; the heuristic and the
+   nearest-bucket machinery still tune Cubic parameters, so unwrap for
+   the parameter-level assertions. *)
+let cubic_of = function
+  | Cc_algo.Cubic p -> p
+  | a -> Alcotest.fail ("expected a Cubic choice, got " ^ Cc_algo.name a)
+
 let test_policy_heuristic_monotone () =
-  let quiet = Policy.heuristic (ctx ()) in
-  let busy = Policy.heuristic (ctx ~u:0.95 ~q:0.3 ~n:64 ~l:0.04 ()) in
+  let quiet = cubic_of (Policy.heuristic (ctx ())) in
+  let busy = cubic_of (Policy.heuristic (ctx ~u:0.95 ~q:0.3 ~n:64 ~l:0.04 ())) in
   Alcotest.(check bool) "quiet starts bigger" true
     (quiet.Cubic.initial_cwnd > busy.Cubic.initial_cwnd);
   Alcotest.(check bool) "quiet threshold bigger" true
@@ -144,28 +151,63 @@ let test_policy_learned_exact_hit () =
   let policy = Policy.create () in
   let context = ctx ~u:0.5 ~q:0.02 ~n:4 () in
   let params = Cubic.with_knobs ~initial_cwnd:42. Cubic.default_params in
-  Policy.learn policy (Context.bucketize context) params;
-  let got = Policy.params_for policy context in
+  Policy.learn policy (Context.bucketize context) (Cc_algo.Cubic params);
+  let got = cubic_of (Policy.choice_for policy context) in
   Alcotest.(check (float 0.)) "learned params" 42. got.Cubic.initial_cwnd
 
 let test_policy_nearest_fallback () =
   let policy = Policy.create () in
   let learned_ctx = ctx ~u:0.5 ~q:0.02 ~n:4 () in
   let params = Cubic.with_knobs ~initial_cwnd:24. Cubic.default_params in
-  Policy.learn policy (Context.bucketize learned_ctx) params;
+  Policy.learn policy (Context.bucketize learned_ctx) (Cc_algo.Cubic params);
   (* One bucket away in u: nearest neighbour applies. *)
   let near = ctx ~u:0.7 ~q:0.02 ~n:4 () in
-  Alcotest.(check (float 0.)) "nearest" 24. (Policy.params_for policy near).Cubic.initial_cwnd;
+  Alcotest.(check (float 0.)) "nearest" 24.
+    (cubic_of (Policy.choice_for policy near)).Cubic.initial_cwnd;
   (* Far away: falls back to the heuristic, not the lone learned entry. *)
   let far = ctx ~u:0.99 ~q:0.5 ~n:100 () in
   Alcotest.(check bool) "heuristic fallback" true
-    (not (Float.equal (Policy.params_for policy far).Cubic.initial_cwnd 24.))
+    (not (Float.equal (cubic_of (Policy.choice_for policy far)).Cubic.initial_cwnd 24.))
+
+let test_policy_learns_any_algorithm () =
+  (* The control plane is algorithm-agnostic: a bucket can select any
+     registered algorithm, not just Cubic parameters. *)
+  let policy = Policy.create () in
+  let context = ctx ~u:0.5 ~q:0.02 ~n:4 () in
+  Policy.learn policy (Context.bucketize context) Cc_algo.Vegas;
+  match Policy.choice_for policy context with
+  | Cc_algo.Vegas -> ()
+  | a -> Alcotest.fail ("expected vegas, got " ^ Cc_algo.name a)
 
 let test_policy_learned_listing () =
   let policy = Policy.create () in
   Alcotest.(check int) "empty" 0 (List.length (Policy.learned policy));
-  Policy.learn policy (Context.bucketize (ctx ())) Cubic.default_params;
+  Policy.learn policy (Context.bucketize (ctx ())) (Cc_algo.Cubic Cubic.default_params);
   Alcotest.(check int) "one entry" 1 (List.length (Policy.learned policy))
+
+(* {2 Cc_algo registry} *)
+
+let test_cc_algo_registry () =
+  Alcotest.(check (list string)) "registered names"
+    [ "cubic"; "reno"; "vegas"; "remy"; "remy-phi" ]
+    Cc_algo.names;
+  List.iter
+    (fun a ->
+      match Cc_algo.of_name (Cc_algo.name a) with
+      | Some b -> Alcotest.(check string) "of_name round-trips" (Cc_algo.name a) (Cc_algo.name b)
+      | None -> Alcotest.fail ("of_name missed " ^ Cc_algo.name a))
+    Cc_algo.all;
+  Alcotest.(check bool) "unknown rejected" true (Cc_algo.of_name "bogus" = None)
+
+let test_basic_builder_rejects_remy_variants () =
+  let raised a =
+    try
+      ignore (Cc_algo.basic_builder ~ctx:Context.empty a);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "remy needs a table" true (raised Cc_algo.Remy);
+  Alcotest.(check bool) "remy-phi needs a table" true (raised Cc_algo.Remy_phi)
 
 (* {2 Phi_client} *)
 
@@ -173,13 +215,13 @@ let test_phi_client_lifecycle () =
   let engine = Engine.create () in
   let server = Context_server.create engine ~capacity_bps:15e6 () in
   let policy = Policy.create () in
-  let client = Phi_client.create ~server ~policy ~path:"dumbbell" in
+  let client = Phi_client.create ~server ~policy ~path:"dumbbell" () in
   Alcotest.(check bool) "no context yet" true (Phi_client.last_context client = None);
-  let cc = Phi_client.cubic_factory client () in
+  let cc = Phi_client.factory client () in
   Alcotest.(check bool) "controller built" true (cc.Phi_tcp.Cc.cwnd >= 1.);
   Alcotest.(check int) "lookup registered" 1 (Context_server.active_connections server ~path:"dumbbell");
   Alcotest.(check bool) "context recorded" true (Phi_client.last_context client <> None);
-  Alcotest.(check bool) "params recorded" true (Phi_client.last_params client <> None)
+  Alcotest.(check bool) "choice recorded" true (Phi_client.last_choice client <> None)
 
 (* {2 Priority} *)
 
@@ -227,19 +269,18 @@ let prop_server_context_always_valid =
       && c.Context.loss_rate >= 0.
       && c.Context.loss_rate <= 1.)
 
-let prop_policy_params_always_valid =
-  QCheck.Test.make ~name:"policy always yields constructible cubic params" ~count:200
+let prop_policy_choice_always_constructible =
+  QCheck.Test.make ~name:"policy choices always build through the basic builder" ~count:200
     QCheck.(
       quad (float_bound_inclusive 1.) (float_bound_inclusive 0.5) (int_range 0 200)
         (float_bound_inclusive 0.2))
     (fun (u, q, n, l) ->
       let policy = Policy.create () in
-      let params =
-        Policy.params_for policy
-          { Context.utilization = u; queue_delay_s = q; competing_senders = n; loss_rate = l }
+      let context =
+        { Context.utilization = u; queue_delay_s = q; competing_senders = n; loss_rate = l }
       in
-      (* make rejects invalid parameters, so constructing is the check *)
-      let cc = Phi_tcp.Cubic.make params in
+      (* the builder rejects invalid parameters, so constructing is the check *)
+      let cc = Cc_algo.basic_builder ~ctx:context (Policy.choice_for policy context) in
       cc.Phi_tcp.Cc.cwnd >= 1.)
 
 (* {2 Secure_agg} *)
@@ -341,14 +382,17 @@ let suite =
     ("policy heuristic monotone", `Quick, test_policy_heuristic_monotone);
     ("policy learned exact hit", `Quick, test_policy_learned_exact_hit);
     ("policy nearest fallback", `Quick, test_policy_nearest_fallback);
+    ("policy learns any algorithm", `Quick, test_policy_learns_any_algorithm);
     ("policy learned listing", `Quick, test_policy_learned_listing);
+    ("cc_algo registry", `Quick, test_cc_algo_registry);
+    ("basic builder rejects remy variants", `Quick, test_basic_builder_rejects_remy_variants);
     ("phi client lifecycle", `Quick, test_phi_client_lifecycle);
     ("priority allocation", `Quick, test_priority_allocation_proportional);
     ("priority ensemble sum", `Quick, test_priority_ensemble_sums_to_n);
     ("priority rejects bad input", `Quick, test_priority_rejects_bad_input);
     ("priority factories", `Quick, test_priority_factories);
     QCheck_alcotest.to_alcotest prop_server_context_always_valid;
-    QCheck_alcotest.to_alcotest prop_policy_params_always_valid;
+    QCheck_alcotest.to_alcotest prop_policy_choice_always_constructible;
     ("secure agg sum recovered", `Quick, test_secure_agg_sum_recovered);
     ("secure agg share masked", `Quick, test_secure_agg_share_masks_value);
     ("secure agg rounds independent", `Quick, test_secure_agg_rounds_independent);

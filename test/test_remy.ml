@@ -1,6 +1,6 @@
 (* Tests for phi_remy: memory signals, whisker geometry, rule tables,
-   serialization, the paced sender, and a smoke test of the trainer's
-   evaluation loop. *)
+   serialization, the Remy controller driving the shared Phi_tcp.Sender,
+   and a smoke test of the trainer's evaluation loop. *)
 
 module Engine = Phi_sim.Engine
 module Topology = Phi_net.Topology
@@ -221,29 +221,45 @@ let prop_partition_total =
       done;
       !ok)
 
-(* {2 Remy sender end-to-end} *)
+(* {2 Remy controller on the unified sender} *)
 
-let run_remy_transfer ?(util = `None) ~table ~total () =
+let run_remy_transfer ?(util = `None) ?(until = 300.) ?(drop = 0.) ~table ~total () =
   let engine = Engine.create () in
   let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+  if drop > 0. then
+    Link.set_fault_injection dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:9)
+      ~drop_probability:drop;
   let receiver =
     Phi_tcp.Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
   in
   let sender =
-    Remy_sender.create engine
+    Phi_tcp.Sender.create engine
       ~node:dumbbell.Topology.senders.(0)
       ~flow:0
       ~dst:(Topology.receiver_id dumbbell 0)
-      ~table ~util ~total_segments:total ()
+      ~cc:(Remy_cc.make ~table ~util ())
+      ~total_segments:total ()
   in
-  Remy_sender.start sender;
-  Engine.run ~until:300. engine;
+  Phi_tcp.Sender.start sender;
+  Engine.run ~until engine;
   (sender, receiver, dumbbell)
+
+let test_remy_cc_shape () =
+  (* The Remy control law rides the shared transport as a controller:
+     go-back-N recovery (no SACK fast retransmit) and the initial
+     whisker's intersend as the pacing gap. *)
+  let action = { Whisker.window_increment = 3.; window_multiple = 1.; intersend_s = 0.0123 } in
+  let table = Rule_table.create ~dims:3 action in
+  let cc = Remy_cc.make ~table ~util:`None () in
+  Alcotest.(check bool) "go-back-N recovery" true
+    (match cc.Phi_tcp.Cc.recovery with Phi_tcp.Cc.Go_back_n -> true | Phi_tcp.Cc.Sack -> false);
+  Alcotest.(check (float 1e-12)) "paced by the whisker" 0.0123 cc.Phi_tcp.Cc.pacing_gap_s;
+  Alcotest.(check string) "named" "remy" cc.Phi_tcp.Cc.name
 
 let test_remy_sender_completes () =
   let table = Rule_table.create ~dims:3 Whisker.default_action in
   let sender, receiver, _ = run_remy_transfer ~table ~total:200 () in
-  Alcotest.(check bool) "completed" true (Remy_sender.completed sender);
+  Alcotest.(check bool) "completed" true (Phi_tcp.Sender.completed sender);
   Alcotest.(check int) "receiver got all" 200 (Phi_tcp.Receiver.segments_received receiver)
 
 let test_remy_sender_pacing_limits_rate () =
@@ -251,7 +267,7 @@ let test_remy_sender_pacing_limits_rate () =
   let action = { Whisker.window_increment = 5.; window_multiple = 2.; intersend_s = 0.01 } in
   let table = Rule_table.create ~dims:3 action in
   let sender, _, _ = run_remy_transfer ~table ~total:300 () in
-  let stats = Remy_sender.stats sender in
+  let stats = Phi_tcp.Sender.stats sender in
   let rate =
     float_of_int stats.Phi_tcp.Flow.segments /. Phi_tcp.Flow.duration stats
   in
@@ -259,38 +275,18 @@ let test_remy_sender_pacing_limits_rate () =
 
 let test_remy_sender_recovers_from_loss () =
   let table = Rule_table.create ~dims:3 Whisker.default_action in
-  let engine = Engine.create () in
-  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
-  Link.set_fault_injection dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed:9)
-    ~drop_probability:0.05;
-  let receiver =
-    Phi_tcp.Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+  let sender, receiver, _ =
+    run_remy_transfer ~until:600. ~drop:0.05 ~table ~total:150 ()
   in
-  let sender =
-    Remy_sender.create engine
-      ~node:dumbbell.Topology.senders.(0)
-      ~flow:0
-      ~dst:(Topology.receiver_id dumbbell 0)
-      ~table ~util:`None ~total_segments:150 ()
-  in
-  Remy_sender.start sender;
-  Engine.run ~until:600. engine;
-  Alcotest.(check bool) "completed under loss" true (Remy_sender.completed sender);
+  Alcotest.(check bool) "completed under loss" true (Phi_tcp.Sender.completed sender);
   Alcotest.(check bool) "receiver consistent" true
     (Phi_tcp.Receiver.next_expected receiver = 150)
 
-let test_remy_sender_dims_validation () =
+let test_remy_cc_dims_validation () =
   let table = Rule_table.create ~dims:3 Whisker.default_action in
-  let engine = Engine.create () in
-  let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
   let raised =
     try
-      ignore
-        (Remy_sender.create engine
-           ~node:dumbbell.Topology.senders.(0)
-           ~flow:0 ~dst:1 ~table
-           ~util:(`Live (fun () -> 0.5))
-           ~total_segments:10 ());
+      ignore (Remy_cc.make ~table ~util:(`Live (fun () -> 0.5)) ());
       false
     with Invalid_argument _ -> true
   in
@@ -333,10 +329,11 @@ let suite =
     ("table extrude", `Quick, test_table_extrude);
     ("pretrained tables load", `Quick, test_pretrained_tables_load);
     QCheck_alcotest.to_alcotest prop_partition_total;
+    ("remy cc shape", `Quick, test_remy_cc_shape);
     ("remy sender completes", `Quick, test_remy_sender_completes);
     ("remy sender pacing", `Quick, test_remy_sender_pacing_limits_rate);
     ("remy sender loss recovery", `Quick, test_remy_sender_recovers_from_loss);
-    ("remy sender dims validation", `Quick, test_remy_sender_dims_validation);
+    ("remy cc dims validation", `Quick, test_remy_cc_dims_validation);
     ("trainer evaluate smoke", `Slow, test_trainer_evaluate_smoke);
     ("trainer ideal 4 dims", `Slow, test_trainer_ideal_uses_4dims);
   ]

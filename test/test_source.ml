@@ -1,6 +1,7 @@
-(* Tests for the on/off workload drivers (Phi_tcp.Source and
-   Phi_remy.Remy_source): sequential connections, the cc-factory and
-   report hooks, stop/abort semantics. *)
+(* Tests for the on/off workload driver (Phi_tcp.Source): sequential
+   connections, the cc-factory and report hooks, stop/abort semantics —
+   including Remy controllers riding the same driver through the
+   cc-factory. *)
 
 module Engine = Phi_sim.Engine
 module Topology = Phi_net.Topology
@@ -95,39 +96,42 @@ let test_source_validation () =
   Alcotest.(check bool) "bad off time" true
     (raised (fun () -> ignore (make_source ~mean_off_s:(-1.) f)))
 
-(* {2 Remy_source} *)
+(* {2 Remy controllers through the shared source} *)
 
 let make_remy_source ?(util = `None) f =
   let dims = match util with `None -> 3 | _ -> 4 in
   let table = Phi_remy.Rule_table.create ~dims Phi_remy.Whisker.default_action in
-  Phi_remy.Remy_source.create f.engine ~rng:(Prng.create ~seed:4) ~flows:f.flows
+  Source.create f.engine ~rng:(Prng.create ~seed:4) ~flows:f.flows
     ~src_node:f.dumbbell.Topology.senders.(0)
     ~dst_node:f.dumbbell.Topology.receivers.(0)
-    ~index:0 ~table ~util
-    { Phi_remy.Remy_source.mean_on_bytes = 50e3; mean_off_s = 0.2 }
+    ~index:0
+    ~cc_factory:(fun () -> Phi_remy.Remy_cc.make ~table ~util ())
+    { Source.mean_on_bytes = 50e3; mean_off_s = 0.2 }
 
 let test_remy_source_runs () =
   let f = fixture () in
   let source = make_remy_source f in
-  Phi_remy.Remy_source.start source;
+  Source.start source;
   Engine.run ~until:30. f.engine;
-  Phi_remy.Remy_source.abort_current source;
+  Source.abort_current source;
   Alcotest.(check bool) "connections completed" true
-    (Phi_remy.Remy_source.connections_completed source > 5);
+    (Source.connections_completed source > 5);
   List.iter
     (fun (r : Flow.conn_stats) ->
       Alcotest.(check bool) "bytes delivered" true (r.Flow.bytes > 0))
-    (Phi_remy.Remy_source.records source)
+    (Source.records source)
 
 let test_remy_source_practical_util_sampled_per_connection () =
+  (* `At_start runs once per Remy_cc.make, i.e. once per connection the
+     factory launches — the Remy-Phi-practical protocol. *)
   let f = fixture () in
   let samples = ref 0 in
   let util = `At_start (fun () -> incr samples; 0.5) in
   let source = make_remy_source ~util f in
-  Phi_remy.Remy_source.start source;
+  Source.start source;
   Engine.run ~until:20. f.engine;
-  Phi_remy.Remy_source.abort_current source;
-  let completed = Phi_remy.Remy_source.connections_completed source in
+  Source.abort_current source;
+  let completed = Source.connections_completed source in
   Alcotest.(check bool) "one sample per connection" true
     (!samples >= completed && !samples <= completed + 1)
 

@@ -57,12 +57,12 @@ let test_rto_min_max () =
 let test_reno_slow_start_then_ca () =
   let cc = Reno.make ~initial_cwnd:2. ~initial_ssthresh:4. () in
   Alcotest.(check bool) "starts in slow start" true (Cc.in_slow_start cc);
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "slow start +1" 3. cc.Cc.cwnd;
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:5;
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:5;
   Alcotest.(check (float 1e-9)) "capped at ssthresh" 4. cc.Cc.cwnd;
   let before = cc.Cc.cwnd in
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "CA +1/cwnd" (before +. (1. /. before)) cc.Cc.cwnd
 
 let test_reno_loss_halves () =
@@ -77,16 +77,20 @@ let test_reno_timeout_resets () =
   Alcotest.(check (float 1e-9)) "cwnd 1" 1. cc.Cc.cwnd;
   Alcotest.(check (float 1e-9)) "ssthresh half" 5. cc.Cc.ssthresh
 
-let test_reno_floor () =
+let test_reno_raw_halving () =
+  (* The controller reports its raw multiplicative decrease; the
+     min-cwnd floor is enforced once, by the sender, after every
+     controller hook (see the buggy-controller property below). *)
   let cc = Reno.make ~initial_cwnd:2. ~initial_ssthresh:2. () in
   cc.Cc.on_loss cc ~now:0.;
-  Alcotest.(check bool) "floored at min" true (cc.Cc.cwnd >= Cc.min_cwnd)
+  Alcotest.(check (float 1e-9)) "raw halving below min_cwnd" 1. cc.Cc.cwnd;
+  Alcotest.(check bool) "min_cwnd is the sender's floor" true (cc.Cc.cwnd < Cc.min_cwnd)
 
 let test_weighted_reno_increase () =
   let w = 4. in
   let cc = Reno.make_weighted ~weight:w ~initial_cwnd:10. ~initial_ssthresh:5. () in
   let before = cc.Cc.cwnd in
-  cc.Cc.on_ack cc ~now:0. ~rtt:None ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:None ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "w/cwnd per ack" (before +. (w /. before)) cc.Cc.cwnd
 
 let test_weighted_reno_gentle_decrease () =
@@ -107,7 +111,7 @@ let test_cubic_defaults_match_table1 () =
 
 let test_cubic_slow_start () =
   let cc = Cubic.make (Cubic.with_knobs ~initial_cwnd:2. ~initial_ssthresh:8. Cubic.default_params) in
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~newly_acked:2;
+  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:2;
   Alcotest.(check (float 1e-9)) "doubling" 4. cc.Cc.cwnd
 
 let test_cubic_beta_decrease () =
@@ -128,13 +132,13 @@ let test_cubic_concave_convex_growth () =
   let now = ref 0. in
   for _ = 1 to 20 do
     now := !now +. 0.1;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~newly_acked:10
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~sent_at:(!now -. 0.1) ~newly_acked:10
   done;
   let w_2s = cc.Cc.cwnd in
   Alcotest.(check bool) "recovering towards w_max" true (w_2s > w_after_loss);
   for _ = 1 to 200 do
     now := !now +. 0.1;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~newly_acked:10
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~sent_at:(!now -. 0.1) ~newly_acked:10
   done;
   Alcotest.(check bool) "eventually exceeds w_max" true (cc.Cc.cwnd > 100.)
 
@@ -163,7 +167,7 @@ let feed_vegas cc ~rtt ~epochs =
   let now = ref 0.1 in
   for _ = 1 to epochs do
     now := !now +. rtt;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some rtt) ~newly_acked:1
+    cc.Cc.on_ack cc ~now:!now ~rtt:(Some rtt) ~sent_at:(!now -. rtt) ~newly_acked:1
   done
 
 let test_vegas_grows_when_queue_empty () =
@@ -177,7 +181,7 @@ let test_vegas_grows_when_queue_empty () =
 let test_vegas_shrinks_when_queue_builds () =
   let cc = Vegas.make ~initial_cwnd:20. ~initial_ssthresh:5. () in
   (* Seed base_rtt low, then keep RTT 2x base: diff = cwnd/2 > beta. *)
-  cc.Cc.on_ack cc ~now:0.05 ~rtt:(Some 0.1) ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0.05 ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
   let before = cc.Cc.cwnd in
   feed_vegas cc ~rtt:0.2 ~epochs:10;
   Alcotest.(check bool) "shrank" true (cc.Cc.cwnd < before)
@@ -572,6 +576,57 @@ let prop_delivery_integrity =
       && Receiver.segments_received receiver = total
       && Receiver.next_expected receiver = total)
 
+(* The min-cwnd floor lives in exactly one place — the sender, after
+   every controller hook.  This adversarial controller poisons cwnd and
+   ssthresh with NaN, negative, zero and sub-floor values on every loss
+   and timeout; the sender must keep the effective window finite and at
+   or above one segment throughout, and still finish the transfer. *)
+let buggy_cc () =
+  let garbage = [| -5.; 0.; 0.5; Float.nan |] in
+  let k = ref 0 in
+  let poison (cc : Cc.t) =
+    cc.Cc.cwnd <- garbage.(!k mod Array.length garbage);
+    cc.Cc.ssthresh <- garbage.((!k + 1) mod Array.length garbage);
+    incr k
+  in
+  Cc.make ~name:"buggy" ~initial_cwnd:4. ~initial_ssthresh:8.
+    ~on_ack:(fun cc ~now:_ ~rtt:_ ~sent_at:_ ~newly_acked:_ -> cc.Cc.cwnd <- cc.Cc.cwnd +. 0.5)
+    ~on_loss:(fun cc ~now:_ -> poison cc)
+    ~on_timeout:(fun cc ~now:_ -> poison cc)
+    ()
+
+let prop_sender_floors_buggy_controllers =
+  QCheck.Test.make
+    ~name:"sender floors cwnd against adversarial controllers (NaN/negative/sub-min)" ~count:15
+    QCheck.(pair (int_range 0 10_000) (int_range 5 25))
+    (fun (seed, loss_pct) ->
+      let engine = Engine.create () in
+      let dumbbell = Topology.dumbbell engine { Topology.paper_spec with Topology.n = 1 } in
+      let receiver =
+        Receiver.create engine ~node:dumbbell.Topology.receivers.(0) ~flow:0 ~peer:0
+      in
+      let sender =
+        Sender.create engine
+          ~node:dumbbell.Topology.senders.(0)
+          ~flow:0
+          ~dst:(Topology.receiver_id dumbbell 0)
+          ~cc:(buggy_cc ()) ~total_segments:150 ()
+      in
+      Link.set_fault_injection dumbbell.Topology.bottleneck ~rng:(Prng.create ~seed)
+        ~drop_probability:(float_of_int loss_pct /. 100.);
+      Sender.start sender;
+      (* Step in one-second slices so the invariant is checked while the
+         adversary is mid-flight, not just at the end. *)
+      let ok = ref true in
+      let t = ref 0. in
+      while !ok && (not (Sender.completed sender)) && !t < 600. do
+        t := !t +. 1.;
+        Engine.run ~until:!t engine;
+        let w = Sender.cwnd sender in
+        if not (Float.is_finite w && w >= 1.) then ok := false
+      done;
+      !ok && Sender.completed sender && Receiver.segments_received receiver = 150)
+
 let suite =
   [
     ("rto initial", `Quick, test_rto_initial);
@@ -582,7 +637,7 @@ let suite =
     ("reno slow start then ca", `Quick, test_reno_slow_start_then_ca);
     ("reno loss halves", `Quick, test_reno_loss_halves);
     ("reno timeout resets", `Quick, test_reno_timeout_resets);
-    ("reno floor", `Quick, test_reno_floor);
+    ("reno raw halving (floor is the sender's)", `Quick, test_reno_raw_halving);
     ("weighted reno increase", `Quick, test_weighted_reno_increase);
     ("weighted reno decrease", `Quick, test_weighted_reno_gentle_decrease);
     ("weighted reno bad weight", `Quick, test_weighted_reno_rejects_bad_weight);
@@ -614,4 +669,5 @@ let suite =
     ("ecn once per rtt", `Quick, test_ecn_reacts_at_most_once_per_rtt);
     ("cwnd trace", `Quick, test_cwnd_trace_records_growth);
     QCheck_alcotest.to_alcotest ~long:true prop_delivery_integrity;
+    QCheck_alcotest.to_alcotest prop_sender_floors_buggy_controllers;
   ]
