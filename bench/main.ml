@@ -785,7 +785,7 @@ let micro_benchmarks () =
     let cc = Cubic.make Cubic.default_params in
     for i = 1 to 1000 do
       let now = float_of_int i *. 0.01 in
-      cc.Phi_tcp.Cc.on_ack cc ~now ~rtt:(Some 0.1) ~sent_at:(now -. 0.1) ~newly_acked:1
+      cc.Phi_tcp.Cc.on_ack cc ~now ~rtt:0.1 ~sent_at:(now -. 0.1) ~newly_acked:1
     done
   in
   let scenario_kernel () =

@@ -1,10 +1,13 @@
 (* phi-lint driver: walk the given roots (default: the current
    directory), lint every .ml/.mli found, print diagnostics, and exit
    non-zero on any violation.  Wired into the build as [dune build
-   @lint]. *)
+   @lint].  [--json PATH] additionally writes the machine-readable
+   report (Lint.json_report) that CI uploads as an artifact. *)
 
 let skip_dir name =
-  name = "_build" || name = "_opam" || (String.length name > 0 && name.[0] = '.')
+  name = "_build" || name = "_opam"
+  || name = "lint_fixtures" (* the test corpus is deliberately full of violations *)
+  || (String.length name > 0 && name.[0] = '.')
 
 let has_suffix ~suffix s =
   let sn = String.length suffix and n = String.length s in
@@ -24,9 +27,16 @@ let rec walk acc path =
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 let () =
-  let roots =
-    match List.tl (Array.to_list Sys.argv) with [] -> [ "." ] | roots -> roots
+  let rec parse_args json roots = function
+    | [] -> (json, List.rev roots)
+    | "--json" :: path :: rest -> parse_args (Some path) roots rest
+    | "--json" :: [] ->
+      prerr_endline "phi-lint: --json requires a path";
+      exit 2
+    | root :: rest -> parse_args json (root :: roots) rest
   in
+  let json, roots = parse_args None [] (List.tl (Array.to_list Sys.argv)) in
+  let roots = match roots with [] -> [ "." ] | roots -> roots in
   (* A typo'd root must not pass the gate as "0 files clean". *)
   List.iter
     (fun root ->
@@ -38,6 +48,9 @@ let () =
   let files = List.sort String.compare (List.concat_map (walk []) roots) in
   let sources = List.map (fun path -> (path, read_file path)) files in
   let violations = Lint.lint_tree sources in
+  Option.iter
+    (fun path -> Phi_util.Json.to_file ~path (Lint.json_report violations))
+    json;
   List.iter (fun v -> print_endline (Lint.to_string v)) violations;
   match violations with
   | [] -> Printf.eprintf "phi-lint: %d files clean\n" (List.length files)

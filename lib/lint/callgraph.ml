@@ -1,0 +1,101 @@
+(* Project-wide call graph over the per-module facts.
+
+   Identifiers are resolved purely by name shape, which matches how
+   this codebase is written: every library module is referred to either
+   unqualified (within its own file), as [Module.f] (via the
+   conventional [module M = Phi_x.M] aliases, which keep the basename),
+   or fully qualified as [Phi_lib.Module.f].  Resolution therefore
+   keys on the last two dotted components — [Module.f] — falling back
+   to [SelfModule.f] for bare names.  Module basenames are unique
+   across lib/ (checked by construction: dune would reject the
+   ambiguous link anyway), so the suffix key is unambiguous today; if
+   two modules ever share a basename both candidates are returned and
+   the analyses stay conservative. *)
+
+type t = {
+  mods : Ast_scan.modinfo list;
+  by_id : (string, Ast_scan.func) Hashtbl.t;  (* "Module.f" (last two components) *)
+  globals_by_id : (string, Ast_scan.global) Hashtbl.t;
+}
+
+(* The last two dotted components of an id: "Phi_net.Link.send" and
+   "Link.send" both key as "Link.send". *)
+let suffix_key id =
+  match String.rindex_opt id '.' with
+  | None -> id
+  | Some last -> (
+    match String.rindex_opt (String.sub id 0 last) '.' with
+    | None -> id
+    | Some prev -> String.sub id (prev + 1) (String.length id - prev - 1))
+
+let build mods =
+  let by_id = Hashtbl.create 512 and globals_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Ast_scan.modinfo) ->
+      List.iter (fun (f : Ast_scan.func) -> Hashtbl.add by_id (suffix_key f.f_id) f) m.m_funcs;
+      List.iter
+        (fun (g : Ast_scan.global) -> Hashtbl.add globals_by_id (suffix_key g.g_id) g)
+        m.m_globals)
+    mods;
+  { mods; by_id; globals_by_id }
+
+let funcs t = List.concat_map (fun (m : Ast_scan.modinfo) -> m.m_funcs) t.mods
+let globals t = List.concat_map (fun (m : Ast_scan.modinfo) -> m.m_globals) t.mods
+
+let find t name = Hashtbl.find_all t.by_id (suffix_key name)
+
+(* Resolve a raw reference written inside [caller_module]. *)
+let resolve t ~caller_module path =
+  if String.contains path '.' then Hashtbl.find_all t.by_id (suffix_key path)
+  else Hashtbl.find_all t.by_id (caller_module ^ "." ^ path)
+
+let resolve_global t ~caller_module path =
+  let key =
+    if String.contains path '.' then suffix_key path else caller_module ^ "." ^ path
+  in
+  Hashtbl.find_opt t.globals_by_id key
+
+let caller_module_of (f : Ast_scan.func) =
+  match String.rindex_opt f.f_id '.' with
+  | None -> f.f_id
+  | Some i -> (
+    let m = String.sub f.f_id 0 i in
+    (* For nested modules ("Mod.Sub.f" -> "Mod.Sub") bare references
+       resolve within the innermost module; the suffix key normalizes
+       the rest. *)
+    match String.rindex_opt m '.' with None -> m | Some j -> String.sub m (j + 1) (String.length m - j - 1))
+
+(* Breadth-first reachability from [roots].  Cold call sites and cold
+   callees are skipped unless [include_cold] (allocation analysis wants
+   only hot paths; race analysis wants every path).  Returns the call
+   chain (root first) that first reached each function. *)
+let reach t ~roots ~include_cold =
+  let paths : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  List.iter
+    (fun (f : Ast_scan.func) ->
+      if (include_cold || not f.f_cold) && not (Hashtbl.mem paths f.f_id) then begin
+        Hashtbl.replace paths f.f_id [ f.f_id ];
+        Queue.push f queue
+      end)
+    roots;
+  while not (Queue.is_empty queue) do
+    let f = Queue.pop queue in
+    let here =
+      match Hashtbl.find_opt paths f.f_id with Some p -> p | None -> [ f.f_id ]
+    in
+    let caller_module = caller_module_of f in
+    List.iter
+      (fun (c : Ast_scan.call) ->
+        if include_cold || not c.c_cold then
+          List.iter
+            (fun (callee : Ast_scan.func) ->
+              if (include_cold || not callee.f_cold) && not (Hashtbl.mem paths callee.f_id)
+              then begin
+                Hashtbl.replace paths callee.f_id (here @ [ callee.f_id ]);
+                Queue.push callee queue
+              end)
+            (resolve t ~caller_module c.c_path))
+      f.f_calls
+  done;
+  paths

@@ -27,7 +27,20 @@ let rules =
     ( "transport-unified",
       "one sender transport: outside lib/tcp, do not bind flows on Phi_net.Node directly \
        or call legacy Remy_sender entry points; build a Phi_tcp.Cc controller (Remy_cc \
-       for Remy) and drive it through Phi_tcp.Sender / Phi_tcp.Source" )
+       for Remy) and drive it through Phi_tcp.Sender / Phi_tcp.Source" );
+    ( "hot-alloc",
+      "allocation on a steady-state hot path: this site is reachable from the engine \
+       loop / link pipeline / per-packet transport handlers through the call graph; \
+       hoist the allocation to setup, use a pooled or flat representation, or suppress \
+       with a justification" );
+    ( "handle-lifetime",
+      "pooled packet handle misused across control flow: used after Packet.release, \
+       double-released, or acquired without a release or ownership transfer on every \
+       path" );
+    ( "domain-race",
+      "module-level mutable state reachable from a Phi_runner.Pool job: worker domains \
+       would share it unsynchronized; allocate it per job or suppress with a documented \
+       exception" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -331,18 +344,27 @@ let token_violations ~path { tokens; _ } =
           && text (k + 1) <> "->"
         then add line "packet-escape"
       (* Touching a handle after releasing it on the same line: the
-         cheap lexical slice of use-after-free (the sanitizer's
-         generation stamps catch the cross-line cases at runtime). *)
+         cheap lexical slice of use-after-free (the [handle-lifetime]
+         AST pass and the sanitizer's generation stamps own the
+         cross-line cases).  Argument-shape-aware: [release pool h]
+         takes the second argument, the partially applied or
+         locally-opened [release h] takes the first. *)
       | "Packet.release" ->
         if packet_scope then begin
-          let h = text (k + 2) in
-          if h <> "" && is_ident_start h.[0] then begin
+          let is_ident s = s <> "" && is_ident_start s.[0] in
+          let a1 = text (k + 1) and a2 = text (k + 2) in
+          let h, after =
+            if is_ident a1 && is_ident a2 then (a2, k + 3)
+            else if is_ident a1 then (a1, k + 2)
+            else ("", k)
+          in
+          if h <> "" then begin
             let rec reused j =
               j < Array.length tokens
               && fst tokens.(j) = line
               && (snd tokens.(j) = h || reused (j + 1))
             in
-            if reused (k + 3) then add line "packet-escape"
+            if reused after then add line "packet-escape"
           end
         end
       | "Node.bind_flow" | "Phi_net.Node.bind_flow" ->
@@ -380,22 +402,23 @@ let suppressed allows v =
 
 let suppressed_anywhere allows rule = List.exists (fun (_, r) -> r = rule) allows
 
-(* [domain-global]: a top-level [let] in a pool-driven library that
-   binds a value built from a mutable-state constructor.  Lexical like
-   everything else here: "top-level" means the [let] starts in column 0
-   (ocamlformat indents every nested binding), "value binding" means the
-   token after the bound name is [=], [:] or [,] (anything else is a
-   parameter, i.e. a function definition whose state is per call), and
-   the constructor must appear on the same line. *)
+(* [domain-global]: a module-level [let] in a pool-driven library that
+   binds a value built from a mutable-state constructor.
+
+   Primary detection is the AST engine ({!Ast_scan}): any zero-parameter
+   module-level binding whose right-hand side constructs mutable state
+   anywhere outside a nested [fun] — nested in a record, indented over
+   several lines, inside a submodule.  The lexical scan below remains as
+   the fallback for sources that do not parse, with its historical
+   limits: column-0 [let], constructor on the same line. *)
 let mutable_constructors =
   [
     "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
     "Atomic.make"; "Array.make"; "Bytes.create"; "Bytes.make"
   ]
 
-let domain_global_violations ~path src { tokens; _ } =
-  if not (in_domain_pool path && ends_with ~suffix:".ml" path) then []
-  else begin
+let lexical_domain_global_violations ~path src { tokens; _ } =
+  begin
     let by_line = Hashtbl.create 64 in
     Array.iter
       (fun (line, tok) ->
@@ -423,6 +446,32 @@ let domain_global_violations ~path src { tokens; _ } =
     List.rev !out
   end
 
+let domain_global_violations ~path src scan =
+  if not (in_domain_pool path && ends_with ~suffix:".ml" path) then []
+  else
+    match Ast_scan.scan ~path src with
+    | Error _ -> lexical_domain_global_violations ~path src scan
+    | Ok m ->
+      List.map
+        (fun (g : Ast_scan.global) ->
+          {
+            file = path;
+            line = g.g_line;
+            rule = "domain-global";
+            message = Printf.sprintf "%s (binds %s): %s" g.g_id g.g_what (message_of "domain-global");
+          })
+        m.m_globals
+
+(* [handle-lifetime]: the per-function dataflow pass over pooled packet
+   handles (see {!Handle_flow}), in the same scope as [packet-escape]. *)
+let handle_lifetime_violations ~path src =
+  if not (in_packet_scope path && ends_with ~suffix:".ml" path) then []
+  else
+    List.map
+      (fun (f : Handle_flow.finding) ->
+        { file = path; line = f.line; rule = "handle-lifetime"; message = f.message })
+      (Handle_flow.check ~path src)
+
 let starts_with_doc_comment src =
   let n = String.length src in
   let i = ref 0 in
@@ -433,7 +482,11 @@ let starts_with_doc_comment src =
 
 let lint_source ~path src =
   let scan = scan_source src in
-  let vs = token_violations ~path scan @ domain_global_violations ~path src scan in
+  let vs =
+    token_violations ~path scan
+    @ domain_global_violations ~path src scan
+    @ handle_lifetime_violations ~path src
+  in
   let vs =
     if ends_with ~suffix:".mli" path && in_lib path && not (starts_with_doc_comment src)
     then violation path 1 "mli-doc" :: vs
@@ -444,6 +497,50 @@ let lint_source ~path src =
       if v.rule = "mli-doc" then not (suppressed_anywhere scan.allows v.rule)
       else not (suppressed scan.allows v))
     vs
+
+(* {2 Cross-module passes}
+
+   [hot-alloc] and [domain-race] need the whole library at once: the
+   per-file facts feed one call graph, the dataflow passes run on top,
+   and each finding is filtered against its own file's allow
+   directives (same line or the line above, like every other rule). *)
+let cross_module_violations files =
+  let mods =
+    List.filter_map
+      (fun (path, src) ->
+        if in_lib path && ends_with ~suffix:".ml" path then
+          match Ast_scan.scan ~path src with Ok m -> Some m | Error _ -> None
+        else None)
+      files
+  in
+  match mods with
+  | [] -> []
+  | _ ->
+    let graph = Callgraph.build mods in
+    let vs =
+      List.map
+        (fun (f : Effects.finding) ->
+          { file = f.file; line = f.line; rule = "hot-alloc"; message = f.message })
+        (Effects.violations graph)
+      @ List.map
+          (fun (f : Race.finding) ->
+            { file = f.file; line = f.line; rule = "domain-race"; message = f.message })
+          (Race.violations graph)
+    in
+    let allows_by_file = Hashtbl.create 16 in
+    let allows_of path =
+      match Hashtbl.find_opt allows_by_file path with
+      | Some a -> a
+      | None ->
+        let a =
+          match List.assoc_opt path files with
+          | Some src -> (scan_source src).allows
+          | None -> []
+        in
+        Hashtbl.replace allows_by_file path a;
+        a
+    in
+    List.filter (fun v -> not (suppressed (allows_of v.file) v)) vs
 
 let lint_tree files =
   let paths = List.map fst files in
@@ -460,7 +557,11 @@ let lint_tree files =
         else None)
       files
   in
-  let all = List.concat_map (fun (path, src) -> lint_source ~path src) files @ missing in
+  let all =
+    List.concat_map (fun (path, src) -> lint_source ~path src) files
+    @ missing
+    @ cross_module_violations files
+  in
   List.sort
     (fun a b ->
       match String.compare a.file b.file with
@@ -469,3 +570,39 @@ let lint_tree files =
     all
 
 let to_string v = Printf.sprintf "%s:%d: %s: %s" v.file v.line v.rule v.message
+
+(* {2 Machine-readable report} *)
+
+let json_report vs =
+  let module J = Phi_util.Json in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + match Hashtbl.find_opt tbl key with Some c -> c | None -> 0)
+  in
+  let by_rule = Hashtbl.create 16 and by_file = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      bump by_rule v.rule;
+      bump by_file v.file)
+    vs;
+  let counts tbl =
+    Hashtbl.fold (fun k c acc -> (k, J.Int c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  J.Obj
+    [
+      ( "violations",
+        J.List
+          (List.map
+             (fun v ->
+               J.Obj
+                 [
+                   ("file", J.String v.file);
+                   ("line", J.Int v.line);
+                   ("rule", J.String v.rule);
+                   ("message", J.String v.message);
+                 ])
+             vs) );
+      ("total", J.Int (List.length vs));
+      ("by_rule", J.Obj (counts by_rule));
+      ("by_file", J.Obj (counts by_file));
+    ]

@@ -6,12 +6,27 @@
     stdlib lookups, no [failwith]/[exit] in library code, and a
     documented [.mli] for every library module.
 
-    The analyzer is deliberately lexical — it tokenizes the source
-    (stripping comments and string literals) rather than parsing it, so
-    it is dependency-free, runs in microseconds per file, and can be
-    wired into the build as the [@lint] alias.  Violations can be
-    suppressed with a [(* phi-lint: allow <rule> *)] comment on the same
-    line or the line directly above. *)
+    Two engines share one violation stream and one suppression
+    mechanism:
+
+    - The {b token engine} tokenizes the source (stripping comments and
+      string literals) — dependency-free, microseconds per file.  It
+      owns everything lexical: comment-hosted allow directives, [.mli]
+      checks, and the pattern rules below.
+    - The {b AST engine} parses each [.ml] with the compiler's own
+      parser (compiler-libs) and runs dataflow on top: an
+      allocation-effect lattice propagated over a project-wide call
+      graph ([hot-alloc], see {!Effects}), an intraprocedural
+      handle-lifetime analysis for pooled packets ([handle-lifetime],
+      see {!Handle_flow}), and a reachability analysis from pool jobs
+      to module-level mutable state ([domain-race], see {!Race};
+      [domain-global] also uses the AST scan, falling back to the old
+      lexical heuristic only for sources that do not parse).
+
+    Violations from either engine can be suppressed with a
+    [(* phi-lint: allow <rule> *)] comment on the same line or the line
+    directly above.  Both engines run under the same [dune build @lint]
+    tier-1 gate. *)
 
 type violation = {
   file : string;
@@ -56,7 +71,27 @@ val rules : (string * string) list
       that binds flows on [Phi_net.Node] directly or references the
       deleted [Remy_sender] transport — there is exactly one sender
       transport; algorithms are [Phi_tcp.Cc] controllers driven by
-      [Phi_tcp.Sender]/[Phi_tcp.Source]. *)
+      [Phi_tcp.Sender]/[Phi_tcp.Source].
+    - [hot-alloc] (AST): an allocation site (closure, tuple/record/
+      constructor, boxed-float store, array, or a curated allocating
+      stdlib call) in a function reachable from the hot entry points
+      (engine loop, link pipeline, per-packet transport handlers)
+      through non-cold call-graph edges.  Error paths ([raise] /
+      [invalid_arg] arguments), sanitizer-guarded branches
+      ([Invariant.enabled ()] / [!Invariant.armed]) and
+      [@inline never] cold helpers are excluded.
+    - [handle-lifetime] (AST): per-function dataflow over pooled packet
+      handles in the [packet-escape] scope — use after
+      [Packet.release] (any distance, any control flow), double
+      release, and handles acquired but neither released nor
+      ownership-transferred on every path.
+    - [domain-race] (AST): module-level mutable state referenced by any
+      function reachable (through the call graph, cold edges included)
+      from a function that fans work out via [Pool.map] /
+      [Pool.try_map] — reported at the global's definition line.
+      Unlike [domain-global] (which polices where pool-adjacent code
+      {e lives}), this follows actual reachability from the fan-out
+      sites across modules. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
@@ -90,9 +125,16 @@ val lint_source : path:string -> string -> violation list
     source itself is passed as a string, so fixtures need no files. *)
 
 val lint_tree : (string * string) list -> violation list
-(** [lint_tree files] lints every [(path, contents)] pair and adds the
-    cross-file [missing-mli] check.  Results are sorted by file and
-    line. *)
+(** [lint_tree files] lints every [(path, contents)] pair, adds the
+    cross-file [missing-mli] check, and runs the cross-module AST
+    passes ([hot-alloc], [domain-race]) over the [lib/] sources in the
+    set.  Results are sorted by file and line. *)
 
 val to_string : violation -> string
 (** Renders as [file:line: rule: message] — one diagnostic per line. *)
+
+val json_report : violation list -> Phi_util.Json.t
+(** The machine-readable report written by [phi_lint --json]: an object
+    with [violations] (file/line/rule/message records, in input order),
+    [total], and [by_rule] / [by_file] count objects with keys
+    sorted. *)

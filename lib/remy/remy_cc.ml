@@ -18,14 +18,14 @@ let make ?name ~table ~util () =
     cc.Cc.pacing_gap_s <- whisker.Whisker.action.Whisker.intersend_s
   in
   let on_ack cc ~now ~rtt ~sent_at ~newly_acked:_ =
-    match rtt with
-    | None -> ()
-    | Some _ ->
+    (* [rtt > 0.] is the has-sample test: no sample is [nan]. *)
+    if rtt > 0. then begin
       Memory.on_ack memory ~now ~echo_sent_at:sent_at;
       (match util with
       | `Live f -> Memory.set_utilization memory (f ())
       | `At_start _ | `None -> ());
       apply_whisker cc
+    end
   in
   (* Remy prescribes no loss response; on timeout the window collapses and
      the rule table rebuilds it from subsequent ACKs. *)

@@ -43,6 +43,13 @@
 
 type handle = int
 
+(* Real handles are [packed << 1] of non-negative generation and index,
+   so every one is >= 0: any negative int is recognizably no handle at
+   all.  [cancel]'s bounds-then-generation check already rejects it. *)
+let null : handle = -1
+
+let is_null (h : handle) = h < 0
+
 type port = int
 
 (* 2^25 simultaneous cells is far beyond any simulation here; the
@@ -113,10 +120,11 @@ let[@inline] set_clock t v = Float.Array.unsafe_set t.clock 0 v
 let grow_heap t =
   let cap = Float.Array.length t.hp in
   let ncap = Stdlib.max 64 (2 * cap) in
-  let np = Float.Array.create ncap in
+  (* Amortized doubling; a sized [create] pre-allocates and never grows. *)
+  let np = Float.Array.create ncap in (* phi-lint: allow hot-alloc *)
   Float.Array.blit t.hp 0 np 0 t.hlen;
   t.hp <- np;
-  let nm = Array.make (2 * ncap) 0 in
+  let nm = Array.make (2 * ncap) 0 in (* phi-lint: allow hot-alloc *)
   Array.blit t.hm 0 nm 0 (2 * t.hlen);
   t.hm <- nm
 
@@ -198,13 +206,14 @@ let grow_slab t =
   let cap = Array.length t.cell_gen in
   let ncap = Stdlib.max 64 (2 * cap) in
   if ncap > idx_mask + 1 then invalid_arg "Engine: event slab exceeds 2^25 cells";
-  let ngen = Array.make ncap 0 in
+  (* Amortized doubling; a sized [create] pre-allocates and never grows. *)
+  let ngen = Array.make ncap 0 in (* phi-lint: allow hot-alloc *)
   Array.blit t.cell_gen 0 ngen 0 cap;
   t.cell_gen <- ngen;
-  let nact = Array.make ncap nop in
+  let nact = Array.make ncap nop in (* phi-lint: allow hot-alloc *)
   Array.blit t.cell_act 0 nact 0 cap;
   t.cell_act <- nact;
-  let nfree = Array.make ncap 0 in
+  let nfree = Array.make ncap 0 in (* phi-lint: allow hot-alloc *)
   Array.blit t.free 0 nfree 0 t.free_len;
   t.free <- nfree;
   (* Hand out low indices first: the busiest cells stay clustered. *)
@@ -376,12 +385,14 @@ let stop t = t.stopping <- true
 
 let run ?until t =
   t.stopping <- false;
-  let horizon_reached () =
+  (* Two closures per [run] call, not per event; runs span millions of
+     events so this is outside the per-event budget. *)
+  let horizon_reached () = (* phi-lint: allow hot-alloc *)
     match until with
     | None -> false
     | Some limit -> t.hlen = 0 || Float.Array.get t.hp 0 > limit
   in
-  let rec loop () =
+  let rec loop () = (* phi-lint: allow hot-alloc *)
     if t.stopping then ()
     else if horizon_reached () then ()
     else if step t then loop ()

@@ -20,6 +20,16 @@ type handle
     been recycled for a newer event is simply stale — cancelling it is
     a safe no-op. *)
 
+val null : handle
+(** A handle that identifies no event — {!cancel} on it is a no-op.
+    Lets callers keep "no timer armed" in a plain [handle] field
+    instead of a [handle option], which would box a [Some] on every
+    re-arm (the sender's RTO path re-arms once per ACK). *)
+
+val is_null : handle -> bool
+(** Recognizes {!null} (and only it among handles this engine ever
+    returns). *)
+
 val create : unit -> t
 (** Fresh engine with the clock at 0. *)
 

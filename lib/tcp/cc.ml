@@ -6,7 +6,7 @@ type t = {
   mutable ssthresh : float;
   mutable pacing_gap_s : float;
   recovery : recovery;
-  on_ack : t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit;
+  on_ack : t -> now:float -> rtt:float -> sent_at:float -> newly_acked:int -> unit;
   on_loss : t -> now:float -> unit;
   on_timeout : t -> now:float -> unit;
 }

@@ -24,10 +24,14 @@ type t = {
       (** minimum gap between segment transmissions, seconds; [0.] sends
           back-to-back (pure window control) *)
   recovery : recovery;
-  on_ack : t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit;
-      (** [rtt] is the sample from this ACK when one was available;
-          [sent_at] is the exact echoed transmission timestamp the sample
-          was computed from (meaningful only when [rtt] is [Some _]). *)
+  on_ack : t -> now:float -> rtt:float -> sent_at:float -> newly_acked:int -> unit;
+      (** [rtt] is the sample from this ACK when one was available and
+          [nan] otherwise (a sentinel rather than a [float option], so
+          the per-ACK call allocates no [Some] box; real samples are
+          always [> 0.], so [rtt > 0.] is the has-sample test and is
+          false on [nan]).  [sent_at] is the exact echoed transmission
+          timestamp the sample was computed from (meaningful only when a
+          sample is present). *)
   on_loss : t -> now:float -> unit;
   on_timeout : t -> now:float -> unit;
 }
@@ -38,7 +42,7 @@ val make :
   initial_ssthresh:float ->
   ?recovery:recovery ->
   ?pacing_gap_s:float ->
-  on_ack:(t -> now:float -> rtt:float option -> sent_at:float -> newly_acked:int -> unit) ->
+  on_ack:(t -> now:float -> rtt:float -> sent_at:float -> newly_acked:int -> unit) ->
   on_loss:(t -> now:float -> unit) ->
   on_timeout:(t -> now:float -> unit) ->
   unit ->

@@ -63,9 +63,8 @@ let make params =
     s.w_tcp <- cc.cwnd
   in
   let on_ack (cc : Cc.t) ~now ~rtt ~sent_at:_ ~newly_acked =
-    (match rtt with
-    | Some sample -> if sample > 0. then s.min_rtt <- Float.min s.min_rtt sample
-    | None -> ());
+    (* [rtt > 0.] is the has-sample test: no sample is [nan]. *)
+    if rtt > 0. then s.min_rtt <- Float.min s.min_rtt rtt;
     let acked = float_of_int newly_acked in
     if Cc.in_slow_start cc then cc.cwnd <- Float.min (cc.cwnd +. acked) (Float.max cc.ssthresh cc.cwnd)
     else begin
@@ -87,7 +86,7 @@ let make params =
         cc.cwnd <- cc.cwnd +. (0.01 /. cc.cwnd *. acked);
       if params.tcp_friendly then begin
         (* Estimate of what standard AIMD with the same beta would earn. *)
-        let rtt_for_est = match rtt with Some r when r > 0. -> r | _ -> min_rtt in
+        let rtt_for_est = if rtt > 0. then rtt else min_rtt in
         s.w_tcp <-
           s.w_tcp +. (3. *. params.beta /. (2. -. params.beta) *. (acked /. rtt_for_est *. min_rtt /. cc.cwnd));
         if s.w_tcp > cc.cwnd then cc.cwnd <- s.w_tcp

@@ -109,7 +109,9 @@ let handle t pkt =
         send_ack t ~has_echo:(not retransmitted) ~echo_sent_at:sent_at ~tx_time:sent_at ~ece
       end
       else begin
-        Hashtbl.add t.buffered seq ();
+        (* Out-of-order arrival: only reordered/lossy episodes buffer;
+           in-order delivery never reaches this branch. *)
+        Hashtbl.add t.buffered seq (); (* phi-lint: allow hot-alloc *)
         remember_recent t seq;
         (* Duplicate ACK: cumulative number unchanged, SACK describes the
            hole; no RTT echo. *)

@@ -18,5 +18,6 @@ val backoff : t -> unit
 
 val reset_backoff : t -> unit
 
-val srtt : t -> float option
-(** Smoothed RTT, if any sample has arrived. *)
+val srtt : t -> default:float -> float
+(** Smoothed RTT, or [default] before the first sample.  Returns a bare
+    float (no [option]) so per-ACK callers allocate nothing. *)

@@ -5,6 +5,23 @@ module Packet = Phi_net.Packet
 
 let dupthresh = 3
 
+(* Hot mutable floats live in [fs], one flat floatarray per sender:
+   storing into a mutable float field of this mixed record would box a
+   fresh float on every write — per ACK for the delivery watermark and
+   RTT accounting, per transmission for the pacing clock — while a
+   floatarray store is unboxed (same idiom as the engine clock and
+   Rto).  Cold timestamps (started_at, finished_at) stay ordinary
+   fields. *)
+let delivered_tx_high_i = 0
+(* latest transmission time echoed by any ACK: everything sent earlier
+   has either been delivered or dropped (paths are FIFO) *)
+
+let next_send_at_i = 1 (* earliest paced transmission time *)
+let rtt_sum_i = 2
+let rtt_min_i = 3
+let ecn_reaction_until_i = 4 (* ignore further ECE until this time *)
+let fs_slots = 5
+
 type t = {
   engine : Engine.t;
   node : Node.t;
@@ -34,27 +51,29 @@ type t = {
   mutable n_retx : int;
   mutable highest_sacked : int;  (* one past the highest sacked seq, >= snd_una *)
   mutable loss_scan : int;  (* first seq not yet evaluated for loss *)
-  mutable delivered_tx_high : float;
-      (* latest transmission time echoed by any ACK: everything sent
-         earlier has either been delivered or dropped (paths are FIFO) *)
+  fs : floatarray;  (* hot mutable floats; slots above *)
   mutable in_recovery : bool;
   mutable recover : int;  (* recovery ends when snd_una reaches this *)
-  mutable next_send_at : float;  (* earliest paced transmission time *)
-  mutable send_timer : Engine.handle option;  (* pending paced-send wakeup *)
-  mutable rto_handle : Engine.handle option;
+  mutable send_timer : Engine.handle;  (* pending paced-send wakeup, or null *)
+  mutable rto_handle : Engine.handle;  (* pending RTO, or null *)
+  mutable rto_cb : unit -> unit;
+      (* the RTO and paced-send callbacks, allocated once at create: the
+         RTO re-arms on every ACK and a per-arm closure would be a
+         per-ACK allocation *)
+  mutable send_timer_cb : unit -> unit;
   mutable started_at : float;
   mutable finished_at : float;
   mutable retransmitted : int;
   mutable timeouts : int;
   mutable rtt_count : int;
-  mutable rtt_sum : float;
-  mutable rtt_min : float;
   mutable ecn_reductions : int;
-  mutable ecn_reaction_until : float;  (* ignore further ECE until this time *)
   mutable cwnd_bound : float option;
       (* sanitizer upper bound (typically buffer + BDP in packets); None
          disables the upper check *)
 }
+
+let fget t i = Float.Array.get t.fs i
+let fset t i v = Float.Array.set t.fs i v
 
 let persistent_total = max_int / 2
 
@@ -69,7 +88,9 @@ let completed t = t.completed
 
 let stats t =
   let finished_at = if t.completed then t.finished_at else Engine.now t.engine in
-  {
+  (* One record per [stats] call; callers sample at completion or at a
+     coarse reporting cadence, never per event. *)
+  { (* phi-lint: allow hot-alloc *)
     Flow.flow = t.flow;
     source_index = t.source_index;
     started_at = t.started_at;
@@ -79,8 +100,9 @@ let stats t =
     retransmitted_segments = t.retransmitted;
     timeouts = t.timeouts;
     rtt_samples = t.rtt_count;
-    min_rtt = (if t.rtt_count > 0 then t.rtt_min else nan);
-    mean_rtt = (if t.rtt_count > 0 then t.rtt_sum /. float_of_int t.rtt_count else nan);
+    min_rtt = (if t.rtt_count > 0 then fget t rtt_min_i else nan);
+    mean_rtt =
+      (if t.rtt_count > 0 then fget t rtt_sum_i /. float_of_int t.rtt_count else nan);
   }
 
 (* RFC 6675-style pipe: data sent minus data known to have left the
@@ -110,18 +132,16 @@ let check_cwnd t =
   end
 
 let cancel_rto t =
-  match t.rto_handle with
-  | Some h ->
-    Engine.cancel t.engine h;
-    t.rto_handle <- None
-  | None -> ()
+  if not (Engine.is_null t.rto_handle) then begin
+    Engine.cancel t.engine t.rto_handle;
+    t.rto_handle <- Engine.null
+  end
 
 let cancel_send_timer t =
-  match t.send_timer with
-  | Some h ->
-    Engine.cancel t.engine h;
-    t.send_timer <- None
-  | None -> ()
+  if not (Engine.is_null t.send_timer) then begin
+    Engine.cancel t.engine t.send_timer;
+    t.send_timer <- Engine.null
+  end
 
 (* The [min_cwnd] floor lives here, not in each controller: after a loss
    event both the window and the threshold stay at or above two segments
@@ -160,7 +180,8 @@ let clear_scoreboard t =
 
 let mark_sacked t seq =
   if seq >= t.snd_una && seq < t.snd_nxt && not (Hashtbl.mem t.sacked seq) then begin
-    Hashtbl.add t.sacked seq ();
+    (* SACK bookkeeping: only reordered/lost segments enter this branch. *)
+    Hashtbl.add t.sacked seq (); (* phi-lint: allow hot-alloc *)
     t.n_sacked <- t.n_sacked + 1;
     if Hashtbl.mem t.lost seq then begin
       Hashtbl.remove t.lost seq;
@@ -193,15 +214,16 @@ let requeue_lost_retransmissions t =
      allocation on every ACK of a loss-free steady state. *)
   if Hashtbl.length t.retx > 0 then begin
     let stale =
-      Hashtbl.fold
-        (fun seq sent_at acc -> if sent_at < t.delivered_tx_high then seq :: acc else acc)
+      Hashtbl.fold (* phi-lint: allow hot-alloc *)
+        (fun seq sent_at acc -> (* phi-lint: allow hot-alloc *)
+          if sent_at < fget t delivered_tx_high_i then seq :: acc else acc) (* phi-lint: allow hot-alloc *)
         t.retx []
     in
     List.iter
-      (fun seq ->
+      (fun seq -> (* phi-lint: allow hot-alloc *)
         Hashtbl.remove t.retx seq;
         t.n_retx <- t.n_retx - 1;
-        Queue.push seq t.retx_queue)
+        Queue.push seq t.retx_queue) (* phi-lint: allow hot-alloc *)
       stale
   end
 
@@ -215,9 +237,10 @@ let detect_losses t =
       && (not (Hashtbl.mem t.sacked seq))
       && not (Hashtbl.mem t.lost seq)
     then begin
-      Hashtbl.add t.lost seq ();
+      (* Loss marking: reached only when SACK reports a hole. *)
+      Hashtbl.add t.lost seq (); (* phi-lint: allow hot-alloc *)
       t.n_lost <- t.n_lost + 1;
-      Queue.push seq t.retx_queue
+      Queue.push seq t.retx_queue (* phi-lint: allow hot-alloc *)
     end;
     t.loss_scan <- t.loss_scan + 1
   done
@@ -242,27 +265,24 @@ let advance_una t new_una =
   if t.highest_sacked < new_una then t.highest_sacked <- new_una;
   if t.loss_scan < new_una then t.loss_scan <- new_una
 
-let next_retransmit t =
-  let rec pop () =
-    match Queue.take_opt t.retx_queue with
-    | None -> None
-    | Some seq ->
-      if
-        seq >= t.snd_una
-        && Hashtbl.mem t.lost seq
-        && not (Hashtbl.mem t.retx seq)
-      then Some seq
-      else pop ()
-  in
-  pop ()
+(* Next eligible lost segment to retransmit, or -1 when the queue holds
+   none: a sentinel rather than an option, and [Queue.pop] rather than
+   [take_opt], so the dequeue allocates nothing. *)
+let rec next_retransmit t =
+  if Queue.is_empty t.retx_queue then -1
+  else begin
+    let seq = Queue.pop t.retx_queue in
+    if seq >= t.snd_una && Hashtbl.mem t.lost seq && not (Hashtbl.mem t.retx seq) then seq
+    else next_retransmit t
+  end
 
 let rec arm_rto t =
   cancel_rto t;
   let delay = Rto.current t.rto in
-  t.rto_handle <- Some (Engine.schedule_after t.engine ~delay (fun () -> on_rto t))
+  t.rto_handle <- Engine.schedule_after t.engine ~delay t.rto_cb
 
 and on_rto t =
-  t.rto_handle <- None;
+  t.rto_handle <- Engine.null;
   if (not t.completed) && t.snd_una < t.total then begin
     t.timeouts <- t.timeouts + 1;
     Rto.backoff t.rto;
@@ -288,37 +308,36 @@ and try_send t =
   while !continue && pipe t < window do
     if
       gap > 0.
-      && now < t.next_send_at
+      && now < fget t next_send_at_i
       && ((not (Queue.is_empty t.retx_queue)) || t.snd_nxt < t.total)
     then begin
       blocked := true;
       continue := false
     end
-    else
-      match next_retransmit t with
-      | Some seq ->
+    else begin
+      let seq = next_retransmit t in
+      if seq >= 0 then begin
         send_segment t seq;
-        Hashtbl.add t.retx seq (Engine.now t.engine);
+        Hashtbl.add t.retx seq (Engine.now t.engine); (* phi-lint: allow hot-alloc *)
+        (* ^ retransmission bookkeeping: runs only for lost segments,
+           never in a loss-free steady state *)
         t.n_retx <- t.n_retx + 1;
         progressed := true;
-        if gap > 0. then t.next_send_at <- Float.max now t.next_send_at +. gap
-      | None ->
-        if t.snd_nxt < t.total then begin
-          send_segment t t.snd_nxt;
-          t.snd_nxt <- t.snd_nxt + 1;
-          progressed := true;
-          if gap > 0. then t.next_send_at <- Float.max now t.next_send_at +. gap
-        end
-        else continue := false
+        if gap > 0. then fset t next_send_at_i (Float.max now (fget t next_send_at_i) +. gap)
+      end
+      else if t.snd_nxt < t.total then begin
+        send_segment t t.snd_nxt;
+        t.snd_nxt <- t.snd_nxt + 1;
+        progressed := true;
+        if gap > 0. then fset t next_send_at_i (Float.max now (fget t next_send_at_i) +. gap)
+      end
+      else continue := false
+    end
   done;
-  if !progressed && t.rto_handle = None then arm_rto t;
-  if !blocked && t.send_timer = None then begin
-    let delay = Float.max 0. (t.next_send_at -. now) in
-    t.send_timer <-
-      Some
-        (Engine.schedule_after t.engine ~delay (fun () ->
-             t.send_timer <- None;
-             if not t.completed then try_send t))
+  if !progressed && Engine.is_null t.rto_handle then arm_rto t;
+  if !blocked && Engine.is_null t.send_timer then begin
+    let delay = Float.max 0. (fget t next_send_at_i -. now) in
+    t.send_timer <- Engine.schedule_after t.engine ~delay t.send_timer_cb
   end
 
 let complete t =
@@ -335,19 +354,18 @@ let record_rtt t sample =
   if sample > 0. then begin
     Rto.observe t.rto ~rtt:sample;
     t.rtt_count <- t.rtt_count + 1;
-    t.rtt_sum <- t.rtt_sum +. sample;
-    if sample < t.rtt_min then t.rtt_min <- sample
+    fset t rtt_sum_i (fget t rtt_sum_i +. sample);
+    if sample < fget t rtt_min_i then fset t rtt_min_i sample
   end
 
 (* React to an ECN echo like a loss-based decrease, but at most once per
    RTT and without any retransmission (RFC 3168 semantics). *)
 let on_ecn_echo t ~now =
-  if now >= t.ecn_reaction_until then begin
+  if now >= fget t ecn_reaction_until_i then begin
     t.cc.Cc.on_loss t.cc ~now;
     clamp_after_loss t;
     t.ecn_reductions <- t.ecn_reductions + 1;
-    let rtt = match Rto.srtt t.rto with Some s -> s | None -> 0.2 in
-    t.ecn_reaction_until <- now +. rtt
+    fset t ecn_reaction_until_i (now +. Rto.srtt t.rto ~default:0.2)
   end
 
 (* [pkt] must be an ACK handle; every field is read through the pooled
@@ -359,7 +377,7 @@ let on_ack t pkt =
   let echo_sent_at = Packet.ack_echo_sent_at t.pool pkt in
   let tx_time = Packet.ack_echo_tx_time t.pool pkt in
   if Packet.ack_ece t.pool pkt then on_ecn_echo t ~now;
-  if tx_time > t.delivered_tx_high then t.delivered_tx_high <- tx_time;
+  if tx_time > fget t delivered_tx_high_i then fset t delivered_tx_high_i tx_time;
   (* A go-back-N controller repairs losses through the RTO alone: ignore
      the receiver's SACK blocks so the scoreboard stays empty and no fast
      retransmit ever fires. *)
@@ -379,7 +397,8 @@ let on_ack t pkt =
     clamp_after_loss t
   end;
   if newly_acked > 0 && not t.in_recovery then begin
-    let rtt = if has_echo then Some (now -. echo_sent_at) else None in
+    (* nan = no sample (see Cc.on_ack): a sentinel, not a [Some] box. *)
+    let rtt = if has_echo then now -. echo_sent_at else Float.nan in
     t.cc.Cc.on_ack t.cc ~now ~rtt ~sent_at:echo_sent_at ~newly_acked
   end;
   if t.snd_una >= t.total then complete t
@@ -392,9 +411,17 @@ let on_packet t pkt =
   (* Senders only consume ACKs. *)
   if (not (Packet.is_data t.pool pkt)) && not t.completed then on_ack t pkt
 
+let nop () = ()
+
 let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
     ?(on_complete = fun _ -> ()) () =
   if total_segments < 1 then invalid_arg "Sender.create: total_segments must be >= 1";
+  let fs = Float.Array.create fs_slots in
+  Float.Array.set fs delivered_tx_high_i neg_infinity;
+  Float.Array.set fs next_send_at_i 0.;
+  Float.Array.set fs rtt_sum_i 0.;
+  Float.Array.set fs rtt_min_i infinity;
+  Float.Array.set fs ecn_reaction_until_i neg_infinity;
   let t =
     {
       engine;
@@ -423,22 +450,26 @@ let create engine ~node ~flow ~dst ~cc ~total_segments ?(source_index = 0)
       loss_scan = 0;
       in_recovery = false;
       recover = 0;
-      next_send_at = 0.;
-      send_timer = None;
-      delivered_tx_high = neg_infinity;
-      rto_handle = None;
+      fs;
+      send_timer = Engine.null;
+      rto_handle = Engine.null;
+      rto_cb = nop;
+      send_timer_cb = nop;
       started_at = Engine.now engine;
       finished_at = Engine.now engine;
       retransmitted = 0;
       timeouts = 0;
       rtt_count = 0;
-      rtt_sum = 0.;
-      rtt_min = infinity;
       ecn_reductions = 0;
-      ecn_reaction_until = neg_infinity;
       cwnd_bound = None;
     }
   in
+  (* Allocate the timer callbacks once here; arming only stores them. *)
+  t.rto_cb <- (fun () -> on_rto t);
+  t.send_timer_cb <-
+    (fun () ->
+      t.send_timer <- Engine.null;
+      if not t.completed then try_send t);
   Node.bind_flow node ~flow (on_packet t);
   t
 

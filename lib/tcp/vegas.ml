@@ -11,12 +11,12 @@ let make ?(alpha = 2.) ?(beta = 4.) ?(gamma = 1.) ?(initial_cwnd = 2.)
   if alpha <= 0. then invalid_arg "Vegas.make: alpha must be positive";
   let s = { base_rtt = infinity; rtt_sum = 0.; rtt_count = 0; next_adjust_at = 0. } in
   let on_ack (cc : Cc.t) ~now ~rtt ~sent_at:_ ~newly_acked =
-    (match rtt with
-    | Some sample when sample > 0. ->
-      if sample < s.base_rtt then s.base_rtt <- sample;
-      s.rtt_sum <- s.rtt_sum +. sample;
+    (* [rtt > 0.] is the has-sample test: no sample is [nan]. *)
+    if rtt > 0. then begin
+      if rtt < s.base_rtt then s.base_rtt <- rtt;
+      s.rtt_sum <- s.rtt_sum +. rtt;
       s.rtt_count <- s.rtt_count + 1
-    | Some _ | None -> ());
+    end;
     if now >= s.next_adjust_at && s.rtt_count > 0 && Float.is_finite s.base_rtt then begin
       let mean_rtt = s.rtt_sum /. float_of_int s.rtt_count in
       s.rtt_sum <- 0.;

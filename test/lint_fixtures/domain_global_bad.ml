@@ -1,0 +1,10 @@
+(* Nested, indented mutable state: shared across every worker domain.
+   The old column-0 scan never looked inside submodules. *)
+
+module Cache = struct
+  module Inner = struct
+    let table = Hashtbl.create 64
+  end
+
+  let hits = ref 0
+end

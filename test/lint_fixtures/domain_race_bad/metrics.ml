@@ -1,0 +1,6 @@
+(* Nested, indented mutable global: the column-0 scan never saw it. *)
+module Counters = struct
+  let hits = ref 0
+end
+
+let bump () = incr Counters.hits

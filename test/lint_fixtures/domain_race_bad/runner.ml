@@ -1,0 +1,2 @@
+(* Fans jobs across worker domains. *)
+let launch xs = Pool.map xs Work.step

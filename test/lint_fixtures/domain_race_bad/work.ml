@@ -1,0 +1,4 @@
+(* Each job bumps a shared counter. *)
+let step x =
+  Metrics.bump ();
+  x + 1

@@ -1,0 +1,3 @@
+(** Pool job fixture. *)
+
+val step : int -> int

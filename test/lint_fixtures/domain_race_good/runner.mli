@@ -1,0 +1,3 @@
+(** Pool fan-out fixture. *)
+
+val launch : int list -> int list

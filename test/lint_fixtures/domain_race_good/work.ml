@@ -1,0 +1,5 @@
+(* Per-job accumulator: state lives and dies inside the job. *)
+let step x =
+  let acc = ref x in
+  acc := !acc + x;
+  !acc

@@ -1,0 +1,2 @@
+(* Libraries must not terminate the process. *)
+let abort () = exit 1

@@ -1,0 +1,4 @@
+(* Raise instead; only binaries may exit. *)
+exception Fatal
+
+let abort () = raise Fatal

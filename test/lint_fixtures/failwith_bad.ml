@@ -1,0 +1,2 @@
+(* Stringly-typed failure in library code. *)
+let checked x = if x < 0 then failwith "negative" else x

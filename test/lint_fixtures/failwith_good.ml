@@ -1,0 +1,2 @@
+(* A typed precondition failure callers can match on. *)
+let checked x = if x < 0 then invalid_arg "checked: negative" else x

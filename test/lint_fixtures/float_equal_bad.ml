@@ -1,0 +1,2 @@
+(* Exact equality against a float constant is a rounding trap. *)
+let at_origin x = x = 0.

@@ -1,0 +1,2 @@
+(* Compare against an epsilon instead. *)
+let at_origin x = Float.abs x < 1e-9

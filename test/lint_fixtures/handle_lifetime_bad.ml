@@ -1,0 +1,14 @@
+(* Three lifetime bugs the same-line token scan cannot see: the
+   release and the offending use are lines apart. *)
+
+let use_after_release pool h =
+  Packet.release pool h;
+  Packet.seq pool h
+
+let double_release pool flag h =
+  if flag then Packet.release pool h;
+  Packet.release pool h
+
+let leak_on_path pool ~flow =
+  let p = Packet.acquire_ack pool ~flow in
+  ignore (Packet.seq pool p)

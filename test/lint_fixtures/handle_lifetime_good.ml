@@ -1,0 +1,15 @@
+(* The compliant shapes: release on every path, alias-aware releases,
+   and ownership transfer to the sink. *)
+
+let read_then_release pool h =
+  let seq = Packet.seq pool h in
+  Packet.release pool h;
+  seq
+
+let release_on_both_paths pool urgent h =
+  if urgent then Packet.release pool h
+  else Packet.release pool h
+
+let transfer_to_sink sink pool ~flow =
+  let p = Packet.acquire_ack pool ~flow in
+  sink p

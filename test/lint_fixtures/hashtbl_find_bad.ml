@@ -1,0 +1,2 @@
+(* Hashtbl.find raises Not_found on a miss. *)
+let weight tbl key = Hashtbl.find tbl key

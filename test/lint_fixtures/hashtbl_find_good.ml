@@ -1,0 +1,2 @@
+(* find_opt makes the miss explicit. *)
+let weight tbl key = Hashtbl.find_opt tbl key

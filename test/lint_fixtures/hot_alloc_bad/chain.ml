@@ -1,0 +1,6 @@
+(* Two calls below the link loop, a closure is minted per packet. *)
+let stage2 t =
+  let scale = fun x -> x * t in
+  scale 2
+
+let stage1 t h = stage2 (t + h)

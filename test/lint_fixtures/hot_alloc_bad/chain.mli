@@ -1,0 +1,4 @@
+(** Pipeline stage fixture. *)
+
+val stage1 : int -> int -> int
+val stage2 : int -> int

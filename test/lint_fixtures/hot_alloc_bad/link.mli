@@ -1,0 +1,3 @@
+(** Hot-path entry fixture. *)
+
+val send : int -> int -> int

@@ -1,0 +1,6 @@
+(* The worker is hoisted to module level: nothing allocates per packet. *)
+let double x = x * 2
+
+let stage2 t = double t
+
+let stage1 t h = stage2 (t + h)

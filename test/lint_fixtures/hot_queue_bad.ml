@@ -1,0 +1,2 @@
+(* One cons cell per element, on the per-packet path. *)
+let pending = Queue.create ()

@@ -1,0 +1,2 @@
+(* Phi_sim.Ring is the flat hot-path container. *)
+let pending = Ring.create 16

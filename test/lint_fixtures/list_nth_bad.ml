@@ -1,0 +1,2 @@
+(* List.nth is partial and O(n). *)
+let third xs = List.nth xs 2

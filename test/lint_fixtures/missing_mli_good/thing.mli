@@ -1,0 +1,3 @@
+(** The answer, documented. *)
+
+val answer : int

@@ -1,0 +1,1 @@
+val answer : int

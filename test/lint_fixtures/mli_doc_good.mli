@@ -1,0 +1,3 @@
+(** The documented answer. *)
+
+val answer : int

@@ -1,0 +1,4 @@
+(* A typed wrapper keeps the representation honest. *)
+type packed = Int of int | Str of string
+
+let pack_int i = Int i

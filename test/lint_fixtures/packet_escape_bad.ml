@@ -1,0 +1,4 @@
+(* A stored handle outlives its pool generation. *)
+type t = { mutable last : Packet.handle }
+
+let legacy () = Packet.ack ~flow:0

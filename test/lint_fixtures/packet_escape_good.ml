@@ -1,0 +1,4 @@
+(* Handles arrive as arguments and leave by transfer. *)
+let forward pool sink h =
+  ignore (Packet.seq pool h);
+  sink h

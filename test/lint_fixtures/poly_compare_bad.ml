@@ -1,0 +1,2 @@
+(* Polymorphic compare is unsound on NaN and float-carrying records. *)
+let sort_weights ws = List.sort compare ws

@@ -1,0 +1,2 @@
+(* A monomorphic comparator pins the semantics. *)
+let sort_weights ws = List.sort Float.compare ws

@@ -1,0 +1,2 @@
+(* Binding flows on the substrate bypasses the unified sender. *)
+let attach node flow = Phi_net.Node.bind_flow node flow

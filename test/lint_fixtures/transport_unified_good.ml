@@ -1,0 +1,2 @@
+(* Flows go through the one transport: a Cc controller and a Source. *)
+let attach engine node flow cc = Phi_tcp.Source.start ~engine ~node ~flow ~cc

@@ -222,7 +222,9 @@ let test_packet_escape_fires_on_mutable_handle_field () =
     (lint ~path:net_path "type t = { mutable last : Packet.handle }\n")
 
 let test_packet_escape_fires_on_use_after_release () =
-  check_rules "handle touched after release" [ "packet-escape" ]
+  (* Both engines see this one: the lexical scan flags the same-line use,
+     and the AST lifetime pass tracks the handle's state. *)
+  check_rules "handle touched after release" [ "packet-escape"; "handle-lifetime" ]
     (lint ~path:net_path "let f pool pkt = Packet.release pool pkt; consume pkt\n")
 
 let test_packet_escape_silent_on_contract_code () =
@@ -296,6 +298,150 @@ let test_in_transport_scope () =
   Alcotest.(check bool) "net exempt" false (Lint.in_transport_scope "lib/net/node.ml");
   Alcotest.(check bool) "test exempt" false (Lint.in_transport_scope "test/test_tcp.ml")
 
+(* {2 Fixture corpus: every rule, paired good/bad, exact violations}
+
+   The files under [lint_fixtures/] are data, not build inputs; each is
+   linted under a pretend path so the rule's scoping applies.  The bad
+   fixtures seed the shapes the token engine provably misses (cross-line
+   use-after-release, nested mutable globals, allocation two calls below
+   a hot entry point); the good twins must stay perfectly clean. *)
+
+let read_fixture name =
+  let ic = open_in_bin (Filename.concat "lint_fixtures" name) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let locs_of vs = List.map (fun v -> (v.Lint.rule, v.Lint.line)) vs
+
+let check_locs msg expected vs =
+  Alcotest.(check (list (pair string int))) msg expected (locs_of vs)
+
+let fixture_lint ~path name = Lint.lint_source ~path (read_fixture name)
+
+(* Multi-file groups: every file in the group maps to lib/fix/<name>. *)
+let fixture_tree group names =
+  List.map (fun n -> ("lib/fix/" ^ n, read_fixture (Filename.concat group n))) names
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let single_file_cases =
+  [
+    ("obj_magic", "lib/fake/fixture.ml", [ ("obj-magic", 2) ]);
+    ("poly_compare", "lib/fake/fixture.ml", [ ("poly-compare", 2) ]);
+    ("float_equal", "lib/fake/fixture.ml", [ ("float-equal", 2) ]);
+    ("list_nth", "lib/fake/fixture.ml", [ ("list-nth", 2) ]);
+    ("hashtbl_find", "lib/fake/fixture.ml", [ ("hashtbl-find", 2) ]);
+    ("failwith", "lib/fake/fixture.ml", [ ("failwith", 2) ]);
+    ("exit", "lib/fake/fixture.ml", [ ("exit", 2) ]);
+    (* Nested and indented bindings: only the AST engine sees them. *)
+    ("domain_global", "lib/runner/fixture.ml",
+     [ ("domain-global", 6); ("domain-global", 9) ]);
+    ("hot_queue", "lib/net/fixture.ml", [ ("hot-queue", 2) ]);
+    ("packet_escape", "lib/net/fixture.ml",
+     [ ("packet-escape", 2); ("packet-escape", 4) ]);
+    ("transport_unified", "lib/experiments/fixture.ml",
+     [ ("transport-unified", 2) ]);
+    (* Release and use lines apart: the token packet-escape check stays
+       silent (no packet-escape entry expected) — the lifetime pass owns
+       all three findings. *)
+    ("handle_lifetime", "lib/net/fixture.ml",
+     [ ("handle-lifetime", 6); ("handle-lifetime", 10); ("handle-lifetime", 13) ]);
+  ]
+
+let test_fixture_pairs () =
+  List.iter
+    (fun (stem, path, expected) ->
+      check_locs (stem ^ " bad") expected (fixture_lint ~path (stem ^ "_bad.ml"));
+      check_locs (stem ^ " good") [] (fixture_lint ~path (stem ^ "_good.ml")))
+    single_file_cases
+
+let test_fixture_mli_doc () =
+  check_locs "mli-doc bad" [ ("mli-doc", 1) ]
+    (fixture_lint ~path:"lib/fake/fixture.mli" "mli_doc_bad.mli");
+  check_locs "mli-doc good" []
+    (fixture_lint ~path:"lib/fake/fixture.mli" "mli_doc_good.mli")
+
+let test_fixture_missing_mli () =
+  let bad = Lint.lint_tree (fixture_tree "missing_mli_bad" [ "thing.ml" ]) in
+  check_locs "missing-mli bad" [ ("missing-mli", 1) ] bad;
+  (match bad with
+  | [ v ] -> Alcotest.(check string) "names the file" "lib/fix/thing.ml" v.Lint.file
+  | _ -> Alcotest.fail "expected exactly one violation");
+  check_locs "missing-mli good" []
+    (Lint.lint_tree (fixture_tree "missing_mli_good" [ "thing.ml"; "thing.mli" ]))
+
+let hot_alloc_files = [ "link.ml"; "link.mli"; "chain.ml"; "chain.mli" ]
+
+let test_fixture_hot_alloc_chain () =
+  (* The seeded bug: a closure allocated two calls below Link.send.  The
+     token engine has no cross-module view at all; the effect pass must
+     report it at the allocation site with the full call chain. *)
+  let vs = Lint.lint_tree (fixture_tree "hot_alloc_bad" hot_alloc_files) in
+  check_locs "closure two calls deep" [ ("hot-alloc", 3) ] vs;
+  (match vs with
+  | [ v ] ->
+    Alcotest.(check string) "at the allocation site" "lib/fix/chain.ml" v.Lint.file;
+    Alcotest.(check bool) "chain rendered" true
+      (contains v.Lint.message "Link.send -> Chain.stage1 -> Chain.stage2")
+  | _ -> Alcotest.fail "expected exactly one violation");
+  check_locs "hoisted twin is clean" []
+    (Lint.lint_tree (fixture_tree "hot_alloc_good" hot_alloc_files))
+
+let domain_race_files =
+  [ "runner.ml"; "runner.mli"; "work.ml"; "work.mli"; "metrics.ml"; "metrics.mli" ]
+
+let test_fixture_domain_race () =
+  (* The seeded bug: a nested, indented mutable global in one module,
+     bumped by a job function two modules away from the Pool.map site. *)
+  let vs = Lint.lint_tree (fixture_tree "domain_race_bad" domain_race_files) in
+  check_locs "nested global reachable from pool job" [ ("domain-race", 3) ] vs;
+  (match vs with
+  | [ v ] ->
+    Alcotest.(check string) "at the global's definition" "lib/fix/metrics.ml" v.Lint.file;
+    Alcotest.(check bool) "chain rendered" true
+      (contains v.Lint.message "Runner.launch -> Work.step -> Metrics.bump")
+  | _ -> Alcotest.fail "expected exactly one violation");
+  check_locs "per-job twin is clean" []
+    (Lint.lint_tree (fixture_tree "domain_race_good" domain_race_files))
+
+(* {2 --json report schema} *)
+
+let test_json_report_roundtrip () =
+  let module J = Phi_util.Json in
+  let vs =
+    Lint.lint_source ~path:"lib/fake/fixture.ml"
+      "let f x = Obj.magic x\nlet g h k = Hashtbl.find h k\n"
+  in
+  let report = Lint.json_report vs in
+  match J.of_string (J.to_string report) with
+  | Error e -> Alcotest.fail ("report does not parse back: " ^ e)
+  | Ok parsed ->
+    Alcotest.(check bool) "round-trips structurally" true (parsed = report);
+    (match J.member "total" parsed with
+    | Some (J.Int n) -> Alcotest.(check int) "total" 2 n
+    | _ -> Alcotest.fail "total missing or mistyped");
+    (match J.member "violations" parsed with
+    | Some (J.List [ first; _ ]) ->
+      (match (J.member "file" first, J.member "line" first, J.member "rule" first,
+              J.member "message" first) with
+      | Some (J.String f), Some (J.Int l), Some (J.String r), Some (J.String m) ->
+        Alcotest.(check string) "file" "lib/fake/fixture.ml" f;
+        Alcotest.(check int) "line" 1 l;
+        Alcotest.(check string) "rule" "obj-magic" r;
+        Alcotest.(check bool) "message non-empty" true (String.length m > 0)
+      | _ -> Alcotest.fail "violation entry missing a field")
+    | _ -> Alcotest.fail "violations missing or wrong arity");
+    (match J.member "by_rule" parsed with
+    | Some (J.Obj [ ("hashtbl-find", J.Int 1); ("obj-magic", J.Int 1) ]) -> ()
+    | _ -> Alcotest.fail "by_rule counts wrong");
+    (match J.member "by_file" parsed with
+    | Some (J.Obj [ ("lib/fake/fixture.ml", J.Int 2) ]) -> ()
+    | _ -> Alcotest.fail "by_file counts wrong")
+
 let test_every_rule_has_description () =
   Alcotest.(check bool) "non-empty rule list" true (List.length Lint.rules >= 10);
   List.iter
@@ -353,4 +499,10 @@ let suite =
     Alcotest.test_case "transport-unified allow" `Quick test_transport_unified_allow;
     Alcotest.test_case "in_transport_scope classification" `Quick test_in_transport_scope;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
+    Alcotest.test_case "fixture corpus: paired good/bad" `Quick test_fixture_pairs;
+    Alcotest.test_case "fixture corpus: mli-doc" `Quick test_fixture_mli_doc;
+    Alcotest.test_case "fixture corpus: missing-mli" `Quick test_fixture_missing_mli;
+    Alcotest.test_case "fixture corpus: hot-alloc chain" `Quick test_fixture_hot_alloc_chain;
+    Alcotest.test_case "fixture corpus: domain-race" `Quick test_fixture_domain_race;
+    Alcotest.test_case "json report round-trips" `Quick test_json_report_roundtrip;
   ]

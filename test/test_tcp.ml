@@ -14,14 +14,14 @@ open Phi_tcp
 let test_rto_initial () =
   let rto = Rto.create () in
   Alcotest.(check (float 0.)) "1 s before samples" 1. (Rto.current rto);
-  Alcotest.(check bool) "no srtt" true (Rto.srtt rto = None)
+  Alcotest.(check (float 0.)) "no srtt -> default" 0.42 (Rto.srtt rto ~default:0.42)
 
 let test_rto_first_sample () =
   let rto = Rto.create () in
   Rto.observe rto ~rtt:0.1;
   (* srtt = 0.1, rttvar = 0.05 -> rto = 0.3. *)
   Alcotest.(check (float 1e-9)) "srtt + 4 var" 0.3 (Rto.current rto);
-  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1) (Rto.srtt rto)
+  Alcotest.(check (float 1e-9)) "srtt" 0.1 (Rto.srtt rto ~default:0.)
 
 let test_rto_converges () =
   let rto = Rto.create () in
@@ -57,12 +57,12 @@ let test_rto_min_max () =
 let test_reno_slow_start_then_ca () =
   let cc = Reno.make ~initial_cwnd:2. ~initial_ssthresh:4. () in
   Alcotest.(check bool) "starts in slow start" true (Cc.in_slow_start cc);
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:0.1 ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "slow start +1" 3. cc.Cc.cwnd;
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:5;
+  cc.Cc.on_ack cc ~now:0. ~rtt:0.1 ~sent_at:0. ~newly_acked:5;
   Alcotest.(check (float 1e-9)) "capped at ssthresh" 4. cc.Cc.cwnd;
   let before = cc.Cc.cwnd in
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:0.1 ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "CA +1/cwnd" (before +. (1. /. before)) cc.Cc.cwnd
 
 let test_reno_loss_halves () =
@@ -90,7 +90,7 @@ let test_weighted_reno_increase () =
   let w = 4. in
   let cc = Reno.make_weighted ~weight:w ~initial_cwnd:10. ~initial_ssthresh:5. () in
   let before = cc.Cc.cwnd in
-  cc.Cc.on_ack cc ~now:0. ~rtt:None ~sent_at:0. ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0. ~rtt:Float.nan ~sent_at:0. ~newly_acked:1;
   Alcotest.(check (float 1e-9)) "w/cwnd per ack" (before +. (w /. before)) cc.Cc.cwnd
 
 let test_weighted_reno_gentle_decrease () =
@@ -111,7 +111,7 @@ let test_cubic_defaults_match_table1 () =
 
 let test_cubic_slow_start () =
   let cc = Cubic.make (Cubic.with_knobs ~initial_cwnd:2. ~initial_ssthresh:8. Cubic.default_params) in
-  cc.Cc.on_ack cc ~now:0. ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:2;
+  cc.Cc.on_ack cc ~now:0. ~rtt:0.1 ~sent_at:0. ~newly_acked:2;
   Alcotest.(check (float 1e-9)) "doubling" 4. cc.Cc.cwnd
 
 let test_cubic_beta_decrease () =
@@ -132,13 +132,13 @@ let test_cubic_concave_convex_growth () =
   let now = ref 0. in
   for _ = 1 to 20 do
     now := !now +. 0.1;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~sent_at:(!now -. 0.1) ~newly_acked:10
+    cc.Cc.on_ack cc ~now:!now ~rtt:0.1 ~sent_at:(!now -. 0.1) ~newly_acked:10
   done;
   let w_2s = cc.Cc.cwnd in
   Alcotest.(check bool) "recovering towards w_max" true (w_2s > w_after_loss);
   for _ = 1 to 200 do
     now := !now +. 0.1;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some 0.1) ~sent_at:(!now -. 0.1) ~newly_acked:10
+    cc.Cc.on_ack cc ~now:!now ~rtt:0.1 ~sent_at:(!now -. 0.1) ~newly_acked:10
   done;
   Alcotest.(check bool) "eventually exceeds w_max" true (cc.Cc.cwnd > 100.)
 
@@ -167,7 +167,7 @@ let feed_vegas cc ~rtt ~epochs =
   let now = ref 0.1 in
   for _ = 1 to epochs do
     now := !now +. rtt;
-    cc.Cc.on_ack cc ~now:!now ~rtt:(Some rtt) ~sent_at:(!now -. rtt) ~newly_acked:1
+    cc.Cc.on_ack cc ~now:!now ~rtt:rtt ~sent_at:(!now -. rtt) ~newly_acked:1
   done
 
 let test_vegas_grows_when_queue_empty () =
@@ -181,7 +181,7 @@ let test_vegas_grows_when_queue_empty () =
 let test_vegas_shrinks_when_queue_builds () =
   let cc = Vegas.make ~initial_cwnd:20. ~initial_ssthresh:5. () in
   (* Seed base_rtt low, then keep RTT 2x base: diff = cwnd/2 > beta. *)
-  cc.Cc.on_ack cc ~now:0.05 ~rtt:(Some 0.1) ~sent_at:0. ~newly_acked:1;
+  cc.Cc.on_ack cc ~now:0.05 ~rtt:0.1 ~sent_at:0. ~newly_acked:1;
   let before = cc.Cc.cwnd in
   feed_vegas cc ~rtt:0.2 ~epochs:10;
   Alcotest.(check bool) "shrank" true (cc.Cc.cwnd < before)
