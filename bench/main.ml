@@ -20,9 +20,12 @@
    serial-vs-parallel calibration, so CI can track the perf trajectory
    across PRs.  Running bench/micro.exe --json on the same path merges
    in the "micro" and "alloc" sections and stamps the schema to
-   "phi-bench-report/2" — or "phi-bench-report/3" when the report
-   carries a cc_matrix section — which is what bin/phi_json_check gates
-   on in CI (including the committed allocations-per-packet budget).
+   "phi-bench-report/2" — to "phi-bench-report/3" when the report
+   carries a cc_matrix section, and to "phi-bench-report/4" when it
+   also carries the million-flow "swarm" context-plane section — which
+   is what bin/phi_json_check gates on in CI (the committed
+   allocations-per-packet budget plus the swarm throughput floor and
+   p99 lookup-latency budget in Phi_check.Report_check).
 
    --cc NAME[,NAME...] restricts the cross-algorithm matrix to a subset
    of the registry (default: every registered algorithm). *)
@@ -97,6 +100,12 @@ let timed id ~cells f =
    present. *)
 let cc_matrix_json : Json.t option ref = ref None
 
+(* The swarm context-plane section, kept for the JSON report.
+   bench/micro.exe stamps the merged schema to /4 when this section is
+   present alongside cc_matrix; Phi_check.Report_check gates its
+   lookups/s and p99 figures whenever it is present at all. *)
+let swarm_json : Json.t option ref = ref None
+
 (* Matrix algorithm subset (--cc NAME[,NAME...]; default: the whole
    registry). *)
 let matrix_algorithms = ref Phi.Cc_algo.all
@@ -129,6 +138,9 @@ let report_json ~budget ~calibration =
     ]
     @ (match !cc_matrix_json with
       | Some cells -> [ ("cc_matrix", cells) ]
+      | None -> [])
+    @ (match !swarm_json with
+      | Some swarm -> [ ("swarm", swarm) ]
       | None -> []))
 
 (* Serial-vs-parallel calibration: re-run the Figure 2a sweep cells at
@@ -753,6 +765,77 @@ let bench_adaptation _budget =
         pct d.Adaptation_experiment.informed_spurious_fraction ];
     ]
 
+(* {2 Mega-scale context plane: the million-flow swarm} *)
+
+let bench_swarm budget =
+  section "Mega-scale context plane: sharded, epoch-batched swarm";
+  (* One lookup -> connect -> report round trip per flow, every message
+     through the binary wire format.  The full budget doubles the fleet;
+     quick keeps the acceptance-level million flows — the swarm is
+     cheap next to the simulation sweeps. *)
+  let n_flows = if budget.label = full_budget.label then 2_000_000 else 1_000_000 in
+  let config = { Swarm.default_config with Swarm.n_flows } in
+  let r = Swarm.run ~jobs:!jobs ~config () in
+  let us v = Table.fmt_float (v *. 1e6) in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "flows served"; string_of_int r.Swarm.flows ];
+      [ "lookups/s"; Table.fmt_float r.Swarm.lookups_per_s ];
+      [ "reports/s"; Table.fmt_float r.Swarm.reports_per_s ];
+      [ "p50 lookup us"; us r.Swarm.p50_lookup_s ];
+      [ "p99 lookup us"; us r.Swarm.p99_lookup_s ];
+      [ "shard balance (Jain)"; Printf.sprintf "%.4f" r.Swarm.jain_index ];
+      [ "resident paths"; string_of_int r.Swarm.resident_paths ];
+      [ "evictions"; string_of_int r.Swarm.evictions ];
+      [ "epoch flushes"; string_of_int r.Swarm.flushes ];
+    ];
+  Printf.printf "fingerprint: %s\n" r.Swarm.fingerprint;
+  Printf.printf "(%d cells x %d shards, %.2f s wall)\n" config.Swarm.cells
+    config.Swarm.shards_per_cell r.Swarm.elapsed_s;
+  csv_out "swarm.csv"
+    ~header:
+      [ "flows"; "lookups_per_s"; "reports_per_s"; "p50_lookup_s"; "p99_lookup_s";
+        "jain_index"; "resident_paths"; "evictions" ]
+    [
+      [
+        string_of_int r.Swarm.flows;
+        Phi_util.Csv.float_cell r.Swarm.lookups_per_s;
+        Phi_util.Csv.float_cell r.Swarm.reports_per_s;
+        Phi_util.Csv.float_cell r.Swarm.p50_lookup_s;
+        Phi_util.Csv.float_cell r.Swarm.p99_lookup_s;
+        Phi_util.Csv.float_cell r.Swarm.jain_index;
+        string_of_int r.Swarm.resident_paths;
+        string_of_int r.Swarm.evictions;
+      ];
+    ];
+  headline "swarm"
+    [
+      ("lookups_per_s", Json.float r.Swarm.lookups_per_s);
+      ("p99_lookup_s", Json.float r.Swarm.p99_lookup_s);
+      ("jain_index", Json.float r.Swarm.jain_index);
+    ];
+  swarm_json :=
+    Some
+      (Json.Obj
+         [
+           ("flows", Json.Int r.Swarm.flows);
+           ("lookups", Json.Int r.Swarm.lookups);
+           ("reports", Json.Int r.Swarm.reports);
+           ("cells", Json.Int config.Swarm.cells);
+           ("shards_per_cell", Json.Int config.Swarm.shards_per_cell);
+           ("lookups_per_s", Json.float r.Swarm.lookups_per_s);
+           ("reports_per_s", Json.float r.Swarm.reports_per_s);
+           ("p50_lookup_s", Json.float r.Swarm.p50_lookup_s);
+           ("p99_lookup_s", Json.float r.Swarm.p99_lookup_s);
+           ("jain_index", Json.float r.Swarm.jain_index);
+           ("resident_paths", Json.Int r.Swarm.resident_paths);
+           ("evictions", Json.Int r.Swarm.evictions);
+           ("flushes", Json.Int r.Swarm.flushes);
+           ("elapsed_s", Json.float r.Swarm.elapsed_s);
+           ("fingerprint", Json.String r.Swarm.fingerprint);
+         ])
+
 (* {2 Section 3.1: cross-provider aggregation} *)
 
 let bench_secure_agg _budget =
@@ -935,6 +1018,7 @@ let () =
   run_if "secureagg" ~cells:1 (fun () -> bench_secure_agg budget);
   run_if "predict" ~cells:1 (fun () -> bench_predict budget);
   run_if "adaptation" ~cells:1 (fun () -> bench_adaptation budget);
+  run_if "swarm" ~cells:Swarm.default_config.Swarm.cells (fun () -> bench_swarm budget);
   if (not (has "--no-micro")) && only = None then micro_benchmarks ();
   (match json_path with
   | None -> ()

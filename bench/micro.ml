@@ -26,8 +26,9 @@
 
    --json PATH merges "micro" and "alloc" sections into an existing
    phi-bench-report document (bench/main.exe --json output), stamping
-   the schema to phi-bench-report/2 — or phi-bench-report/3 when the
-   document carries the cross-algorithm "cc_matrix" section — or writes
+   the schema to phi-bench-report/2 — /3 when the document carries the
+   cross-algorithm "cc_matrix" section, /4 when the million-flow
+   "swarm" section is there as well — or writes
    a standalone /2 report when PATH does not exist yet. *)
 
 module Engine = Phi_sim.Engine
@@ -382,13 +383,16 @@ let () =
         (* Merge into an existing bench report, replacing any stale
            micro/alloc sections.  The schema stamp records what the
            document now carries: /2 for micro+alloc, /3 when the
-           cross-algorithm cc_matrix section is present too. *)
+           cross-algorithm cc_matrix section is present too, /4 when
+           the swarm context-plane section is there as well. *)
         let fields =
           List.filter (fun (k, _) -> k <> "micro" && k <> "alloc" && k <> "schema") fields
         in
         let schema =
-          if List.mem_assoc "cc_matrix" fields then "phi-bench-report/3"
-          else "phi-bench-report/2"
+          match (List.mem_assoc "cc_matrix" fields, List.mem_assoc "swarm" fields) with
+          | true, true -> "phi-bench-report/4"
+          | true, false -> "phi-bench-report/3"
+          | false, _ -> "phi-bench-report/2"
         in
         Json.Obj
           ((("schema", Json.String schema) :: fields)

@@ -1,23 +1,14 @@
 (* phi-json-check: validate a bench report produced by
    [bench/main.exe --json PATH] (schema phi-bench-report/1), optionally
-   upgraded by [bench/micro.exe --json PATH] to phi-bench-report/2 with
-   an "alloc" section — or to phi-bench-report/3 when the report also
-   carries the cross-algorithm "cc_matrix" section, which must then
-   cover every algorithm registered in [Phi.Cc_algo].  Exits non-zero
+   upgraded by [bench/micro.exe --json PATH] to phi-bench-report/2
+   ("alloc" section), /3 ("cc_matrix" covering every registered
+   algorithm), or /4 ("swarm" context-plane benchmark).  Exits non-zero
    when the file is missing, malformed JSON, not a phi-bench-report
-   document, or over the committed allocation budget — the CI gate for
-   the bench smoke run's artifact. *)
-
-(* The allocation-regression budget: minor words allocated per packet
-   through the saturated link loop (pool acquire -> enqueue -> tx ->
-   deliver).  The pooled packet path allocates nothing per packet in
-   steady state, so the measured value is ~0; the budget leaves room for
-   measurement noise (a stray minor collection's bookkeeping) but fails
-   the moment someone reintroduces a per-packet box — one record on the
-   hot path costs >= 3 words and blows straight past it. *)
-let max_minor_words_per_packet = 0.5
-
-let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("phi-json-check: " ^ msg); exit 1) fmt
+   document, or over a committed budget (allocation, swarm throughput,
+   swarm tail latency) — the CI gate for the bench smoke run's
+   artifact.  All validation lives in [Phi_check.Report_check] so the
+   gate itself is unit-testable; this wrapper only maps the result to
+   an exit code. *)
 
 let () =
   let path =
@@ -28,108 +19,12 @@ let () =
       exit 2
   in
   match Phi_util.Json.of_file ~path with
-  | Error msg -> fail "%s: %s" path msg
-  | Ok doc ->
-    let module J = Phi_util.Json in
-    let version =
-      match J.member "schema" doc with
-      | Some (J.String "phi-bench-report/1") -> 1
-      | Some (J.String "phi-bench-report/2") -> 2
-      | Some (J.String "phi-bench-report/3") -> 3
-      | Some _ | None -> fail "%s: missing or unknown \"schema\" field" path
-    in
-    let require field =
-      match J.member field doc with
-      | Some _ -> ()
-      | None -> fail "%s: missing \"%s\" field" path field
-    in
-    List.iter require [ "budget"; "jobs"; "cores"; "experiments"; "headline" ];
-    (match J.member "experiments" doc with
-    | Some (J.List (_ :: _)) -> ()
-    | _ -> fail "%s: \"experiments\" must be a non-empty array" path);
-    (* The "micro" section (bench/micro.exe --json) is optional, but
-       when present it must carry both metric families with positive
-       rates — a zero or missing rate means the harness mis-ran. *)
-    (match J.member "micro" doc with
-    | None -> ()
-    | Some micro ->
-      let positive_rate section field =
-        match J.member field section with
-        | Some (J.Float v) when v > 0. -> ()
-        | Some (J.Int v) when v > 0 -> ()
-        | Some _ -> fail "%s: micro field \"%s\" must be a positive number" path field
-        | None -> fail "%s: micro section missing \"%s\"" path field
-      in
-      (match J.member "events" micro with
-      | Some (J.Obj _ as events) ->
-        List.iter (positive_rate events)
-          [
-            "legacy_events_per_s";
-            "new_events_per_s";
-            "port_events_per_s";
-            "speedup_vs_legacy";
-            "port_speedup_vs_legacy";
-          ]
-      | Some _ | None -> fail "%s: micro section missing \"events\" object" path);
-      match J.member "packets" micro with
-      | Some (J.Obj _ as packets) ->
-        List.iter (positive_rate packets)
-          [ "link_loop_packets_per_s"; "dumbbell_packets_per_s" ]
-      | Some _ | None -> fail "%s: micro section missing \"packets\" object" path);
-    (* The "alloc" section is what distinguishes a /2 report; its
-       per-packet figure is enforced against the committed budget so an
-       allocation regression on the packet path fails CI, not just a
-       benchmark graph. *)
-    (match J.member "alloc" doc with
-    | None -> if version >= 2 then fail "%s: phi-bench-report/2 requires an \"alloc\" section" path
-    | Some alloc ->
-      let number field =
-        match J.member field alloc with
-        | Some (J.Float v) -> v
-        | Some (J.Int v) -> float_of_int v
-        | Some _ -> fail "%s: alloc field \"%s\" must be a number" path field
-        | None -> fail "%s: alloc section missing \"%s\"" path field
-      in
-      let per_packet = number "minor_words_per_packet" in
-      let per_event = number "minor_words_per_event" in
-      let high_water = number "pool_high_water" in
-      if per_packet < 0. || per_event < 0. then
-        fail "%s: alloc counters must be non-negative" path;
-      if high_water < 1. then fail "%s: alloc \"pool_high_water\" must be >= 1" path;
-      if per_packet > max_minor_words_per_packet then
-        fail "%s: allocation regression: %.4f minor words/packet exceeds the budget of %g"
-          path per_packet max_minor_words_per_packet);
-    (* The "cc_matrix" section is what distinguishes a /3 report: the
-       cross-algorithm matrix must cover every algorithm registered in
-       the unified control plane, so a registry addition that never
-       reaches the harness fails CI here. *)
-    (match J.member "cc_matrix" doc with
-    | None ->
-      if version >= 3 then
-        fail "%s: phi-bench-report/3 requires a \"cc_matrix\" section" path
-    | Some (J.List (_ :: _ as cells)) ->
-      let algo_of = function
-        | J.Obj _ as cell -> (
-          (match J.member "workload" cell with
-          | Some (J.String _) -> ()
-          | Some _ | None -> fail "%s: cc_matrix cell missing \"workload\" string" path);
-          (match J.member "connections" cell with
-          | Some (J.Int n) when n > 0 -> ()
-          | Some _ | None ->
-            fail "%s: cc_matrix cell missing positive \"connections\"" path);
-          match J.member "algorithm" cell with
-          | Some (J.String a) -> a
-          | Some _ | None -> fail "%s: cc_matrix cell missing \"algorithm\" string" path)
-        | _ -> fail "%s: cc_matrix cells must be objects" path
-      in
-      let covered = List.map algo_of cells in
-      (* Full registry coverage is what the /3 stamp asserts; a /1
-         report may carry a --cc-filtered subset. *)
-      if version >= 3 then
-        List.iter
-          (fun name ->
-            if not (List.mem name covered) then
-              fail "%s: cc_matrix does not cover registered algorithm %S" path name)
-          Phi.Cc_algo.names
-    | Some _ -> fail "%s: \"cc_matrix\" must be a non-empty array" path);
-    Printf.printf "phi-json-check: %s ok\n" path
+  | Error msg ->
+    prerr_endline (Printf.sprintf "phi-json-check: %s: %s" path msg);
+    exit 1
+  | Ok doc -> (
+    match Phi_check.Report_check.check ~path doc with
+    | Ok () -> Printf.printf "phi-json-check: %s ok\n" path
+    | Error msg ->
+      prerr_endline ("phi-json-check: " ^ msg);
+      exit 1)

@@ -1,0 +1,196 @@
+module J = Phi_util.Json
+
+(* The allocation-regression budget: minor words allocated per packet
+   through the saturated link loop (pool acquire -> enqueue -> tx ->
+   deliver).  The pooled packet path allocates nothing per packet in
+   steady state, so the measured value is ~0; the budget leaves room for
+   measurement noise (a stray minor collection's bookkeeping) but fails
+   the moment someone reintroduces a per-packet box — one record on the
+   hot path costs >= 3 words and blows straight past it. *)
+let max_minor_words_per_packet = 0.5
+
+(* The swarm-regression budgets.  The quick-budget swarm serves one
+   million flows (two million wire messages); even a single-core
+   sandboxed runner clears ~4x this floor, so tripping it means the
+   context plane's service path got several times slower — a
+   per-message mutation sneaking back in, a flush turning quadratic.
+   The p99 bound is per-lookup service latency (measured ~4 us): the
+   budget leaves ~500x for scheduler noise on shared runners while
+   still catching any lookup that starts walking a table. *)
+let min_swarm_lookups_per_s = 15_000.
+let max_swarm_p99_lookup_s = 0.002
+
+type failure = { message : string }
+
+exception Bad of failure
+
+let bad fmt = Printf.ksprintf (fun message -> raise (Bad { message })) fmt
+
+let check_version ~path doc =
+  match J.member "schema" doc with
+  | Some (J.String "phi-bench-report/1") -> 1
+  | Some (J.String "phi-bench-report/2") -> 2
+  | Some (J.String "phi-bench-report/3") -> 3
+  | Some (J.String "phi-bench-report/4") -> 4
+  | Some _ | None -> bad "%s: missing or unknown \"schema\" field" path
+
+let check_structure ~path doc =
+  List.iter
+    (fun field ->
+      match J.member field doc with
+      | Some _ -> ()
+      | None -> bad "%s: missing \"%s\" field" path field)
+    [ "budget"; "jobs"; "cores"; "experiments"; "headline" ];
+  match J.member "experiments" doc with
+  | Some (J.List (_ :: _)) -> ()
+  | _ -> bad "%s: \"experiments\" must be a non-empty array" path
+
+(* The "micro" section (bench/micro.exe --json) is optional, but when
+   present it must carry both metric families with positive rates — a
+   zero or missing rate means the harness mis-ran. *)
+let check_micro ~path doc =
+  match J.member "micro" doc with
+  | None -> ()
+  | Some micro ->
+    let positive_rate section field =
+      match J.member field section with
+      | Some (J.Float v) when v > 0. -> ()
+      | Some (J.Int v) when v > 0 -> ()
+      | Some _ -> bad "%s: micro field \"%s\" must be a positive number" path field
+      | None -> bad "%s: micro section missing \"%s\"" path field
+    in
+    (match J.member "events" micro with
+    | Some (J.Obj _ as events) ->
+      List.iter (positive_rate events)
+        [
+          "legacy_events_per_s";
+          "new_events_per_s";
+          "port_events_per_s";
+          "speedup_vs_legacy";
+          "port_speedup_vs_legacy";
+        ]
+    | Some _ | None -> bad "%s: micro section missing \"events\" object" path);
+    (match J.member "packets" micro with
+    | Some (J.Obj _ as packets) ->
+      List.iter (positive_rate packets)
+        [ "link_loop_packets_per_s"; "dumbbell_packets_per_s" ]
+    | Some _ | None -> bad "%s: micro section missing \"packets\" object" path)
+
+(* The "alloc" section is what distinguishes a /2 report; its per-packet
+   figure is enforced against the committed budget so an allocation
+   regression on the packet path fails CI, not just a benchmark graph. *)
+let check_alloc ~path ~version doc =
+  match J.member "alloc" doc with
+  | None -> if version >= 2 then bad "%s: phi-bench-report/2 requires an \"alloc\" section" path
+  | Some alloc ->
+    let number field =
+      match J.member field alloc with
+      | Some (J.Float v) -> v
+      | Some (J.Int v) -> float_of_int v
+      | Some _ -> bad "%s: alloc field \"%s\" must be a number" path field
+      | None -> bad "%s: alloc section missing \"%s\"" path field
+    in
+    let per_packet = number "minor_words_per_packet" in
+    let per_event = number "minor_words_per_event" in
+    let high_water = number "pool_high_water" in
+    if per_packet < 0. || per_event < 0. then bad "%s: alloc counters must be non-negative" path;
+    if high_water < 1. then bad "%s: alloc \"pool_high_water\" must be >= 1" path;
+    if per_packet > max_minor_words_per_packet then
+      bad "%s: allocation regression: %.4f minor words/packet exceeds the budget of %g" path
+        per_packet max_minor_words_per_packet
+
+(* The "cc_matrix" section is what distinguishes a /3 report: the
+   cross-algorithm matrix must cover every algorithm registered in the
+   unified control plane, so a registry addition that never reaches the
+   harness fails CI here. *)
+let check_cc_matrix ~path ~version doc =
+  match J.member "cc_matrix" doc with
+  | None -> if version >= 3 then bad "%s: phi-bench-report/3 requires a \"cc_matrix\" section" path
+  | Some (J.List (_ :: _ as cells)) ->
+    let algo_of = function
+      | J.Obj _ as cell -> (
+        (match J.member "workload" cell with
+        | Some (J.String _) -> ()
+        | Some _ | None -> bad "%s: cc_matrix cell missing \"workload\" string" path);
+        (match J.member "connections" cell with
+        | Some (J.Int n) when n > 0 -> ()
+        | Some _ | None -> bad "%s: cc_matrix cell missing positive \"connections\"" path);
+        match J.member "algorithm" cell with
+        | Some (J.String a) -> a
+        | Some _ | None -> bad "%s: cc_matrix cell missing \"algorithm\" string" path)
+      | _ -> bad "%s: cc_matrix cells must be objects" path
+    in
+    let covered = List.map algo_of cells in
+    (* Full registry coverage is what the /3 stamp asserts; a /1 report
+       may carry a --cc-filtered subset. *)
+    if version >= 3 then
+      List.iter
+        (fun name ->
+          if not (List.mem name covered) then
+            bad "%s: cc_matrix does not cover registered algorithm %S" path name)
+        Phi.Cc_algo.names
+  | Some _ -> bad "%s: \"cc_matrix\" must be a non-empty array" path
+
+(* The "swarm" section is what distinguishes a /4 report: the
+   million-flow context-plane benchmark.  Whenever present it is gated
+   against the committed service floors, so a throughput or tail-latency
+   regression in the sharded server fails CI, not just a dashboard. *)
+let check_swarm ~path ~version doc =
+  match J.member "swarm" doc with
+  | None -> if version >= 4 then bad "%s: phi-bench-report/4 requires a \"swarm\" section" path
+  | Some (J.Obj _ as swarm) ->
+    let number field =
+      match J.member field swarm with
+      | Some (J.Float v) -> v
+      | Some (J.Int v) -> float_of_int v
+      | Some _ -> bad "%s: swarm field \"%s\" must be a number" path field
+      | None -> bad "%s: swarm section missing \"%s\"" path field
+    in
+    let int_field field =
+      match J.member field swarm with
+      | Some (J.Int v) -> v
+      | Some _ -> bad "%s: swarm field \"%s\" must be an integer" path field
+      | None -> bad "%s: swarm section missing \"%s\"" path field
+    in
+    let flows = int_field "flows" in
+    let lookups = int_field "lookups" in
+    let reports = int_field "reports" in
+    if flows < 1 then bad "%s: swarm must have served at least one flow" path;
+    if lookups <> flows || reports <> flows then
+      bad "%s: swarm flow accounting broken: %d flows, %d lookups, %d reports" path flows
+        lookups reports;
+    (match J.member "fingerprint" swarm with
+    | Some (J.String s) when String.length s > 0 -> ()
+    | Some _ | None -> bad "%s: swarm section missing a non-empty \"fingerprint\"" path);
+    let jain = number "jain_index" in
+    if jain <= 0. || jain > 1. then bad "%s: swarm \"jain_index\" must be in (0, 1]" path;
+    (* The Zipf-skewed workload legitimately concentrates load (measured
+       ~0.3 over 64 shards); total collapse onto one shard would read
+       ~1/64, so the floor only catches a broken prefix hash. *)
+    if jain < 0.05 then
+      bad "%s: swarm shard balance collapsed: jain index %.4f (the prefix hash is broken)" path
+        jain;
+    let p50 = number "p50_lookup_s" in
+    let p99 = number "p99_lookup_s" in
+    if p50 < 0. || p99 < p50 then bad "%s: swarm lookup percentiles are inconsistent" path;
+    let lookups_per_s = number "lookups_per_s" in
+    if number "reports_per_s" <= 0. then bad "%s: swarm \"reports_per_s\" must be positive" path;
+    if lookups_per_s < min_swarm_lookups_per_s then
+      bad "%s: swarm regression: %.0f lookups/s is below the committed floor of %.0f" path
+        lookups_per_s min_swarm_lookups_per_s;
+    if p99 > max_swarm_p99_lookup_s then
+      bad "%s: swarm regression: p99 lookup latency %.6fs exceeds the budget of %gs" path p99
+        max_swarm_p99_lookup_s
+  | Some _ -> bad "%s: \"swarm\" must be an object" path
+
+let check ~path doc =
+  match
+    let version = check_version ~path doc in
+    check_structure ~path doc;
+    check_micro ~path doc;
+    check_alloc ~path ~version doc;
+    check_cc_matrix ~path ~version doc;
+    check_swarm ~path ~version doc
+  with
+  | () -> Ok ()
+  | exception Bad { message } -> Error message

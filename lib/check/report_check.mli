@@ -1,0 +1,36 @@
+(** Validation and regression gating for phi-bench-report documents.
+
+    A report is produced by [bench/main.exe --json PATH] (schema
+    [phi-bench-report/1]) and optionally upgraded by
+    [bench/micro.exe --json PATH]: to [/2] with an "alloc" section, to
+    [/3] when the report also carries the cross-algorithm "cc_matrix"
+    section (which must then cover every algorithm registered in
+    [Phi.Cc_algo]), and to [/4] when it additionally carries the
+    million-flow "swarm" section from the sharded context plane.
+
+    [check] is pure validation over the parsed JSON — the CI gate
+    ([bin/phi_json_check.ml]) is a thin exit-code wrapper around it,
+    and the gate's own unit tests inject regressions here to prove the
+    gate trips. *)
+
+val max_minor_words_per_packet : float
+(** The allocation budget enforced on the "alloc" section's
+    [minor_words_per_packet] figure. *)
+
+val min_swarm_lookups_per_s : float
+(** The committed throughput floor enforced on the "swarm" section's
+    [lookups_per_s] figure. *)
+
+val max_swarm_p99_lookup_s : float
+(** The committed tail-latency budget enforced on the "swarm" section's
+    [p99_lookup_s] figure, in seconds. *)
+
+val check : path:string -> Phi_util.Json.t -> (unit, string) result
+(** [check ~path doc] validates a parsed bench report.  [path] is used
+    only to prefix error messages.  Returns [Error message] on the
+    first violation: unknown schema, missing required fields, malformed
+    sections, or a committed-budget regression (allocation, swarm
+    throughput, swarm tail latency).  Optional sections ("micro",
+    "alloc", "cc_matrix", "swarm") are validated whenever present;
+    schema versions [/2]..[/4] additionally require their
+    distinguishing sections to be present. *)

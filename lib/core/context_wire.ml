@@ -1,0 +1,197 @@
+(* Versioned wire format for the context service.  See context_wire.mli
+   for the layout; the encoder and decoder are hand-rolled over
+   Buffer/string so the hot swarm loop round-trips millions of messages
+   without a serialization dependency. *)
+
+let version = 1
+
+type request =
+  | Lookup of { path : string; max_staleness : int }
+  | Report of {
+      path : string;
+      bytes : int;
+      duration_s : float;
+      min_rtt : float;
+      mean_rtt : float;
+      retransmitted : int;
+      segments : int;
+    }
+
+type response =
+  | Context_of of { ctx : Context.t; epoch : int }
+  | Accepted of { epoch : int }
+
+(* {2 Primitive writers}
+
+   Non-negative ints are LEB128 varints (7 bits per byte, high bit =
+   continuation); floats are their IEEE-754 bits, little-endian, so NaN
+   sentinels (a report with no RTT samples) survive the round trip. *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Context_wire: negative integer field";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_float buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+(* {2 Primitive readers}
+
+   Every reader takes the source and a mutable position and returns a
+   [result]; decoding never raises, whatever the input bytes (the fuzz
+   tests feed random garbage). *)
+
+type cursor = { src : string; mutable pos : int }
+
+let read_byte c =
+  if c.pos >= String.length c.src then Error "truncated message"
+  else begin
+    let b = Char.code c.src.[c.pos] in
+    c.pos <- c.pos + 1;
+    Ok b
+  end
+
+let read_varint c =
+  let rec go shift acc =
+    if shift > 56 then Error "varint too long"
+    else
+      match read_byte c with
+      | Error _ as e -> e
+      | Ok b ->
+        if b = 0 && shift > 0 then Error "non-canonical varint"
+        else
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if acc < 0 then Error "varint overflow"
+          else if b land 0x80 = 0 then Ok acc
+          else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_float c =
+  if c.pos + 8 > String.length c.src then Error "truncated float"
+  else begin
+    let bits = String.get_int64_le c.src c.pos in
+    c.pos <- c.pos + 8;
+    Ok (Int64.float_of_bits bits)
+  end
+
+let read_string c =
+  match read_varint c with
+  | Error _ as e -> e
+  | Ok len ->
+    if c.pos + len > String.length c.src then Error "truncated string"
+    else begin
+      let s = String.sub c.src c.pos len in
+      c.pos <- c.pos + len;
+      Ok s
+    end
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let finish c v =
+  if c.pos = String.length c.src then Ok v else Error "trailing bytes after message"
+
+let check_header c =
+  let* v = read_byte c in
+  if v <> version then Error (Printf.sprintf "unsupported wire version %d" v)
+  else read_byte c
+
+(* {2 Requests} *)
+
+let tag_lookup = 0x01
+let tag_report = 0x02
+let tag_context = 0x81
+let tag_accepted = 0x82
+
+let encode_request buf req =
+  Buffer.add_char buf (Char.chr version);
+  match req with
+  | Lookup { path; max_staleness } ->
+    Buffer.add_char buf (Char.chr tag_lookup);
+    put_string buf path;
+    put_varint buf max_staleness
+  | Report { path; bytes; duration_s; min_rtt; mean_rtt; retransmitted; segments } ->
+    Buffer.add_char buf (Char.chr tag_report);
+    put_string buf path;
+    put_varint buf bytes;
+    put_float buf duration_s;
+    put_float buf min_rtt;
+    put_float buf mean_rtt;
+    put_varint buf retransmitted;
+    put_varint buf segments
+
+let decode_request src =
+  let c = { src; pos = 0 } in
+  let* tag = check_header c in
+  if tag = tag_lookup then begin
+    let* path = read_string c in
+    let* max_staleness = read_varint c in
+    finish c (Lookup { path; max_staleness })
+  end
+  else if tag = tag_report then begin
+    let* path = read_string c in
+    let* bytes = read_varint c in
+    let* duration_s = read_float c in
+    let* min_rtt = read_float c in
+    let* mean_rtt = read_float c in
+    let* retransmitted = read_varint c in
+    let* segments = read_varint c in
+    finish c (Report { path; bytes; duration_s; min_rtt; mean_rtt; retransmitted; segments })
+  end
+  else Error (Printf.sprintf "unknown request tag 0x%02x" tag)
+
+(* {2 Responses} *)
+
+let encode_response buf resp =
+  Buffer.add_char buf (Char.chr version);
+  match resp with
+  | Context_of { ctx; epoch } ->
+    Buffer.add_char buf (Char.chr tag_context);
+    put_varint buf epoch;
+    put_float buf ctx.Context.utilization;
+    put_float buf ctx.Context.queue_delay_s;
+    put_varint buf ctx.Context.competing_senders;
+    put_float buf ctx.Context.loss_rate
+  | Accepted { epoch } ->
+    Buffer.add_char buf (Char.chr tag_accepted);
+    put_varint buf epoch
+
+let decode_response src =
+  let c = { src; pos = 0 } in
+  let* tag = check_header c in
+  if tag = tag_context then begin
+    let* epoch = read_varint c in
+    let* utilization = read_float c in
+    let* queue_delay_s = read_float c in
+    let* competing_senders = read_varint c in
+    let* loss_rate = read_float c in
+    finish c
+      (Context_of
+         { ctx = { Context.utilization; queue_delay_s; competing_senders; loss_rate }; epoch })
+  end
+  else if tag = tag_accepted then begin
+    let* epoch = read_varint c in
+    finish c (Accepted { epoch })
+  end
+  else Error (Printf.sprintf "unknown response tag 0x%02x" tag)
+
+(* {2 Convenience string forms} *)
+
+let request_to_string req =
+  let buf = Buffer.create 64 in
+  encode_request buf req;
+  Buffer.contents buf
+
+let response_to_string resp =
+  let buf = Buffer.create 48 in
+  encode_response buf resp;
+  Buffer.contents buf

@@ -96,3 +96,19 @@ let ewma_update e x =
 let ewma_value e = if e.seen then Some e.value else None
 
 let ewma_value_or e ~default = if e.seen then e.value else default
+
+(* A batch of [n] observations coalesced into one step with their mean:
+   equivalent to [n] sequential updates of that same value, so the
+   retained weight of the old estimate is (1 - alpha)^n. *)
+let ewma_next e x ~n =
+  if n <= 0 then invalid_arg "Stats.ewma_next: n must be positive";
+  if not e.seen then x
+  else begin
+    let keep = (1. -. e.alpha) ** float_of_int n in
+    x +. ((e.value -. x) *. keep)
+  end
+
+let ewma_update_n e x ~n =
+  let v = ewma_next e x ~n in
+  e.value <- v;
+  e.seen <- true

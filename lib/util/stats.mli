@@ -57,3 +57,13 @@ val ewma_value : ewma -> float option
 (** [None] until the first observation. *)
 
 val ewma_value_or : ewma -> default:float -> float
+
+val ewma_next : ewma -> float -> n:int -> float
+(** [ewma_next e x ~n] is the value the estimate would take after [n]
+    coalesced observations whose mean is [x], without mutating [e] —
+    equivalent to [n] sequential {!ewma_update}s of [x].  Lets batch
+    consumers (the epoch-coalescing context server) preview or commit a
+    whole epoch's reports in one step.  [n] must be positive. *)
+
+val ewma_update_n : ewma -> float -> n:int -> unit
+(** Commit the {!ewma_next} step. *)

@@ -40,12 +40,11 @@ let flow_packets rng config =
   let scale = config.mean_flow_packets *. (shape -. 1.) /. shape in
   Stdlib.max 1 (int_of_float (Dist.pareto rng ~shape ~scale))
 
-let generate rng config =
+let iter rng config f =
   if config.n_servers < 1 || config.n_subnets < 1 then
-    invalid_arg "Cloud_trace.generate: need at least one server and subnet";
-  if config.horizon_minutes < 1 then invalid_arg "Cloud_trace.generate: empty horizon";
+    invalid_arg "Cloud_trace.iter: need at least one server and subnet";
+  if config.horizon_minutes < 1 then invalid_arg "Cloud_trace.iter: empty horizon";
   let zipf = Dist.zipf ~n:config.n_subnets ~alpha:config.zipf_alpha in
-  let flows = ref [] in
   for minute = 0 to config.horizon_minutes - 1 do
     let count = Dist.poisson rng ~lambda:config.flows_per_minute in
     for _ = 1 to count do
@@ -56,7 +55,7 @@ let generate rng config =
       (* Throughput-ish durations: bigger flows last longer, capped so a
          flow stays within a few minutes. *)
       let duration_s = Float.min 180. (0.2 +. (float_of_int packets *. 0.01)) in
-      let flow =
+      f
         {
           start_s;
           duration_s;
@@ -67,8 +66,10 @@ let generate rng config =
           packets;
           bytes = packets * 1200;
         }
-      in
-      flows := flow :: !flows
     done
-  done;
+  done
+
+let generate rng config =
+  let flows = ref [] in
+  iter rng config (fun flow -> flows := flow :: !flows);
   List.sort (fun a b -> Float.compare a.start_s b.start_s) !flows

@@ -38,3 +38,10 @@ val default_config : config
 
 val generate : Phi_util.Prng.t -> config -> flow list
 (** Flows ordered by start time. *)
+
+val iter : Phi_util.Prng.t -> config -> (flow -> unit) -> unit
+(** Streaming form of {!generate} for consumers too big to materialize
+    (the million-flow swarm benchmark): flows are emitted in generation
+    order — minute by minute, unsorted within a minute — without
+    building a list.  Draws the same flows as {!generate} for the same
+    PRNG state. *)

@@ -1,0 +1,145 @@
+(* The CI report gate (Phi_check.Report_check): a well-formed /4 report
+   passes, and injected regressions — swarm throughput below the floor,
+   p99 over budget, allocation over budget — trip it.  This is the
+   acceptance proof that the gate actually gates. *)
+
+module J = Phi_util.Json
+module Check = Phi_check.Report_check
+
+let experiments =
+  J.List [ J.Obj [ ("id", J.String "swarm"); ("wall_s", J.float 16.4); ("cells", J.Int 8) ] ]
+
+let alloc ?(minor_words_per_packet = 0.0) () =
+  J.Obj
+    [
+      ("minor_words_per_event", J.float 12.5);
+      ("minor_words_per_packet", J.float minor_words_per_packet);
+      ("pool_high_water", J.Int 64);
+    ]
+
+(* One cell per registered algorithm: /3+ requires full coverage. *)
+let cc_matrix ?(drop_first_algorithm = false) () =
+  let names =
+    match Phi.Cc_algo.names with
+    | _ :: rest when drop_first_algorithm -> rest
+    | names -> names
+  in
+  J.List
+    (List.map
+       (fun name ->
+         J.Obj
+           [
+             ("algorithm", J.String name);
+             ("workload", J.String "paper");
+             ("mean_power", J.float 1.0);
+             ("connections", J.Int 8);
+           ])
+       names)
+
+let swarm ?(lookups_per_s = 60_000.) ?(p99_lookup_s = 4e-6) ?(jain = 0.3) ?(lookups = 1_000_000)
+    () =
+  J.Obj
+    [
+      ("flows", J.Int 1_000_000);
+      ("lookups", J.Int lookups);
+      ("reports", J.Int 1_000_000);
+      ("lookups_per_s", J.float lookups_per_s);
+      ("reports_per_s", J.float lookups_per_s);
+      ("p50_lookup_s", J.float 1e-6);
+      ("p99_lookup_s", J.float p99_lookup_s);
+      ("jain_index", J.float jain);
+      ("resident_paths", J.Int 5231);
+      ("evictions", J.Int 6034);
+      ("flushes", J.Int 34719);
+      ("fingerprint", J.String "flows=1000000 checksum=c074b375");
+    ]
+
+let report ?(schema = "phi-bench-report/4") ?(swarm_section = Some (swarm ()))
+    ?(alloc_section = Some (alloc ())) ?(cc_section = Some (cc_matrix ())) () =
+  let optional name = function Some v -> [ (name, v) ] | None -> [] in
+  J.Obj
+    ([
+       ("schema", J.String schema);
+       ("budget", J.String "quick (4-point grid, 2 seeds, 45 s runs)");
+       ("jobs", J.Int 4);
+       ("cores", J.Int 4);
+       ("experiments", experiments);
+       ("headline", J.Obj []);
+     ]
+    @ optional "alloc" alloc_section
+    @ optional "cc_matrix" cc_section
+    @ optional "swarm" swarm_section)
+
+let check doc = Check.check ~path:"report.json" doc
+
+let expect_pass what doc =
+  match check doc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s should pass the gate but failed: %s" what msg
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let expect_fail what ~mentioning doc =
+  match check doc with
+  | Ok () -> Alcotest.failf "%s should trip the gate but passed" what
+  | Error msg ->
+    if not (contains ~needle:mentioning msg) then
+      Alcotest.failf "%s tripped the gate but for the wrong reason: %s" what msg
+
+let test_valid_reports_pass () =
+  expect_pass "a full /4 report" (report ());
+  expect_pass "a /3 report without a swarm section"
+    (report ~schema:"phi-bench-report/3" ~swarm_section:None ());
+  expect_pass "a /2 report"
+    (report ~schema:"phi-bench-report/2" ~swarm_section:None ~cc_section:None ());
+  expect_pass "a bare /1 report"
+    (report ~schema:"phi-bench-report/1" ~swarm_section:None ~cc_section:None
+       ~alloc_section:None ())
+
+let test_swarm_throughput_gate () =
+  (* An order-of-magnitude slowdown must fail CI. *)
+  expect_fail "lookups/s below the committed floor" ~mentioning:"below the committed floor"
+    (report ~swarm_section:(Some (swarm ~lookups_per_s:6_000. ())) ());
+  (* The floor applies whenever the section is present, whatever the
+     schema version — a /1 --only swarm smoke is gated too. *)
+  expect_fail "a /1 report with a slow swarm section" ~mentioning:"below the committed floor"
+    (report ~schema:"phi-bench-report/1" ~cc_section:None ~alloc_section:None
+       ~swarm_section:(Some (swarm ~lookups_per_s:6_000. ())) ())
+
+let test_swarm_latency_gate () =
+  expect_fail "p99 over the latency budget" ~mentioning:"exceeds the budget"
+    (report ~swarm_section:(Some (swarm ~p99_lookup_s:0.25 ())) ())
+
+let test_swarm_structure_gate () =
+  expect_fail "/4 without a swarm section" ~mentioning:"requires a \"swarm\" section"
+    (report ~swarm_section:None ());
+  expect_fail "collapsed shard balance" ~mentioning:"shard balance collapsed"
+    (report ~swarm_section:(Some (swarm ~jain:0.01 ())) ());
+  expect_fail "broken flow accounting" ~mentioning:"flow accounting"
+    (report ~swarm_section:(Some (swarm ~lookups:999_999 ())) ())
+
+let test_alloc_gate () =
+  expect_fail "allocation regression" ~mentioning:"allocation regression"
+    (report ~alloc_section:(Some (alloc ~minor_words_per_packet:3.2 ())) ())
+
+let test_cc_matrix_gate () =
+  expect_fail "cc_matrix missing a registered algorithm" ~mentioning:"does not cover"
+    (report ~cc_section:(Some (cc_matrix ~drop_first_algorithm:true ())) ())
+
+let test_schema_gate () =
+  expect_fail "unknown schema" ~mentioning:"unknown \"schema\""
+    (report ~schema:"phi-bench-report/99" ())
+
+let suite =
+  [
+    Alcotest.test_case "well-formed reports pass" `Quick test_valid_reports_pass;
+    Alcotest.test_case "swarm throughput floor trips" `Quick test_swarm_throughput_gate;
+    Alcotest.test_case "swarm p99 budget trips" `Quick test_swarm_latency_gate;
+    Alcotest.test_case "swarm structure is enforced" `Quick test_swarm_structure_gate;
+    Alcotest.test_case "allocation budget trips" `Quick test_alloc_gate;
+    Alcotest.test_case "cc_matrix coverage is enforced" `Quick test_cc_matrix_gate;
+    Alcotest.test_case "unknown schemas are rejected" `Quick test_schema_gate;
+  ]

@@ -189,10 +189,16 @@ let test_golden_high_utilization () =
    Remy_sender transport immediately before its deletion.  The Remy
    migration onto the shared Phi_tcp.Sender (go-back-N recovery + whisker
    pacing as controller policy) must reproduce every output bit, and the
-   pool fan-out over (variant, seed) cells must not perturb it. *)
+   pool fan-out over (variant, seed) cells must not perturb it.
+
+   The practical row was re-recorded when the context server moved to
+   epoch-batched commits: lookups now see reports coalesced at epoch
+   granularity (and the ring-bucketed window), which shifts the
+   context-driven variant by a fraction of a percent.  The other three
+   rows do not consult reported context and must stay bit-identical. *)
 let golden_table3 =
   [
-    "Remy-Phi-practical 0x1.a4725cb6ba7f7p+20 0x1.b26761838338p-9 0x1.3294f547a59e2p+1 376 756";
+    "Remy-Phi-practical 0x1.9fb2d999bf891p+20 0x1.ae5a6293bab4p-9 0x1.30f647304ceb8p+1 373 753";
     "Remy-Phi-ideal 0x1.a06e095998bc3p+20 0x1.cc04db805388p-10 0x1.31eaf78afd10bp+1 371 0";
     "Remy 0x1.8eb1d30ab60f2p+20 0x1.8c89320aeep-13 0x1.2e23aebe5e3b4p+1 368 0";
     "Cubic 0x1.49dae35e17cd7p+19 0x1.4d9b05b5bad4p-8 0x1.78ae6521f328ap+0 252 0";

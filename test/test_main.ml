@@ -19,12 +19,16 @@ let () =
       ("source", Test_source.suite);
       ("remy", Test_remy.suite);
       ("core", Test_phi_core.suite);
+      ("wire", Test_wire.suite);
+      ("context-plane", Test_context_plane.suite);
       ("workload", Test_workload.suite);
       ("ipfix", Test_ipfix.suite);
       ("diagnosis", Test_diagnosis.suite);
       ("predict", Test_predict.suite);
       ("experiments", Test_experiments.suite);
+      ("swarm", Test_swarm.suite);
       ("runner", Test_runner.suite);
+      ("check", Test_check.suite);
       ("lint", Test_lint.suite);
       ("invariant", Test_invariant.suite);
       ("sanitize-leak", sanitize_leak_suite);
