@@ -24,12 +24,20 @@
    committed budget on the latter), and the link-loop packet pool
    reports its high-water mark.
 
-   --json PATH merges "micro" and "alloc" sections into an existing
-   phi-bench-report document (bench/main.exe --json output), stamping
-   the schema to phi-bench-report/2 — /3 when the document carries the
-   cross-algorithm "cc_matrix" section, /4 when the million-flow
-   "swarm" section is there as well — or writes
-   a standalone /2 report when PATH does not exist yet. *)
+   - decisions/s: the compiled decision plane — per-ack whisker lookup
+     (interpreted Rule_table scan against the flat Compiled_table) and
+     per-connection policy choice (interpreted Policy.choice_for
+     against the flat 64-entry Policy.Compiled) on identical
+     pregenerated inputs, with a Gc.minor_words delta around the
+     compiled whisker loop (the gate is ~0 words/lookup).
+
+   --json PATH merges "micro", "alloc" and "decision" sections into an
+   existing phi-bench-report document (bench/main.exe --json output),
+   stamping the schema to phi-bench-report/2 — /3 when the document
+   carries the cross-algorithm "cc_matrix" section, /5 when the
+   million-flow "swarm" section is there as well (micro always
+   contributes the decision section, so the old /4 stamp is subsumed) —
+   or writes a standalone /2 report when PATH does not exist yet. *)
 
 module Engine = Phi_sim.Engine
 module Link = Phi_net.Link
@@ -38,6 +46,12 @@ module Topology = Phi_net.Topology
 module Scenario = Phi_experiments.Scenario
 module Json = Phi_util.Json
 module Pool = Phi_runner.Pool
+module Prng = Phi_util.Prng
+module Rule_table = Phi_remy.Rule_table
+module Compiled_table = Phi_remy.Compiled_table
+module Context = Phi.Context
+module Policy = Phi.Policy
+module Cc_algo = Phi.Cc_algo
 
 (* {2 The pre-refactor event core, embedded verbatim}
 
@@ -242,6 +256,98 @@ let dumbbell_packets duration_s () =
     (fun acc (s : Phi_tcp.Flow.conn_stats) -> acc + (s.Phi_tcp.Flow.bytes / Packet.mss))
     0 r.Scenario.records
 
+(* {2 decisions/s: the compiled decision plane}
+
+   The pretrained Phi table with every whisker split once more — the
+   few-hundred-rule size a converged Remy run actually carries, where
+   the interpreted scan's O(whiskers) cost is real.  Points and
+   contexts are pregenerated (both float-array and floatarray forms, so
+   no conversion is timed); both variants fold the returned index into
+   a sink, which doubles as an equivalence check across the two
+   lookups. *)
+
+let decision_table () =
+  let table = Phi_remy.Pretrained.remy_phi () in
+  List.iter (fun w -> Rule_table.split table w) (Rule_table.whiskers table);
+  table
+
+let decision_points dims n =
+  let rng = Prng.create ~seed:11 in
+  Array.init n (fun _ ->
+      let p = Float.Array.make dims 0. in
+      for a = 0 to dims - 1 do
+        Float.Array.set p a (Prng.float rng)
+      done;
+      p)
+
+let boxed_points = Array.map (fun p -> Array.init (Float.Array.length p) (Float.Array.get p))
+
+let interpreted_lookups table points rounds () =
+  let sink = ref 0 in
+  for _ = 1 to rounds do
+    for i = 0 to Array.length points - 1 do
+      sink := !sink + Rule_table.lookup_index table (Array.unsafe_get points i)
+    done
+  done;
+  !sink
+
+let compiled_lookups table (points : floatarray array) rounds () =
+  let sink = ref 0 in
+  for _ = 1 to rounds do
+    for i = 0 to Array.length points - 1 do
+      sink := !sink + Compiled_table.lookup table (Array.unsafe_get points i)
+    done
+  done;
+  !sink
+
+(* The swarm's learned entries: one per registered algorithm, so the
+   choice loops exercise both the flat-array hits and the heuristic
+   fallback. *)
+let decision_policy () =
+  let policy = Policy.create () in
+  let bucket u n q = { Context.u_bucket = u; Context.n_bucket = n; Context.q_bucket = q } in
+  List.iter
+    (fun (b, algo) -> Policy.learn policy b algo)
+    [
+      (bucket 0 0 0, Cc_algo.Remy);
+      (bucket 0 1 0, Cc_algo.Remy_phi);
+      (bucket 1 2 1, Cc_algo.Vegas);
+      (bucket 2 3 1, Cc_algo.Reno 1.);
+      (bucket 3 3 2, Cc_algo.Cubic Phi_tcp.Cubic.default_params);
+    ];
+  policy
+
+let decision_contexts n =
+  let rng = Prng.create ~seed:13 in
+  Array.init n (fun _ ->
+      {
+        Context.utilization = Prng.float rng;
+        Context.queue_delay_s = Prng.float_range rng ~lo:0. ~hi:0.3;
+        Context.competing_senders = Prng.int rng ~bound:64;
+        Context.loss_rate = Prng.float_range rng ~lo:0. ~hi:0.05;
+      })
+
+let remyish = function Cc_algo.Remy | Cc_algo.Remy_phi -> 1 | _ -> 0
+
+let interpreted_choices policy contexts rounds () =
+  let sink = ref 0 in
+  for _ = 1 to rounds do
+    for i = 0 to Array.length contexts - 1 do
+      sink := !sink + remyish (Policy.choice_for policy (Array.unsafe_get contexts i))
+    done
+  done;
+  !sink
+
+let compiled_choices compiled contexts rounds () =
+  let sink = ref 0 in
+  for _ = 1 to rounds do
+    for i = 0 to Array.length contexts - 1 do
+      sink :=
+        !sink + remyish (Policy.Compiled.choice_for compiled (Array.unsafe_get contexts i))
+    done
+  done;
+  !sink
+
 (* {2 Driver} *)
 
 let () =
@@ -339,6 +445,58 @@ let () =
   Printf.printf "    %d data packets delivered               %10.0f packets/s (wall %.2f s)\n%!"
     data_packets dumbbell_pps dumbbell_wall;
 
+  let table = decision_table () in
+  let compiled = Compiled_table.compile table in
+  let n_points = if !quick then 10_000 else 50_000 in
+  let interp_rounds = if !quick then 2 else 10 in
+  let comp_rounds = interp_rounds * 20 in
+  let points = decision_points (Rule_table.dims table) n_points in
+  let box = boxed_points points in
+  let policy = decision_policy () in
+  let cpolicy = Policy.Compiled.compile policy in
+  let n_ctx = if !quick then 10_000 else 20_000 in
+  let ctx_interp_rounds = if !quick then 10 else 50 in
+  let ctx_comp_rounds = ctx_interp_rounds * 10 in
+  let contexts = decision_contexts n_ctx in
+  let interp_wall = ref infinity in
+  let comp_wall = ref infinity in
+  let comp_minor = ref infinity in
+  let pol_interp_wall = ref infinity in
+  let pol_comp_wall = ref infinity in
+  let interp_sink = ref 0 in
+  let comp_sink = ref 0 in
+  for _ = 1 to repetitions do
+    let keep best sink f = let wall, s = timed f in if wall < !best then best := wall; sink := s in
+    keep interp_wall interp_sink (interpreted_lookups table box interp_rounds);
+    let m0 = Gc.minor_words () in
+    keep comp_wall comp_sink (compiled_lookups compiled points comp_rounds);
+    let m = Gc.minor_words () -. m0 in
+    if m < !comp_minor then comp_minor := m;
+    keep pol_interp_wall (ref 0) (interpreted_choices policy contexts ctx_interp_rounds);
+    keep pol_comp_wall (ref 0) (compiled_choices cpolicy contexts ctx_comp_rounds)
+  done;
+  (* The sinks fold every returned index, so equal per-pass sums are a
+     cheap online equivalence check between the two lookup paths. *)
+  if !comp_sink * interp_rounds <> !interp_sink * comp_rounds then begin
+    Printf.eprintf "decision: compiled and interpreted lookups disagree\n";
+    Stdlib.exit 1
+  end;
+  let interp_lps = rate (n_points * interp_rounds) !interp_wall in
+  let comp_lps = rate (n_points * comp_rounds) !comp_wall in
+  let decision_speedup = if interp_lps > 0. then comp_lps /. interp_lps else 0. in
+  let words_per_lookup = !comp_minor /. float_of_int (n_points * comp_rounds) in
+  let pol_interp_cps = rate (n_ctx * ctx_interp_rounds) !pol_interp_wall in
+  let pol_comp_cps = rate (n_ctx * ctx_comp_rounds) !pol_comp_wall in
+  let policy_speedup = if pol_interp_cps > 0. then pol_comp_cps /. pol_interp_cps else 0. in
+  Printf.printf "\n  decision plane, %d whiskers -> %d cells, %d random points:\n"
+    (Rule_table.size table) (Compiled_table.cell_count compiled) n_points;
+  Printf.printf "    interpreted Rule_table scan            %10.0f lookups/s\n" interp_lps;
+  Printf.printf "    compiled flat table                    %10.0f lookups/s  (%.1fx, %.4f minor words/lookup)\n"
+    comp_lps decision_speedup words_per_lookup;
+  Printf.printf "    interpreted Policy.choice_for          %10.0f choices/s\n" pol_interp_cps;
+  Printf.printf "    compiled 64-entry policy               %10.0f choices/s  (%.1fx)\n%!"
+    pol_comp_cps policy_speedup;
+
   (match json_path with
   | None -> ()
   | Some path ->
@@ -377,29 +535,49 @@ let () =
           ("pool_high_water", Json.Int loop_high_water);
         ]
     in
+    let decision =
+      Json.Obj
+        [
+          ("whiskers", Json.Int (Rule_table.size table));
+          ("cells", Json.Int (Compiled_table.cell_count compiled));
+          ("points", Json.Int n_points);
+          ("interpreted_lookups_per_s", Json.float interp_lps);
+          ("compiled_lookups_per_s", Json.float comp_lps);
+          ("speedup", Json.float decision_speedup);
+          ("minor_words_per_lookup", Json.float words_per_lookup);
+          ("policy_interpreted_choices_per_s", Json.float pol_interp_cps);
+          ("policy_compiled_choices_per_s", Json.float pol_comp_cps);
+          ("policy_speedup", Json.float policy_speedup);
+        ]
+    in
     let doc =
       match Json.of_file ~path with
       | Ok (Json.Obj fields) ->
         (* Merge into an existing bench report, replacing any stale
-           micro/alloc sections.  The schema stamp records what the
-           document now carries: /2 for micro+alloc, /3 when the
-           cross-algorithm cc_matrix section is present too, /4 when
-           the swarm context-plane section is there as well. *)
+           micro/alloc/decision sections.  The schema stamp records
+           what the document now carries: /2 for micro+alloc+decision,
+           /3 when the cross-algorithm cc_matrix section is present
+           too, /5 when the swarm context-plane section is there as
+           well (decision is always contributed here, so the old /4
+           stamp is subsumed). *)
         let fields =
-          List.filter (fun (k, _) -> k <> "micro" && k <> "alloc" && k <> "schema") fields
+          List.filter
+            (fun (k, _) ->
+              k <> "micro" && k <> "alloc" && k <> "decision" && k <> "schema")
+            fields
         in
         let schema =
           match (List.mem_assoc "cc_matrix" fields, List.mem_assoc "swarm" fields) with
-          | true, true -> "phi-bench-report/4"
+          | true, true -> "phi-bench-report/5"
           | true, false -> "phi-bench-report/3"
           | false, _ -> "phi-bench-report/2"
         in
         Json.Obj
           ((("schema", Json.String schema) :: fields)
-          @ [ ("alloc", alloc); ("micro", micro) ])
+          @ [ ("alloc", alloc); ("decision", decision); ("micro", micro) ])
       | Ok _ | Error _ ->
         (* Standalone report: the minimal valid phi-bench-report/2
-           document plus the alloc and micro sections. *)
+           document plus the alloc, decision and micro sections. *)
         let experiment id wall cells =
           Json.Obj
             [ ("id", Json.String id); ("wall_s", Json.float wall); ("cells", Json.Int cells) ]
@@ -426,6 +604,7 @@ let () =
                 ] );
             ("headline", Json.Obj []);
             ("alloc", alloc);
+            ("decision", decision);
             ("micro", micro);
           ]
     in

@@ -20,6 +20,17 @@ let max_minor_words_per_packet = 0.5
 let min_swarm_lookups_per_s = 15_000.
 let max_swarm_p99_lookup_s = 0.002
 
+(* The decision-plane budgets.  The compiled whisker table runs ~150x
+   the interpreted scan on the converged-size benchmark table (512
+   whiskers); the committed floor of 10x catches the flat table
+   degenerating back into a walk while leaving wide headroom for
+   runner noise.  The per-lookup allocation budget is effectively
+   zero: the branch-free search passes only ints and pointers, so a
+   single boxed float sneaking into the lookup path (2 words) blows
+   straight past it. *)
+let min_decision_speedup = 10.
+let max_minor_words_per_lookup = 0.01
+
 type failure = { message : string }
 
 exception Bad of failure
@@ -32,6 +43,7 @@ let check_version ~path doc =
   | Some (J.String "phi-bench-report/2") -> 2
   | Some (J.String "phi-bench-report/3") -> 3
   | Some (J.String "phi-bench-report/4") -> 4
+  | Some (J.String "phi-bench-report/5") -> 5
   | Some _ | None -> bad "%s: missing or unknown \"schema\" field" path
 
 let check_structure ~path doc =
@@ -183,6 +195,46 @@ let check_swarm ~path ~version doc =
         max_swarm_p99_lookup_s
   | Some _ -> bad "%s: \"swarm\" must be an object" path
 
+(* The "decision" section is what distinguishes a /5 report: the
+   compiled decision plane (flat whisker tables and the 64-entry
+   policy array).  Whenever present it is gated against the committed
+   speedup floor and the zero-allocation budget, so the hot lookup
+   regressing to the interpreted scan — or starting to box — fails CI. *)
+let check_decision ~path ~version doc =
+  match J.member "decision" doc with
+  | None ->
+    if version >= 5 then bad "%s: phi-bench-report/5 requires a \"decision\" section" path
+  | Some (J.Obj _ as decision) ->
+    let number field =
+      match J.member field decision with
+      | Some (J.Float v) -> v
+      | Some (J.Int v) -> float_of_int v
+      | Some _ -> bad "%s: decision field \"%s\" must be a number" path field
+      | None -> bad "%s: decision section missing \"%s\"" path field
+    in
+    List.iter
+      (fun field ->
+        if number field <= 0. then
+          bad "%s: decision field \"%s\" must be a positive number" path field)
+      [
+        "whiskers";
+        "cells";
+        "interpreted_lookups_per_s";
+        "compiled_lookups_per_s";
+        "policy_interpreted_choices_per_s";
+        "policy_compiled_choices_per_s";
+      ];
+    let speedup = number "speedup" in
+    if speedup < min_decision_speedup then
+      bad "%s: decision regression: compiled lookup is only %.1fx the interpreted scan (floor %g)"
+        path speedup min_decision_speedup;
+    let words = number "minor_words_per_lookup" in
+    if words < 0. then bad "%s: decision \"minor_words_per_lookup\" must be non-negative" path;
+    if words > max_minor_words_per_lookup then
+      bad "%s: decision regression: %.4f minor words/lookup exceeds the budget of %g" path
+        words max_minor_words_per_lookup
+  | Some _ -> bad "%s: \"decision\" must be an object" path
+
 let check ~path doc =
   match
     let version = check_version ~path doc in
@@ -190,7 +242,8 @@ let check ~path doc =
     check_micro ~path doc;
     check_alloc ~path ~version doc;
     check_cc_matrix ~path ~version doc;
-    check_swarm ~path ~version doc
+    check_swarm ~path ~version doc;
+    check_decision ~path ~version doc
   with
   | () -> Ok ()
   | exception Bad { message } -> Error message

@@ -5,8 +5,11 @@
     [bench/micro.exe --json PATH]: to [/2] with an "alloc" section, to
     [/3] when the report also carries the cross-algorithm "cc_matrix"
     section (which must then cover every algorithm registered in
-    [Phi.Cc_algo]), and to [/4] when it additionally carries the
-    million-flow "swarm" section from the sharded context plane.
+    [Phi.Cc_algo]), to [/4] when it additionally carries the
+    million-flow "swarm" section from the sharded context plane, and to
+    [/5] when the compiled-decision-plane "decision" section rides
+    along as well (micro.exe now always contributes it, so fresh full
+    reports stamp [/5]).
 
     [check] is pure validation over the parsed JSON — the CI gate
     ([bin/phi_json_check.ml]) is a thin exit-code wrapper around it,
@@ -25,12 +28,23 @@ val max_swarm_p99_lookup_s : float
 (** The committed tail-latency budget enforced on the "swarm" section's
     [p99_lookup_s] figure, in seconds. *)
 
+val min_decision_speedup : float
+(** The committed floor on the "decision" section's [speedup] figure:
+    compiled whisker lookups must beat the interpreted scan by at least
+    this factor on the converged-size benchmark table. *)
+
+val max_minor_words_per_lookup : float
+(** The allocation budget enforced on the "decision" section's
+    [minor_words_per_lookup] figure — effectively zero: one boxed float
+    on the lookup path (2 words) trips it. *)
+
 val check : path:string -> Phi_util.Json.t -> (unit, string) result
 (** [check ~path doc] validates a parsed bench report.  [path] is used
     only to prefix error messages.  Returns [Error message] on the
     first violation: unknown schema, missing required fields, malformed
     sections, or a committed-budget regression (allocation, swarm
-    throughput, swarm tail latency).  Optional sections ("micro",
-    "alloc", "cc_matrix", "swarm") are validated whenever present;
-    schema versions [/2]..[/4] additionally require their
+    throughput, swarm tail latency, decision-plane speedup or
+    per-lookup allocation).  Optional sections ("micro", "alloc",
+    "cc_matrix", "swarm", "decision") are validated whenever present;
+    schema versions [/2]..[/5] additionally require their
     distinguishing sections to be present. *)

@@ -20,20 +20,32 @@ let severity t =
 
 type bucket = { u_bucket : int; n_bucket : int; q_bucket : int }
 
-let u_buckets = [| 0.3; 0.6; 0.85; infinity |]
-let n_buckets = [| 2; 8; 32; max_int |]
-let q_buckets = [| 0.01; 0.05; 0.2; infinity |]
-
-let index_of edges value le =
-  let rec search i = if le value edges.(i) then i else search (i + 1) in
-  search 0
+(* Pure threshold ladders (no module-level arrays: [bucket_code] runs
+   inside pool worker domains, so the edges live in code, not state). *)
+let u_bucket_of u = if u <= 0.3 then 0 else if u <= 0.6 then 1 else if u <= 0.85 then 2 else 3
+let n_bucket_of n = if n <= 2 then 0 else if n <= 8 then 1 else if n <= 32 then 2 else 3
+let q_bucket_of q = if q <= 0.01 then 0 else if q <= 0.05 then 1 else if q <= 0.2 then 2 else 3
 
 let bucketize t =
   {
-    u_bucket = index_of u_buckets t.utilization (fun v e -> v <= e);
-    n_bucket = index_of n_buckets t.competing_senders (fun v e -> v <= e);
-    q_bucket = index_of q_buckets t.queue_delay_s (fun v e -> v <= e);
+    u_bucket = u_bucket_of t.utilization;
+    n_bucket = n_bucket_of t.competing_senders;
+    q_bucket = q_bucket_of t.queue_delay_s;
   }
+
+(* 4 buckets per axis, 3 axes: 64 packed codes. *)
+let bucket_codes = 64
+
+let pack_bucket b = (b.u_bucket * 16) + (b.n_bucket * 4) + b.q_bucket
+
+let bucket_of_code code =
+  if code < 0 || code >= bucket_codes then invalid_arg "Context.bucket_of_code: out of range";
+  { u_bucket = code / 16; n_bucket = code / 4 mod 4; q_bucket = code mod 4 }
+
+let bucket_code t =
+  (u_bucket_of t.utilization * 16)
+  + (n_bucket_of t.competing_senders * 4)
+  + q_bucket_of t.queue_delay_s
 
 let bucket_distance a b =
   abs (a.u_bucket - b.u_bucket) + abs (a.n_bucket - b.n_bucket) + abs (a.q_bucket - b.q_bucket)

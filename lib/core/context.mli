@@ -29,16 +29,25 @@ val severity : t -> float
 
 type bucket = { u_bucket : int; n_bucket : int; q_bucket : int }
 
-val u_buckets : float array
-(** Upper edges of the utilization buckets (last is [infinity]). *)
-
-val n_buckets : int array
-(** Upper edges of the competing-sender buckets. *)
-
-val q_buckets : float array
-(** Upper edges of the queue-delay buckets, seconds. *)
-
 val bucketize : t -> bucket
+(** Threshold ladders per axis — utilization at 0.3/0.6/0.85, competing
+    senders at 2/8/32, queue delay at 10/50/200 ms — four buckets each.
+    Pure code, no module-level edge tables: bucketing runs inside pool
+    worker domains. *)
+
+val bucket_codes : int
+(** 64: the number of distinct buckets (4 per axis, 3 axes).  Packed
+    codes index the flat [Policy.Compiled] choice table. *)
+
+val pack_bucket : bucket -> int
+(** The bucket's packed code: [u*16 + n*4 + q], in [0, bucket_codes). *)
+
+val bucket_of_code : int -> bucket
+(** Inverse of {!pack_bucket}; raises [Invalid_argument] out of range. *)
+
+val bucket_code : t -> int
+(** [pack_bucket (bucketize t)] without allocating the intermediate
+    bucket record — the hot-path entry into compiled policy tables. *)
 
 val bucket_distance : bucket -> bucket -> int
 (** L1 distance on bucket coordinates — used for nearest-neighbour policy

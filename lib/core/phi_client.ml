@@ -3,16 +3,29 @@ type t = {
   policy : Policy.t;
   path : string;
   builder : Cc_algo.builder;
+  mutable compiled : Policy.Compiled.t;
   mutable last_context : Context.t option;
   mutable last_choice : Cc_algo.t option;
 }
 
 let create ?(builder = Cc_algo.basic_builder) ~server ~policy ~path () =
-  { server; policy; path; builder; last_context = None; last_choice = None }
+  {
+    server;
+    policy;
+    path;
+    builder;
+    compiled = Policy.Compiled.compile policy;
+    last_context = None;
+    last_choice = None;
+  }
 
 let factory t () =
   let ctx = Context_server.lookup t.server ~path:t.path in
-  let choice = Policy.choice_for t.policy ctx in
+  (* Recompile lazily after [Policy.learn]; connection setup then pays
+     one flat-array choice instead of a learned-table walk. *)
+  if not (Policy.Compiled.is_fresh t.compiled t.policy) then
+    t.compiled <- Policy.Compiled.compile t.policy;
+  let choice = Policy.Compiled.choice_for t.compiled ctx in
   t.last_context <- Some ctx;
   t.last_choice <- Some choice;
   t.builder ~ctx choice

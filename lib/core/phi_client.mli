@@ -25,7 +25,9 @@ val create :
 
 val factory : t -> unit -> Phi_tcp.Cc.t
 (** Looks the context up, asks the policy for an algorithm choice and
-    builds the controller.  Exactly one context-server round trip. *)
+    builds the controller.  Exactly one context-server round trip.  The
+    choice goes through a {!Policy.Compiled} table held by the client
+    and recompiled lazily whenever the policy's generation moved. *)
 
 val on_conn_end : t -> Phi_tcp.Flow.conn_stats -> unit
 (** Reports the finished connection to the context server. *)

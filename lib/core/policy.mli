@@ -17,17 +17,52 @@ val create : ?default:Cc_algo.t -> unit -> t
     {!Phi_tcp.Cubic.default_params}. *)
 
 val learn : t -> Context.bucket -> Cc_algo.t -> unit
-(** Record the optimal choice found for a bucket (overwrites). *)
+(** Record the optimal choice found for a bucket (overwrites); bumps the
+    generation, invalidating compiled forms. *)
 
 val learned : t -> (Context.bucket * Cc_algo.t) list
 
+val generation : t -> int
+(** Bumped by every {!learn}; {!Compiled.is_fresh} checks against it. *)
+
 val choice_for : t -> Context.t -> Cc_algo.t
 (** Exact bucket hit; otherwise the nearest learned bucket (L1 bucket
-    distance, at most 2 away); otherwise {!heuristic}. *)
+    distance, at most 2 away); otherwise {!heuristic}.  The interpreted
+    reference: walks the learned table on every miss.  Hot paths go
+    through {!Compiled.choice_for} instead. *)
 
 val heuristic : Context.t -> Cc_algo.t
 (** Rule-based Cubic parameters from the paper's findings: low congestion
     admits an aggressive start (large initial window, generous ssthresh);
     high congestion calls for a conservative start; persistent heavy
     congestion with deep queues also calls for a larger beta (sharper
-    back-off, the Figure 2c observation). *)
+    back-off, the Figure 2c observation).  Returns one of six presets
+    computed at module init — no per-call allocation. *)
+
+(** The compiled decision plane: the bucket → choice resolution
+    precomputed into a flat dense array keyed by {!Context.bucket_code}.
+    Compilation runs the same exact/nearest resolution as {!choice_for}
+    for all 64 buckets (the values are physically the learned ones);
+    buckets that would fall through to the heuristic stay [None] and
+    resolve through the preset-backed heuristic at lookup — so a
+    compiled choice is always physically identical to the interpreted
+    one.  Immutable and domain-shareable; generation-stamped against the
+    source policy, so holders recompile after {!learn}. *)
+module Compiled : sig
+  type policy := t
+
+  type t
+
+  val compile : policy -> t
+
+  val is_fresh : t -> policy -> bool
+  (** [true] iff compiled from exactly this policy (physical equality)
+      at its current generation. *)
+
+  val choice_for : t -> Context.t -> Cc_algo.t
+  (** One bucketization + one array load (heuristic presets on [None]):
+      allocation-free. *)
+
+  val source : t -> policy
+  val generation : t -> int
+end

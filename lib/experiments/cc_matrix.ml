@@ -3,7 +3,7 @@ module Stats = Phi_util.Stats
 module Pool = Phi_runner.Pool
 module Cc_algo = Phi.Cc_algo
 module Remy_cc = Phi_remy.Remy_cc
-module Rule_table = Phi_remy.Rule_table
+module Compiled_table = Phi_remy.Compiled_table
 
 type cell = {
   algorithm : string;
@@ -19,20 +19,20 @@ let workloads =
   [ ("low", Scenario.low_utilization); ("high", Scenario.high_utilization) ]
 
 (* One seeded run of one algorithm over one workload.  The window-based
-   controllers come straight from the registry's basic builder; Remy uses
-   a private copy of the pretrained table; Remy-Phi follows the practical
-   protocol — a context server fed by end-of-connection reports, one
-   utilization lookup when each connection starts. *)
+   controllers come straight from the registry's basic builder; Remy
+   shares the compiled pretrained table (immutable, so safe across pool
+   domains); Remy-Phi follows the practical protocol — a context server
+   fed by end-of-connection reports, one utilization lookup when each
+   connection starts. *)
 let run_one ~remy_table ~remy_phi_table ~seed (config : Scenario.config) algo =
   let config = { config with Scenario.seed } in
   match algo with
   | Cc_algo.Cubic _ | Cc_algo.Reno _ | Cc_algo.Vegas ->
     Scenario.run ~cc_factory:(fun _ () -> Cc_algo.basic_builder ~ctx:Phi.Context.empty algo) config
   | Cc_algo.Remy ->
-    let table = Rule_table.copy remy_table in
-    Scenario.run ~cc_factory:(fun _ () -> Remy_cc.make ~table ~util:`None ()) config
+    Scenario.run ~cc_factory:(fun _ () -> Remy_cc.make ~table:remy_table ~util:`None ()) config
   | Cc_algo.Remy_phi ->
-    let table = Rule_table.copy remy_phi_table in
+    let table = remy_phi_table in
     let util_feed : Remy_cc.util_feed ref = ref `None in
     let reporter = ref (fun (_ : Phi_tcp.Flow.conn_stats) -> ()) in
     let observe engine (_ : Topology.dumbbell) =
@@ -65,9 +65,15 @@ let cell_of ~algorithm ~workload (results : Scenario.result array) =
 let run ?jobs ?(algorithms = Cc_algo.all) ?remy_table ?remy_phi_table ?duration_s ~seeds () =
   if seeds = [] then invalid_arg "Cc_matrix.run: no seeds";
   if algorithms = [] then invalid_arg "Cc_matrix.run: no algorithms";
-  let remy_table = match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy () in
+  (* Compile once before fanning out: every (workload, seed) cell shares
+     the two flat tables. *)
+  let remy_table =
+    Compiled_table.compile
+      (match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy ())
+  in
   let remy_phi_table =
-    match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ()
+    Compiled_table.compile
+      (match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ())
   in
   let config_of base =
     match duration_s with

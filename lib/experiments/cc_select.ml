@@ -1,14 +1,19 @@
 module Cc_algo = Phi.Cc_algo
 module Remy_cc = Phi_remy.Remy_cc
-module Rule_table = Phi_remy.Rule_table
+module Compiled_table = Phi_remy.Compiled_table
 
-type t = { remy_table : Rule_table.t; remy_phi_table : Rule_table.t }
+type t = { remy_table : Compiled_table.t; remy_phi_table : Compiled_table.t }
 
 let create ?remy_table ?remy_phi_table () =
+  (* Compile once at registry setup: every connection the builder makes
+     shares the two flat tables (immutable, domain-safe). *)
+  let compile_or default = function
+    | Some table -> Compiled_table.compile table
+    | None -> Compiled_table.compile (default ())
+  in
   {
-    remy_table = (match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy ());
-    remy_phi_table =
-      (match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ());
+    remy_table = compile_or Phi_remy.Pretrained.remy remy_table;
+    remy_phi_table = compile_or Phi_remy.Pretrained.remy_phi remy_phi_table;
   }
 
 let builder t : Cc_algo.builder =

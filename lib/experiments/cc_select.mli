@@ -11,7 +11,9 @@
 type t
 
 val create : ?remy_table:Phi_remy.Rule_table.t -> ?remy_phi_table:Phi_remy.Rule_table.t -> unit -> t
-(** Tables default to {!Phi_remy.Pretrained}. *)
+(** Tables default to {!Phi_remy.Pretrained}; both are compiled
+    ({!Phi_remy.Compiled_table}) once here, so every connection shares
+    the flat immutable forms. *)
 
 val builder : t -> Phi.Cc_algo.builder
 (** Builds any registered algorithm. *)

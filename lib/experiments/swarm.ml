@@ -5,6 +5,9 @@ module Prng = Phi_util.Prng
 module Cloud_trace = Phi_workload.Cloud_trace
 module Context_server = Phi.Context_server
 module Context_wire = Phi.Context_wire
+module Context = Phi.Context
+module Policy = Phi.Policy
+module Cc_algo = Phi.Cc_algo
 
 type config = {
   n_flows : int;
@@ -38,6 +41,7 @@ type result = {
   flushes : int;
   checksum : int;
   jain_index : float;
+  choice_counts : (string * int) list;
   fingerprint : string;
   elapsed_s : float;
   lookups_per_s : float;
@@ -45,6 +49,45 @@ type result = {
   p50_lookup_s : float;
   p99_lookup_s : float;
 }
+
+(* {2 The fleet policy}
+
+   Every lookup response closes the client-side loop: decode the
+   context, ask the (compiled) policy which algorithm this connection
+   should run.  The policy is a deterministic learned table covering all
+   five registered algorithms, so the swarm exercises both the
+   flat-array hits and the heuristic fallback. *)
+
+let swarm_policy () =
+  let policy = Policy.create () in
+  let bucket u n q = { Context.u_bucket = u; n_bucket = n; q_bucket = q } in
+  List.iter
+    (fun (b, choice) -> Policy.learn policy b choice)
+    [
+      (bucket 0 0 0, Cc_algo.Remy);
+      (bucket 0 1 0, Cc_algo.Remy_phi);
+      (bucket 1 2 1, Cc_algo.Vegas);
+      (bucket 2 3 1, Cc_algo.Reno 1.);
+      (bucket 3 3 2, Cc_algo.Cubic Phi_tcp.Cubic.default_params);
+    ];
+  policy
+
+(* Fixed tally slots, one per registered algorithm. *)
+let algo_slot = function
+  | Cc_algo.Cubic _ -> 0
+  | Cc_algo.Reno _ -> 1
+  | Cc_algo.Vegas -> 2
+  | Cc_algo.Remy -> 3
+  | Cc_algo.Remy_phi -> 4
+
+let slots = 5
+
+let slot_name = function
+  | 0 -> "cubic"
+  | 1 -> "reno"
+  | 2 -> "vegas"
+  | 3 -> "remy"
+  | _ -> "remy-phi"
 
 (* The same FNV-1a the context server uses for shard placement.  The
    cell index takes the hash's {e high} bits: the server takes it mod
@@ -134,6 +177,7 @@ type cell_out = {
   c_resident : int;
   c_evictions : int;
   c_flushes : int;
+  c_choices : int array;  (* per-algorithm policy-choice tally *)
   c_lat : floatarray;  (* per-lookup service latencies, seconds *)
   c_lat_n : int;
 }
@@ -146,7 +190,7 @@ let checksum_add acc wire =
   String.iter (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xffffffff) wire;
   !h
 
-let run_cell config ops =
+let run_cell config policy ops =
   let ops = Array.of_list ops in
   Array.sort
     (fun a b ->
@@ -159,6 +203,7 @@ let run_cell config ops =
       ~max_paths_per_shard:config.max_paths_per_shard ~ttl_epochs:config.ttl_epochs ()
   in
   let lookups = ref 0 and reports = ref 0 and checksum = ref 0x811c9dc5 in
+  let choices = Array.make slots 0 in
   let lat = Float.Array.make (Array.length ops) 0. in
   let lat_n = ref 0 in
   Array.iter
@@ -171,8 +216,14 @@ let run_cell config ops =
         let resp = Context_server.handle server req in
         let t1 = Unix.gettimeofday () in
         let resp_wire = Context_wire.response_to_string resp in
+        (* The client half of the protocol: decode the response and, for
+           lookups, run the decoded context through the compiled policy —
+           the same algorithm choice a real connection setup would make. *)
         (match Context_wire.decode_response resp_wire with
-        | Ok _ -> ()
+        | Ok (Context_wire.Context_of { ctx; epoch = _ }) ->
+          let slot = algo_slot (Policy.Compiled.choice_for policy ctx) in
+          choices.(slot) <- choices.(slot) + 1
+        | Ok (Context_wire.Accepted _) -> ()
         | Error e -> invalid_arg ("Swarm.run: response failed to round-trip: " ^ e));
         checksum := checksum_add !checksum resp_wire;
         (match req with
@@ -194,6 +245,7 @@ let run_cell config ops =
     c_resident = Context_server.resident_paths server;
     c_evictions = Context_server.eviction_count server;
     c_flushes = Context_server.flush_count server;
+    c_choices = choices;
     c_lat = lat;
     c_lat_n = !lat_n;
   }
@@ -210,8 +262,10 @@ let run ?jobs ?(config = default_config) () =
   if config.n_flows < 1 then invalid_arg "Swarm.run: need at least one flow";
   if config.cells < 1 then invalid_arg "Swarm.run: need at least one cell";
   let buckets = generate config in
+  (* Compiled once; immutable, so all cells share it across domains. *)
+  let policy = Policy.Compiled.compile (swarm_policy ()) in
   let t0 = Unix.gettimeofday () in
-  let outs = Pool.map ?jobs (run_cell config) (Array.to_list buckets) in
+  let outs = Pool.map ?jobs (run_cell config policy) (Array.to_list buckets) in
   let elapsed_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outs in
   let lookups = sum (fun o -> o.c_lookups) and reports = sum (fun o -> o.c_reports) in
@@ -237,9 +291,20 @@ let run ?jobs ?(config = default_config) () =
       outs;
     arr
   in
+  let choice_totals =
+    let totals = Array.make slots 0 in
+    List.iter (fun o -> Array.iteri (fun i c -> totals.(i) <- totals.(i) + c) o.c_choices) outs;
+    totals
+  in
+  let choice_counts =
+    List.init slots (fun i -> (slot_name i, choice_totals.(i)))
+  in
   let fingerprint =
-    Printf.sprintf "flows=%d lookups=%d reports=%d checksum=%08x resident=%d evicted=%d jain=%.6f"
+    Printf.sprintf
+      "flows=%d lookups=%d reports=%d checksum=%08x resident=%d evicted=%d jain=%.6f choices=%s"
       config.n_flows lookups reports checksum resident_paths evictions jain_index
+      (String.concat ","
+         (List.map (fun (name, count) -> Printf.sprintf "%s:%d" name count) choice_counts))
   in
   {
     flows = config.n_flows;
@@ -250,6 +315,7 @@ let run ?jobs ?(config = default_config) () =
     flushes;
     checksum;
     jain_index;
+    choice_counts;
     fingerprint;
     elapsed_s;
     lookups_per_s = float_of_int lookups /. elapsed_s;

@@ -46,6 +46,10 @@ type result = {
   flushes : int;
   checksum : int;  (** FNV-1a over every encoded response, cell-ordered *)
   jain_index : float;  (** Jain fairness of per-shard lookup counts *)
+  choice_counts : (string * int) list;
+      (** Per-algorithm tally of the compiled-policy choices made from
+          decoded lookup responses (the client half of connection
+          setup); sums to [lookups] and is part of the fingerprint. *)
   fingerprint : string;  (** the deterministic half, as one line *)
   elapsed_s : float;
   lookups_per_s : float;

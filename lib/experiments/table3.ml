@@ -4,7 +4,7 @@ module Flow = Phi_tcp.Flow
 module Stats = Phi_util.Stats
 module Pool = Phi_runner.Pool
 module Remy_cc = Phi_remy.Remy_cc
-module Rule_table = Phi_remy.Rule_table
+module Compiled_table = Phi_remy.Compiled_table
 
 type row = {
   name : string;
@@ -115,23 +115,26 @@ let variants =
 
 let run ?jobs ?remy_table ?remy_phi_table ~seeds config =
   if seeds = [] then invalid_arg "Table3.run: no seeds";
-  let remy_table = match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy () in
+  (* Compile once before fanning out.  Lookups are pure and the compiled
+     form immutable, so — unlike the old usage-mutating tables, which
+     needed a private copy per cell — every (variant, seed) cell shares
+     the same two flat tables across worker domains. *)
+  let remy_table =
+    Compiled_table.compile
+      (match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy ())
+  in
   let remy_phi_table =
-    match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ()
+    Compiled_table.compile
+      (match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ())
   in
   (* One cell per (variant, seed), variant-major so the regrouping is
-     positional.  Each cell copies its rule table: lookups mutate usage
-     counters, which must not be shared across worker domains. *)
+     positional. *)
   let cells =
     List.concat_map (fun (_, variant) -> List.map (fun seed -> (variant, seed)) seeds) variants
   in
   let results =
     Pool.map ?jobs
-      (fun (variant, seed) ->
-        run_variant
-          ~remy_table:(Rule_table.copy remy_table)
-          ~remy_phi_table:(Rule_table.copy remy_phi_table)
-          ~seed config variant)
+      (fun (variant, seed) -> run_variant ~remy_table ~remy_phi_table ~seed config variant)
       cells
   in
   let n_seeds = List.length seeds in

@@ -40,7 +40,12 @@ let rules =
     ( "domain-race",
       "module-level mutable state reachable from a Phi_runner.Pool job: worker domains \
        would share it unsynchronized; allocate it per job or suppress with a documented \
-       exception" )
+       exception" );
+    ( "interpreted-lookup",
+      "interpreted decision-plane lookup on a hot path: Rule_table.lookup walks the \
+       whisker list and Policy.choice_for probes a hashtable on every call; compile \
+       once at setup and take the flat form here (Compiled_table.lookup / \
+       Policy.Compiled.choice_for)" )
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -312,11 +317,25 @@ let in_packet_scope path =
 let in_transport_scope path =
   in_lib path && not (path_has_dir path "lib/tcp") && not (path_has_dir path "lib/net")
 
+(* [interpreted-lookup] keeps the decision plane compiled where it is
+   hot: the per-ack sender paths (lib/tcp, the Remy controller),
+   per-connection setup (Phi_client), and the swarm's million-lookup
+   client half.  The compilers themselves (Compiled_table,
+   Policy.Compiled) must call the interpreted forms to lower them, and
+   live outside this scope. *)
+let in_decision_scope path =
+  path_has_dir path "lib/tcp"
+  || (path_has_dir path "lib/remy"
+     && (ends_with ~suffix:"/remy_cc.ml" path || ends_with ~suffix:"/remy_cc.mli" path))
+  || (path_has_dir path "lib/experiments" && ends_with ~suffix:"/swarm.ml" path)
+  || (path_has_dir path "lib/core" && ends_with ~suffix:"/phi_client.ml" path)
+
 let token_violations ~path { tokens; _ } =
   let lib = in_lib path in
   let hot = in_hot_path path in
   let packet_scope = in_packet_scope path in
   let transport_scope = in_transport_scope path in
+  let decision_scope = in_decision_scope path in
   let out = ref [] in
   let add line rule = out := violation path line rule :: !out in
   let text k = if k >= 0 && k < Array.length tokens then snd tokens.(k) else "" in
@@ -377,6 +396,15 @@ let token_violations ~path { tokens; _ } =
            || tok = "Phi_remy.Remy_sender"
            || starts_with ~prefix:"Phi_remy.Remy_sender." tok)
       then add line "transport-unified";
+      (* Prefix-matched on purpose: [Rule_table.lookup_index] is the
+         same list walk.  [Policy.Compiled.choice_for] is a different
+         dotted token and stays legal. *)
+      if
+        decision_scope
+        && (starts_with ~prefix:"Rule_table.lookup" tok
+           || starts_with ~prefix:"Phi_remy.Rule_table.lookup" tok
+           || tok = "Policy.choice_for" || tok = "Phi.Policy.choice_for")
+      then add line "interpreted-lookup";
       if
         hot
         && (tok = "Queue" || starts_with ~prefix:"Queue." tok || tok = "Stdlib.Queue"

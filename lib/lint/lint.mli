@@ -91,7 +91,14 @@ val rules : (string * string) list
       [Pool.try_map] — reported at the global's definition line.
       Unlike [domain-global] (which polices where pool-adjacent code
       {e lives}), this follows actual reachability from the fan-out
-      sites across modules. *)
+      sites across modules.
+    - [interpreted-lookup]: a call to the interpreted decision plane
+      ([Rule_table.lookup]/[lookup_index] or [Policy.choice_for]) from a
+      hot module ([lib/tcp], the Remy controller [lib/remy/remy_cc.ml],
+      the swarm client half [lib/experiments/swarm.ml], or
+      [lib/core/phi_client.ml]) — hot paths must take the compiled flat
+      forms ([Compiled_table.lookup], [Policy.Compiled.choice_for]);
+      only the compilers themselves lower via the interpreted scan. *)
 
 val in_lib : string -> bool
 (** Whether a path is under a [lib/] directory, i.e. subject to the
@@ -117,6 +124,13 @@ val in_transport_scope : string -> bool
 (** Whether a path is subject to the [transport-unified] rule: library
     code outside [lib/tcp/] (the transport) and [lib/net/] (the
     substrate it binds to). *)
+
+val in_decision_scope : string -> bool
+(** Whether a path is subject to the [interpreted-lookup] rule: the
+    decision-plane hot modules ([lib/tcp/], [lib/remy/remy_cc.ml],
+    [lib/experiments/swarm.ml], [lib/core/phi_client.ml]).  The
+    compilers ([lib/remy/compiled_table.ml], [lib/core/policy.ml]) are
+    deliberately outside — lowering needs the interpreted forms. *)
 
 val lint_source : path:string -> string -> violation list
 (** Token-level rules plus (for [.mli] paths) the [mli-doc] rule, with

@@ -61,6 +61,15 @@ let to_point t ~dims =
     [| squash_ewma t.send_ewma; squash_ewma t.ack_ewma; squash_ratio t.rtt_ratio; t.util |]
   else invalid_arg "Memory.to_point: dims must be 3 or 4"
 
+let write_point t ~dims (out : floatarray) =
+  if Float.Array.length out < dims then invalid_arg "Memory.write_point: scratch too short";
+  if dims <> dims_remy && dims <> dims_phi then
+    invalid_arg "Memory.write_point: dims must be 3 or 4";
+  Float.Array.unsafe_set out 0 (squash_ewma t.send_ewma);
+  Float.Array.unsafe_set out 1 (squash_ewma t.ack_ewma);
+  Float.Array.unsafe_set out 2 (squash_ratio t.rtt_ratio);
+  if dims = dims_phi then Float.Array.unsafe_set out 3 t.util
+
 let reset t =
   t.ack_ewma <- 0.;
   t.send_ewma <- 0.;

@@ -44,4 +44,10 @@ val to_point : t -> dims:int -> float array
 (** Normalized position in the unit cube; [dims] is {!dims_remy} or
     {!dims_phi}. *)
 
+val write_point : t -> dims:int -> floatarray -> unit
+(** {!to_point} without the allocation: write the same [dims] normalized
+    coordinates into the first [dims] slots of a caller-owned unboxed
+    scratch array.  This is the per-ack hot path feeding
+    {!Compiled_table.lookup}. *)
+
 val reset : t -> unit

@@ -2,29 +2,37 @@ module Cc = Phi_tcp.Cc
 
 type util_feed = [ `None | `At_start of (unit -> float) | `Live of (unit -> float) ]
 
-let make ?name ~table ~util () =
+let no_counts : int array = [||]
+
+let make ?name ?(counts = no_counts) ~table ~util () =
   let dims =
     match util with `None -> Memory.dims_remy | `At_start _ | `Live _ -> Memory.dims_phi
   in
-  if Rule_table.dims table <> dims then
+  if Compiled_table.dims table <> dims then
     invalid_arg "Remy_cc.make: table dimensionality does not match utilization feed";
+  if Array.length counts <> 0 && Array.length counts < Compiled_table.size table then
+    invalid_arg "Remy_cc.make: counts array shorter than the table";
   let memory = Memory.create () in
   (match util with
   | `At_start f | `Live f -> Memory.set_utilization memory (f ())
   | `None -> ());
-  let apply_whisker (cc : Cc.t) =
-    let whisker = Rule_table.lookup table (Memory.to_point memory ~dims) in
-    cc.Cc.cwnd <- Whisker.apply whisker.Whisker.action ~cwnd:cc.Cc.cwnd;
-    cc.Cc.pacing_gap_s <- whisker.Whisker.action.Whisker.intersend_s
-  in
-  let on_ack cc ~now ~rtt ~sent_at ~newly_acked:_ =
+  (* One unboxed scratch point per controller: the ack path writes the
+     normalized memory into it and the compiled lookup reads it back —
+     no per-ack allocation. *)
+  let point = Float.Array.make dims 0. in
+  let on_ack (cc : Cc.t) ~now ~rtt ~sent_at ~newly_acked:_ =
     (* [rtt > 0.] is the has-sample test: no sample is [nan]. *)
     if rtt > 0. then begin
       Memory.on_ack memory ~now ~echo_sent_at:sent_at;
       (match util with
       | `Live f -> Memory.set_utilization memory (f ())
       | `At_start _ | `None -> ());
-      apply_whisker cc
+      Memory.write_point memory ~dims point;
+      let index = Compiled_table.lookup table point in
+      if Array.length counts <> 0 then
+        Array.unsafe_set counts index (Array.unsafe_get counts index + 1);
+      cc.Cc.cwnd <- Compiled_table.apply table index ~cwnd:cc.Cc.cwnd;
+      cc.Cc.pacing_gap_s <- Compiled_table.intersend_s table index
     end
   in
   (* Remy prescribes no loss response; on timeout the window collapses and
@@ -33,13 +41,15 @@ let make ?name ~table ~util () =
   let on_timeout (cc : Cc.t) ~now:_ = cc.Cc.cwnd <- 1. in
   (* The initial whisker (matching the blank memory) sets the starting
      window and pacing. *)
-  let whisker = Rule_table.lookup_quiet table (Memory.to_point memory ~dims) in
+  Memory.write_point memory ~dims point;
+  let index = Compiled_table.lookup table point in
   let name =
     match name with
     | Some n -> n
     | None -> ( match util with `None -> "remy" | `At_start _ | `Live _ -> "remy-phi")
   in
   Cc.make ~name
-    ~initial_cwnd:(Whisker.apply whisker.Whisker.action ~cwnd:1.)
+    ~initial_cwnd:(Compiled_table.apply table index ~cwnd:1.)
     ~initial_ssthresh:65536. ~recovery:Cc.Go_back_n
-    ~pacing_gap_s:whisker.Whisker.action.Whisker.intersend_s ~on_ack ~on_loss ~on_timeout ()
+    ~pacing_gap_s:(Compiled_table.intersend_s table index)
+    ~on_ack ~on_loss ~on_timeout ()

@@ -1,8 +1,9 @@
 (** Remy as a congestion controller on the unified {!Phi_tcp.Sender}.
 
     On every (RTT-sampling) ACK the controller updates its {!Memory.t},
-    looks up the matching whisker in the {!Rule_table.t} and applies its
-    action: the window map becomes [Cc.cwnd], the minimum intersend
+    locates the matching whisker through the {e compiled} decision table
+    ({!Compiled_table.lookup}: branch-free, allocation-free) and applies
+    its action: the window map becomes [Cc.cwnd], the minimum intersend
     spacing becomes [Cc.pacing_gap_s] (the sender paces transmissions
     accordingly).  Recovery is [Cc.Go_back_n]: Remy's control law is
     loss-agnostic, so losses repair through the retransmission timeout
@@ -18,8 +19,18 @@ type util_feed =
   | `At_start of (unit -> float)  (** sampled once at connection start *)
   | `Live of (unit -> float)  (** re-read on every ACK *) ]
 
-val make : ?name:string -> table:Rule_table.t -> util:util_feed -> unit -> Phi_tcp.Cc.t
+val make :
+  ?name:string ->
+  ?counts:int array ->
+  table:Compiled_table.t ->
+  util:util_feed ->
+  unit ->
+  Phi_tcp.Cc.t
 (** A fresh controller for one connection ([name] defaults to ["remy"] or
-    ["remy-phi"] by feed).  Raises [Invalid_argument] when the table's
-    dimensionality does not match the utilization feed (3 for [`None],
-    4 otherwise). *)
+    ["remy-phi"] by feed).  [counts], when non-empty, is a caller-owned
+    per-whisker usage array (indexed like {!Compiled_table.lookup}
+    results) incremented on every ack-path lookup — how the trainer
+    observes usage now that lookups are pure.  Raises [Invalid_argument]
+    when the table's dimensionality does not match the utilization feed
+    (3 for [`None], 4 otherwise) or when [counts] is non-empty but
+    shorter than the table. *)

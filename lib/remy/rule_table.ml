@@ -1,8 +1,8 @@
-type t = { dims : int; mutable whiskers : Whisker.t list }
+type t = { dims : int; mutable whiskers : Whisker.t list; mutable generation : int }
 
 let create ~dims action =
   if dims < 1 then invalid_arg "Rule_table.create: dims must be positive";
-  { dims; whiskers = [ Whisker.create (Whisker.root_box ~dims) action ] }
+  { dims; whiskers = [ Whisker.create (Whisker.root_box ~dims) action ]; generation = 0 }
 
 let dims t = t.dims
 
@@ -10,26 +10,27 @@ let whiskers t = t.whiskers
 
 let size t = List.length t.whiskers
 
-let lookup_quiet t point =
+let generation t = t.generation
+
+let lookup t point =
   if Array.length point <> t.dims then invalid_arg "Rule_table.lookup: dimension mismatch";
   match List.find_opt (fun w -> Whisker.contains w.Whisker.box point) t.whiskers with
   | Some w -> w
   | None -> invalid_arg "Rule_table.lookup: point outside every whisker (broken partition)"
 
-let lookup t point =
-  let w = lookup_quiet t point in
-  w.Whisker.usage <- w.Whisker.usage + 1;
-  w
+let lookup_index t point =
+  if Array.length point <> t.dims then
+    invalid_arg "Rule_table.lookup_index: dimension mismatch";
+  let rec find i = function
+    | [] -> invalid_arg "Rule_table.lookup_index: point outside every whisker (broken partition)"
+    | w :: rest -> if Whisker.contains w.Whisker.box point then i else find (i + 1) rest
+  in
+  find 0 t.whiskers
 
-let most_used t =
-  List.fold_left
-    (fun best w ->
-      match best with
-      | Some b when b.Whisker.usage >= w.Whisker.usage -> best
-      | _ -> if w.Whisker.usage > 0 then Some w else best)
-    None t.whiskers
-
-let reset_usage t = List.iter (fun w -> w.Whisker.usage <- 0) t.whiskers
+let set_action t target action =
+  if not (List.memq target t.whiskers) then invalid_arg "Rule_table.set_action: unknown whisker";
+  target.Whisker.action <- Whisker.clamp_action action;
+  t.generation <- t.generation + 1
 
 let split t target =
   if not (List.memq target t.whiskers) then invalid_arg "Rule_table.split: unknown whisker";
@@ -37,7 +38,8 @@ let split t target =
     List.map (fun box -> Whisker.create box target.Whisker.action)
       (Whisker.split_box target.Whisker.box)
   in
-  t.whiskers <- List.concat_map (fun w -> if w == target then children else [ w ]) t.whiskers
+  t.whiskers <- List.concat_map (fun w -> if w == target then children else [ w ]) t.whiskers;
+  t.generation <- t.generation + 1
 
 let split_axis t target ~axis =
   if not (List.memq target t.whiskers) then invalid_arg "Rule_table.split_axis: unknown whisker";
@@ -50,12 +52,14 @@ let split_axis t target ~axis =
     Whisker.create { Whisker.lo; hi } target.Whisker.action
   in
   let children = [ child ~upper:false; child ~upper:true ] in
-  t.whiskers <- List.concat_map (fun w -> if w == target then children else [ w ]) t.whiskers
+  t.whiskers <- List.concat_map (fun w -> if w == target then children else [ w ]) t.whiskers;
+  t.generation <- t.generation + 1
 
 let copy t =
   {
     dims = t.dims;
     whiskers = List.map (fun w -> Whisker.create w.Whisker.box w.Whisker.action) t.whiskers;
+    generation = 0;
   }
 
 let extrude t =
@@ -68,7 +72,7 @@ let extrude t =
     in
     Whisker.create box w.Whisker.action
   in
-  { dims = t.dims + 1; whiskers = List.map lift t.whiskers }
+  { dims = t.dims + 1; whiskers = List.map lift t.whiskers; generation = 0 }
 
 let serialize t =
   let header = Printf.sprintf "remy-table|dims=%d" t.dims in
@@ -101,6 +105,6 @@ let deserialize s =
             if Array.length w.Whisker.box.Whisker.lo <> dims then
               parse_error "Rule_table.deserialize: whisker dimension mismatch")
           whiskers;
-        { dims; whiskers }
+        { dims; whiskers; generation = 0 }
       | _ -> parse_error "Rule_table.deserialize: bad header")
     | _ -> parse_error "Rule_table.deserialize: bad header")

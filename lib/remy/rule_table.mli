@@ -12,31 +12,40 @@ val whiskers : t -> Whisker.t list
 
 val size : t -> int
 
+val generation : t -> int
+(** A counter bumped by every structural or action mutation ({!split},
+    {!split_axis}, {!set_action}).  [Compiled_table] stamps the
+    generation it was compiled from, so a stale compiled form is
+    detectable with {!Compiled_table.is_fresh}. *)
+
 val lookup : t -> float array -> Whisker.t
-(** The unique whisker containing the point; increments its usage
-    counter.  Raises [Invalid_argument] on dimension mismatch or if the
-    partition is somehow broken. *)
+(** The unique whisker containing the point.  Pure: shared tables can be
+    looked up concurrently.  Raises [Invalid_argument] on dimension
+    mismatch or if the partition is somehow broken. *)
 
-val lookup_quiet : t -> float array -> Whisker.t
-(** {!lookup} without usage accounting. *)
+val lookup_index : t -> float array -> int
+(** Like {!lookup} but returns the whisker's position in {!whiskers}
+    (the same index space {!Compiled_table.lookup} returns). *)
 
-val most_used : t -> Whisker.t option
-(** The whisker with the highest usage count (ties broken arbitrarily);
-    [None] when no usage has been recorded. *)
-
-val reset_usage : t -> unit
+val set_action : t -> Whisker.t -> Whisker.action -> unit
+(** Replace a whisker's action (clamped) and bump the generation.  The
+    only sanctioned way to mutate actions — direct field writes would
+    leave stale compiled tables undetectable.  Raises [Invalid_argument]
+    if the whisker is not in the table. *)
 
 val split : t -> Whisker.t -> unit
 (** Replace a whisker by its [2^d] children, all inheriting its action.
-    Raises [Invalid_argument] if the whisker is not in the table. *)
+    Bumps the generation.  Raises [Invalid_argument] if the whisker is
+    not in the table. *)
 
 val split_axis : t -> Whisker.t -> axis:int -> unit
 (** Bisect a whisker along one axis only (two children).  Used to refine
     the utilization dimension without diluting the rest of the memory
-    space.  Raises [Invalid_argument] on unknown whiskers or axes. *)
+    space.  Bumps the generation.  Raises [Invalid_argument] on unknown
+    whiskers or axes. *)
 
 val copy : t -> t
-(** Deep copy (fresh whiskers, usage reset). *)
+(** Deep copy (fresh whiskers, generation reset to 0). *)
 
 val extrude : t -> t
 (** Lift every whisker into one more dimension, spanning [\[0, 1\]] on the

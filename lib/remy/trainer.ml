@@ -41,7 +41,7 @@ let conn_objective (stats : Flow.conn_stats) =
   if thr <= 0. || not (Float.is_finite stats.mean_rtt) || stats.mean_rtt <= 0. then None
   else Some (log (thr /. 1e6 /. stats.mean_rtt))
 
-let run_once ~table ~util ~seed scenario =
+let run_once ~compiled ~counts ~util ~seed scenario =
   let engine = Engine.create () in
   let dumbbell = Topology.dumbbell engine scenario.spec in
   let util_feed : Remy_cc.util_feed =
@@ -60,7 +60,7 @@ let run_once ~table ~util ~seed scenario =
           ~src_node:dumbbell.Topology.senders.(i)
           ~dst_node:dumbbell.Topology.receivers.(i)
           ~index:i
-          ~cc_factory:(fun () -> Remy_cc.make ~table ~util:util_feed ())
+          ~cc_factory:(fun () -> Remy_cc.make ~counts ~table:compiled ~util:util_feed ())
           ~on_conn_end:(fun st -> records := st :: !records)
           { Source.mean_on_bytes = scenario.mean_on_bytes; mean_off_s = scenario.mean_off_s })
   in
@@ -69,12 +69,16 @@ let run_once ~table ~util ~seed scenario =
   Array.iter Source.abort_current sources;
   !records
 
-let evaluate ~table ~util ~seeds scenarios =
+let evaluate ?(counts = [||]) ~table ~util ~seeds scenarios =
   if seeds = [] then invalid_arg "Trainer.evaluate: no seeds";
   if scenarios = [] then invalid_arg "Trainer.evaluate: no scenarios";
+  (* Compile once per evaluation: the table is fixed for its duration,
+     and every simulated ack then pays the flat-table price. *)
+  let compiled = Compiled_table.compile table in
   let records =
     List.concat_map
-      (fun scenario -> List.concat_map (fun seed -> run_once ~table ~util ~seed scenario) seeds)
+      (fun scenario ->
+        List.concat_map (fun seed -> run_once ~compiled ~counts ~util ~seed scenario) seeds)
       scenarios
   in
   let objectives = List.filter_map conn_objective records in
@@ -131,12 +135,22 @@ let candidates (a : Whisker.action) =
       { a with intersend_s = a.intersend_s /. 1.2 };
     ]
 
+(* One evaluation run purely to observe usage: the whiskers paired with
+   their ack-path lookup counts, busiest first (count ties keep table
+   order, like the old usage-counter sort). *)
+let rank_by_usage ~table ~util ~seeds scenarios =
+  let counts = Array.make (Rule_table.size table) 0 in
+  ignore (evaluate ~counts ~table ~util ~seeds scenarios);
+  List.mapi (fun i w -> (w, counts.(i))) (Rule_table.whiskers table)
+  |> List.filter (fun (_, c) -> c > 0)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
 let improve_whisker ~log ~table ~util ~scenarios ~budget (whisker : Whisker.t) =
   let score action =
     let saved = whisker.Whisker.action in
-    whisker.Whisker.action <- action;
+    Rule_table.set_action table whisker action;
     let result = evaluate ~table ~util ~seeds:budget.seeds scenarios in
-    whisker.Whisker.action <- saved;
+    Rule_table.set_action table whisker saved;
     result.objective
   in
   let current = ref (score whisker.Whisker.action) in
@@ -147,7 +161,7 @@ let improve_whisker ~log ~table ~util ~scenarios ~budget (whisker : Whisker.t) =
       (fun action ->
         let s = score action in
         if s > !current +. 1e-9 then begin
-          whisker.Whisker.action <- action;
+          Rule_table.set_action table whisker action;
           current := s;
           improved := true;
           improved_any := true
@@ -173,12 +187,7 @@ let refine_utilization ?(log = fun _ -> ()) ~table ~scenarios ~top budget =
   if Rule_table.dims table <> Memory.dims_phi then
     invalid_arg "Trainer.refine_utilization: table must be 4-dimensional";
   let axis = Memory.dims_phi - 1 in
-  Rule_table.reset_usage table;
-  ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
-  let busiest =
-    List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-    |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
-  in
+  let busiest = rank_by_usage ~table ~util:`Ideal ~seeds:budget.seeds scenarios in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
@@ -186,22 +195,15 @@ let refine_utilization ?(log = fun _ -> ()) ~table ~scenarios ~top budget =
   in
   let targets = take top busiest in
   List.iter
-    (fun w ->
-      let before = List.length (Rule_table.whiskers table) in
+    (fun (w, usage) ->
       Rule_table.split_axis table w ~axis;
-      ignore before;
-      log (Printf.sprintf "refine: split whisker along utilization (usage %d)" w.Whisker.usage))
+      log (Printf.sprintf "refine: split whisker along utilization (usage %d)" usage))
     targets;
   (* Optimize every whisker produced by the axis splits (they are the ones
      whose action may now diverge by utilization). *)
-  Rule_table.reset_usage table;
-  ignore (evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios);
-  let children =
-    List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-    |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
-  in
+  let children = rank_by_usage ~table ~util:`Ideal ~seeds:budget.seeds scenarios in
   List.iter
-    (fun w -> improve_whisker ~log ~table ~util:`Ideal ~scenarios ~budget w)
+    (fun (w, _) -> improve_whisker ~log ~table ~util:`Ideal ~scenarios ~budget w)
     (take (2 * top) children);
   evaluate ~table ~util:`Ideal ~seeds:budget.seeds scenarios
 
@@ -209,22 +211,17 @@ let train ?(log = fun _ -> ()) ~table ~util ~scenarios budget =
   if budget.rounds < 1 then invalid_arg "Trainer.train: rounds must be >= 1";
   for round = 1 to budget.rounds do
     log (Printf.sprintf "round %d/%d (whiskers: %d)" round budget.rounds (Rule_table.size table));
-    Rule_table.reset_usage table;
-    ignore (evaluate ~table ~util ~seeds:budget.seeds scenarios);
-    let by_usage =
-      List.filter (fun w -> w.Whisker.usage > 0) (Rule_table.whiskers table)
-      |> List.sort (fun a b -> Int.compare b.Whisker.usage a.Whisker.usage)
-    in
+    let by_usage = rank_by_usage ~table ~util ~seeds:budget.seeds scenarios in
     (match by_usage with
     | [] -> log "  no whisker used; stopping early"
-    | busiest :: _ ->
+    | (busiest, _) :: _ ->
       let rec take n = function
         | [] -> []
         | _ when n = 0 -> []
         | x :: rest -> x :: take (n - 1) rest
       in
       List.iter
-        (fun w -> improve_whisker ~log ~table ~util ~scenarios ~budget w)
+        (fun (w, _) -> improve_whisker ~log ~table ~util ~scenarios ~budget w)
         (take (Stdlib.max 1 budget.whiskers_per_round) by_usage);
       if round < budget.rounds then Rule_table.split table busiest)
   done;

@@ -35,15 +35,21 @@ type eval_result = {
 }
 
 val evaluate :
+  ?counts:int array ->
   table:Rule_table.t ->
   util:[ `None | `Ideal ] ->
   seeds:int list ->
   scenario list ->
   eval_result
-(** Run every (scenario, seed) pair and aggregate.  [`Ideal] attaches a
-    bottleneck monitor and feeds live utilization to every sender (the
+(** Run every (scenario, seed) pair and aggregate.  The table is
+    compiled once ({!Compiled_table.compile}) and every simulated ack
+    goes through the flat lookup.  [`Ideal] attaches a bottleneck
+    monitor and feeds live utilization to every sender (the
     training-time assumption in the paper); the table must then be
-    4-dimensional.  Whisker usage counters are updated as a side effect. *)
+    4-dimensional.  [counts], when given, must have at least
+    [Rule_table.size table] slots: slot [i] is incremented for every
+    ack-path lookup resolving to whisker [i] — the trainer's usage
+    signal, owned by the caller now that table lookups are pure. *)
 
 type budget = {
   rounds : int;  (** optimize-and-split rounds *)

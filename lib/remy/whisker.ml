@@ -46,16 +46,16 @@ let split_box box =
   in
   List.init (1 lsl dims) child
 
-type t = { box : box; mutable action : action; mutable usage : int }
+type t = { box : box; mutable action : action }
 
-let create box action = { box; action = clamp_action action; usage = 0 }
+let create box action = { box; action = clamp_action action }
 
 let pp ppf t =
   let dims = Array.length t.box.lo in
   let range i = Printf.sprintf "[%.3f,%.3f)" t.box.lo.(i) t.box.hi.(i) in
   let ranges = String.concat "x" (List.init dims range) in
-  Format.fprintf ppf "%s -> inc=%.2f mult=%.3f isend=%.4fs (used %d)" ranges
-    t.action.window_increment t.action.window_multiple t.action.intersend_s t.usage
+  Format.fprintf ppf "%s -> inc=%.2f mult=%.3f isend=%.4fs" ranges t.action.window_increment
+    t.action.window_multiple t.action.intersend_s
 
 let to_line t =
   let floats a = String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list a)) in

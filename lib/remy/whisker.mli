@@ -21,6 +21,10 @@ val default_action : action
 (** A sane conservative starting rule (increment 1, multiple 1, 1 ms
     intersend). *)
 
+val max_cwnd : float
+(** 1024 segments: the cap {!apply} enforces.  Exported so
+    [Compiled_table.apply] replays the exact same float operations. *)
+
 val apply : action -> cwnd:float -> float
 (** [max 1 (multiple * cwnd + increment)], capped at 1024 segments. *)
 
@@ -36,7 +40,10 @@ val contains : box -> float array -> bool
 val split_box : box -> box list
 (** All [2^d] children obtained by bisecting every dimension. *)
 
-type t = { box : box; mutable action : action; mutable usage : int }
+type t = { box : box; mutable action : action }
+(** Usage accounting lives outside the whisker: the trainer keeps an
+    explicit per-whisker counts array (see [Trainer]), so lookups on
+    shared tables stay pure. *)
 
 val create : box -> action -> t
 

@@ -1,0 +1,4 @@
+(* Interpreted scans on the per-ack path: a whisker-list walk and a
+   hashtable probe per call. *)
+let on_ack table point = Rule_table.lookup table point
+let pick policy ctx = Policy.choice_for policy ctx

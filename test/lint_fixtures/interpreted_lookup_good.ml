@@ -1,0 +1,4 @@
+(* The compiled decision plane: flat-table lookups, lowered once at
+   setup and shared by every connection. *)
+let on_ack table point = Compiled_table.lookup table point
+let pick policy ctx = Policy.Compiled.choice_for policy ctx

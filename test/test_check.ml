@@ -1,6 +1,7 @@
-(* The CI report gate (Phi_check.Report_check): a well-formed /4 report
+(* The CI report gate (Phi_check.Report_check): a well-formed /5 report
    passes, and injected regressions — swarm throughput below the floor,
-   p99 over budget, allocation over budget — trip it.  This is the
+   p99 over budget, allocation over budget, decision-plane speedup
+   below the floor or lookups that box — trip it.  This is the
    acceptance proof that the gate actually gates. *)
 
 module J = Phi_util.Json
@@ -54,8 +55,24 @@ let swarm ?(lookups_per_s = 60_000.) ?(p99_lookup_s = 4e-6) ?(jain = 0.3) ?(look
       ("fingerprint", J.String "flows=1000000 checksum=c074b375");
     ]
 
-let report ?(schema = "phi-bench-report/4") ?(swarm_section = Some (swarm ()))
-    ?(alloc_section = Some (alloc ())) ?(cc_section = Some (cc_matrix ())) () =
+let decision ?(speedup = 150.) ?(minor_words_per_lookup = 0.0) () =
+  J.Obj
+    [
+      ("whiskers", J.Int 512);
+      ("cells", J.Int 4000);
+      ("points", J.Int 10_000);
+      ("interpreted_lookups_per_s", J.float 150_000.);
+      ("compiled_lookups_per_s", J.float (150_000. *. speedup));
+      ("speedup", J.float speedup);
+      ("minor_words_per_lookup", J.float minor_words_per_lookup);
+      ("policy_interpreted_choices_per_s", J.float 6_500_000.);
+      ("policy_compiled_choices_per_s", J.float 24_000_000.);
+      ("policy_speedup", J.float 3.7);
+    ]
+
+let report ?(schema = "phi-bench-report/5") ?(swarm_section = Some (swarm ()))
+    ?(alloc_section = Some (alloc ())) ?(cc_section = Some (cc_matrix ()))
+    ?(decision_section = Some (decision ())) () =
   let optional name = function Some v -> [ (name, v) ] | None -> [] in
   J.Obj
     ([
@@ -68,7 +85,8 @@ let report ?(schema = "phi-bench-report/4") ?(swarm_section = Some (swarm ()))
      ]
     @ optional "alloc" alloc_section
     @ optional "cc_matrix" cc_section
-    @ optional "swarm" swarm_section)
+    @ optional "swarm" swarm_section
+    @ optional "decision" decision_section)
 
 let check doc = Check.check ~path:"report.json" doc
 
@@ -90,14 +108,17 @@ let expect_fail what ~mentioning doc =
       Alcotest.failf "%s tripped the gate but for the wrong reason: %s" what msg
 
 let test_valid_reports_pass () =
-  expect_pass "a full /4 report" (report ());
+  expect_pass "a full /5 report" (report ());
+  expect_pass "a /4 report without a decision section"
+    (report ~schema:"phi-bench-report/4" ~decision_section:None ());
   expect_pass "a /3 report without a swarm section"
-    (report ~schema:"phi-bench-report/3" ~swarm_section:None ());
+    (report ~schema:"phi-bench-report/3" ~swarm_section:None ~decision_section:None ());
   expect_pass "a /2 report"
-    (report ~schema:"phi-bench-report/2" ~swarm_section:None ~cc_section:None ());
+    (report ~schema:"phi-bench-report/2" ~swarm_section:None ~cc_section:None
+       ~decision_section:None ());
   expect_pass "a bare /1 report"
     (report ~schema:"phi-bench-report/1" ~swarm_section:None ~cc_section:None
-       ~alloc_section:None ())
+       ~alloc_section:None ~decision_section:None ())
 
 let test_swarm_throughput_gate () =
   (* An order-of-magnitude slowdown must fail CI. *)
@@ -129,6 +150,26 @@ let test_cc_matrix_gate () =
   expect_fail "cc_matrix missing a registered algorithm" ~mentioning:"does not cover"
     (report ~cc_section:(Some (cc_matrix ~drop_first_algorithm:true ())) ())
 
+let test_decision_speedup_gate () =
+  (* The flat table degenerating back into a scan must fail CI. *)
+  expect_fail "speedup below the committed floor" ~mentioning:"only 4.0x"
+    (report ~decision_section:(Some (decision ~speedup:4. ())) ());
+  (* The floor applies whenever the section is present, whatever the
+     schema version. *)
+  expect_fail "a /2 report with a slow decision section" ~mentioning:"only 4.0x"
+    (report ~schema:"phi-bench-report/2" ~swarm_section:None ~cc_section:None
+       ~decision_section:(Some (decision ~speedup:4. ()))
+       ())
+
+let test_decision_alloc_gate () =
+  (* One boxed float on the lookup path is 2 words/lookup — far over. *)
+  expect_fail "lookups that box" ~mentioning:"minor words/lookup exceeds"
+    (report ~decision_section:(Some (decision ~minor_words_per_lookup:2.0 ())) ())
+
+let test_decision_structure_gate () =
+  expect_fail "/5 without a decision section" ~mentioning:"requires a \"decision\" section"
+    (report ~decision_section:None ())
+
 let test_schema_gate () =
   expect_fail "unknown schema" ~mentioning:"unknown \"schema\""
     (report ~schema:"phi-bench-report/99" ())
@@ -141,5 +182,8 @@ let suite =
     Alcotest.test_case "swarm structure is enforced" `Quick test_swarm_structure_gate;
     Alcotest.test_case "allocation budget trips" `Quick test_alloc_gate;
     Alcotest.test_case "cc_matrix coverage is enforced" `Quick test_cc_matrix_gate;
+    Alcotest.test_case "decision speedup floor trips" `Quick test_decision_speedup_gate;
+    Alcotest.test_case "decision allocation budget trips" `Quick test_decision_alloc_gate;
+    Alcotest.test_case "decision structure is enforced" `Quick test_decision_structure_gate;
     Alcotest.test_case "unknown schemas are rejected" `Quick test_schema_gate;
   ]

@@ -217,6 +217,56 @@ let test_golden_table3 () =
   Alcotest.(check (list string)) "serial replay" golden_table3 (run_golden_table3 1);
   Alcotest.(check (list string)) "parallel replay" golden_table3 (run_golden_table3 4)
 
+(* Figure 5 (outage detection + localization), recorded with the
+   compiled decision plane in place.  The diagnosis pipeline consumes a
+   deterministic workload trace, so the detection window, the z-score
+   and drop magnitudes, the localization scope and both deficit shares
+   must all replay bit-for-bit — and the [run_many] pool fan-out must
+   not perturb any of it.  Seed 41 stays below the detection threshold
+   (a short shallow dip, not localized); seed 42 is the paper's outage. *)
+module Anomaly = Phi_diagnosis.Anomaly
+module Localize = Phi_diagnosis.Localize
+module Rs = Phi_workload.Request_stream
+
+let golden_figure5 =
+  [
+    "event=862-867 z=-0x1.1b209e498a7e3p+2 drop=0x1.e71b0cd8edc9ap-7 loc=none ok=false \
+     total=0x1.8a97b4p+24 affected=0x1.b74e6p+20 baseline=0x1.c5fed0000000ep+20";
+    "event=2340-2460 z=-0x1.5e12e1dbcaf81p+3 drop=0x1.fbcea96015db6p-5 loc=london/as3320 \
+     share=0x1.ed26ecdd4704bp-1 own=0x1.e55c5a20762b7p-1 ok=true total=0x1.8a7d6dp+24 \
+     affected=0x1.b7a03p+20 baseline=0x1.c5c0efffffff4p+20";
+  ]
+
+let summarize_figure5 (r : Figure5.result) =
+  let sum = Array.fold_left ( +. ) 0. in
+  let event =
+    match r.Figure5.events with
+    | [] -> "none"
+    | e :: _ ->
+      Printf.sprintf "%d-%d z=%h drop=%h" e.Anomaly.start_min e.Anomaly.end_min e.Anomaly.min_z
+        e.Anomaly.mean_drop
+  in
+  let where =
+    match r.Figure5.localization with
+    | None -> "none"
+    | Some f ->
+      Printf.sprintf "%s/%s share=%h own=%h"
+        (Option.value ~default:"*" f.Localize.scope.Rs.metro)
+        (Option.value ~default:"*" f.Localize.scope.Rs.isp)
+        f.Localize.deficit_share f.Localize.own_drop
+  in
+  Printf.sprintf "event=%s loc=%s ok=%b total=%h affected=%h baseline=%h" event where
+    (Figure5.correctly_localized r)
+    (sum r.Figure5.total_series) (sum r.Figure5.affected_series)
+    (sum r.Figure5.affected_baseline)
+
+let run_golden_figure5 jobs =
+  List.map summarize_figure5 (Figure5.run_many ~jobs ~seeds:[ 41; 42 ] ())
+
+let test_golden_figure5 () =
+  Alcotest.(check (list string)) "serial replay" golden_figure5 (run_golden_figure5 1);
+  Alcotest.(check (list string)) "parallel replay" golden_figure5 (run_golden_figure5 4)
+
 (* {2 Algorithm registry (unified control plane)} *)
 
 let test_registry_round_trip () =
@@ -406,6 +456,7 @@ let suite =
     ("golden replay low (bit-exact)", `Slow, test_golden_low_utilization);
     ("golden replay high (bit-exact)", `Slow, test_golden_high_utilization);
     ("golden replay table 3 (bit-exact)", `Slow, test_golden_table3);
+    ("golden replay figure 5 (bit-exact)", `Slow, test_golden_figure5);
     ("registry round trip and parse_cc", `Quick, test_registry_round_trip);
     ("cc_select builds every algorithm", `Quick, test_cc_select_builds_every_algorithm);
     ("cc matrix covers registry", `Slow, test_cc_matrix_covers_registry);

@@ -290,6 +290,62 @@ let test_transport_unified_allow () =
     (lint ~path:"lib/experiments/fixture.ml"
        "(* phi-lint: allow transport-unified *)\nlet f node flow = Node.bind_flow node flow\n")
 
+(* {2 interpreted-lookup: compiled decision plane on hot paths} *)
+
+let tcp_path = "lib/tcp/fixture.ml"
+
+let test_interpreted_lookup_fires () =
+  check_rules "Rule_table.lookup in lib/tcp" [ "interpreted-lookup" ]
+    (lint ~path:tcp_path "let f table p = Rule_table.lookup table p\n");
+  check_rules "qualified Rule_table.lookup" [ "interpreted-lookup" ]
+    (lint ~path:tcp_path "let f table p = Phi_remy.Rule_table.lookup table p\n");
+  check_rules "lookup_index is the same scan" [ "interpreted-lookup" ]
+    (lint ~path:"lib/remy/remy_cc.ml" "let f table p = Rule_table.lookup_index table p\n");
+  check_rules "Policy.choice_for in the swarm client" [ "interpreted-lookup" ]
+    (lint ~path:"lib/experiments/swarm.ml" "let f policy ctx = Policy.choice_for policy ctx\n");
+  check_rules "qualified Policy.choice_for in phi_client" [ "interpreted-lookup" ]
+    (lint ~path:"lib/core/phi_client.ml" "let f p ctx = Phi.Policy.choice_for p ctx\n")
+
+let test_interpreted_lookup_compiled_forms_pass () =
+  check_rules "Compiled_table.lookup is the point" []
+    (lint ~path:tcp_path "let f table p = Compiled_table.lookup table p\n");
+  check_rules "Policy.Compiled.choice_for is the point" []
+    (lint ~path:"lib/experiments/swarm.ml"
+       "let f policy ctx = Policy.Compiled.choice_for policy ctx\n")
+
+let test_interpreted_lookup_scope () =
+  (* The compilers lower via the interpreted forms; training and cold
+     code may scan freely. *)
+  check_rules "compiled_table.ml may lower" []
+    (lint ~path:"lib/remy/compiled_table.ml"
+       "let f table p = Rule_table.lookup_index table p\n");
+  check_rules "policy.ml may resolve" []
+    (lint ~path:"lib/core/policy.ml" "let f p ctx = Policy.choice_for p ctx\n");
+  check_rules "trainer out of scope" []
+    (lint ~path:"lib/remy/trainer.ml" "let f table p = Rule_table.lookup table p\n");
+  check_rules "tests out of scope" []
+    (lint ~path:"test/fixture.ml" "let f table p = Rule_table.lookup table p\n")
+
+let test_interpreted_lookup_allow () =
+  check_rules "suppressed with allow" []
+    (lint ~path:tcp_path
+       "(* phi-lint: allow interpreted-lookup *)\nlet f table p = Rule_table.lookup table p\n")
+
+let test_in_decision_scope () =
+  Alcotest.(check bool) "tcp in scope" true (Lint.in_decision_scope "lib/tcp/sender.ml");
+  Alcotest.(check bool) "remy controller in scope" true
+    (Lint.in_decision_scope "lib/remy/remy_cc.ml");
+  Alcotest.(check bool) "swarm in scope" true
+    (Lint.in_decision_scope "lib/experiments/swarm.ml");
+  Alcotest.(check bool) "phi_client in scope" true
+    (Lint.in_decision_scope "lib/core/phi_client.ml");
+  Alcotest.(check bool) "compiler exempt" false
+    (Lint.in_decision_scope "lib/remy/compiled_table.ml");
+  Alcotest.(check bool) "policy compiler exempt" false
+    (Lint.in_decision_scope "lib/core/policy.ml");
+  Alcotest.(check bool) "trainer exempt" false (Lint.in_decision_scope "lib/remy/trainer.ml");
+  Alcotest.(check bool) "tests exempt" false (Lint.in_decision_scope "test/test_remy.ml")
+
 let test_in_transport_scope () =
   Alcotest.(check bool) "experiments in scope" true
     (Lint.in_transport_scope "lib/experiments/scenario.ml");
@@ -345,6 +401,8 @@ let single_file_cases =
      [ ("packet-escape", 2); ("packet-escape", 4) ]);
     ("transport_unified", "lib/experiments/fixture.ml",
      [ ("transport-unified", 2) ]);
+    ("interpreted_lookup", "lib/tcp/fixture.ml",
+     [ ("interpreted-lookup", 3); ("interpreted-lookup", 4) ]);
     (* Release and use lines apart: the token packet-escape check stays
        silent (no packet-escape entry expected) — the lifetime pass owns
        all three findings. *)
@@ -498,6 +556,12 @@ let suite =
     Alcotest.test_case "transport-unified scope" `Quick test_transport_unified_scope;
     Alcotest.test_case "transport-unified allow" `Quick test_transport_unified_allow;
     Alcotest.test_case "in_transport_scope classification" `Quick test_in_transport_scope;
+    Alcotest.test_case "interpreted-lookup fires" `Quick test_interpreted_lookup_fires;
+    Alcotest.test_case "interpreted-lookup compiled forms pass" `Quick
+      test_interpreted_lookup_compiled_forms_pass;
+    Alcotest.test_case "interpreted-lookup scope" `Quick test_interpreted_lookup_scope;
+    Alcotest.test_case "interpreted-lookup allow" `Quick test_interpreted_lookup_allow;
+    Alcotest.test_case "in_decision_scope classification" `Quick test_in_decision_scope;
     Alcotest.test_case "every rule described" `Quick test_every_rule_has_description;
     Alcotest.test_case "fixture corpus: paired good/bad" `Quick test_fixture_pairs;
     Alcotest.test_case "fixture corpus: mli-doc" `Quick test_fixture_mli_doc;

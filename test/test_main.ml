@@ -18,6 +18,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("source", Test_source.suite);
       ("remy", Test_remy.suite);
+      ("compiled", Test_compiled.suite);
       ("core", Test_phi_core.suite);
       ("wire", Test_wire.suite);
       ("context-plane", Test_context_plane.suite);

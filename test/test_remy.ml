@@ -118,37 +118,52 @@ let test_whisker_of_line_rejects_garbage () =
 
 (* {2 Rule_table} *)
 
-let test_table_lookup_and_usage () =
+let test_table_lookup_pure () =
   let t = Rule_table.create ~dims:3 Whisker.default_action in
   Alcotest.(check int) "one whisker" 1 (Rule_table.size t);
   let w = Rule_table.lookup t [| 0.1; 0.2; 0.3 |] in
-  Alcotest.(check int) "usage counted" 1 w.Whisker.usage;
-  ignore (Rule_table.lookup_quiet t [| 0.1; 0.2; 0.3 |]);
-  Alcotest.(check int) "quiet lookup" 1 w.Whisker.usage
+  let w' = Rule_table.lookup t [| 0.1; 0.2; 0.3 |] in
+  Alcotest.(check bool) "same whisker, no side effects" true (w == w');
+  Alcotest.(check int) "index agrees" 0 (Rule_table.lookup_index t [| 0.1; 0.2; 0.3 |]);
+  Alcotest.(check int) "lookups leave the generation alone" 0 (Rule_table.generation t)
 
 let test_table_split_preserves_partition () =
   let t = Rule_table.create ~dims:3 Whisker.default_action in
   let root = List.hd (Rule_table.whiskers t) in
   Rule_table.split t root;
   Alcotest.(check int) "8 children" 8 (Rule_table.size t);
-  let child = Rule_table.lookup_quiet t [| 0.9; 0.9; 0.9 |] in
+  let child = Rule_table.lookup t [| 0.9; 0.9; 0.9 |] in
   Rule_table.split t child;
   Alcotest.(check int) "15 whiskers" 15 (Rule_table.size t);
   let rng = Prng.create ~seed:3 in
   for _ = 1 to 500 do
     let p = Array.init 3 (fun _ -> Prng.float rng) in
-    ignore (Rule_table.lookup_quiet t p) (* must not raise *)
+    ignore (Rule_table.lookup t p) (* must not raise *)
   done
 
-let test_table_most_used () =
+let test_table_generation_and_set_action () =
   let t = Rule_table.create ~dims:2 Whisker.default_action in
-  Alcotest.(check bool) "none before use" true (Rule_table.most_used t = None);
-  ignore (Rule_table.lookup t [| 0.5; 0.5 |]);
-  (match Rule_table.most_used t with
-  | Some w -> Alcotest.(check int) "usage 1" 1 w.Whisker.usage
-  | None -> Alcotest.fail "expected most used");
-  Rule_table.reset_usage t;
-  Alcotest.(check bool) "reset clears" true (Rule_table.most_used t = None)
+  Alcotest.(check int) "fresh table at generation 0" 0 (Rule_table.generation t);
+  let root = List.hd (Rule_table.whiskers t) in
+  Rule_table.split t root;
+  Alcotest.(check int) "split bumps" 1 (Rule_table.generation t);
+  let w = Rule_table.lookup t [| 0.9; 0.9 |] in
+  Rule_table.split_axis t w ~axis:0;
+  Alcotest.(check int) "split_axis bumps" 2 (Rule_table.generation t);
+  let w = Rule_table.lookup t [| 0.1; 0.1 |] in
+  Rule_table.set_action t w
+    { Whisker.window_increment = 99.; window_multiple = 1.; intersend_s = 0.001 };
+  Alcotest.(check int) "set_action bumps" 3 (Rule_table.generation t);
+  (* set_action clamps like Whisker.create does. *)
+  Alcotest.(check (float 0.)) "action clamped" 32. w.Whisker.action.Whisker.window_increment;
+  let stranger = Whisker.create (Whisker.root_box ~dims:2) Whisker.default_action in
+  let raised =
+    try
+      Rule_table.set_action t stranger Whisker.default_action;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown whisker rejected" true raised
 
 let test_table_serialize_roundtrip () =
   let t = Rule_table.create ~dims:4 Whisker.default_action in
@@ -159,8 +174,8 @@ let test_table_serialize_roundtrip () =
   let rng = Prng.create ~seed:4 in
   for _ = 1 to 100 do
     let p = Array.init 4 (fun _ -> Prng.float rng) in
-    let a = (Rule_table.lookup_quiet t p).Whisker.action in
-    let b = (Rule_table.lookup_quiet t' p).Whisker.action in
+    let a = (Rule_table.lookup t p).Whisker.action in
+    let b = (Rule_table.lookup t' p).Whisker.action in
     Alcotest.(check (float 0.)) "same action" a.Whisker.intersend_s b.Whisker.intersend_s
   done
 
@@ -169,11 +184,11 @@ let test_table_split_axis () =
   let root = List.hd (Rule_table.whiskers t) in
   Rule_table.split_axis t root ~axis:3;
   Alcotest.(check int) "two children" 2 (Rule_table.size t);
-  let low = Rule_table.lookup_quiet t [| 0.2; 0.2; 0.2; 0.1 |] in
-  let high = Rule_table.lookup_quiet t [| 0.2; 0.2; 0.2; 0.9 |] in
+  let low = Rule_table.lookup t [| 0.2; 0.2; 0.2; 0.1 |] in
+  let high = Rule_table.lookup t [| 0.2; 0.2; 0.2; 0.9 |] in
   Alcotest.(check bool) "distinct whiskers by utilization" true (low != high);
   (* Other axes are untouched: same whisker regardless of other coords. *)
-  let low2 = Rule_table.lookup_quiet t [| 0.9; 0.9; 0.9; 0.1 |] in
+  let low2 = Rule_table.lookup t [| 0.9; 0.9; 0.9; 0.1 |] in
   Alcotest.(check bool) "same low-util whisker" true (low == low2);
   let raised =
     try ignore (Rule_table.split_axis t low ~axis:7); false with Invalid_argument _ -> true
@@ -187,17 +202,15 @@ let test_table_extrude () =
   Alcotest.(check int) "dims + 1" 4 (Rule_table.dims t4);
   Alcotest.(check int) "same whisker count" (Rule_table.size t) (Rule_table.size t4);
   (* Any utilization value matches the lifted whiskers. *)
-  List.iter
-    (fun u -> ignore (Rule_table.lookup_quiet t4 [| 0.2; 0.2; 0.2; u |]))
-    [ 0.; 0.5; 1. ]
+  List.iter (fun u -> ignore (Rule_table.lookup t4 [| 0.2; 0.2; 0.2; u |])) [ 0.; 0.5; 1. ]
 
 let test_pretrained_tables_load () =
   let remy = Pretrained.remy () in
   Alcotest.(check int) "remy dims" 3 (Rule_table.dims remy);
   let phi = Pretrained.remy_phi () in
   Alcotest.(check int) "phi dims" 4 (Rule_table.dims phi);
-  ignore (Rule_table.lookup_quiet remy [| 0.; 0.; 0. |]);
-  ignore (Rule_table.lookup_quiet phi [| 0.; 0.; 0.; 0.9 |])
+  ignore (Rule_table.lookup remy [| 0.; 0.; 0. |]);
+  ignore (Rule_table.lookup phi [| 0.; 0.; 0.; 0.9 |])
 
 let prop_partition_total =
   QCheck.Test.make ~name:"split tables cover every point exactly once" ~count:60
@@ -237,7 +250,7 @@ let run_remy_transfer ?(util = `None) ?(until = 300.) ?(drop = 0.) ~table ~total
       ~node:dumbbell.Topology.senders.(0)
       ~flow:0
       ~dst:(Topology.receiver_id dumbbell 0)
-      ~cc:(Remy_cc.make ~table ~util ())
+      ~cc:(Remy_cc.make ~table:(Compiled_table.compile table) ~util ())
       ~total_segments:total ()
   in
   Phi_tcp.Sender.start sender;
@@ -250,7 +263,7 @@ let test_remy_cc_shape () =
      whisker's intersend as the pacing gap. *)
   let action = { Whisker.window_increment = 3.; window_multiple = 1.; intersend_s = 0.0123 } in
   let table = Rule_table.create ~dims:3 action in
-  let cc = Remy_cc.make ~table ~util:`None () in
+  let cc = Remy_cc.make ~table:(Compiled_table.compile table) ~util:`None () in
   Alcotest.(check bool) "go-back-N recovery" true
     (match cc.Phi_tcp.Cc.recovery with Phi_tcp.Cc.Go_back_n -> true | Phi_tcp.Cc.Sack -> false);
   Alcotest.(check (float 1e-12)) "paced by the whisker" 0.0123 cc.Phi_tcp.Cc.pacing_gap_s;
@@ -286,7 +299,7 @@ let test_remy_cc_dims_validation () =
   let table = Rule_table.create ~dims:3 Whisker.default_action in
   let raised =
     try
-      ignore (Remy_cc.make ~table ~util:(`Live (fun () -> 0.5)) ());
+      ignore (Remy_cc.make ~table:(Compiled_table.compile table) ~util:(`Live (fun () -> 0.5)) ());
       false
     with Invalid_argument _ -> true
   in
@@ -321,9 +334,9 @@ let suite =
     ("whisker split partitions", `Quick, test_whisker_split_partitions);
     ("whisker line roundtrip", `Quick, test_whisker_line_roundtrip);
     ("whisker rejects garbage", `Quick, test_whisker_of_line_rejects_garbage);
-    ("table lookup and usage", `Quick, test_table_lookup_and_usage);
+    ("table lookup pure", `Quick, test_table_lookup_pure);
     ("table split partition", `Quick, test_table_split_preserves_partition);
-    ("table most used", `Quick, test_table_most_used);
+    ("table generation and set_action", `Quick, test_table_generation_and_set_action);
     ("table serialize roundtrip", `Quick, test_table_serialize_roundtrip);
     ("table split axis", `Quick, test_table_split_axis);
     ("table extrude", `Quick, test_table_extrude);

@@ -100,7 +100,10 @@ let test_source_validation () =
 
 let make_remy_source ?(util = `None) f =
   let dims = match util with `None -> 3 | _ -> 4 in
-  let table = Phi_remy.Rule_table.create ~dims Phi_remy.Whisker.default_action in
+  let table =
+    Phi_remy.Compiled_table.compile
+      (Phi_remy.Rule_table.create ~dims Phi_remy.Whisker.default_action)
+  in
   Source.create f.engine ~rng:(Prng.create ~seed:4) ~flows:f.flows
     ~src_node:f.dumbbell.Topology.senders.(0)
     ~dst_node:f.dumbbell.Topology.receivers.(0)
