@@ -21,11 +21,13 @@
    across PRs.  Running bench/micro.exe --json on the same path merges
    in the "micro" and "alloc" sections and stamps the schema to
    "phi-bench-report/2" — to "phi-bench-report/3" when the report
-   carries a cc_matrix section, and to "phi-bench-report/4" when it
-   also carries the million-flow "swarm" context-plane section — which
-   is what bin/phi_json_check gates on in CI (the committed
-   allocations-per-packet budget plus the swarm throughput floor and
-   p99 lookup-latency budget in Phi_check.Report_check).
+   carries a cc_matrix section, to "phi-bench-report/4" when it also
+   carries the million-flow "swarm" context-plane section, and to
+   "phi-bench-report/6" when the parallel-DES "pdes" scaling section is
+   present as well — which is what bin/phi_json_check gates on in CI
+   (the committed allocations-per-packet budget, the swarm throughput
+   floor and p99 lookup-latency budget, and the pdes determinism and
+   scaling floors in Phi_check.Report_check).
 
    --cc NAME[,NAME...] restricts the cross-algorithm matrix to a subset
    of the registry (default: every registered algorithm). *)
@@ -106,6 +108,14 @@ let cc_matrix_json : Json.t option ref = ref None
    lookups/s and p99 figures whenever it is present at all. *)
 let swarm_json : Json.t option ref = ref None
 
+(* The conservative-parallel-DES scaling section (the 1000-sender
+   parking lot at 1/2/4 domains), kept for the JSON report.
+   bench/micro.exe stamps the merged schema to /6 when this section is
+   present alongside cc_matrix and swarm; Phi_check.Report_check gates
+   fingerprint/event equality across the runs always, and the >= 2x
+   speedup floor at 4 domains whenever the box has >= 4 cores. *)
+let pdes_json : Json.t option ref = ref None
+
 (* Matrix algorithm subset (--cc NAME[,NAME...]; default: the whole
    registry). *)
 let matrix_algorithms = ref Phi.Cc_algo.all
@@ -141,6 +151,9 @@ let report_json ~budget ~calibration =
       | None -> [])
     @ (match !swarm_json with
       | Some swarm -> [ ("swarm", swarm) ]
+      | None -> [])
+    @ (match !pdes_json with
+      | Some pdes -> [ ("pdes", pdes) ]
       | None -> []))
 
 (* Serial-vs-parallel calibration: re-run the Figure 2a sweep cells at
@@ -834,6 +847,110 @@ let bench_swarm budget =
            ("flushes", Json.Int r.Swarm.flushes);
            ("elapsed_s", Json.float r.Swarm.elapsed_s);
            ("fingerprint", Json.String r.Swarm.fingerprint);
+           ( "jobs",
+             Json.Int (Pool.effective_jobs ~jobs:!jobs ~cells:config.Swarm.cells ()) );
+         ])
+
+(* {2 Conservative parallel DES: the 1000-sender parking lot} *)
+
+let bench_pdes budget =
+  section "Conservative parallel DES: 1000-sender multi-bottleneck parking lot";
+  (* One giant topology — four 500 Mb/s bottleneck segments, 960 local
+     Cubic pairs plus 40 flows traversing every segment — partitioned
+     one island per segment and advanced in 10 ms lookahead windows.
+     The same scenario runs at 1, 2 and 4 worker domains; the
+     fingerprint (and event count) must be identical for every width,
+     and the wall-clock ratio is the scaling curve the report gates. *)
+  let spec =
+    let duration_s =
+      if budget.label = quick_budget.label then 2.
+      else if budget.label = full_budget.label then Parking_lot.default_spec.Parking_lot.duration_s
+      else 4.
+    in
+    { Parking_lot.default_spec with Parking_lot.duration_s }
+  in
+  (* Under the armed sanitizer Parking_lot forces every run serial, so
+     a scaling curve would be three identical measurements — keep one. *)
+  let jobs_list =
+    if Phi_sim.Invariant.enabled () then [ 1 ]
+    else if budget.label = quick_budget.label then [ 1; 2 ]
+    else [ 1; 2; 4 ]
+  in
+  let runs = List.map (fun j -> Parking_lot.run ~jobs:j ~spec ()) jobs_list in
+  let serial = List.hd runs in
+  Table.print ~align:[ Table.Left ]
+    ~headers:[ "jobs"; "wall s"; "events/s"; "speedup"; "efficiency" ]
+    (List.map
+       (fun (r : Parking_lot.result) ->
+         let speedup = serial.Parking_lot.wall_s /. r.Parking_lot.wall_s in
+         [
+           string_of_int r.Parking_lot.jobs;
+           Printf.sprintf "%.2f" r.Parking_lot.wall_s;
+           Table.fmt_float r.Parking_lot.events_per_s;
+           Printf.sprintf "%.2f" speedup;
+           Printf.sprintf "%.2f" (speedup /. float_of_int r.Parking_lot.jobs);
+         ])
+       runs);
+  List.iter
+    (fun (r : Parking_lot.result) ->
+      if r.Parking_lot.fingerprint <> serial.Parking_lot.fingerprint then begin
+        Printf.eprintf "bench: pdes fingerprint diverged at jobs %d:\n  %s\n  %s\n"
+          r.Parking_lot.jobs serial.Parking_lot.fingerprint r.Parking_lot.fingerprint;
+        exit 1
+      end)
+    runs;
+  Printf.printf "fingerprint: %s\n" serial.Parking_lot.fingerprint;
+  Printf.printf
+    "(%d senders, %d islands, %.0f ms window; long flows %.2f Mb/s, local %.1f Mb/s)\n"
+    (Parking_lot.senders spec) serial.Parking_lot.islands
+    (serial.Parking_lot.window_s *. 1e3)
+    (serial.Parking_lot.long_goodput_bps /. 1e6)
+    (serial.Parking_lot.local_goodput_bps /. 1e6);
+  csv_out "pdes.csv"
+    ~header:[ "jobs"; "wall_s"; "events"; "events_per_s"; "fingerprint" ]
+    (List.map
+       (fun (r : Parking_lot.result) ->
+         [
+           string_of_int r.Parking_lot.jobs;
+           Phi_util.Csv.float_cell r.Parking_lot.wall_s;
+           string_of_int r.Parking_lot.events;
+           Phi_util.Csv.float_cell r.Parking_lot.events_per_s;
+           r.Parking_lot.fingerprint;
+         ])
+       runs);
+  let best = List.fold_left (fun acc (r : Parking_lot.result) -> Float.max acc r.Parking_lot.events_per_s) 0. runs in
+  headline "pdes"
+    [
+      ("events_per_s", Json.float best);
+      ("senders", Json.Int (Parking_lot.senders spec));
+    ];
+  pdes_json :=
+    Some
+      (Json.Obj
+         [
+           ("islands", Json.Int serial.Parking_lot.islands);
+           ("window_s", Json.float serial.Parking_lot.window_s);
+           ("senders", Json.Int (Parking_lot.senders spec));
+           ("duration_s", Json.float spec.Parking_lot.duration_s);
+           ("cores", Json.Int (Pool.available_cores ()));
+           ( "jobs",
+             Json.Int
+               (List.fold_left
+                  (fun acc (r : Parking_lot.result) -> Stdlib.max acc r.Parking_lot.jobs)
+                  1 runs) );
+           ( "runs",
+             Json.List
+               (List.map
+                  (fun (r : Parking_lot.result) ->
+                    Json.Obj
+                      [
+                        ("jobs", Json.Int r.Parking_lot.jobs);
+                        ("wall_s", Json.float r.Parking_lot.wall_s);
+                        ("events", Json.Int r.Parking_lot.events);
+                        ("events_per_s", Json.float r.Parking_lot.events_per_s);
+                        ("fingerprint", Json.String r.Parking_lot.fingerprint);
+                      ])
+                  runs) );
          ])
 
 (* {2 Section 3.1: cross-provider aggregation} *)
@@ -1019,6 +1136,7 @@ let () =
   run_if "predict" ~cells:1 (fun () -> bench_predict budget);
   run_if "adaptation" ~cells:1 (fun () -> bench_adaptation budget);
   run_if "swarm" ~cells:Swarm.default_config.Swarm.cells (fun () -> bench_swarm budget);
+  run_if "pdes" ~cells:3 (fun () -> bench_pdes budget);
   if (not (has "--no-micro")) && only = None then micro_benchmarks ();
   (match json_path with
   | None -> ()

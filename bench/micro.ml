@@ -36,7 +36,8 @@
    stamping the schema to phi-bench-report/2 — /3 when the document
    carries the cross-algorithm "cc_matrix" section, /5 when the
    million-flow "swarm" section is there as well (micro always
-   contributes the decision section, so the old /4 stamp is subsumed) —
+   contributes the decision section, so the old /4 stamp is subsumed),
+   /6 when the parallel-DES "pdes" scaling section is also present —
    or writes a standalone /2 report when PATH does not exist yet. *)
 
 module Engine = Phi_sim.Engine
@@ -559,7 +560,8 @@ let () =
            /3 when the cross-algorithm cc_matrix section is present
            too, /5 when the swarm context-plane section is there as
            well (decision is always contributed here, so the old /4
-           stamp is subsumed). *)
+           stamp is subsumed), and /6 when the parallel-DES pdes
+           scaling section rides along with all of the above. *)
         let fields =
           List.filter
             (fun (k, _) ->
@@ -567,10 +569,15 @@ let () =
             fields
         in
         let schema =
-          match (List.mem_assoc "cc_matrix" fields, List.mem_assoc "swarm" fields) with
-          | true, true -> "phi-bench-report/5"
-          | true, false -> "phi-bench-report/3"
-          | false, _ -> "phi-bench-report/2"
+          match
+            ( List.mem_assoc "cc_matrix" fields,
+              List.mem_assoc "swarm" fields,
+              List.mem_assoc "pdes" fields )
+          with
+          | true, true, true -> "phi-bench-report/6"
+          | true, true, false -> "phi-bench-report/5"
+          | true, false, _ -> "phi-bench-report/3"
+          | false, _, _ -> "phi-bench-report/2"
         in
         Json.Obj
           ((("schema", Json.String schema) :: fields)

@@ -31,6 +31,18 @@ let max_swarm_p99_lookup_s = 0.002
 let min_decision_speedup = 10.
 let max_minor_words_per_lookup = 0.01
 
+(* The parallel-DES scaling floor: the 1000-sender parking lot must run
+   at least twice as fast on four domains as on one.  Conservative
+   windowing costs two barriers per 10 ms of virtual time — noise next
+   to the millions of events per window — so a healthy partition scales
+   near-linearly and 2x at 4 domains leaves room for one congested
+   island dominating a window.  The floor is only enforceable where
+   four domains can actually run in parallel, so it applies when the
+   report's box has >= 4 cores and the section carries a >= 4-job run;
+   the determinism gates (identical fingerprints and event counts
+   across every width) apply everywhere, always. *)
+let min_pdes_speedup_at_4 = 2.
+
 type failure = { message : string }
 
 exception Bad of failure
@@ -44,6 +56,7 @@ let check_version ~path doc =
   | Some (J.String "phi-bench-report/3") -> 3
   | Some (J.String "phi-bench-report/4") -> 4
   | Some (J.String "phi-bench-report/5") -> 5
+  | Some (J.String "phi-bench-report/6") -> 6
   | Some _ | None -> bad "%s: missing or unknown \"schema\" field" path
 
 let check_structure ~path doc =
@@ -235,6 +248,83 @@ let check_decision ~path ~version doc =
         words max_minor_words_per_lookup
   | Some _ -> bad "%s: \"decision\" must be an object" path
 
+(* The "pdes" section is what distinguishes a /6 report: the
+   conservative-parallel-DES scaling curve over the 1000-sender parking
+   lot.  Determinism is gated unconditionally — every run of the curve
+   must report the same fingerprint and event count, or the partitioned
+   engine diverged from its jobs=1 golden reference.  The speedup floor
+   is gated only where it is measurable: a box with >= 4 cores whose
+   curve includes a >= 4-domain run. *)
+let check_pdes ~path ~version doc =
+  match J.member "pdes" doc with
+  | None -> if version >= 6 then bad "%s: phi-bench-report/6 requires a \"pdes\" section" path
+  | Some (J.Obj _ as pdes) ->
+    let int_field ?(where = "pdes") obj field =
+      match J.member field obj with
+      | Some (J.Int v) -> v
+      | Some _ -> bad "%s: %s field \"%s\" must be an integer" path where field
+      | None -> bad "%s: %s section missing \"%s\"" path where field
+    in
+    let number ?(where = "pdes") obj field =
+      match J.member field obj with
+      | Some (J.Float v) -> v
+      | Some (J.Int v) -> float_of_int v
+      | Some _ -> bad "%s: %s field \"%s\" must be a number" path where field
+      | None -> bad "%s: %s section missing \"%s\"" path where field
+    in
+    if int_field pdes "islands" < 1 then bad "%s: pdes \"islands\" must be >= 1" path;
+    if number pdes "window_s" <= 0. then bad "%s: pdes \"window_s\" must be positive" path;
+    let cores = int_field pdes "cores" in
+    if cores < 1 then bad "%s: pdes \"cores\" must be >= 1" path;
+    let runs =
+      match J.member "runs" pdes with
+      | Some (J.List (_ :: _ as runs)) -> runs
+      | Some _ | None -> bad "%s: pdes section needs a non-empty \"runs\" array" path
+    in
+    let parsed =
+      List.map
+        (fun run ->
+          match run with
+          | J.Obj _ ->
+            let jobs = int_field ~where:"pdes run" run "jobs" in
+            if jobs < 1 then bad "%s: pdes run \"jobs\" must be >= 1" path;
+            let wall_s = number ~where:"pdes run" run "wall_s" in
+            if wall_s <= 0. then bad "%s: pdes run \"wall_s\" must be positive" path;
+            let events = int_field ~where:"pdes run" run "events" in
+            if events < 1 then bad "%s: pdes run \"events\" must be positive" path;
+            if number ~where:"pdes run" run "events_per_s" <= 0. then
+              bad "%s: pdes run \"events_per_s\" must be positive" path;
+            let fingerprint =
+              match J.member "fingerprint" run with
+              | Some (J.String s) when String.length s > 0 -> s
+              | Some _ | None -> bad "%s: pdes run missing a non-empty \"fingerprint\"" path
+            in
+            (jobs, wall_s, events, fingerprint)
+          | _ -> bad "%s: pdes runs must be objects" path)
+        runs
+    in
+    let _, ref_wall, ref_events, ref_fp =
+      match List.find_opt (fun (jobs, _, _, _) -> jobs = 1) parsed with
+      | Some r -> r
+      | None -> List.hd parsed
+    in
+    List.iter
+      (fun (jobs, _, events, fp) ->
+        if fp <> ref_fp then
+          bad "%s: pdes determinism broken: fingerprint diverges at jobs %d" path jobs;
+        if events <> ref_events then
+          bad "%s: pdes determinism broken: %d events at jobs %d vs %d at the reference" path
+            events jobs ref_events)
+      parsed;
+    (match List.find_opt (fun (jobs, _, _, _) -> jobs >= 4) parsed with
+    | Some (jobs, wall, _, _) when cores >= 4 ->
+      let speedup = ref_wall /. wall in
+      if speedup < min_pdes_speedup_at_4 then
+        bad "%s: pdes scaling regression: %.2fx at %d domains is below the floor of %gx" path
+          speedup jobs min_pdes_speedup_at_4
+    | _ -> ())
+  | Some _ -> bad "%s: \"pdes\" must be an object" path
+
 let check ~path doc =
   match
     let version = check_version ~path doc in
@@ -243,7 +333,8 @@ let check ~path doc =
     check_alloc ~path ~version doc;
     check_cc_matrix ~path ~version doc;
     check_swarm ~path ~version doc;
-    check_decision ~path ~version doc
+    check_decision ~path ~version doc;
+    check_pdes ~path ~version doc
   with
   | () -> Ok ()
   | exception Bad { message } -> Error message

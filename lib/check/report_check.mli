@@ -6,10 +6,11 @@
     [/3] when the report also carries the cross-algorithm "cc_matrix"
     section (which must then cover every algorithm registered in
     [Phi.Cc_algo]), to [/4] when it additionally carries the
-    million-flow "swarm" section from the sharded context plane, and to
+    million-flow "swarm" section from the sharded context plane, to
     [/5] when the compiled-decision-plane "decision" section rides
-    along as well (micro.exe now always contributes it, so fresh full
-    reports stamp [/5]).
+    along as well (micro.exe now always contributes it), and to [/6]
+    when the conservative-parallel-DES "pdes" scaling section is
+    present too (so fresh full reports stamp [/6]).
 
     [check] is pure validation over the parsed JSON — the CI gate
     ([bin/phi_json_check.ml]) is a thin exit-code wrapper around it,
@@ -38,13 +39,21 @@ val max_minor_words_per_lookup : float
     [minor_words_per_lookup] figure — effectively zero: one boxed float
     on the lookup path (2 words) trips it. *)
 
+val min_pdes_speedup_at_4 : float
+(** The committed scaling floor on the "pdes" section: wall-clock
+    speedup of the >= 4-domain run over the 1-domain run of the
+    1000-sender parking lot.  Enforced only when the report's box has
+    at least 4 cores and the curve includes a >= 4-domain run; the
+    section's determinism gates (identical fingerprints and event
+    counts across every worker count) are enforced unconditionally. *)
+
 val check : path:string -> Phi_util.Json.t -> (unit, string) result
 (** [check ~path doc] validates a parsed bench report.  [path] is used
     only to prefix error messages.  Returns [Error message] on the
     first violation: unknown schema, missing required fields, malformed
     sections, or a committed-budget regression (allocation, swarm
-    throughput, swarm tail latency, decision-plane speedup or
-    per-lookup allocation).  Optional sections ("micro", "alloc",
-    "cc_matrix", "swarm", "decision") are validated whenever present;
-    schema versions [/2]..[/5] additionally require their
-    distinguishing sections to be present. *)
+    throughput, swarm tail latency, decision-plane speedup, per-lookup
+    allocation, pdes determinism or pdes scaling).  Optional sections
+    ("micro", "alloc", "cc_matrix", "swarm", "decision", "pdes") are
+    validated whenever present; schema versions [/2]..[/6] additionally
+    require their distinguishing sections to be present. *)

@@ -1,0 +1,331 @@
+module Engine = Phi_sim.Engine
+module Pdes = Phi_sim.Pdes
+module Invariant = Phi_sim.Invariant
+module Node = Phi_net.Node
+module Link = Phi_net.Link
+module Boundary_link = Phi_net.Boundary_link
+module Packet = Phi_net.Packet
+module Flow = Phi_tcp.Flow
+module Sender = Phi_tcp.Sender
+module Receiver = Phi_tcp.Receiver
+module Cubic = Phi_tcp.Cubic
+module Prng = Phi_util.Prng
+
+type spec = {
+  segments : int;
+  local_pairs : int;
+  long_flows : int;
+  hop_bw_bps : float;
+  hop_delay_s : float;
+  cut_bw_bps : float;
+  cut_delay_s : float;
+  access_bw_bps : float;
+  access_delay_s : float;
+  buffer_pkts : int;
+  duration_s : float;
+  seed : int;
+}
+
+(* 4 x 240 local + 40 long = 1000 senders. *)
+let default_spec =
+  {
+    segments = 4;
+    local_pairs = 240;
+    long_flows = 40;
+    hop_bw_bps = 500e6;
+    hop_delay_s = 0.005;
+    cut_bw_bps = 1e9;
+    cut_delay_s = 0.010;
+    access_bw_bps = 1e9;
+    access_delay_s = 0.0005;
+    buffer_pkts = 600;
+    duration_s = 8.;
+    seed = 42;
+  }
+
+let senders spec = (spec.segments * spec.local_pairs) + spec.long_flows
+
+(* Node id scheme: globally unique so packet headers are unambiguous in
+   traces even though each island has its own engine and pool. *)
+let long_sender_id i = i
+let long_receiver_id i = 1_000_000 + i
+let local_sender_id ~segment ~pair = (10_000 * (segment + 1)) + pair
+let local_receiver_id ~segment ~pair = (10_000 * (segment + 1)) + 5_000 + pair
+let left_router_id segment = 900_000 + (2 * segment)
+let right_router_id segment = 900_000 + (2 * segment) + 1
+
+type hop_stat = {
+  delivered : int;
+  drops : int;
+  bytes : int;
+  utilization : float;
+}
+
+type result = {
+  jobs : int;
+  islands : int;
+  window_s : float;
+  wall_s : float;
+  events : int;
+  events_per_s : float;
+  fingerprint : string;
+  long_goodput_bps : float;
+  local_goodput_bps : float;
+  hop_stats : hop_stat array;
+  boundary_packets : int;
+  retransmitted : int;
+}
+
+let fnv_int h v = (h lxor (v land 0xffffffff)) * 0x01000193 land 0xffffffff
+
+(* The multi-bottleneck parking lot, partitioned one island per
+   segment.  Each segment holds a bottleneck hop [L_s -> R_s] (with a
+   reverse twin for ACKs), [local_pairs] sender/receiver pairs loading
+   exactly that hop, and the long flows traverse every segment, crossing
+   each cut over a pair of [Boundary_link]s (forward data
+   [R_s -> L_s+1], reverse ACKs [L_s+1 -> R_s]) whose 10 ms propagation
+   delay is the lookahead that buys the parallel window. *)
+let run ?(jobs = 1) ?(spec = default_spec) () =
+  if spec.segments < 1 then invalid_arg "Parking_lot.run: need at least one segment";
+  if spec.local_pairs < 0 || spec.long_flows < 0 then
+    invalid_arg "Parking_lot.run: negative flow counts";
+  if jobs < 1 then invalid_arg "Parking_lot.run: jobs must be >= 1";
+  let s_count = spec.segments in
+  let coordinator = Pdes.create () in
+  let islands = Array.init s_count (fun _ -> Pdes.add_island coordinator) in
+  let engines = Array.map Pdes.engine islands in
+  let pools = Array.map (fun _ -> Packet.create_pool ()) islands in
+  (* Routers. *)
+  let left =
+    Array.init s_count (fun s -> Node.create engines.(s) pools.(s) ~id:(left_router_id s))
+  in
+  let right =
+    Array.init s_count (fun s -> Node.create engines.(s) pools.(s) ~id:(right_router_id s))
+  in
+  (* Bottleneck hops and their reverse twins. *)
+  let hop_link s ~to_ =
+    let link =
+      Link.create engines.(s) pools.(s) ~bandwidth_bps:spec.hop_bw_bps
+        ~delay_s:spec.hop_delay_s ~capacity_pkts:spec.buffer_pkts
+    in
+    Link.set_receiver link (Node.receive to_);
+    link
+  in
+  let hop_fwd = Array.init s_count (fun s -> hop_link s ~to_:right.(s)) in
+  let hop_rev = Array.init s_count (fun s -> hop_link s ~to_:left.(s)) in
+  let access s ~to_ =
+    let link =
+      Link.create engines.(s) pools.(s) ~bandwidth_bps:spec.access_bw_bps
+        ~delay_s:spec.access_delay_s ~capacity_pkts:10_000
+    in
+    Link.set_receiver link (Node.receive to_);
+    link
+  in
+  (* Island cuts: a boundary pair per adjacent segment. *)
+  let boundary ~src_s ~dst_s ~to_ =
+    let b =
+      Boundary_link.create coordinator ~src:islands.(src_s) ~dst:islands.(dst_s)
+        ~src_pool:pools.(src_s) ~dst_pool:pools.(dst_s) ~bandwidth_bps:spec.cut_bw_bps
+        ~delay_s:spec.cut_delay_s ~capacity_pkts:10_000 ()
+    in
+    Boundary_link.set_receiver b (Node.receive to_);
+    b
+  in
+  let f_cut = Array.init (s_count - 1) (fun s -> boundary ~src_s:s ~dst_s:(s + 1) ~to_:left.(s + 1)) in
+  let r_cut = Array.init (s_count - 1) (fun s -> boundary ~src_s:(s + 1) ~dst_s:s ~to_:right.(s)) in
+  (* End hosts.  Every host hangs off its router by a dedicated access
+     pair (up for its own traffic, down for deliveries to it). *)
+  let local_senders =
+    Array.init s_count (fun s ->
+        Array.init spec.local_pairs (fun j ->
+            let node =
+              Node.create engines.(s) pools.(s) ~id:(local_sender_id ~segment:s ~pair:j)
+            in
+            Node.set_default_route node (access s ~to_:left.(s));
+            node))
+  in
+  let local_receivers =
+    Array.init s_count (fun s ->
+        Array.init spec.local_pairs (fun j ->
+            let node =
+              Node.create engines.(s) pools.(s) ~id:(local_receiver_id ~segment:s ~pair:j)
+            in
+            Node.set_default_route node (access s ~to_:right.(s));
+            node))
+  in
+  let long_senders =
+    Array.init spec.long_flows (fun i ->
+        let node = Node.create engines.(0) pools.(0) ~id:(long_sender_id i) in
+        Node.set_default_route node (access 0 ~to_:left.(0));
+        node)
+  in
+  let long_receivers =
+    Array.init spec.long_flows (fun i ->
+        let node =
+          Node.create engines.(s_count - 1) pools.(s_count - 1) ~id:(long_receiver_id i)
+        in
+        Node.set_default_route node (access (s_count - 1) ~to_:right.(s_count - 1));
+        node)
+  in
+  (* Routing.  Left router [s]: deliveries to its local senders go down
+     their access links; anything for a long sender heads back toward
+     segment 0; everything else flows forward over the hop. *)
+  for s = 0 to s_count - 1 do
+    Array.iteri
+      (fun j sender ->
+        Node.add_route left.(s)
+          ~dst:(local_sender_id ~segment:s ~pair:j)
+          (access s ~to_:sender))
+      local_senders.(s);
+    for i = 0 to spec.long_flows - 1 do
+      if s = 0 then
+        Node.add_route left.(s) ~dst:(long_sender_id i) (access 0 ~to_:long_senders.(i))
+      else
+        Node.add_route left.(s) ~dst:(long_sender_id i) (Boundary_link.egress r_cut.(s - 1))
+    done;
+    Node.set_default_route left.(s) hop_fwd.(s);
+    (* Right router [s]: local receivers down, anything for a sender
+       back over the reverse hop, long receivers onward (or down at the
+       last segment). *)
+    Array.iteri
+      (fun j receiver ->
+        Node.add_route right.(s)
+          ~dst:(local_receiver_id ~segment:s ~pair:j)
+          (access s ~to_:receiver))
+      local_receivers.(s);
+    Array.iteri
+      (fun j _ ->
+        Node.add_route right.(s) ~dst:(local_sender_id ~segment:s ~pair:j) hop_rev.(s))
+      local_senders.(s);
+    for i = 0 to spec.long_flows - 1 do
+      Node.add_route right.(s) ~dst:(long_sender_id i) hop_rev.(s);
+      if s = s_count - 1 then
+        Node.add_route right.(s) ~dst:(long_receiver_id i)
+          (access (s_count - 1) ~to_:long_receivers.(i))
+      else Node.add_route right.(s) ~dst:(long_receiver_id i) (Boundary_link.egress f_cut.(s))
+    done;
+    if s = s_count - 1 then Node.set_default_route right.(s) hop_rev.(s)
+    else Node.set_default_route right.(s) (Boundary_link.egress f_cut.(s))
+  done;
+  (* Transport.  Flow ids are allocated in a fixed construction order
+     (all local pairs segment-major, then the long flows), so ids — and
+     the Prng draws staggering the starts — are identical whatever the
+     worker count. *)
+  let flows = Flow.allocator () in
+  let rng = Prng.create ~seed:spec.seed in
+  let params = Cubic.default_params in
+  let start_on engine sender delay =
+    ignore (Engine.schedule_after engine ~delay (fun () -> Sender.start sender))
+  in
+  let local_tcp =
+    Array.init s_count (fun s ->
+        Array.init spec.local_pairs (fun j ->
+            let flow = Flow.fresh flows in
+            let _receiver =
+              Receiver.create engines.(s) ~node:local_receivers.(s).(j) ~flow
+                ~peer:(local_sender_id ~segment:s ~pair:j)
+            in
+            let sender =
+              Sender.create engines.(s) ~node:local_senders.(s).(j) ~flow
+                ~dst:(local_receiver_id ~segment:s ~pair:j)
+                ~cc:(Cubic.make params) ~total_segments:Sender.persistent_total
+                ~source_index:flow ()
+            in
+            start_on engines.(s) sender (Prng.float rng);
+            sender))
+  in
+  let long_tcp =
+    Array.init spec.long_flows (fun i ->
+        let flow = Flow.fresh flows in
+        let _receiver =
+          Receiver.create engines.(s_count - 1) ~node:long_receivers.(i) ~flow
+            ~peer:(long_sender_id i)
+        in
+        let sender =
+          Sender.create engines.(0) ~node:long_senders.(i) ~flow ~dst:(long_receiver_id i)
+            ~cc:(Cubic.make params) ~total_segments:Sender.persistent_total ~source_index:flow
+            ()
+        in
+        start_on engines.(0) sender (Prng.float rng);
+        sender)
+  in
+  (* Execute. *)
+  let jobs_used = if Invariant.enabled () then 1 else Stdlib.min jobs s_count in
+  let window_s = Pdes.lookahead_s coordinator in
+  let window_s = if Float.is_finite window_s then window_s else spec.duration_s in
+  let t0 = Unix.gettimeofday () in
+  Pdes.run ~jobs:jobs_used ~window_s ~until:spec.duration_s coordinator;
+  let wall_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  (* Harvest (serial again). *)
+  let events = Array.fold_left (fun acc e -> acc + Engine.executed e) 0 engines in
+  let hop_stats =
+    Array.init s_count (fun s ->
+        {
+          delivered = Link.packets_delivered hop_fwd.(s) + Link.packets_delivered hop_rev.(s);
+          drops = Link.drops hop_fwd.(s) + Link.drops hop_rev.(s);
+          bytes = Link.bytes_delivered hop_fwd.(s) + Link.bytes_delivered hop_rev.(s);
+          utilization = Float.min 1. (Link.busy_time hop_fwd.(s) /. spec.duration_s);
+        })
+  in
+  let boundary_packets =
+    Array.fold_left (fun acc b -> acc + Boundary_link.delivered b) 0 f_cut
+    + Array.fold_left (fun acc b -> acc + Boundary_link.delivered b) 0 r_cut
+  in
+  let goodput stats_list =
+    List.fold_left
+      (fun acc (st : Flow.conn_stats) ->
+        acc +. (float_of_int (st.Flow.segments * Packet.mss * 8) /. spec.duration_s))
+      0. stats_list
+  in
+  let local_stats =
+    Array.to_list local_tcp
+    |> List.concat_map (fun arr -> Array.to_list (Array.map Sender.stats arr))
+  in
+  let long_stats = Array.to_list (Array.map Sender.stats long_tcp) in
+  let retransmitted =
+    List.fold_left
+      (fun acc (st : Flow.conn_stats) -> acc + st.Flow.retransmitted_segments)
+      0
+      (local_stats @ long_stats)
+  in
+  (* Determinism fingerprint: everything observable about the run that
+     must not depend on the worker count — link counters, boundary
+     crossings, per-flow progress, and the engines' event counts. *)
+  let checksum =
+    let h = ref 0x811c9dc5 in
+    Array.iter
+      (fun (hs : hop_stat) ->
+        h := fnv_int !h hs.delivered;
+        h := fnv_int !h hs.drops;
+        h := fnv_int !h hs.bytes)
+      hop_stats;
+    Array.iter (fun b -> h := fnv_int !h (Boundary_link.delivered b)) f_cut;
+    Array.iter (fun b -> h := fnv_int !h (Boundary_link.delivered b)) r_cut;
+    List.iter
+      (fun (st : Flow.conn_stats) ->
+        h := fnv_int !h st.Flow.segments;
+        h := fnv_int !h st.Flow.retransmitted_segments)
+      (local_stats @ long_stats);
+    h := fnv_int !h events;
+    !h
+  in
+  let fingerprint =
+    Printf.sprintf "senders=%d events=%d boundary=%d retx=%d checksum=%08x" (senders spec)
+      events boundary_packets retransmitted checksum
+  in
+  Array.iter (fun arr -> Array.iter Sender.abort arr) local_tcp;
+  Array.iter Sender.abort long_tcp;
+  {
+    jobs = jobs_used;
+    islands = s_count;
+    window_s;
+    wall_s;
+    events;
+    events_per_s = float_of_int events /. wall_s;
+    fingerprint;
+    long_goodput_bps = goodput long_stats;
+    local_goodput_bps = goodput local_stats;
+    hop_stats;
+    boundary_packets;
+    retransmitted;
+  }

@@ -243,7 +243,10 @@ let walk_body ~self ~acc body =
     let p = strip_stdlib path in
     let n = String.length p in
     let suffix s = n >= String.length s && String.sub p (n - String.length s) (String.length s) = s in
-    if suffix "Pool.map" || suffix "Pool.try_map" then acc.pool_spawn <- true
+    if
+      suffix "Pool.map" || suffix "Pool.try_map" || suffix "Pdes.run"
+      || suffix "Pdes.on_drain"
+    then acc.pool_spawn <- true
   in
   let rec go ~cold e =
     let line = line_of_loc e.pexp_loc in

@@ -56,7 +56,11 @@ type func = {
   f_cold : bool;  (** [@inline never]: an out-of-line cold helper *)
   f_allocs : alloc list;
   f_calls : call list;
-  f_pool_spawn : bool;  (** references [Pool.map] / [Pool.try_map] *)
+  f_pool_spawn : bool;
+      (** references a multi-domain entry point: [Pool.map] /
+          [Pool.try_map], or the parallel-DES coordinator's [Pdes.run]
+          / [Pdes.on_drain] (island window and drain bodies run on
+          worker domains) *)
 }
 
 type global = { g_id : string; g_file : string; g_line : int; g_what : string }

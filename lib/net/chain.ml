@@ -28,6 +28,14 @@ let hop_buffer_pkts spec ~hop =
   Stdlib.max 2
     (int_of_float (Float.round (spec.buffer_bdp_factor *. bdp_bytes /. float_of_int Packet.mss)))
 
+(* All hop links of a chain share one delay, so every cut is equally
+   good lookahead-wise and [Pdes.plan_cuts] reduces to an even split —
+   but routing through it keeps the one partition planner authoritative
+   for every line-shaped topology. *)
+let cut_hops spec ~islands =
+  if spec.hops < 1 then invalid_arg "Chain.cut_hops: need at least one hop";
+  Phi_sim.Pdes.plan_cuts ~delays:(Array.make spec.hops spec.hop_delay_s) ~islands
+
 type t = {
   engine : Engine.t;
   spec : spec;

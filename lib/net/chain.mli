@@ -49,3 +49,10 @@ val cross_receiver_id : t -> int -> int
 
 val hop_buffer_pkts : spec -> hop:int -> int
 (** Queue capacity of the given hop. *)
+
+val cut_hops : spec -> islands:int -> int list
+(** Which hop links to replace with [Boundary_link]s to split the chain
+    into [islands] contiguous segments — [Phi_sim.Pdes.plan_cuts] over
+    the per-hop delays (uniform in a chain, so the cuts land on an even
+    split; the hop delay is the resulting lookahead).  Raises
+    [Invalid_argument] when [islands] exceeds [hops + 1] or is < 1. *)

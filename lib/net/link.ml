@@ -38,6 +38,11 @@ type t = {
   mutable deliver_port : Engine.port;
   mutable memo_size : int;
   mutable receiver : Packet.handle -> unit;
+  (* When set, serialized packets are handed to this function instead of
+     entering propagation on this engine — the boundary-link hook for
+     cross-island handoff.  The handle is still owned by this link's
+     pool; the handoff must consume it (serialize-and-release). *)
+  mutable handoff : (Packet.handle -> unit) option;
   mutable busy : bool;
   mutable packets_offered : int;
   mutable packets_delivered : int;
@@ -76,6 +81,7 @@ let[@inline] fs_get t i = Float.Array.unsafe_get t.fs i
 let[@inline] fs_set t i v = Float.Array.unsafe_set t.fs i v
 
 let set_receiver t f = t.receiver <- f
+let set_handoff t f = t.handoff <- Some f
 
 let set_fault_injection t ~rng ~drop_probability =
   if drop_probability < 0. || drop_probability > 1. then
@@ -143,8 +149,11 @@ let on_tx_done t =
   fs_set t fs_busy_time (fs_get t fs_busy_time +. fs_get t fs_in_service_tx);
   t.packets_delivered <- t.packets_delivered + 1;
   t.bytes_delivered <- t.bytes_delivered + Packet.size t.pool pkt;
-  Ring.push t.in_flight pkt;
-  Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port;
+  (match t.handoff with
+  | None ->
+    Ring.push t.in_flight pkt;
+    Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port
+  | Some f -> f pkt);
   check_conservation t;
   start_service t
 
@@ -167,6 +176,7 @@ let create engine pool ~bandwidth_bps ~delay_s ~capacity_pkts =
       deliver_port = Engine.port engine (fun () -> ());
       memo_size = -1;
       receiver = (fun _ -> invalid_arg "Link: receiver not set");
+      handoff = None;
       busy = false;
       packets_offered = 0;
       packets_delivered = 0;

@@ -50,6 +50,15 @@ val set_receiver : t -> (Packet.handle -> unit) -> unit
     it ([Node.receive] does), re-send it, or release it back to the
     pool. *)
 
+val set_handoff : t -> (Packet.handle -> unit) -> unit
+(** Divert serialized packets: instead of entering this link's
+    propagation stage, each packet that finishes serialization is passed
+    to [f], which takes ownership of the handle (it must serialize or
+    release it).  This is how {!Boundary_link} turns the egress half of
+    a link into a cross-island handoff — delivery counters still
+    accumulate here, but propagation is simulated on the destination
+    island.  With a handoff installed the receiver is never called. *)
+
 val set_fault_injection : t -> rng:Phi_util.Prng.t -> drop_probability:float -> unit
 (** Drop each arriving packet independently with the given probability
     (on top of queue overflows).  For tests and failure-injection

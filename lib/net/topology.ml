@@ -50,6 +50,8 @@ let bottleneck_delay spec =
   if d <= 0. then invalid_arg "Topology.dumbbell: rtt too small for access delays";
   d
 
+let cut_lookahead_s = bottleneck_delay
+
 let dumbbell engine spec =
   if spec.n < 1 then invalid_arg "Topology.dumbbell: need at least one sender";
   let n = spec.n in

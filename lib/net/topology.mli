@@ -23,6 +23,13 @@ val bdp_packets : spec -> int
 val buffer_packets : spec -> int
 (** Bottleneck queue capacity implied by [buffer_bdp_factor]. *)
 
+val cut_lookahead_s : spec -> float
+(** One-way propagation delay of the bottleneck link — the natural
+    island cut of a dumbbell runs through the bottleneck, and this is
+    the lookahead (hence maximum [Phi_sim.Pdes] window) that cut
+    yields.  Raises like {!dumbbell} when the RTT is too small for the
+    access delays. *)
+
 type dumbbell = {
   engine : Phi_sim.Engine.t;
   spec : spec;

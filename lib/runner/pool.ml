@@ -40,6 +40,15 @@ let tune_gc () =
   let g = Gc.get () in
   if g.Gc.minor_heap_size <> target then Gc.set { g with Gc.minor_heap_size = target }
 
+(* The worker count a [try_map] actually uses — also what bench
+   sections stamp into report metadata, so BENCH_*.json records the
+   parallelism a section really ran with (a [--jobs] override included)
+   rather than the machine default. *)
+let effective_jobs ?jobs ~cells () =
+  let requested = match jobs with Some j -> j | None -> default_jobs () in
+  if requested < 1 then invalid_arg "Pool.effective_jobs: jobs must be >= 1";
+  Stdlib.min requested (Stdlib.max 1 cells)
+
 let run_one f items results i =
   let r =
     try Ok (f items.(i))
@@ -48,12 +57,14 @@ let run_one f items results i =
   results.(i) <- Some r
 
 let try_map ?jobs f xs =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs < 1 then invalid_arg "Pool.try_map: jobs must be >= 1";
   let items = Array.of_list xs in
   let n = Array.length items in
   let results = Array.make n None in
-  let workers = Stdlib.min jobs n in
+  let workers =
+    try effective_jobs ?jobs ~cells:n ()
+    with Invalid_argument _ -> invalid_arg "Pool.try_map: jobs must be >= 1"
+  in
+  let workers = Stdlib.min workers n in
   if workers <= 1 then begin
     (* The serial path: no domain is spawned, jobs run in submission
        order in the calling domain. *)

@@ -55,6 +55,15 @@ val tune_gc : unit -> unit
     domain on the serial path), so sweeps get it automatically;
     standalone drivers may call it directly. *)
 
+val effective_jobs : ?jobs:int -> cells:int -> unit -> int
+(** The worker count a [try_map ?jobs] over [cells] items actually
+    uses: [jobs] (default {!default_jobs}) clamped to the cell count
+    (floor 1).  Bench sections stamp this into their report metadata so
+    BENCH_*.json records the parallelism each section really ran with —
+    including [--jobs] overrides — not just the machine default.
+
+    @raise Invalid_argument when [jobs < 1]. *)
+
 val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** [try_map ~jobs f xs] applies [f] to every element of [xs] on a pool
     of [min jobs (List.length xs)] domains (the calling domain counts as

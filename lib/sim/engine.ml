@@ -75,6 +75,7 @@ type t = {
   mutable hm : int array;  (* hm.(2i) = seq, hm.(2i+1) = key *)
   mutable hlen : int;
   mutable next_seq : int;
+  mutable n_exec : int;
   mutable stopping : bool;
   (* Event-cell slab (struct of arrays) plus its free list.  Every cell
      is at all times either live (scheduled, counted by [n_live]) or on
@@ -97,6 +98,7 @@ let create () =
     hm = [||];
     hlen = 0;
     next_seq = 0;
+    n_exec = 0;
     stopping = false;
     cell_gen = [||];
     cell_act = [||];
@@ -347,6 +349,7 @@ let cancelled t handle =
   not (idx < Array.length t.cell_gen && t.cell_gen.(idx) = k lsr idx_bits)
 
 let pending t = t.hlen
+let executed t = t.n_exec
 
 let[@inline never] record_nonmonotonic t time =
   Invariant.record ~rule:"event-time-monotonic" ~time:(now t)
@@ -364,7 +367,10 @@ let step t =
       sift_down t (Array.unsafe_get t.hm (2 * len)) (Array.unsafe_get t.hm ((2 * len) + 1))
     end;
     if time < now t then record_nonmonotonic t time else set_clock t time;
-    if key land 1 = 1 then (Array.unsafe_get t.ports (key lsr 1)) ()
+    if key land 1 = 1 then begin
+      t.n_exec <- t.n_exec + 1;
+      (Array.unsafe_get t.ports (key lsr 1)) ()
+    end
     else begin
       let k = key lsr 1 in
       let idx = k land idx_mask in
@@ -374,6 +380,7 @@ let step t =
       if Array.unsafe_get t.cell_gen idx = k lsr idx_bits then begin
         let action = Array.unsafe_get t.cell_act idx in
         consume t idx;
+        t.n_exec <- t.n_exec + 1;
         if !Invariant.armed then check_cells t;
         action ()
       end

@@ -84,6 +84,13 @@ val cancelled : t -> handle -> bool
 val pending : t -> int
 (** Number of not-yet-fired (and not cancelled-and-collected) events. *)
 
+val executed : t -> int
+(** Number of events dispatched since creation (port firings plus live
+    cell firings; skipped stale entries do not count).  The parallel-DES
+    bench aggregates this across island engines for its events/s
+    figure, and being a pure function of the event sequence it is also
+    a cheap determinism probe. *)
+
 val step : t -> bool
 (** Execute the next event.  Returns [false] when the queue is empty. *)
 

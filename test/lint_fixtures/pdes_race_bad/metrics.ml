@@ -1,0 +1,6 @@
+(* Nested, indented mutable global shared by every island. *)
+module Counters = struct
+  let drained = ref 0
+end
+
+let bump () = incr Counters.drained

@@ -1,0 +1,4 @@
+(* Each drain tallies into a shared counter. *)
+let step cluster () =
+  Metrics.bump ();
+  ignore cluster

@@ -1,0 +1,3 @@
+(** Island drain fixture. *)
+
+val step : int -> unit -> unit

@@ -1,0 +1,2 @@
+(* Pure combiner: island results merge after the run joins. *)
+let combine a b = a + b

@@ -1,0 +1,3 @@
+(* Island window and drain bodies run on worker domains. *)
+let wire cluster island = Pdes.on_drain island (Work.step cluster)
+let advance cluster = Pdes.run cluster

@@ -1,0 +1,4 @@
+(** Pdes island fan-out fixture. *)
+
+val wire : int -> int -> unit
+val advance : int -> unit

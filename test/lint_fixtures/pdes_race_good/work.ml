@@ -1,0 +1,5 @@
+(* Per-island accumulator: state lives and dies inside the island. *)
+let step cluster () =
+  let drained = ref 0 in
+  incr drained;
+  ignore (Metrics.combine cluster !drained)

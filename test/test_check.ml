@@ -1,8 +1,9 @@
-(* The CI report gate (Phi_check.Report_check): a well-formed /5 report
+(* The CI report gate (Phi_check.Report_check): a well-formed /6 report
    passes, and injected regressions — swarm throughput below the floor,
    p99 over budget, allocation over budget, decision-plane speedup
-   below the floor or lookups that box — trip it.  This is the
-   acceptance proof that the gate actually gates. *)
+   below the floor or lookups that box, pdes determinism or scaling
+   broken — trip it.  This is the acceptance proof that the gate
+   actually gates. *)
 
 module J = Phi_util.Json
 module Check = Phi_check.Report_check
@@ -70,9 +71,36 @@ let decision ?(speedup = 150.) ?(minor_words_per_lookup = 0.0) () =
       ("policy_speedup", J.float 3.7);
     ]
 
+(* One point of the parking-lot scaling curve; identical fingerprints
+   and event counts by default, as determinism demands. *)
+let pdes_run ?(jobs = 1) ?(wall_s = 8.0) ?(events = 750_000)
+    ?(fingerprint = "senders=1000 events=750000 boundary=50000 retx=900 checksum=757e1b62") () =
+  J.Obj
+    [
+      ("jobs", J.Int jobs);
+      ("wall_s", J.float wall_s);
+      ("events", J.Int events);
+      ("events_per_s", J.float (float_of_int events /. wall_s));
+      ("fingerprint", J.String fingerprint);
+    ]
+
+let pdes ?(cores = 4)
+    ?(runs = [ pdes_run (); pdes_run ~jobs:2 ~wall_s:4.2 (); pdes_run ~jobs:4 ~wall_s:2.3 () ])
+    () =
+  J.Obj
+    [
+      ("islands", J.Int 4);
+      ("window_s", J.float 0.01);
+      ("senders", J.Int 1000);
+      ("duration_s", J.float 8.);
+      ("cores", J.Int cores);
+      ("jobs", J.Int 4);
+      ("runs", J.List runs);
+    ]
+
 let report ?(schema = "phi-bench-report/5") ?(swarm_section = Some (swarm ()))
     ?(alloc_section = Some (alloc ())) ?(cc_section = Some (cc_matrix ()))
-    ?(decision_section = Some (decision ())) () =
+    ?(decision_section = Some (decision ())) ?(pdes_section = None) () =
   let optional name = function Some v -> [ (name, v) ] | None -> [] in
   J.Obj
     ([
@@ -86,7 +114,8 @@ let report ?(schema = "phi-bench-report/5") ?(swarm_section = Some (swarm ()))
     @ optional "alloc" alloc_section
     @ optional "cc_matrix" cc_section
     @ optional "swarm" swarm_section
-    @ optional "decision" decision_section)
+    @ optional "decision" decision_section
+    @ optional "pdes" pdes_section)
 
 let check doc = Check.check ~path:"report.json" doc
 
@@ -108,6 +137,8 @@ let expect_fail what ~mentioning doc =
       Alcotest.failf "%s tripped the gate but for the wrong reason: %s" what msg
 
 let test_valid_reports_pass () =
+  expect_pass "a full /6 report"
+    (report ~schema:"phi-bench-report/6" ~pdes_section:(Some (pdes ())) ());
   expect_pass "a full /5 report" (report ());
   expect_pass "a /4 report without a decision section"
     (report ~schema:"phi-bench-report/4" ~decision_section:None ());
@@ -170,6 +201,45 @@ let test_decision_structure_gate () =
   expect_fail "/5 without a decision section" ~mentioning:"requires a \"decision\" section"
     (report ~decision_section:None ())
 
+let full_6 ?cores ?runs () =
+  report ~schema:"phi-bench-report/6" ~pdes_section:(Some (pdes ?cores ?runs ())) ()
+
+let test_pdes_determinism_gate () =
+  (* A jobs-dependent fingerprint means the partitioned engine is not
+     replaying the serial schedule — the whole contract. *)
+  expect_fail "fingerprint divergence" ~mentioning:"determinism broken"
+    (full_6
+       ~runs:[ pdes_run (); pdes_run ~jobs:2 ~fingerprint:"checksum=deadbeef" () ]
+       ());
+  expect_fail "event count divergence" ~mentioning:"determinism broken"
+    (full_6 ~runs:[ pdes_run (); pdes_run ~jobs:2 ~events:749_999 () ] ());
+  (* The gate applies whenever the section is present, whatever the
+     schema version. *)
+  expect_fail "a /5 report with a diverging pdes section" ~mentioning:"determinism broken"
+    (report
+       ~pdes_section:
+         (Some (pdes ~runs:[ pdes_run (); pdes_run ~jobs:2 ~fingerprint:"x" () ] ()))
+       ())
+
+let test_pdes_scaling_gate () =
+  (* 1.38x at 4 domains on a 4-core box is a scaling regression... *)
+  expect_fail "speedup below the committed floor" ~mentioning:"scaling regression"
+    (full_6 ~runs:[ pdes_run (); pdes_run ~jobs:4 ~wall_s:5.8 () ] ());
+  (* ...but the same curve on a 1-core box is unmeasurable, and a curve
+     with no >= 4-domain run has nothing to hold to the floor. *)
+  expect_pass "slow scaling on a 1-core box"
+    (full_6 ~cores:1 ~runs:[ pdes_run (); pdes_run ~jobs:4 ~wall_s:5.8 () ] ());
+  expect_pass "no 4-domain run recorded"
+    (full_6 ~runs:[ pdes_run (); pdes_run ~jobs:2 ~wall_s:4.4 () ] ())
+
+let test_pdes_structure_gate () =
+  expect_fail "/6 without a pdes section" ~mentioning:"requires a \"pdes\" section"
+    (report ~schema:"phi-bench-report/6" ());
+  expect_fail "empty runs array" ~mentioning:"non-empty \"runs\""
+    (full_6 ~runs:[] ());
+  expect_fail "run without a fingerprint" ~mentioning:"fingerprint"
+    (full_6 ~runs:[ pdes_run ~fingerprint:"" () ] ())
+
 let test_schema_gate () =
   expect_fail "unknown schema" ~mentioning:"unknown \"schema\""
     (report ~schema:"phi-bench-report/99" ())
@@ -185,5 +255,8 @@ let suite =
     Alcotest.test_case "decision speedup floor trips" `Quick test_decision_speedup_gate;
     Alcotest.test_case "decision allocation budget trips" `Quick test_decision_alloc_gate;
     Alcotest.test_case "decision structure is enforced" `Quick test_decision_structure_gate;
+    Alcotest.test_case "pdes determinism gate trips" `Quick test_pdes_determinism_gate;
+    Alcotest.test_case "pdes scaling floor trips" `Quick test_pdes_scaling_gate;
+    Alcotest.test_case "pdes structure is enforced" `Quick test_pdes_structure_gate;
     Alcotest.test_case "unknown schemas are rejected" `Quick test_schema_gate;
   ]

@@ -267,6 +267,43 @@ let test_golden_figure5 () =
   Alcotest.(check (list string)) "serial replay" golden_figure5 (run_golden_figure5 1);
   Alcotest.(check (list string)) "parallel replay" golden_figure5 (run_golden_figure5 4)
 
+(* A reduced parking lot (3 islands, 22 senders, 2 s) on the parallel
+   engine.  The fingerprint folds every link counter, boundary crossing,
+   per-flow progress number and the engines' event counts; the committed
+   string is the jobs-1 golden, and runs with 2 and 4 worker domains
+   must reproduce it byte for byte — the conservative-window determinism
+   contract, asserted end-to-end through real Cubic traffic. *)
+let reduced_lot =
+  { Parking_lot.default_spec with
+    Parking_lot.segments = 3;
+    local_pairs = 6;
+    long_flows = 4;
+    duration_s = 2.0;
+  }
+
+let golden_parking_lot = "senders=22 events=2769590 boundary=323 retx=9853 checksum=286945ac"
+
+let test_parking_lot_partitioned_replay () =
+  let fp jobs = (Parking_lot.run ~jobs ~spec:reduced_lot ()).Parking_lot.fingerprint in
+  Alcotest.(check string) "serial golden" golden_parking_lot (fp 1);
+  Alcotest.(check string) "2 domains replay the golden" golden_parking_lot (fp 2);
+  Alcotest.(check string) "4 domains replay the golden" golden_parking_lot (fp 4)
+
+let test_parking_lot_traffic_shape () =
+  let r = Parking_lot.run ~jobs:2 ~spec:reduced_lot () in
+  Alcotest.(check int) "three islands" 3 r.Parking_lot.islands;
+  Alcotest.(check (float 0.)) "window = cut delay" reduced_lot.Parking_lot.cut_delay_s
+    r.Parking_lot.window_s;
+  Alcotest.(check bool) "long flows make progress" true (r.Parking_lot.long_goodput_bps > 0.);
+  Alcotest.(check bool) "local flows make progress" true
+    (r.Parking_lot.local_goodput_bps > r.Parking_lot.long_goodput_bps);
+  Alcotest.(check bool) "traffic crossed the cuts" true (r.Parking_lot.boundary_packets > 0);
+  Alcotest.(check int) "one stat per hop" 3 (Array.length r.Parking_lot.hop_stats);
+  Array.iter
+    (fun (h : Parking_lot.hop_stat) ->
+      Alcotest.(check bool) "every hop carried packets" true (h.Parking_lot.delivered > 0))
+    r.Parking_lot.hop_stats
+
 (* {2 Algorithm registry (unified control plane)} *)
 
 let test_registry_round_trip () =
@@ -457,6 +494,8 @@ let suite =
     ("golden replay high (bit-exact)", `Slow, test_golden_high_utilization);
     ("golden replay table 3 (bit-exact)", `Slow, test_golden_table3);
     ("golden replay figure 5 (bit-exact)", `Slow, test_golden_figure5);
+    ("parking lot partitioned replay (bit-exact)", `Slow, test_parking_lot_partitioned_replay);
+    ("parking lot traffic shape", `Slow, test_parking_lot_traffic_shape);
     ("registry round trip and parse_cc", `Quick, test_registry_round_trip);
     ("cc_select builds every algorithm", `Quick, test_cc_select_builds_every_algorithm);
     ("cc matrix covers registry", `Slow, test_cc_matrix_covers_registry);

@@ -466,6 +466,21 @@ let test_fixture_domain_race () =
   check_locs "per-job twin is clean" []
     (Lint.lint_tree (fixture_tree "domain_race_good" domain_race_files))
 
+let test_fixture_pdes_race () =
+  (* Same rule, the parallel-DES entry points: an island drain callback
+     registered through Pdes.on_drain runs on a worker domain, so a
+     module-level mutable reachable from it is a race. *)
+  let vs = Lint.lint_tree (fixture_tree "pdes_race_bad" domain_race_files) in
+  check_locs "global reachable from island drain" [ ("domain-race", 3) ] vs;
+  (match vs with
+  | [ v ] ->
+    Alcotest.(check string) "at the global's definition" "lib/fix/metrics.ml" v.Lint.file;
+    Alcotest.(check bool) "chain rendered" true
+      (contains v.Lint.message "Runner.wire -> Work.step -> Metrics.bump")
+  | _ -> Alcotest.fail "expected exactly one violation");
+  check_locs "per-island twin is clean" []
+    (Lint.lint_tree (fixture_tree "pdes_race_good" domain_race_files))
+
 (* {2 --json report schema} *)
 
 let test_json_report_roundtrip () =
@@ -568,5 +583,6 @@ let suite =
     Alcotest.test_case "fixture corpus: missing-mli" `Quick test_fixture_missing_mli;
     Alcotest.test_case "fixture corpus: hot-alloc chain" `Quick test_fixture_hot_alloc_chain;
     Alcotest.test_case "fixture corpus: domain-race" `Quick test_fixture_domain_race;
+    Alcotest.test_case "fixture corpus: pdes domain-race" `Quick test_fixture_pdes_race;
     Alcotest.test_case "json report round-trips" `Quick test_json_report_roundtrip;
   ]

@@ -28,6 +28,7 @@ let () =
       ("predict", Test_predict.suite);
       ("experiments", Test_experiments.suite);
       ("swarm", Test_swarm.suite);
+      ("pdes", Test_pdes.suite);
       ("runner", Test_runner.suite);
       ("check", Test_check.suite);
       ("lint", Test_lint.suite);

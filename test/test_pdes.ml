@@ -1,0 +1,327 @@
+(* Tests for the conservative parallel-DES coordinator ([Phi_sim.Pdes])
+   and the cross-island [Boundary_link]: partition planning, window
+   validation, and the central determinism contract — a partitioned run
+   must replay the serial engine's delivery trace bit for bit, whatever
+   the worker count. *)
+
+module Engine = Phi_sim.Engine
+module Pdes = Phi_sim.Pdes
+module Packet = Phi_net.Packet
+module Link = Phi_net.Link
+module Boundary_link = Phi_net.Boundary_link
+module Prng = Phi_util.Prng
+
+(* {2 Partition planning} *)
+
+let test_plan_cuts_uniform () =
+  (* Uniform delays: every edge is a candidate, so the planner falls
+     back to pure balance — cuts land at the even-split boundaries. *)
+  Alcotest.(check (list int)) "even thirds" [ 2; 5 ]
+    (Pdes.plan_cuts ~delays:(Array.make 8 1e-3) ~islands:3);
+  Alcotest.(check (list int)) "halves" [ 3 ]
+    (Pdes.plan_cuts ~delays:(Array.make 8 1e-3) ~islands:2);
+  Alcotest.(check (list int)) "single island needs no cut" []
+    (Pdes.plan_cuts ~delays:(Array.make 8 1e-3) ~islands:1);
+  Alcotest.(check (list int)) "one island per node cuts everything" [ 0; 1; 2 ]
+    (Pdes.plan_cuts ~delays:(Array.make 3 1e-3) ~islands:4)
+
+let test_plan_cuts_prefers_large_delays () =
+  (* The smallest chosen delay is the lookahead: the planner must pick
+     the k largest-delay edges even when they are badly placed. *)
+  Alcotest.(check (list int)) "picks the 5 ms and 4 ms edges" [ 1; 3 ]
+    (Pdes.plan_cuts ~delays:[| 1e-3; 5e-3; 2e-3; 4e-3; 3e-3 |] ~islands:3);
+  Alcotest.(check (list int)) "single cut at the max" [ 1 ]
+    (Pdes.plan_cuts ~delays:[| 1e-3; 5e-3; 2e-3; 4e-3; 3e-3 |] ~islands:2)
+
+let prop_plan_cuts_maximizes_lookahead =
+  QCheck.Test.make ~name:"plan_cuts lookahead = k-th largest delay, segments contiguous"
+    ~count:200
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Prng.create ~seed in
+      let delays = Array.init n (fun _ -> Prng.float_range rng ~lo:1e-4 ~hi:1e-1) in
+      let islands = 1 + Prng.int rng ~bound:(n + 1) in
+      let cuts = Pdes.plan_cuts ~delays ~islands in
+      let k = islands - 1 in
+      if List.length cuts <> k then QCheck.Test.fail_report "wrong cut count";
+      (* Strictly increasing, in range. *)
+      let rec ordered prev = function
+        | [] -> true
+        | c :: rest -> c > prev && c < n && ordered c rest
+      in
+      if not (ordered (-1) cuts) then QCheck.Test.fail_report "cuts not increasing";
+      (* The minimum chosen delay equals the k-th largest overall. *)
+      (match cuts with
+      | [] -> true
+      | _ ->
+        let sorted = Array.copy delays in
+        Array.sort (fun a b -> Float.compare b a) sorted;
+        let d_star = sorted.(k - 1) in
+        let d_min = List.fold_left (fun acc c -> Float.min acc delays.(c)) infinity cuts in
+        Float.equal d_min d_star))
+
+let test_plan_cuts_rejects_bad_inputs () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "islands 0" true
+    (rejects (fun () -> Pdes.plan_cuts ~delays:[| 1. |] ~islands:0));
+  Alcotest.(check bool) "more islands than nodes" true
+    (rejects (fun () -> Pdes.plan_cuts ~delays:[| 1. |] ~islands:3));
+  Alcotest.(check bool) "negative delay" true
+    (rejects (fun () -> Pdes.plan_cuts ~delays:[| 1.; -1. |] ~islands:2));
+  Alcotest.(check bool) "nan delay" true
+    (rejects (fun () -> Pdes.plan_cuts ~delays:[| 1.; Float.nan |] ~islands:2))
+
+(* {2 Coordinator validation} *)
+
+let two_island_coordinator ~delay_s =
+  let coord = Pdes.create () in
+  let a = Pdes.add_island coord in
+  let b = Pdes.add_island coord in
+  let src_pool = Packet.create_pool () in
+  let dst_pool = Packet.create_pool () in
+  let bl =
+    Boundary_link.create coord ~src:a ~dst:b ~src_pool ~dst_pool ~bandwidth_bps:1e9
+      ~delay_s ~capacity_pkts:64 ()
+  in
+  (coord, a, b, src_pool, dst_pool, bl)
+
+let test_run_validation () =
+  let rejects f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty coordinator" true
+    (rejects (fun () -> Pdes.run ~until:1. (Pdes.create ())));
+  let coord, _, _, _, _, _ = two_island_coordinator ~delay_s:0.01 in
+  Alcotest.(check (float 0.)) "lookahead recorded" 0.01 (Pdes.lookahead_s coord);
+  Alcotest.(check bool) "jobs 0" true (rejects (fun () -> Pdes.run ~jobs:0 ~until:1. coord));
+  Alcotest.(check bool) "negative until" true
+    (rejects (fun () -> Pdes.run ~until:(-1.) coord));
+  Alcotest.(check bool) "window above lookahead" true
+    (rejects (fun () -> Pdes.run ~window_s:0.02 ~until:1. coord));
+  Alcotest.(check bool) "non-positive window" true
+    (rejects (fun () -> Pdes.run ~window_s:0. ~until:1. coord));
+  (* A window at exactly the lookahead is the intended operating point. *)
+  Pdes.run ~window_s:0.01 ~until:0.05 coord
+
+let test_lookahead_is_minimum () =
+  let coord = Pdes.create () in
+  Alcotest.(check (float 0.)) "no boundary yet" infinity (Pdes.lookahead_s coord);
+  Pdes.note_lookahead coord 0.02;
+  Pdes.note_lookahead coord 0.005;
+  Pdes.note_lookahead coord 0.03;
+  Alcotest.(check (float 0.)) "minimum wins" 0.005 (Pdes.lookahead_s coord);
+  let rejects d = try Pdes.note_lookahead coord d; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero rejected" true (rejects 0.);
+  Alcotest.(check bool) "infinite rejected" true (rejects infinity)
+
+(* {2 Serial = partitioned delivery trace} *)
+
+(* A randomized packet workload pushed through one link.  The serial
+   reference sends through an ordinary [Link] on a lone engine; the
+   partitioned run sends through a [Boundary_link] between two islands.
+   Same queue, same serialization, same IEEE arrival arithmetic — so the
+   delivery traces (time and every header field, rendered with [%h])
+   must match exactly, at any worker count. *)
+
+type pkt_spec = {
+  at : float;
+  p_flow : int;
+  p_src : int;
+  p_dst : int;
+  p_seq : int;
+  is_data : bool;
+  retx : bool;
+  ce : bool;
+  has_echo : bool;
+  echo_sent_at : float;
+  echo_tx_time : float;
+  ece : bool;
+  sacks : (int * int) list;
+}
+
+let random_spec rng =
+  let is_data = Prng.bool rng in
+  {
+    at = Prng.float_range rng ~lo:0. ~hi:0.5;
+    p_flow = Prng.int rng ~bound:1000;
+    p_src = Prng.int rng ~bound:100;
+    p_dst = 100 + Prng.int rng ~bound:100;
+    p_seq = Prng.int rng ~bound:1_000_000;
+    is_data;
+    retx = is_data && Prng.bool rng;
+    ce = is_data && Prng.bool rng;
+    has_echo = (not is_data) && Prng.bool rng;
+    echo_sent_at = Prng.float_range rng ~lo:0. ~hi:1.;
+    echo_tx_time = Prng.float_range rng ~lo:0. ~hi:0.01;
+    ece = (not is_data) && Prng.bool rng;
+    sacks =
+      (if is_data then []
+       else
+         List.init
+           (Prng.int rng ~bound:(Packet.max_sack_blocks + 1))
+           (fun i ->
+             let lo = (20 * i) + Prng.int rng ~bound:5 in
+             (lo, lo + 1 + Prng.int rng ~bound:5)));
+  }
+
+let inject engine pool link spec =
+  ignore
+    (Engine.schedule_at engine ~time:spec.at (fun () ->
+         let pkt =
+           if spec.is_data then begin
+             let h =
+               Packet.acquire_data pool ~flow:spec.p_flow ~src:spec.p_src ~dst:spec.p_dst
+                 ~seq:spec.p_seq ~now:(Engine.now engine) ~retransmit:spec.retx
+             in
+             if spec.ce then Packet.mark_ce pool h;
+             h
+           end
+           else begin
+             let h =
+               Packet.acquire_ack pool ~flow:spec.p_flow ~src:spec.p_src ~dst:spec.p_dst
+                 ~next_expected:spec.p_seq ~has_echo:spec.has_echo
+                 ~echo_sent_at:spec.echo_sent_at ~echo_tx_time:spec.echo_tx_time ~ece:spec.ece
+                 ~now:(Engine.now engine)
+             in
+             List.iter (fun (lo, hi) -> Packet.add_sack pool h ~lo ~hi) spec.sacks;
+             h
+           end
+         in
+         Link.send link pkt))
+
+let describe pool ~now pkt =
+  let base =
+    Printf.sprintf "%h f=%d %d>%d seq=%d size=%d sent=%h" now (Packet.flow pool pkt)
+      (Packet.src pool pkt) (Packet.dst pool pkt) (Packet.seq pool pkt) (Packet.size pool pkt)
+      (Packet.sent_at pool pkt)
+  in
+  if Packet.is_data pool pkt then
+    Printf.sprintf "%s data retx=%b ce=%b" base (Packet.retransmit pool pkt) (Packet.ce pool pkt)
+  else
+    Printf.sprintf "%s ack echo=%b es=%h etx=%h ece=%b sack=%s" base
+      (Packet.ack_has_echo pool pkt)
+      (Packet.ack_echo_sent_at pool pkt)
+      (Packet.ack_echo_tx_time pool pkt)
+      (Packet.ack_ece pool pkt)
+      (String.concat ","
+         (List.init (Packet.sack_count pool pkt) (fun i ->
+              Printf.sprintf "%d-%d" (Packet.sack_lo pool pkt i) (Packet.sack_hi pool pkt i))))
+
+let serial_trace ~bw ~delay ~capacity specs =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = Link.create engine pool ~bandwidth_bps:bw ~delay_s:delay ~capacity_pkts:capacity in
+  let trace = ref [] in
+  Link.set_receiver link (fun p ->
+      trace := describe pool ~now:(Engine.now engine) p :: !trace;
+      Packet.release pool p);
+  List.iter (inject engine pool link) specs;
+  Engine.run engine;
+  List.rev !trace
+
+let partitioned_trace ~jobs ~bw ~delay ~capacity ~until specs =
+  let coord = Pdes.create () in
+  let a = Pdes.add_island coord in
+  let b = Pdes.add_island coord in
+  let src_pool = Packet.create_pool () in
+  let dst_pool = Packet.create_pool () in
+  let bl =
+    Boundary_link.create coord ~src:a ~dst:b ~src_pool ~dst_pool ~bandwidth_bps:bw
+      ~delay_s:delay ~capacity_pkts:capacity ()
+  in
+  let trace = ref [] in
+  let dst_engine = Pdes.engine b in
+  Boundary_link.set_receiver bl (fun p ->
+      trace := describe dst_pool ~now:(Engine.now dst_engine) p :: !trace;
+      Packet.release dst_pool p);
+  List.iter (inject (Pdes.engine a) src_pool (Boundary_link.egress bl)) specs;
+  Pdes.run ~jobs ~until coord;
+  Alcotest.(check int) "nothing left in transit" 0 (Boundary_link.in_transit bl);
+  Alcotest.(check int) "no src cell leaked" 0 (Packet.in_use src_pool);
+  Alcotest.(check int) "no dst cell leaked" 0 (Packet.in_use dst_pool);
+  (List.rev !trace, Boundary_link.delivered bl)
+
+let prop_partitioned_replays_serial =
+  QCheck.Test.make ~name:"partitioned delivery trace = serial (jobs 1 and 2)" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let bw = Prng.float_range rng ~lo:1e6 ~hi:1e9 in
+      let delay = Prng.float_range rng ~lo:1e-3 ~hi:0.05 in
+      let capacity = 2 + Prng.int rng ~bound:30 in
+      let n = 1 + Prng.int rng ~bound:40 in
+      let specs = List.init n (fun _ -> random_spec rng) in
+      (* Sends span [0, 0.5]; worst-case serialization of 41 full-size
+         packets at 1 Mb/s is ~0.5 s; max delay 50 ms.  2 s covers every
+         delivery with windows to spare. *)
+      let until = 2.0 in
+      let serial = serial_trace ~bw ~delay ~capacity specs in
+      let p1, d1 = partitioned_trace ~jobs:1 ~bw ~delay ~capacity ~until specs in
+      let p2, d2 = partitioned_trace ~jobs:2 ~bw ~delay ~capacity ~until specs in
+      if serial = [] then QCheck.Test.fail_report "degenerate case: no deliveries";
+      if d1 <> List.length serial then QCheck.Test.fail_report "delivered count diverged";
+      if d1 <> d2 then QCheck.Test.fail_report "jobs changed delivered count";
+      if p1 <> serial then QCheck.Test.fail_report "jobs-1 trace diverged from serial";
+      if p2 <> serial then QCheck.Test.fail_report "jobs-2 trace diverged from serial";
+      true)
+
+(* {2 Ring overflow} *)
+
+let test_ring_overflow_raises () =
+  (* A 1-entry ring with two packets serialized inside one window: the
+     producer must fail loudly (blocking would deadlock the barrier). *)
+  let coord = Pdes.create () in
+  let a = Pdes.add_island coord in
+  let b = Pdes.add_island coord in
+  let src_pool = Packet.create_pool () in
+  let dst_pool = Packet.create_pool () in
+  let bl =
+    Boundary_link.create coord ~src:a ~dst:b ~src_pool ~dst_pool ~bandwidth_bps:1e9
+      ~delay_s:0.01 ~capacity_pkts:16 ~ring_capacity:1 ()
+  in
+  Boundary_link.set_receiver bl (fun p -> Packet.release dst_pool p);
+  let engine = Pdes.engine a in
+  for seq = 0 to 1 do
+    ignore
+      (Engine.schedule_at engine ~time:0. (fun () ->
+           Link.send (Boundary_link.egress bl)
+             (Packet.acquire_data src_pool ~flow:0 ~src:0 ~dst:1 ~seq ~now:0.
+                ~retransmit:false)))
+  done;
+  let raised =
+    try
+      Pdes.run ~jobs:1 ~until:0.1 coord;
+      false
+    with Boundary_link.Fault msg -> String.length msg > 0
+  in
+  Alcotest.(check bool) "overflow raises Fault" true raised
+
+(* {2 Boundary construction validation} *)
+
+let test_boundary_create_validation () =
+  let coord = Pdes.create () in
+  let a = Pdes.add_island coord in
+  let b = Pdes.add_island coord in
+  let pool = Packet.create_pool () in
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero delay rejected" true
+    (rejects (fun () ->
+         Boundary_link.create coord ~src:a ~dst:b ~src_pool:pool ~dst_pool:pool
+           ~bandwidth_bps:1e9 ~delay_s:0. ~capacity_pkts:4 ()));
+  Alcotest.(check bool) "same island rejected" true
+    (rejects (fun () ->
+         Boundary_link.create coord ~src:a ~dst:a ~src_pool:pool ~dst_pool:pool
+           ~bandwidth_bps:1e9 ~delay_s:0.01 ~capacity_pkts:4 ()));
+  Alcotest.(check int) "island indices" 1 (Pdes.index b);
+  Alcotest.(check int) "island count" 2 (Pdes.islands coord)
+
+let suite =
+  [
+    Alcotest.test_case "plan_cuts: uniform delays" `Quick test_plan_cuts_uniform;
+    Alcotest.test_case "plan_cuts: prefers large delays" `Quick test_plan_cuts_prefers_large_delays;
+    QCheck_alcotest.to_alcotest prop_plan_cuts_maximizes_lookahead;
+    Alcotest.test_case "plan_cuts: rejects bad inputs" `Quick test_plan_cuts_rejects_bad_inputs;
+    Alcotest.test_case "run validation" `Quick test_run_validation;
+    Alcotest.test_case "lookahead is the minimum" `Quick test_lookahead_is_minimum;
+    QCheck_alcotest.to_alcotest prop_partitioned_replays_serial;
+    Alcotest.test_case "ring overflow raises" `Quick test_ring_overflow_raises;
+    Alcotest.test_case "boundary create validation" `Quick test_boundary_create_validation;
+  ]
