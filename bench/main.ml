@@ -22,12 +22,15 @@
    in the "micro" and "alloc" sections and stamps the schema to
    "phi-bench-report/2" — to "phi-bench-report/3" when the report
    carries a cc_matrix section, to "phi-bench-report/4" when it also
-   carries the million-flow "swarm" context-plane section, and to
+   carries the million-flow "swarm" context-plane section, to
    "phi-bench-report/6" when the parallel-DES "pdes" scaling section is
-   present as well — which is what bin/phi_json_check gates on in CI
-   (the committed allocations-per-packet budget, the swarm throughput
-   floor and p99 lookup-latency budget, and the pdes determinism and
-   scaling floors in Phi_check.Report_check).
+   present as well, and to "phi-bench-report/7" when the topology-zoo
+   "wan_matrix" section rides along with all of the above — which is
+   what bin/phi_json_check gates on in CI (the committed
+   allocations-per-packet budget, the swarm throughput floor and p99
+   lookup-latency budget, the pdes determinism and scaling floors, and
+   the wan_matrix fairness/FCT sanity and serial-probe determinism in
+   Phi_check.Report_check).
 
    --cc NAME[,NAME...] restricts the cross-algorithm matrix to a subset
    of the registry (default: every registered algorithm). *)
@@ -116,6 +119,14 @@ let swarm_json : Json.t option ref = ref None
    speedup floor at 4 domains whenever the box has >= 4 cores. *)
 let pdes_json : Json.t option ref = ref None
 
+(* The WAN evaluation matrix section (algorithm x topology zoo x
+   adversarial dynamics), kept for the JSON report.  bench/micro.exe
+   stamps the merged schema to /7 when this section is present
+   alongside cc_matrix, swarm and pdes; Phi_check.Report_check gates
+   every cell's Jain index and p99 FCT, and the serial-probe
+   fingerprint equality, whenever it is present at all. *)
+let wan_matrix_json : Json.t option ref = ref None
+
 (* Matrix algorithm subset (--cc NAME[,NAME...]; default: the whole
    registry). *)
 let matrix_algorithms = ref Phi.Cc_algo.all
@@ -154,6 +165,9 @@ let report_json ~budget ~calibration =
       | None -> [])
     @ (match !pdes_json with
       | Some pdes -> [ ("pdes", pdes) ]
+      | None -> [])
+    @ (match !wan_matrix_json with
+      | Some wan -> [ ("wan_matrix", wan) ]
       | None -> []))
 
 (* Serial-vs-parallel calibration: re-run the Figure 2a sweep cells at
@@ -953,6 +967,140 @@ let bench_pdes budget =
                   runs) );
          ])
 
+(* {2 WAN evaluation matrix: algorithm x topology zoo x dynamics} *)
+
+let bench_wan_matrix budget =
+  section "WAN evaluation matrix: algorithm x topology zoo x adversarial dynamics";
+  (* The quick budget keeps the matrix to a single smoke cell (first
+     algorithm over the WAN zoo under link flaps) so CI exercises the
+     whole plumbing — graph builder, dynamics script, report gates —
+     in seconds; default and full budgets sweep the three structural
+     topology classes x three regimes for every selected algorithm. *)
+  let quick = budget.label = quick_budget.label in
+  let algorithms = if quick then [ List.hd !matrix_algorithms ] else !matrix_algorithms in
+  let topologies = if quick then [ "wan" ] else Cc_matrix.default_topologies in
+  let dynamics = if quick then [ "flap" ] else Cc_matrix.default_dynamics in
+  let seeds = if quick then [ List.hd budget.seeds ] else budget.seeds in
+  let duration_s = if quick then 6. else 12. in
+  let cells =
+    Cc_matrix.run_matrix ~jobs:!jobs ~algorithms ~topologies ~dynamics ~duration_s ~seeds ()
+  in
+  Table.print ~align:[ Table.Left; Table.Left; Table.Left; Table.Left ]
+    ~headers:
+      [ "algorithm"; "topology"; "dynamics"; "aqm"; "thr Mbps"; "delay ms"; "loss"; "power P_l";
+        "jain"; "p99 fct s"; "conns" ]
+    (List.map
+       (fun (c : Cc_matrix.matrix_cell) ->
+         [
+           c.Cc_matrix.m_algorithm;
+           c.Cc_matrix.m_topology;
+           c.Cc_matrix.m_dynamics;
+           c.Cc_matrix.m_aqm;
+           mbps c.Cc_matrix.m_throughput_bps;
+           ms c.Cc_matrix.m_delay_s;
+           pct c.Cc_matrix.m_loss_rate;
+           Table.fmt_float c.Cc_matrix.m_power;
+           Printf.sprintf "%.3f" c.Cc_matrix.m_jain;
+           Printf.sprintf "%.2f" c.Cc_matrix.m_p99_fct_s;
+           string_of_int c.Cc_matrix.m_connections;
+         ])
+       cells);
+  Printf.printf "(%d algorithms x %d topologies x %d dynamics, means over %d seeds, %g s cells)\n"
+    (List.length algorithms) (List.length topologies) (List.length dynamics)
+    (List.length seeds) duration_s;
+  (* Determinism probe: re-run the first combination's seeds serially
+     and fold the floats of both cells into fingerprints.  Report_check
+     gates their equality, so a pool-introduced divergence (worker
+     state leaking across cells, a jobs-dependent rng) fails CI loudly
+     instead of drifting the dashboards.  At --jobs 1 the probe is a
+     pure replay of the same serial path. *)
+  let fingerprint (c : Cc_matrix.matrix_cell) =
+    Printf.sprintf "%h;%h;%h;%h;%h;%d" c.Cc_matrix.m_throughput_bps c.Cc_matrix.m_delay_s
+      c.Cc_matrix.m_jain c.Cc_matrix.m_p99_fct_s c.Cc_matrix.m_power c.Cc_matrix.m_connections
+  in
+  let probe_parallel = List.hd cells in
+  let probe_serial =
+    List.hd
+      (Cc_matrix.run_matrix ~jobs:1 ~algorithms:[ List.hd algorithms ]
+         ~topologies:[ List.hd topologies ] ~dynamics:[ List.hd dynamics ] ~duration_s ~seeds ())
+  in
+  let probe_name =
+    Printf.sprintf "%s/%s/%s" probe_parallel.Cc_matrix.m_algorithm
+      probe_parallel.Cc_matrix.m_topology probe_parallel.Cc_matrix.m_dynamics
+  in
+  if fingerprint probe_parallel <> fingerprint probe_serial then begin
+    Printf.eprintf "bench: wan_matrix cell %s diverged from its serial replay:\n  %s\n  %s\n"
+      probe_name (fingerprint probe_parallel) (fingerprint probe_serial);
+    exit 1
+  end;
+  Printf.printf "determinism probe %s: %s\n" probe_name (fingerprint probe_serial);
+  csv_out "wan_matrix.csv"
+    ~header:
+      [ "algorithm"; "topology"; "dynamics"; "aqm"; "throughput_bps"; "delay_s";
+        "queueing_delay_s"; "loss_rate"; "power"; "jain"; "p99_fct_s"; "connections" ]
+    (List.map
+       (fun (c : Cc_matrix.matrix_cell) ->
+         [
+           c.Cc_matrix.m_algorithm;
+           c.Cc_matrix.m_topology;
+           c.Cc_matrix.m_dynamics;
+           c.Cc_matrix.m_aqm;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_throughput_bps;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_delay_s;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_queueing_delay_s;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_loss_rate;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_power;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_jain;
+           Phi_util.Csv.float_cell c.Cc_matrix.m_p99_fct_s;
+           string_of_int c.Cc_matrix.m_connections;
+         ])
+       cells);
+  let min_over f = List.fold_left (fun acc c -> Float.min acc (f c)) infinity cells in
+  let max_over f = List.fold_left (fun acc c -> Float.max acc (f c)) neg_infinity cells in
+  headline "wan_matrix"
+    [
+      ("cells", Json.Int (List.length cells));
+      ("min_jain", Json.float (min_over (fun c -> c.Cc_matrix.m_jain)));
+      ("max_p99_fct_s", Json.float (max_over (fun c -> c.Cc_matrix.m_p99_fct_s)));
+      ("max_power", Json.float (max_over (fun c -> c.Cc_matrix.m_power)));
+    ];
+  wan_matrix_json :=
+    Some
+      (Json.Obj
+         [
+           ("duration_s", Json.float duration_s);
+           ("seeds", Json.Int (List.length seeds));
+           ("jobs", Json.Int !jobs);
+           ("aqm", Json.String "droptail");
+           ( "cells",
+             Json.List
+               (List.map
+                  (fun (c : Cc_matrix.matrix_cell) ->
+                    Json.Obj
+                      [
+                        ("algorithm", Json.String c.Cc_matrix.m_algorithm);
+                        ("topology", Json.String c.Cc_matrix.m_topology);
+                        ("dynamics", Json.String c.Cc_matrix.m_dynamics);
+                        ("aqm", Json.String c.Cc_matrix.m_aqm);
+                        ("throughput_bps", Json.float c.Cc_matrix.m_throughput_bps);
+                        ("delay_s", Json.float c.Cc_matrix.m_delay_s);
+                        ("queueing_delay_s", Json.float c.Cc_matrix.m_queueing_delay_s);
+                        ("loss_rate", Json.float c.Cc_matrix.m_loss_rate);
+                        ("power", Json.float c.Cc_matrix.m_power);
+                        ("jain", Json.float c.Cc_matrix.m_jain);
+                        ("p99_fct_s", Json.float c.Cc_matrix.m_p99_fct_s);
+                        ("connections", Json.Int c.Cc_matrix.m_connections);
+                      ])
+                  cells) );
+           ( "determinism",
+             Json.Obj
+               [
+                 ("cell", Json.String probe_name);
+                 ("parallel", Json.String (fingerprint probe_parallel));
+                 ("serial", Json.String (fingerprint probe_serial));
+               ] );
+         ])
+
 (* {2 Section 3.1: cross-provider aggregation} *)
 
 let bench_secure_agg _budget =
@@ -1137,6 +1285,15 @@ let () =
   run_if "adaptation" ~cells:1 (fun () -> bench_adaptation budget);
   run_if "swarm" ~cells:Swarm.default_config.Swarm.cells (fun () -> bench_swarm budget);
   run_if "pdes" ~cells:3 (fun () -> bench_pdes budget);
+  let wan_matrix_cells =
+    if budget.label = quick_budget.label then 1
+    else
+      List.length !matrix_algorithms
+      * List.length Cc_matrix.default_topologies
+      * List.length Cc_matrix.default_dynamics
+      * cells1
+  in
+  run_if "wan_matrix" ~cells:wan_matrix_cells (fun () -> bench_wan_matrix budget);
   if (not (has "--no-micro")) && only = None then micro_benchmarks ();
   (match json_path with
   | None -> ()

@@ -560,8 +560,9 @@ let () =
            /3 when the cross-algorithm cc_matrix section is present
            too, /5 when the swarm context-plane section is there as
            well (decision is always contributed here, so the old /4
-           stamp is subsumed), and /6 when the parallel-DES pdes
-           scaling section rides along with all of the above. *)
+           stamp is subsumed), /6 when the parallel-DES pdes scaling
+           section rides along with all of the above, and /7 when the
+           topology-zoo wan_matrix section is present as well. *)
         let fields =
           List.filter
             (fun (k, _) ->
@@ -572,12 +573,14 @@ let () =
           match
             ( List.mem_assoc "cc_matrix" fields,
               List.mem_assoc "swarm" fields,
-              List.mem_assoc "pdes" fields )
+              List.mem_assoc "pdes" fields,
+              List.mem_assoc "wan_matrix" fields )
           with
-          | true, true, true -> "phi-bench-report/6"
-          | true, true, false -> "phi-bench-report/5"
-          | true, false, _ -> "phi-bench-report/3"
-          | false, _, _ -> "phi-bench-report/2"
+          | true, true, true, true -> "phi-bench-report/7"
+          | true, true, true, false -> "phi-bench-report/6"
+          | true, true, false, _ -> "phi-bench-report/5"
+          | true, false, _, _ -> "phi-bench-report/3"
+          | false, _, _, _ -> "phi-bench-report/2"
         in
         Json.Obj
           ((("schema", Json.String schema) :: fields)

@@ -258,6 +258,92 @@ let matrix_cmd =
        ~doc:"Cross-algorithm matrix: the Cc_algo registry over low/high dumbbells")
     term
 
+(* {2 wan-matrix} *)
+
+let wan_matrix_cmd =
+  let cc_conv =
+    let parse s =
+      match Cc_select.parse_cc s with
+      | algo -> Ok algo
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print ppf algo = Format.pp_print_string ppf (Phi.Cc_algo.name algo) in
+    Arg.conv (parse, print)
+  in
+  let cc_arg =
+    let doc = "Algorithm to include (repeatable; default: the whole Cc_algo registry)." in
+    Arg.(value & opt_all cc_conv [] & info [ "cc" ] ~docv:"NAME" ~doc)
+  in
+  let topo_arg =
+    let doc =
+      "Topology to include (repeatable; default: dumbbell, parking_lot, wan; \
+       also available: fat_tree_pod)."
+    in
+    Arg.(value & opt_all string [] & info [ "topo" ] ~docv:"NAME" ~doc)
+  in
+  let dynamics_arg =
+    let doc =
+      "Dynamics regime to include (repeatable; default: steady, flap, incast; \
+       also available: jitter, flash_crowd)."
+    in
+    Arg.(value & opt_all string [] & info [ "dynamics" ] ~docv:"NAME" ~doc)
+  in
+  let aqm_arg =
+    let doc = "Bottleneck queue regime: droptail, red or red_ecn." in
+    Arg.(
+      value
+      & opt (enum [ ("droptail", Scenario.Drop_tail); ("red", Scenario.Red); ("red_ecn", Scenario.Red_ecn) ]) Scenario.Drop_tail
+      & info [ "aqm" ] ~docv:"NAME" ~doc)
+  in
+  let table_arg name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+  in
+  let run seeds duration jobs ccs topos dyns aqm remy_file phi_file =
+    let algorithms = match ccs with [] -> Phi.Cc_algo.all | l -> l in
+    let topologies = match topos with [] -> Cc_matrix.default_topologies | l -> l in
+    let dynamics = match dyns with [] -> Cc_matrix.default_dynamics | l -> l in
+    let remy_table = Option.map read_table remy_file in
+    let remy_phi_table = Option.map read_table phi_file in
+    let cells =
+      Cc_matrix.run_matrix ?jobs ~algorithms ~topologies ~dynamics ~aqm ?remy_table
+        ?remy_phi_table ~duration_s:duration ~seeds ()
+    in
+    Table.print
+      ~align:[ Table.Left; Table.Left; Table.Left; Table.Left ]
+      ~headers:
+        [
+          "algorithm"; "topology"; "dynamics"; "aqm"; "thr Mbps"; "delay ms"; "loss"; "power P_l";
+          "jain"; "p99 fct s"; "conns";
+        ]
+      (List.map
+         (fun (c : Cc_matrix.matrix_cell) ->
+           [
+             c.Cc_matrix.m_algorithm;
+             c.Cc_matrix.m_topology;
+             c.Cc_matrix.m_dynamics;
+             c.Cc_matrix.m_aqm;
+             mbps c.Cc_matrix.m_throughput_bps;
+             ms c.Cc_matrix.m_delay_s;
+             pct c.Cc_matrix.m_loss_rate;
+             Table.fmt_float c.Cc_matrix.m_power;
+             Table.fmt_float c.Cc_matrix.m_jain ~decimals:3;
+             Table.fmt_float c.Cc_matrix.m_p99_fct_s ~decimals:2;
+             string_of_int c.Cc_matrix.m_connections;
+           ])
+         cells)
+  in
+  let term =
+    Term.(
+      const run $ seeds_arg $ duration_arg 30. $ jobs_arg $ cc_arg $ topo_arg $ dynamics_arg
+      $ aqm_arg
+      $ table_arg "remy-table" "Serialized 3-dim rule table (default: pretrained)."
+      $ table_arg "phi-table" "Serialized 4-dim rule table (default: pretrained).")
+  in
+  Cmd.v
+    (Cmd.info "wan-matrix"
+       ~doc:"WAN evaluation matrix: algorithm x topology zoo x adversarial dynamics")
+    term
+
 (* {2 train-remy} *)
 
 let train_remy_cmd =
@@ -438,6 +524,7 @@ let () =
             incremental_cmd;
             table3_cmd;
             matrix_cmd;
+            wan_matrix_cmd;
             train_remy_cmd;
             sharing_cmd;
             diagnose_cmd;

@@ -57,6 +57,7 @@ let check_version ~path doc =
   | Some (J.String "phi-bench-report/4") -> 4
   | Some (J.String "phi-bench-report/5") -> 5
   | Some (J.String "phi-bench-report/6") -> 6
+  | Some (J.String "phi-bench-report/7") -> 7
   | Some _ | None -> bad "%s: missing or unknown \"schema\" field" path
 
 let check_structure ~path doc =
@@ -325,6 +326,83 @@ let check_pdes ~path ~version doc =
     | _ -> ())
   | Some _ -> bad "%s: \"pdes\" must be an object" path
 
+(* The "wan_matrix" section is what distinguishes a /7 report: the
+   algorithm x topology zoo x adversarial dynamics evaluation matrix.
+   Whenever present, every cell's figures must be physically sane —
+   Jain fairness in (0, 1], a 99th-percentile flow completion time
+   within the cell's duration, a positive delivery rate — and the
+   serial determinism probe must match its pool-fanned counterpart, so
+   a jobs-dependent cell (worker state leaking between runs, rng draw
+   order depending on the fan-out) fails CI instead of silently
+   drifting the dashboards. *)
+let check_wan_matrix ~path ~version doc =
+  match J.member "wan_matrix" doc with
+  | None ->
+    if version >= 7 then bad "%s: phi-bench-report/7 requires a \"wan_matrix\" section" path
+  | Some (J.Obj _ as wan) ->
+    let number ?(where = "wan_matrix") obj field =
+      match J.member field obj with
+      | Some (J.Float v) -> v
+      | Some (J.Int v) -> float_of_int v
+      | Some _ -> bad "%s: %s field \"%s\" must be a number" path where field
+      | None -> bad "%s: %s section missing \"%s\"" path where field
+    in
+    let string_field ?(where = "wan_matrix") obj field =
+      match J.member field obj with
+      | Some (J.String s) when String.length s > 0 -> s
+      | Some _ | None -> bad "%s: %s missing a non-empty \"%s\" string" path where field
+    in
+    let duration_s = number wan "duration_s" in
+    if duration_s <= 0. then bad "%s: wan_matrix \"duration_s\" must be positive" path;
+    let cells =
+      match J.member "cells" wan with
+      | Some (J.List (_ :: _ as cells)) -> cells
+      | Some _ | None -> bad "%s: wan_matrix section needs a non-empty \"cells\" array" path
+    in
+    List.iter
+      (fun cell ->
+        match cell with
+        | J.Obj _ ->
+          let where =
+            Printf.sprintf "wan_matrix cell %s/%s/%s"
+              (string_field ~where:"wan_matrix cell" cell "algorithm")
+              (string_field ~where:"wan_matrix cell" cell "topology")
+              (string_field ~where:"wan_matrix cell" cell "dynamics")
+          in
+          ignore (string_field ~where cell "aqm");
+          (match J.member "connections" cell with
+          | Some (J.Int n) when n > 0 -> ()
+          | Some _ | None -> bad "%s: %s missing positive \"connections\"" path where);
+          if number ~where cell "throughput_bps" <= 0. then
+            bad "%s: %s \"throughput_bps\" must be positive" path where;
+          let loss = number ~where cell "loss_rate" in
+          if loss < 0. || loss > 1. then
+            bad "%s: %s \"loss_rate\" must be in [0, 1]" path where;
+          if number ~where cell "power" < 0. then
+            bad "%s: %s \"power\" must be non-negative" path where;
+          let jain = number ~where cell "jain" in
+          if jain <= 0. || jain > 1. +. 1e-9 then
+            bad "%s: %s \"jain\" must be in (0, 1]" path where;
+          let p99 = number ~where cell "p99_fct_s" in
+          (* Flow completion times are measured inside the run, so the
+             p99 can never exceed the cell duration; 0 would mean no
+             connection completed, which the connections gate above
+             already excludes. *)
+          if p99 <= 0. || p99 > duration_s then
+            bad "%s: %s \"p99_fct_s\" %.4f outside (0, %g]" path where p99 duration_s
+        | _ -> bad "%s: wan_matrix cells must be objects" path)
+      cells;
+    (match J.member "determinism" wan with
+    | Some (J.Obj _ as probe) ->
+      let cell = string_field ~where:"wan_matrix determinism" probe "cell" in
+      let parallel = string_field ~where:"wan_matrix determinism" probe "parallel" in
+      let serial = string_field ~where:"wan_matrix determinism" probe "serial" in
+      if parallel <> serial then
+        bad "%s: wan_matrix determinism broken: cell %s diverges from its serial replay" path
+          cell
+    | Some _ | None -> bad "%s: wan_matrix section missing a \"determinism\" probe" path)
+  | Some _ -> bad "%s: \"wan_matrix\" must be an object" path
+
 let check ~path doc =
   match
     let version = check_version ~path doc in
@@ -334,7 +412,8 @@ let check ~path doc =
     check_cc_matrix ~path ~version doc;
     check_swarm ~path ~version doc;
     check_decision ~path ~version doc;
-    check_pdes ~path ~version doc
+    check_pdes ~path ~version doc;
+    check_wan_matrix ~path ~version doc
   with
   | () -> Ok ()
   | exception Bad { message } -> Error message

@@ -8,9 +8,11 @@
     [Phi.Cc_algo]), to [/4] when it additionally carries the
     million-flow "swarm" section from the sharded context plane, to
     [/5] when the compiled-decision-plane "decision" section rides
-    along as well (micro.exe now always contributes it), and to [/6]
+    along as well (micro.exe now always contributes it), to [/6]
     when the conservative-parallel-DES "pdes" scaling section is
-    present too (so fresh full reports stamp [/6]).
+    present too, and to [/7] when the topology-zoo "wan_matrix"
+    evaluation section is present as well (so fresh full reports
+    stamp [/7]).
 
     [check] is pure validation over the parsed JSON — the CI gate
     ([bin/phi_json_check.ml]) is a thin exit-code wrapper around it,
@@ -53,7 +55,9 @@ val check : path:string -> Phi_util.Json.t -> (unit, string) result
     first violation: unknown schema, missing required fields, malformed
     sections, or a committed-budget regression (allocation, swarm
     throughput, swarm tail latency, decision-plane speedup, per-lookup
-    allocation, pdes determinism or pdes scaling).  Optional sections
-    ("micro", "alloc", "cc_matrix", "swarm", "decision", "pdes") are
-    validated whenever present; schema versions [/2]..[/6] additionally
-    require their distinguishing sections to be present. *)
+    allocation, pdes determinism or scaling, wan_matrix fairness/FCT
+    sanity or serial-probe determinism).  Optional sections ("micro",
+    "alloc", "cc_matrix", "swarm", "decision", "pdes", "wan_matrix")
+    are validated whenever present; schema versions [/2]..[/7]
+    additionally require their distinguishing sections to be
+    present. *)

@@ -102,3 +102,122 @@ let run ?jobs ?(algorithms = Cc_algo.all) ?remy_table ?remy_phi_table ?duration_
     (fun i (algo, wname, _) ->
       cell_of ~algorithm:(Cc_algo.name algo) ~workload:wname (Array.sub arr (i * n_seeds) n_seeds))
     groups
+
+(* {2 The WAN evaluation matrix: algorithm x topology x dynamics} *)
+
+type matrix_cell = {
+  m_algorithm : string;
+  m_topology : string;
+  m_dynamics : string;
+  m_aqm : string;
+  m_throughput_bps : float;
+  m_delay_s : float;
+  m_queueing_delay_s : float;
+  m_loss_rate : float;
+  m_power : float;
+  m_jain : float;
+  m_p99_fct_s : float;
+  m_connections : int;
+}
+
+let default_topologies = [ "dumbbell"; "parking_lot"; "wan" ]
+let default_dynamics = [ "steady"; "flap"; "incast" ]
+
+(* One seeded run_zoo cell.  The topology and the regime are
+   materialized from their names inside the worker — a [Zoo.t] holds a
+   mutable graph, so nothing mutable crosses the pool boundary; only
+   the two compiled Remy tables (immutable flat arrays) are shared. *)
+let run_one_zoo ~remy_table ~remy_phi_table ~aqm ?duration_s ~seed ~topology ~dynamics algo =
+  let zoo = Topology.Zoo.by_name topology in
+  let dynamics = Dynamics.by_name dynamics in
+  let run = Scenario.run_zoo ~aqm ~dynamics ?duration_s ~seed in
+  match algo with
+  | Cc_algo.Cubic _ | Cc_algo.Reno _ | Cc_algo.Vegas ->
+    run ~cc_factory:(fun _ () -> Cc_algo.basic_builder ~ctx:Phi.Context.empty algo) zoo
+  | Cc_algo.Remy ->
+    run ~cc_factory:(fun _ () -> Remy_cc.make ~table:remy_table ~util:`None ()) zoo
+  | Cc_algo.Remy_phi ->
+    let table = remy_phi_table in
+    let util_feed : Remy_cc.util_feed ref = ref `None in
+    let reporter = ref (fun (_ : Phi_tcp.Flow.conn_stats) -> ()) in
+    let path = zoo.Topology.Zoo.name in
+    let observe engine (_ : Topology.built) =
+      let server =
+        Phi.Context_server.create engine
+          ~capacity_bps:zoo.Topology.Zoo.bottleneck_bw_bps ()
+      in
+      util_feed :=
+        `At_start (fun () -> (Phi.Context_server.lookup server ~path).Phi.Context.utilization);
+      reporter := fun stats -> Phi.Context_server.report_stats server ~path stats
+    in
+    run ~observe
+      ~cc_factory:(fun _ () -> Remy_cc.make ~table ~util:!util_feed ())
+      ~on_conn_end:(fun stats -> !reporter stats)
+      zoo
+
+let matrix_cell_of ~algorithm ~topology ~dynamics ~aqm (results : Scenario.zoo_result array) =
+  let mean f = Stats.mean (Array.map f results) in
+  {
+    m_algorithm = algorithm;
+    m_topology = topology;
+    m_dynamics = dynamics;
+    m_aqm = Scenario.aqm_name aqm;
+    m_throughput_bps = mean (fun r -> r.Scenario.z_throughput_bps);
+    m_delay_s = mean (fun r -> r.Scenario.z_delay_s);
+    m_queueing_delay_s = mean (fun r -> r.Scenario.z_queueing_delay_s);
+    m_loss_rate = mean (fun r -> r.Scenario.z_loss_rate);
+    m_power = mean (fun r -> r.Scenario.z_power);
+    m_jain = mean (fun r -> r.Scenario.z_jain);
+    m_p99_fct_s = mean (fun r -> r.Scenario.z_p99_fct_s);
+    m_connections = Array.fold_left (fun acc r -> acc + r.Scenario.z_connections) 0 results;
+  }
+
+let run_matrix ?jobs ?(algorithms = Cc_algo.all) ?(topologies = default_topologies)
+    ?(dynamics = default_dynamics) ?(aqm = Scenario.Drop_tail) ?remy_table ?remy_phi_table
+    ?duration_s ~seeds () =
+  if seeds = [] then invalid_arg "Cc_matrix.run_matrix: no seeds";
+  if algorithms = [] then invalid_arg "Cc_matrix.run_matrix: no algorithms";
+  if topologies = [] then invalid_arg "Cc_matrix.run_matrix: no topologies";
+  if dynamics = [] then invalid_arg "Cc_matrix.run_matrix: no dynamics";
+  (* Validate the names before fanning out, so a typo fails fast
+     instead of inside a worker. *)
+  List.iter (fun t -> ignore (Topology.Zoo.by_name t)) topologies;
+  List.iter (fun d -> ignore (Dynamics.by_name d)) dynamics;
+  let remy_table =
+    Compiled_table.compile
+      (match remy_table with Some t -> t | None -> Phi_remy.Pretrained.remy ())
+  in
+  let remy_phi_table =
+    Compiled_table.compile
+      (match remy_phi_table with Some t -> t | None -> Phi_remy.Pretrained.remy_phi ())
+  in
+  (* (algorithm, topology, dynamics)-major, seed-minor: the pool
+     returns results in submission order, so the regrouping below is
+     positional — jobs-invariant by construction. *)
+  let groups =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun topology -> List.map (fun dyn -> (algo, topology, dyn)) dynamics)
+          topologies)
+      algorithms
+  in
+  let cells =
+    List.concat_map
+      (fun (algo, topology, dyn) -> List.map (fun seed -> (algo, topology, dyn, seed)) seeds)
+      groups
+  in
+  let results =
+    Pool.map ?jobs
+      (fun (algo, topology, dyn, seed) ->
+        run_one_zoo ~remy_table ~remy_phi_table ~aqm ?duration_s ~seed ~topology ~dynamics:dyn
+          algo)
+      cells
+  in
+  let n_seeds = List.length seeds in
+  let arr = Array.of_list results in
+  List.mapi
+    (fun i (algo, topology, dyn) ->
+      matrix_cell_of ~algorithm:(Cc_algo.name algo) ~topology ~dynamics:dyn ~aqm
+        (Array.sub arr (i * n_seeds) n_seeds))
+    groups

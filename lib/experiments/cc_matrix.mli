@@ -33,3 +33,51 @@ val run :
     (default [algorithms]: {!Phi.Cc_algo.all}).  [duration_s] overrides
     both workloads' durations (for quick runs).  Results are identical
     for every [jobs] value. *)
+
+(** {2 The WAN evaluation matrix}
+
+    Algorithm x topology x dynamics, one [Scenario.run_zoo] cell per
+    seeded combination.  Topologies and regimes travel as names and
+    are materialized from the registries inside each pool worker
+    (nothing mutable crosses the pool boundary), so the matrix is
+    jobs-invariant. *)
+
+type matrix_cell = {
+  m_algorithm : string;  (** registry name *)
+  m_topology : string;  (** {!Phi_net.Topology.Zoo.names} entry *)
+  m_dynamics : string;  (** {!Dynamics.names} entry *)
+  m_aqm : string;  (** {!Scenario.aqm_names} entry *)
+  m_throughput_bps : float;  (** Pareto throughput coordinate, mean over seeds *)
+  m_delay_s : float;  (** Pareto delay coordinate (base RTT + queueing) *)
+  m_queueing_delay_s : float;
+  m_loss_rate : float;
+  m_power : float;  (** the paper's P_l *)
+  m_jain : float;  (** Jain fairness over per-source delivered bytes *)
+  m_p99_fct_s : float;  (** 99th-percentile flow completion time *)
+  m_connections : int;  (** total completed connections across seeds *)
+}
+
+val default_topologies : string list
+(** [["dumbbell"; "parking_lot"; "wan"]] — the three structurally
+    distinct classes; add ["fat_tree_pod"] for the full zoo. *)
+
+val default_dynamics : string list
+(** [["steady"; "flap"; "incast"]] — baseline, link-level adversity,
+    workload-level adversity. *)
+
+val run_matrix :
+  ?jobs:int ->
+  ?algorithms:Phi.Cc_algo.t list ->
+  ?topologies:string list ->
+  ?dynamics:string list ->
+  ?aqm:Scenario.aqm ->
+  ?remy_table:Phi_remy.Rule_table.t ->
+  ?remy_phi_table:Phi_remy.Rule_table.t ->
+  ?duration_s:float ->
+  seeds:int list ->
+  unit ->
+  matrix_cell list
+(** Cells come back algorithm-major, then topology, then dynamics, in
+    the given list orders; each is a mean over [seeds].  Unknown
+    topology or dynamics names raise [Invalid_argument] before any
+    work fans out.  Results are identical for every [jobs] value. *)

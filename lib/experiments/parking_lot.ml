@@ -1,7 +1,8 @@
 module Engine = Phi_sim.Engine
 module Pdes = Phi_sim.Pdes
 module Invariant = Phi_sim.Invariant
-module Node = Phi_net.Node
+module Topology = Phi_net.Topology
+module Zoo = Phi_net.Topology.Zoo
 module Link = Phi_net.Link
 module Boundary_link = Phi_net.Boundary_link
 module Packet = Phi_net.Packet
@@ -45,14 +46,19 @@ let default_spec =
 
 let senders spec = (spec.segments * spec.local_pairs) + spec.long_flows
 
-(* Node id scheme: globally unique so packet headers are unambiguous in
-   traces even though each island has its own engine and pool. *)
-let long_sender_id i = i
-let long_receiver_id i = 1_000_000 + i
-let local_sender_id ~segment ~pair = (10_000 * (segment + 1)) + pair
-let local_receiver_id ~segment ~pair = (10_000 * (segment + 1)) + 5_000 + pair
-let left_router_id segment = 900_000 + (2 * segment)
-let right_router_id segment = 900_000 + (2 * segment) + 1
+let zoo_spec spec =
+  {
+    Zoo.segments = spec.segments;
+    local_pairs = spec.local_pairs;
+    long_flows = spec.long_flows;
+    hop_bw_bps = spec.hop_bw_bps;
+    hop_delay_s = spec.hop_delay_s;
+    cut_bw_bps = spec.cut_bw_bps;
+    cut_delay_s = spec.cut_delay_s;
+    pl_access_bw_bps = spec.access_bw_bps;
+    pl_access_delay_s = spec.access_delay_s;
+    buffer_pkts = spec.buffer_pkts;
+  }
 
 type hop_stat = {
   delivered : int;
@@ -79,12 +85,12 @@ type result = {
 let fnv_int h v = (h lxor (v land 0xffffffff)) * 0x01000193 land 0xffffffff
 
 (* The multi-bottleneck parking lot, partitioned one island per
-   segment.  Each segment holds a bottleneck hop [L_s -> R_s] (with a
-   reverse twin for ACKs), [local_pairs] sender/receiver pairs loading
-   exactly that hop, and the long flows traverse every segment, crossing
-   each cut over a pair of [Boundary_link]s (forward data
-   [R_s -> L_s+1], reverse ACKs [L_s+1 -> R_s]) whose 10 ms propagation
-   delay is the lookahead that buys the parallel window. *)
+   segment: [Zoo.parking_lot] describes the graph (a bottleneck hop per
+   segment with a reverse twin for ACKs, [local_pairs] host pairs
+   loading exactly that hop, long flows traversing every segment) and
+   [Topology.build_partitioned] realizes each island cut as a pair of
+   [Boundary_link]s whose 10 ms propagation delay is the lookahead that
+   buys the parallel window. *)
 let run ?(jobs = 1) ?(spec = default_spec) () =
   if spec.segments < 1 then invalid_arg "Parking_lot.run: need at least one segment";
   if spec.local_pairs < 0 || spec.long_flows < 0 then
@@ -92,162 +98,36 @@ let run ?(jobs = 1) ?(spec = default_spec) () =
   if jobs < 1 then invalid_arg "Parking_lot.run: jobs must be >= 1";
   let s_count = spec.segments in
   let coordinator = Pdes.create () in
-  let islands = Array.init s_count (fun _ -> Pdes.add_island coordinator) in
-  let engines = Array.map Pdes.engine islands in
-  let pools = Array.map (fun _ -> Packet.create_pool ()) islands in
-  (* Routers. *)
-  let left =
-    Array.init s_count (fun s -> Node.create engines.(s) pools.(s) ~id:(left_router_id s))
-  in
-  let right =
-    Array.init s_count (fun s -> Node.create engines.(s) pools.(s) ~id:(right_router_id s))
-  in
-  (* Bottleneck hops and their reverse twins. *)
-  let hop_link s ~to_ =
-    let link =
-      Link.create engines.(s) pools.(s) ~bandwidth_bps:spec.hop_bw_bps
-        ~delay_s:spec.hop_delay_s ~capacity_pkts:spec.buffer_pkts
-    in
-    Link.set_receiver link (Node.receive to_);
-    link
-  in
-  let hop_fwd = Array.init s_count (fun s -> hop_link s ~to_:right.(s)) in
-  let hop_rev = Array.init s_count (fun s -> hop_link s ~to_:left.(s)) in
-  let access s ~to_ =
-    let link =
-      Link.create engines.(s) pools.(s) ~bandwidth_bps:spec.access_bw_bps
-        ~delay_s:spec.access_delay_s ~capacity_pkts:10_000
-    in
-    Link.set_receiver link (Node.receive to_);
-    link
-  in
-  (* Island cuts: a boundary pair per adjacent segment. *)
-  let boundary ~src_s ~dst_s ~to_ =
-    let b =
-      Boundary_link.create coordinator ~src:islands.(src_s) ~dst:islands.(dst_s)
-        ~src_pool:pools.(src_s) ~dst_pool:pools.(dst_s) ~bandwidth_bps:spec.cut_bw_bps
-        ~delay_s:spec.cut_delay_s ~capacity_pkts:10_000 ()
-    in
-    Boundary_link.set_receiver b (Node.receive to_);
-    b
-  in
-  let f_cut = Array.init (s_count - 1) (fun s -> boundary ~src_s:s ~dst_s:(s + 1) ~to_:left.(s + 1)) in
-  let r_cut = Array.init (s_count - 1) (fun s -> boundary ~src_s:(s + 1) ~dst_s:s ~to_:right.(s)) in
-  (* End hosts.  Every host hangs off its router by a dedicated access
-     pair (up for its own traffic, down for deliveries to it). *)
-  let local_senders =
-    Array.init s_count (fun s ->
-        Array.init spec.local_pairs (fun j ->
-            let node =
-              Node.create engines.(s) pools.(s) ~id:(local_sender_id ~segment:s ~pair:j)
-            in
-            Node.set_default_route node (access s ~to_:left.(s));
-            node))
-  in
-  let local_receivers =
-    Array.init s_count (fun s ->
-        Array.init spec.local_pairs (fun j ->
-            let node =
-              Node.create engines.(s) pools.(s) ~id:(local_receiver_id ~segment:s ~pair:j)
-            in
-            Node.set_default_route node (access s ~to_:right.(s));
-            node))
-  in
-  let long_senders =
-    Array.init spec.long_flows (fun i ->
-        let node = Node.create engines.(0) pools.(0) ~id:(long_sender_id i) in
-        Node.set_default_route node (access 0 ~to_:left.(0));
-        node)
-  in
-  let long_receivers =
-    Array.init spec.long_flows (fun i ->
-        let node =
-          Node.create engines.(s_count - 1) pools.(s_count - 1) ~id:(long_receiver_id i)
-        in
-        Node.set_default_route node (access (s_count - 1) ~to_:right.(s_count - 1));
-        node)
-  in
-  (* Routing.  Left router [s]: deliveries to its local senders go down
-     their access links; anything for a long sender heads back toward
-     segment 0; everything else flows forward over the hop. *)
-  for s = 0 to s_count - 1 do
-    Array.iteri
-      (fun j sender ->
-        Node.add_route left.(s)
-          ~dst:(local_sender_id ~segment:s ~pair:j)
-          (access s ~to_:sender))
-      local_senders.(s);
-    for i = 0 to spec.long_flows - 1 do
-      if s = 0 then
-        Node.add_route left.(s) ~dst:(long_sender_id i) (access 0 ~to_:long_senders.(i))
-      else
-        Node.add_route left.(s) ~dst:(long_sender_id i) (Boundary_link.egress r_cut.(s - 1))
-    done;
-    Node.set_default_route left.(s) hop_fwd.(s);
-    (* Right router [s]: local receivers down, anything for a sender
-       back over the reverse hop, long receivers onward (or down at the
-       last segment). *)
-    Array.iteri
-      (fun j receiver ->
-        Node.add_route right.(s)
-          ~dst:(local_receiver_id ~segment:s ~pair:j)
-          (access s ~to_:receiver))
-      local_receivers.(s);
-    Array.iteri
-      (fun j _ ->
-        Node.add_route right.(s) ~dst:(local_sender_id ~segment:s ~pair:j) hop_rev.(s))
-      local_senders.(s);
-    for i = 0 to spec.long_flows - 1 do
-      Node.add_route right.(s) ~dst:(long_sender_id i) hop_rev.(s);
-      if s = s_count - 1 then
-        Node.add_route right.(s) ~dst:(long_receiver_id i)
-          (access (s_count - 1) ~to_:long_receivers.(i))
-      else Node.add_route right.(s) ~dst:(long_receiver_id i) (Boundary_link.egress f_cut.(s))
-    done;
-    if s = s_count - 1 then Node.set_default_route right.(s) hop_rev.(s)
-    else Node.set_default_route right.(s) (Boundary_link.egress f_cut.(s))
-  done;
-  (* Transport.  Flow ids are allocated in a fixed construction order
-     (all local pairs segment-major, then the long flows), so ids — and
-     the Prng draws staggering the starts — are identical whatever the
-     worker count. *)
+  let zoo = Zoo.parking_lot ~spec:(zoo_spec spec) () in
+  let built = Topology.build_partitioned coordinator zoo.Zoo.graph in
+  (* Transport.  Flow ids are allocated in the zoo's flow-path order
+     (all local pairs segment-major, then the long flows — the order
+     the ad-hoc builder always used), so ids — and the Prng draws
+     staggering the starts — are identical whatever the worker count. *)
   let flows = Flow.allocator () in
   let rng = Prng.create ~seed:spec.seed in
   let params = Cubic.default_params in
-  let start_on engine sender delay =
-    ignore (Engine.schedule_after engine ~delay (fun () -> Sender.start sender))
-  in
-  let local_tcp =
-    Array.init s_count (fun s ->
-        Array.init spec.local_pairs (fun j ->
-            let flow = Flow.fresh flows in
-            let _receiver =
-              Receiver.create engines.(s) ~node:local_receivers.(s).(j) ~flow
-                ~peer:(local_sender_id ~segment:s ~pair:j)
-            in
-            let sender =
-              Sender.create engines.(s) ~node:local_senders.(s).(j) ~flow
-                ~dst:(local_receiver_id ~segment:s ~pair:j)
-                ~cc:(Cubic.make params) ~total_segments:Sender.persistent_total
-                ~source_index:flow ()
-            in
-            start_on engines.(s) sender (Prng.float rng);
-            sender))
-  in
-  let long_tcp =
-    Array.init spec.long_flows (fun i ->
+  let tcp =
+    Array.map
+      (fun (fp : Zoo.flow_path) ->
         let flow = Flow.fresh flows in
         let _receiver =
-          Receiver.create engines.(s_count - 1) ~node:long_receivers.(i) ~flow
-            ~peer:(long_sender_id i)
+          Receiver.create
+            (Topology.node_engine built ~id:fp.Zoo.dst)
+            ~node:(Topology.node built ~id:fp.Zoo.dst)
+            ~flow ~peer:fp.Zoo.src
         in
+        let engine = Topology.node_engine built ~id:fp.Zoo.src in
         let sender =
-          Sender.create engines.(0) ~node:long_senders.(i) ~flow ~dst:(long_receiver_id i)
-            ~cc:(Cubic.make params) ~total_segments:Sender.persistent_total ~source_index:flow
-            ()
+          Sender.create engine
+            ~node:(Topology.node built ~id:fp.Zoo.src)
+            ~flow ~dst:fp.Zoo.dst ~cc:(Cubic.make params)
+            ~total_segments:Sender.persistent_total ~source_index:flow ()
         in
-        start_on engines.(0) sender (Prng.float rng);
+        ignore
+          (Engine.schedule_after engine ~delay:(Prng.float rng) (fun () -> Sender.start sender));
         sender)
+      zoo.Zoo.flow_paths
   in
   (* Execute. *)
   let jobs_used = if Invariant.enabled () then 1 else Stdlib.min jobs s_count in
@@ -257,16 +137,25 @@ let run ?(jobs = 1) ?(spec = default_spec) () =
   Pdes.run ~jobs:jobs_used ~window_s ~until:spec.duration_s coordinator;
   let wall_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
   (* Harvest (serial again). *)
-  let events = Array.fold_left (fun acc e -> acc + Engine.executed e) 0 engines in
+  let events = Topology.total_events built in
+  let labeled kind s = Topology.link_of built (Topology.find_link built ~label:(Printf.sprintf "%s:%d" kind s)) in
   let hop_stats =
     Array.init s_count (fun s ->
+        let fwd = labeled "hop_fwd" s and rev = labeled "hop_rev" s in
         {
-          delivered = Link.packets_delivered hop_fwd.(s) + Link.packets_delivered hop_rev.(s);
-          drops = Link.drops hop_fwd.(s) + Link.drops hop_rev.(s);
-          bytes = Link.bytes_delivered hop_fwd.(s) + Link.bytes_delivered hop_rev.(s);
-          utilization = Float.min 1. (Link.busy_time hop_fwd.(s) /. spec.duration_s);
+          delivered = Link.packets_delivered fwd + Link.packets_delivered rev;
+          drops = Link.drops fwd + Link.drops rev;
+          bytes = Link.bytes_delivered fwd + Link.bytes_delivered rev;
+          utilization = Float.min 1. (Link.busy_time fwd /. spec.duration_s);
         })
   in
+  let cut kind s =
+    match Topology.boundary_of built (Topology.find_link built ~label:(Printf.sprintf "%s:%d" kind s)) with
+    | Some b -> b
+    | None -> assert false (* every cut link crosses islands by construction *)
+  in
+  let f_cut = Array.init (s_count - 1) (cut "f_cut") in
+  let r_cut = Array.init (s_count - 1) (cut "r_cut") in
   let boundary_packets =
     Array.fold_left (fun acc b -> acc + Boundary_link.delivered b) 0 f_cut
     + Array.fold_left (fun acc b -> acc + Boundary_link.delivered b) 0 r_cut
@@ -277,11 +166,13 @@ let run ?(jobs = 1) ?(spec = default_spec) () =
         acc +. (float_of_int (st.Flow.segments * Packet.mss * 8) /. spec.duration_s))
       0. stats_list
   in
+  let n_local = s_count * spec.local_pairs in
   let local_stats =
-    Array.to_list local_tcp
-    |> List.concat_map (fun arr -> Array.to_list (Array.map Sender.stats arr))
+    Array.to_list (Array.map Sender.stats (Array.sub tcp 0 n_local))
   in
-  let long_stats = Array.to_list (Array.map Sender.stats long_tcp) in
+  let long_stats =
+    Array.to_list (Array.map Sender.stats (Array.sub tcp n_local spec.long_flows))
+  in
   let retransmitted =
     List.fold_left
       (fun acc (st : Flow.conn_stats) -> acc + st.Flow.retransmitted_segments)
@@ -313,8 +204,7 @@ let run ?(jobs = 1) ?(spec = default_spec) () =
     Printf.sprintf "senders=%d events=%d boundary=%d retx=%d checksum=%08x" (senders spec)
       events boundary_packets retransmitted checksum
   in
-  Array.iter (fun arr -> Array.iter Sender.abort arr) local_tcp;
-  Array.iter Sender.abort long_tcp;
+  Array.iter Sender.abort tcp;
   {
     jobs = jobs_used;
     islands = s_count;

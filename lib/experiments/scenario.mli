@@ -69,3 +69,73 @@ val run_persistent :
     (one per sender/receiver pair, [spec.n] forced to [n_flows]),
     measured over the second half of the run to skip the start-up
     transient.  Throughput is the aggregate delivery rate. *)
+
+(** {2 The generalized scenario plane}
+
+    [run_zoo] evaluates topology x workload x dynamics x AQM: one call
+    is one cell of the WAN evaluation matrix.  Cells are pure functions
+    of their parameters (seeded rng, engine-scheduled dynamics), so
+    fanning them over a worker pool is deterministic. *)
+
+type aqm = Drop_tail | Red | Red_ecn
+(** Queue regime applied to the topology's bottleneck links:
+    FIFO drop-tail (the paper's setting), RED, or RED with
+    ECN marking. *)
+
+val aqm_name : aqm -> string
+
+val aqm_names : string list
+(** The registry: ["droptail"; "red"; "red_ecn"]. *)
+
+val aqm_by_name : string -> aqm
+(** Raises [Invalid_argument] on an unknown name. *)
+
+type zoo_result = {
+  z_throughput_bps : float;
+      (** aggregate on-time throughput over the whole run (the Pareto
+          throughput coordinate) *)
+  z_queueing_delay_s : float;
+      (** delivery-weighted mean queue wait across the bottleneck
+          links, second-half window *)
+  z_delay_s : float;
+      (** mean base path RTT + queueing delay (the Pareto delay
+          coordinate) *)
+  z_loss_rate : float;  (** bottleneck drops / offered, second-half window *)
+  z_utilization : float;  (** mean bottleneck busy fraction, second-half window *)
+  z_power : float;  (** the paper's P_l at [z_delay_s] *)
+  z_jain : float;  (** Jain fairness over per-source delivered bytes *)
+  z_p99_fct_s : float;
+      (** 99th-percentile flow completion time over finished
+          connections (0 when none finished) *)
+  z_connections : int;  (** connections that completed during the run *)
+  z_flows : int;  (** primary flow paths in the topology *)
+  z_records : Phi_tcp.Flow.conn_stats list;
+}
+
+val default_zoo_workload : workload
+(** 300 KB mean transfers, 0.5 s mean idle — busy enough that every
+    zoo bottleneck sees contention within a 30 s cell. *)
+
+val run_zoo :
+  ?cc_factory:(int -> unit -> Phi_tcp.Cc.t) ->
+  ?aqm:aqm ->
+  ?dynamics:Dynamics.t ->
+  ?workload:workload ->
+  ?duration_s:float ->
+  ?seed:int ->
+  ?on_conn_end:(Phi_tcp.Flow.conn_stats -> unit) ->
+  ?observe:(Phi_sim.Engine.t -> Phi_net.Topology.built -> unit) ->
+  Phi_net.Topology.Zoo.t ->
+  zoo_result
+(** Run one matrix cell (defaults: drop-tail, steady dynamics,
+    {!default_zoo_workload}, 30 s, seed 1).  The topology is realized
+    serially through [Topology.build]; link-level dynamics are
+    installed via [Dynamics.install] on the zoo's bottleneck links;
+    incast bursts converge on the zoo's [incast_sink] from its
+    [incast_sources]; flash crowds start [(multiplier - 1)] extra
+    sources per flow path at the scripted instant.  All transport is
+    constructed before the run starts, so the rng draw order — and
+    hence the cell — is a pure function of the parameters.
+    [observe] runs right after topology realization (the hook for
+    attaching context servers); [on_conn_end] fires for every
+    completed primary or flash-crowd connection. *)

@@ -250,14 +250,6 @@ let run_cell config policy ops =
     c_lat_n = !lat_n;
   }
 
-(* Jain's fairness index over per-shard lookup loads: 1 is a perfectly
-   balanced hash, 1/n is every lookup on one shard. *)
-let jain loads =
-  let xs = Array.map float_of_int loads in
-  let s = Array.fold_left ( +. ) 0. xs in
-  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-  if s2 <= 0. then 1. else s *. s /. (float_of_int (Array.length xs) *. s2)
-
 let run ?jobs ?(config = default_config) () =
   if config.n_flows < 1 then invalid_arg "Swarm.run: need at least one flow";
   if config.cells < 1 then invalid_arg "Swarm.run: need at least one cell";
@@ -274,7 +266,9 @@ let run ?jobs ?(config = default_config) () =
       0x811c9dc5 outs
   in
   let shard_lookups = Array.concat (List.map (fun o -> o.c_shard_lookups) outs) in
-  let jain_index = jain shard_lookups in
+  (* Jain over per-shard lookup loads: 1 is a perfectly balanced hash,
+     1/n is every lookup on one shard. *)
+  let jain_index = Stats.jain (Array.map float_of_int shard_lookups) in
   let resident_paths = sum (fun o -> o.c_resident) in
   let evictions = sum (fun o -> o.c_evictions) in
   let flushes = sum (fun o -> o.c_flushes) in

@@ -246,6 +246,11 @@ let walk_body ~self ~acc body =
     if
       suffix "Pool.map" || suffix "Pool.try_map" || suffix "Pdes.run"
       || suffix "Pdes.on_drain"
+      (* The dynamics-script combinators register engine callbacks: a
+         scenario installing them is fanned over pool domains by the
+         evaluation matrix, so whatever the callbacks touch is
+         pool-reachable too. *)
+      || suffix "Dynamics.at" || suffix "Dynamics.every"
     then acc.pool_spawn <- true
   in
   let rec go ~cold e =

@@ -58,9 +58,12 @@ type func = {
   f_calls : call list;
   f_pool_spawn : bool;
       (** references a multi-domain entry point: [Pool.map] /
-          [Pool.try_map], or the parallel-DES coordinator's [Pdes.run]
+          [Pool.try_map], the parallel-DES coordinator's [Pdes.run]
           / [Pdes.on_drain] (island window and drain bodies run on
-          worker domains) *)
+          worker domains), or the dynamics-script combinators
+          [Dynamics.at] / [Dynamics.every] (their callbacks run when
+          the evaluation matrix fans the enclosing scenario over pool
+          domains) *)
 }
 
 type global = { g_id : string; g_file : string; g_line : int; g_what : string }

@@ -5,9 +5,12 @@
    waiting for a reproduction nobody will enjoy.  The old check was a
    column-0 lexical heuristic over files under lib/experiments and
    lib/runner; this pass instead takes every function that references
-   Pool.map / Pool.try_map as a root, walks the call graph including
-   cold edges (a race in an error path is still a race), and flags
-   each module-level mutable global any reachable function refers to.
+   a multi-domain entry point — Pool.map / Pool.try_map, the Pdes
+   window and drain hooks, or the Dynamics.at / Dynamics.every script
+   combinators whose callbacks run inside pool-fanned scenario cells —
+   as a root, walks the call graph including cold edges (a race in an
+   error path is still a race), and flags each module-level mutable
+   global any reachable function refers to.
 
    Reports are deduplicated per global and placed at the global's
    definition line — that is where the fix (thread the state through

@@ -25,8 +25,12 @@ type discipline = Drop_tail | Red of red_params
 type t = {
   engine : Engine.t;
   pool : Packet.pool;
-  bandwidth_bps : float;
-  delay_s : float;
+  (* Mutable for the scenario plane's runtime dynamics ({!set_rate_bps},
+     {!set_delay_s}): a WAN link can be re-provisioned or jittered
+     mid-run.  Constant-parameter runs never write these, so the legacy
+     experiments are bit-identical. *)
+  mutable bandwidth_bps : float;
+  mutable delay_s : float;
   capacity_pkts : int;
   queue : Packet.handle Ring.t;
   (* Packets serialized but still propagating.  Every delivery on a link
@@ -44,6 +48,12 @@ type t = {
      pool; the handoff must consume it (serialize-and-release). *)
   mutable handoff : (Packet.handle -> unit) option;
   mutable busy : bool;
+  (* Administrative state for link-flap dynamics.  While down, arrivals
+     are dropped (and counted), queued packets freeze in place, and the
+     packet in service — plus everything already propagating — still
+     completes: serialization and photons in flight don't care about
+     control-plane state. *)
+  mutable up : bool;
   mutable packets_offered : int;
   mutable packets_delivered : int;
   mutable bytes_offered : int;
@@ -75,7 +85,14 @@ let fs_memo_tx = 1
 let fs_busy_time = 2
 let fs_total_queue_wait = 3
 let fs_red_avg = 4  (* RED's average queue estimate *)
-let fs_len = 5
+
+(* Latest scheduled delivery time.  Deliveries pop [in_flight] in FIFO
+   order, so when {!set_delay_s} shrinks the delay mid-run a later
+   packet must not be scheduled to land before an earlier one — its
+   delivery is clamped to this watermark instead (no reordering, only
+   compression of inter-delivery gaps). *)
+let fs_last_delivery = 5
+let fs_len = 6
 
 let[@inline] fs_get t i = Float.Array.unsafe_get t.fs i
 let[@inline] fs_set t i v = Float.Array.unsafe_set t.fs i v
@@ -132,7 +149,7 @@ let check_conservation t =
    allocating a single closure — and the rings hold pool handles
    (immediate ints), so no packet is ever boxed either. *)
 let start_service t =
-  if Ring.is_empty t.queue then t.busy <- false
+  if (not t.up) || Ring.is_empty t.queue then t.busy <- false
   else begin
     let pkt = Ring.peek t.queue in
     t.busy <- true;
@@ -152,7 +169,16 @@ let on_tx_done t =
   (match t.handoff with
   | None ->
     Ring.push t.in_flight pkt;
-    Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port
+    (* [schedule_port_after] lands at [now +. delay] — the same IEEE
+       expression as [due] — so the fast path below is the legacy
+       behaviour verbatim; only a mid-run delay {e decrease} can take
+       the clamped branch. *)
+    let due = Engine.now t.engine +. t.delay_s in
+    if due >= fs_get t fs_last_delivery then begin
+      fs_set t fs_last_delivery due;
+      Engine.schedule_port_after t.engine ~delay:t.delay_s t.deliver_port
+    end
+    else Engine.schedule_port_at t.engine ~time:(fs_get t fs_last_delivery) t.deliver_port
   | Some f -> f pkt);
   check_conservation t;
   start_service t
@@ -178,6 +204,7 @@ let create engine pool ~bandwidth_bps ~delay_s ~capacity_pkts =
       receiver = (fun _ -> invalid_arg "Link: receiver not set");
       handoff = None;
       busy = false;
+      up = true;
       packets_offered = 0;
       packets_delivered = 0;
       bytes_offered = 0;
@@ -245,7 +272,9 @@ let send t pkt =
   let size = Packet.size t.pool pkt in
   t.packets_offered <- t.packets_offered + 1;
   t.bytes_offered <- t.bytes_offered + size;
-  if Ring.length t.queue >= t.capacity_pkts || discipline_rejects t pkt || faulted t then begin
+  if (not t.up) || Ring.length t.queue >= t.capacity_pkts || discipline_rejects t pkt
+     || faulted t
+  then begin
     t.drops <- t.drops + 1;
     t.bytes_dropped <- t.bytes_dropped + size;
     (* A drop is the end of the packet's life: back to the free list. *)
@@ -261,6 +290,71 @@ let send t pkt =
 let bandwidth_bps t = t.bandwidth_bps
 let delay_s t = t.delay_s
 let capacity_pkts t = t.capacity_pkts
+let is_up t = t.up
+
+(* {2 Runtime dynamics} *)
+
+let set_rate_bps t bps =
+  if not (Float.is_finite bps) || bps <= 0. then
+    invalid_arg "Link.set_rate_bps: rate must be positive";
+  t.bandwidth_bps <- bps;
+  (* Invalidate the tx-time memo; the packet in service keeps the
+     serialization time computed when its service began. *)
+  t.memo_size <- -1
+
+let set_delay_s t delay =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Link.set_delay_s: negative or non-finite delay";
+  t.delay_s <- delay
+
+let set_down t = t.up <- false
+
+let set_up t =
+  if not t.up then begin
+    t.up <- true;
+    if not t.busy then start_service t
+  end
+
+(* {2 Windowed measurement} *)
+
+type window = {
+  w_busy_s : float;
+  w_wait_s : float;
+  w_delivered : int;
+  w_offered : int;
+  w_drops : int;
+  w_bytes_delivered : int;
+}
+
+let window_open t =
+  {
+    w_busy_s = fs_get t fs_busy_time;
+    w_wait_s = fs_get t fs_total_queue_wait;
+    w_delivered = t.packets_delivered;
+    w_offered = t.packets_offered;
+    w_drops = t.drops;
+    w_bytes_delivered = t.bytes_delivered;
+  }
+
+let window_delivered t w = t.packets_delivered - w.w_delivered
+let window_offered t w = t.packets_offered - w.w_offered
+let window_drops t w = t.drops - w.w_drops
+let window_bytes_delivered t w = t.bytes_delivered - w.w_bytes_delivered
+let window_busy_s t w = fs_get t fs_busy_time -. w.w_busy_s
+
+let window_queue_delay_s t w =
+  let delivered = window_delivered t w in
+  if delivered = 0 then 0.
+  else (fs_get t fs_total_queue_wait -. w.w_wait_s) /. float_of_int delivered
+
+let window_loss_rate t w =
+  let offered = window_offered t w in
+  if offered = 0 then 0. else float_of_int (window_drops t w) /. float_of_int offered
+
+let window_throughput_bps t w ~elapsed_s =
+  float_of_int (window_bytes_delivered t w * 8) /. elapsed_s
+
+let window_utilization t w ~elapsed_s = Float.min 1. (window_busy_s t w /. elapsed_s)
 let queue_length t = Ring.length t.queue
 let ecn_marks t = t.ecn_marks
 let packets_delivered t = t.packets_delivered

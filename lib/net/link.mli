@@ -76,6 +76,74 @@ val capacity_pkts : t -> int
 val queue_length : t -> int
 (** Packets currently queued, including the one in service. *)
 
+(** {2 Runtime dynamics}
+
+    Hooks for the scenario plane's adversarial dynamics (link flaps,
+    rate renegotiation, RTT jitter).  All of them are safe to call from
+    engine-scheduled events mid-run; none of them is called by the
+    static experiments, whose runs stay bit-identical. *)
+
+val set_rate_bps : t -> float -> unit
+(** Change the serialization rate for packets whose service starts from
+    now on; the packet currently in service completes at the rate in
+    effect when its service began.  Raises [Invalid_argument] unless
+    positive and finite. *)
+
+val set_delay_s : t -> float -> unit
+(** Change the propagation delay for packets that finish serialization
+    from now on.  Packets already propagating are unaffected.  Delivery
+    stays FIFO: when the delay shrinks, a packet that would overtake an
+    earlier in-flight one is clamped to land at the same instant as its
+    predecessor (gaps compress, order never inverts).  Raises
+    [Invalid_argument] on negative or non-finite delays. *)
+
+val set_down : t -> unit
+(** Take the link administratively down: subsequent arrivals are
+    dropped (counted in {!drops}/{!bytes_dropped}, so conservation
+    holds), queued packets freeze in place (their queue-wait keeps
+    accruing), and the packet in service — plus everything already
+    propagating — still completes delivery. *)
+
+val set_up : t -> unit
+(** Bring the link back up and resume serving the frozen queue.
+    Idempotent. *)
+
+val is_up : t -> bool
+
+(** {2 Windowed measurement}
+
+    A [window] is a snapshot of the link's monotonic counters; the
+    [window_*] accessors read the deltas accumulated since the
+    snapshot, plus the derived per-window metrics every experiment
+    computes (mean queueing delay, loss rate, throughput,
+    utilization). *)
+
+type window
+
+val window_open : t -> window
+(** Snapshot the counters now; O(1), allocation is one small record. *)
+
+val window_delivered : t -> window -> int
+val window_offered : t -> window -> int
+val window_drops : t -> window -> int
+val window_bytes_delivered : t -> window -> int
+
+val window_busy_s : t -> window -> float
+(** Serialization time accumulated since the snapshot. *)
+
+val window_queue_delay_s : t -> window -> float
+(** Mean queue wait per packet delivered in the window (0 if none). *)
+
+val window_loss_rate : t -> window -> float
+(** Fraction of packets offered in the window that were dropped (0 if
+    nothing was offered). *)
+
+val window_throughput_bps : t -> window -> elapsed_s:float -> float
+(** Delivered bits in the window over [elapsed_s]. *)
+
+val window_utilization : t -> window -> elapsed_s:float -> float
+(** Busy time over [elapsed_s], capped at 1. *)
+
 (** {2 Counters (monotonic since creation)} *)
 
 val ecn_marks : t -> int

@@ -48,6 +48,23 @@ let fraction_at_least xs ~threshold =
   let above = Array.fold_left (fun acc v -> if v >= threshold then acc + 1 else acc) 0 xs in
   float_of_int above /. float_of_int (Array.length xs)
 
+(* Jain's fairness index: (Σx)² / (n·Σx²).  Degenerate samples — empty,
+   or all-zero (Σx² ≤ 0) — are defined as perfectly fair (1.), matching
+   the convention the swarm experiment has used since PR 7: a shard map
+   that received no traffic is not unfair, it is idle. *)
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let s = ref 0. and s2 = ref 0. in
+    for i = 0 to n - 1 do
+      let x = Array.unsafe_get xs i in
+      s := !s +. x;
+      s2 := !s2 +. (x *. x)
+    done;
+    if !s2 <= 0. then 1. else !s *. !s /. (float_of_int n *. !s2)
+  end
+
 type summary = {
   count : int;
   mean : float;

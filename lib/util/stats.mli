@@ -28,6 +28,12 @@ val fraction_at_least : float array -> threshold:float -> float
 (** Fraction of samples [>= threshold] (survival function, used for the
     "share with at least k flows" statistic). *)
 
+val jain : float array -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)], in (0, 1] for any
+    non-degenerate sample: 1 when all values are equal, 1/n when a
+    single element carries everything.  Empty or all-zero samples are
+    defined as 1. (idle, not unfair). *)
+
 type summary = {
   count : int;
   mean : float;

@@ -1,0 +1,6 @@
+(* Nested, indented mutable global shared by every scenario cell. *)
+module Counters = struct
+  let flaps = ref 0
+end
+
+let bump () = incr Counters.flaps

@@ -1,0 +1,3 @@
+(** Shared metrics fixture. *)
+
+val bump : unit -> unit

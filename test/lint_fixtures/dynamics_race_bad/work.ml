@@ -1,0 +1,4 @@
+(* Each scripted event tallies into a shared counter. *)
+let step engine () =
+  Metrics.bump ();
+  ignore engine

@@ -1,0 +1,3 @@
+(** Scripted-event fixture. *)
+
+val step : int -> unit -> unit

@@ -1,0 +1,2 @@
+(* Pure combiner: cell results merge after the pool joins. *)
+let combine a b = a + b

@@ -1,0 +1,3 @@
+(** Pure combiner fixture. *)
+
+val combine : int -> int -> int

@@ -1,0 +1,3 @@
+(* Dynamics-script callbacks run inside pool-fanned scenario cells. *)
+let script engine = Dynamics.every engine (Work.step engine)
+let kick engine = Dynamics.at engine (Work.step engine)

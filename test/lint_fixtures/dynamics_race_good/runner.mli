@@ -1,0 +1,4 @@
+(** Dynamics script fan-out fixture. *)
+
+val script : int -> unit
+val kick : int -> unit

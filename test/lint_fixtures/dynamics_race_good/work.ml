@@ -1,0 +1,5 @@
+(* Per-cell accumulator: state lives and dies inside the cell. *)
+let step engine () =
+  let flaps = ref 0 in
+  incr flaps;
+  ignore (Metrics.combine engine !flaps)

@@ -1,8 +1,9 @@
-(* The CI report gate (Phi_check.Report_check): a well-formed /6 report
+(* The CI report gate (Phi_check.Report_check): a well-formed /7 report
    passes, and injected regressions — swarm throughput below the floor,
    p99 over budget, allocation over budget, decision-plane speedup
    below the floor or lookups that box, pdes determinism or scaling
-   broken — trip it.  This is the acceptance proof that the gate
+   broken, wan_matrix fairness/FCT out of range or serial-probe
+   divergence — trip it.  This is the acceptance proof that the gate
    actually gates. *)
 
 module J = Phi_util.Json
@@ -98,9 +99,50 @@ let pdes ?(cores = 4)
       ("runs", J.List runs);
     ]
 
+(* One cell of the topology-zoo evaluation matrix, physically sane by
+   default. *)
+let wan_cell ?(algorithm = "cubic") ?(topology = "wan") ?(dynamics = "flap")
+    ?(throughput_bps = 3.7e6) ?(loss_rate = 0.02) ?(jain = 0.54) ?(p99_fct_s = 1.8)
+    ?(connections = 54) () =
+  J.Obj
+    [
+      ("algorithm", J.String algorithm);
+      ("topology", J.String topology);
+      ("dynamics", J.String dynamics);
+      ("aqm", J.String "droptail");
+      ("throughput_bps", J.float throughput_bps);
+      ("delay_s", J.float 0.138);
+      ("queueing_delay_s", J.float 0.018);
+      ("loss_rate", J.float loss_rate);
+      ("power", J.float 26.3);
+      ("jain", J.float jain);
+      ("p99_fct_s", J.float p99_fct_s);
+      ("connections", J.Int connections);
+    ]
+
+let wan_matrix ?(duration_s = 6.) ?(cells = [ wan_cell () ])
+    ?(serial = "0x1.c4fp+21;0x1.1aap-3;0x1.169p-1;0x1.c89p+0;0x1.a3fp+4;54")
+    ?probe_parallel () =
+  let parallel = match probe_parallel with Some p -> p | None -> serial in
+  J.Obj
+    [
+      ("duration_s", J.float duration_s);
+      ("seeds", J.Int 1);
+      ("jobs", J.Int 4);
+      ("aqm", J.String "droptail");
+      ("cells", J.List cells);
+      ( "determinism",
+        J.Obj
+          [
+            ("cell", J.String "cubic/wan/flap");
+            ("parallel", J.String parallel);
+            ("serial", J.String serial);
+          ] );
+    ]
+
 let report ?(schema = "phi-bench-report/5") ?(swarm_section = Some (swarm ()))
     ?(alloc_section = Some (alloc ())) ?(cc_section = Some (cc_matrix ()))
-    ?(decision_section = Some (decision ())) ?(pdes_section = None) () =
+    ?(decision_section = Some (decision ())) ?(pdes_section = None) ?(wan_section = None) () =
   let optional name = function Some v -> [ (name, v) ] | None -> [] in
   J.Obj
     ([
@@ -115,7 +157,8 @@ let report ?(schema = "phi-bench-report/5") ?(swarm_section = Some (swarm ()))
     @ optional "cc_matrix" cc_section
     @ optional "swarm" swarm_section
     @ optional "decision" decision_section
-    @ optional "pdes" pdes_section)
+    @ optional "pdes" pdes_section
+    @ optional "wan_matrix" wan_section)
 
 let check doc = Check.check ~path:"report.json" doc
 
@@ -137,6 +180,9 @@ let expect_fail what ~mentioning doc =
       Alcotest.failf "%s tripped the gate but for the wrong reason: %s" what msg
 
 let test_valid_reports_pass () =
+  expect_pass "a full /7 report"
+    (report ~schema:"phi-bench-report/7" ~pdes_section:(Some (pdes ()))
+       ~wan_section:(Some (wan_matrix ())) ());
   expect_pass "a full /6 report"
     (report ~schema:"phi-bench-report/6" ~pdes_section:(Some (pdes ())) ());
   expect_pass "a full /5 report" (report ());
@@ -240,6 +286,47 @@ let test_pdes_structure_gate () =
   expect_fail "run without a fingerprint" ~mentioning:"fingerprint"
     (full_6 ~runs:[ pdes_run ~fingerprint:"" () ] ())
 
+let test_wan_matrix_sanity_gate () =
+  (* Jain is a mean of ratios in (0, 1]; anything outside means the
+     per-source byte accounting broke. *)
+  expect_fail "jain over 1" ~mentioning:"\"jain\" must be in (0, 1]"
+    (report ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~jain:1.2 () ] ())) ());
+  expect_fail "jain of 0" ~mentioning:"\"jain\" must be in (0, 1]"
+    (report ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~jain:0. () ] ())) ());
+  (* FCTs are measured inside the run, so p99 past the cell duration is
+     a bookkeeping bug, not a slow network. *)
+  expect_fail "p99 FCT past the cell duration" ~mentioning:"outside (0, 6]"
+    (report ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~p99_fct_s:7.5 () ] ())) ());
+  expect_fail "cell with no completed connections" ~mentioning:"positive \"connections\""
+    (report ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~connections:0 () ] ())) ());
+  expect_fail "loss rate over 1" ~mentioning:"\"loss_rate\" must be in [0, 1]"
+    (report ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~loss_rate:1.5 () ] ())) ());
+  (* The gate applies whenever the section is present, whatever the
+     schema version — the --quick --only wan_matrix smoke is gated
+     too. *)
+  expect_fail "a /1 report with an unfair wan_matrix cell" ~mentioning:"(0, 1]"
+    (report ~schema:"phi-bench-report/1" ~swarm_section:None ~cc_section:None
+       ~alloc_section:None ~decision_section:None
+       ~wan_section:(Some (wan_matrix ~cells:[ wan_cell ~jain:1.2 () ] ()))
+       ())
+
+let test_wan_matrix_determinism_gate () =
+  (* A pool-fanned cell that disagrees with its serial replay means the
+     matrix is jobs-dependent — the contract run_matrix promises. *)
+  expect_fail "serial probe divergence" ~mentioning:"determinism broken"
+    (report ~wan_section:(Some (wan_matrix ~probe_parallel:"0x1.deadbeefp+0;54" ())) ())
+
+let test_wan_matrix_structure_gate () =
+  expect_fail "/7 without a wan_matrix section" ~mentioning:"requires a \"wan_matrix\" section"
+    (report ~schema:"phi-bench-report/7" ~pdes_section:(Some (pdes ())) ());
+  expect_fail "empty cells array" ~mentioning:"non-empty \"cells\""
+    (report ~wan_section:(Some (wan_matrix ~cells:[] ())) ());
+  expect_fail "missing determinism probe" ~mentioning:"\"determinism\" probe"
+    (report
+       ~wan_section:
+         (Some (J.Obj [ ("duration_s", J.float 6.); ("cells", J.List [ wan_cell () ]) ]))
+       ())
+
 let test_schema_gate () =
   expect_fail "unknown schema" ~mentioning:"unknown \"schema\""
     (report ~schema:"phi-bench-report/99" ())
@@ -258,5 +345,8 @@ let suite =
     Alcotest.test_case "pdes determinism gate trips" `Quick test_pdes_determinism_gate;
     Alcotest.test_case "pdes scaling floor trips" `Quick test_pdes_scaling_gate;
     Alcotest.test_case "pdes structure is enforced" `Quick test_pdes_structure_gate;
+    Alcotest.test_case "wan_matrix sanity gates trip" `Quick test_wan_matrix_sanity_gate;
+    Alcotest.test_case "wan_matrix determinism gate trips" `Quick test_wan_matrix_determinism_gate;
+    Alcotest.test_case "wan_matrix structure is enforced" `Quick test_wan_matrix_structure_gate;
     Alcotest.test_case "unknown schemas are rejected" `Quick test_schema_gate;
   ]

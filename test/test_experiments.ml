@@ -433,6 +433,127 @@ let test_sharing_experiment_shape () =
   Alcotest.(check bool) "many flows share with >= 5" true (frac 5 > 0.2);
   Alcotest.(check bool) "ccdf decreasing" true (frac 5 >= frac 100)
 
+(* The WAN matrix: algorithm x topology x dynamics cells, constructed
+   from name tuples inside pool workers, jobs-invariant. *)
+let test_wan_matrix_structure_and_jobs_invariance () =
+  let algorithms = [ List.hd Phi.Cc_algo.all ] in
+  let run jobs =
+    Cc_matrix.run_matrix ~jobs ~algorithms ~duration_s:6. ~seeds:[ 1 ] ()
+  in
+  let cells = run 4 in
+  Alcotest.(check int) "1 algorithm x 3 topologies x 3 regimes" 9 (List.length cells);
+  List.iter
+    (fun (c : Cc_matrix.matrix_cell) ->
+      let cell = Printf.sprintf "%s/%s/%s" c.Cc_matrix.m_algorithm c.Cc_matrix.m_topology c.Cc_matrix.m_dynamics in
+      Alcotest.(check bool) (cell ^ ": connections") true (c.Cc_matrix.m_connections > 0);
+      Alcotest.(check bool) (cell ^ ": jain in (0,1]") true
+        (c.Cc_matrix.m_jain > 0. && c.Cc_matrix.m_jain <= 1.);
+      Alcotest.(check bool) (cell ^ ": p99 fct sane") true
+        (c.Cc_matrix.m_p99_fct_s > 0. && c.Cc_matrix.m_p99_fct_s <= 6.);
+      Alcotest.(check bool) (cell ^ ": pareto point") true
+        (c.Cc_matrix.m_throughput_bps > 0. && c.Cc_matrix.m_delay_s > 0.))
+    cells;
+  let serial = run 1 in
+  Alcotest.(check bool) "jobs-invariant" true
+    (List.for_all2
+       (fun (a : Cc_matrix.matrix_cell) (b : Cc_matrix.matrix_cell) ->
+         a.Cc_matrix.m_topology = b.Cc_matrix.m_topology
+         && a.Cc_matrix.m_dynamics = b.Cc_matrix.m_dynamics
+         && Float.equal a.Cc_matrix.m_throughput_bps b.Cc_matrix.m_throughput_bps
+         && Float.equal a.Cc_matrix.m_jain b.Cc_matrix.m_jain
+         && Float.equal a.Cc_matrix.m_p99_fct_s b.Cc_matrix.m_p99_fct_s
+         && Float.equal a.Cc_matrix.m_power b.Cc_matrix.m_power)
+       cells serial);
+  Alcotest.check_raises "unknown topology fails fast"
+    (Invalid_argument "Zoo.by_name: unknown topology \"ring\"") (fun () ->
+      ignore (Cc_matrix.run_matrix ~topologies:[ "ring" ] ~seeds:[ 1 ] ()))
+
+(* {2 The generalized scenario plane (run_zoo)} *)
+
+(* Every topology x dynamics x AQM corner produces a sane cell: this is
+   the routing smoke test for the zoo (incast and flash-crowd transport
+   must deliver on every topology, including the parking lot's
+   directional chain). *)
+let test_run_zoo_matrix_smoke () =
+  List.iter
+    (fun topology ->
+      List.iter
+        (fun regime ->
+          let zoo = Topology.Zoo.by_name topology in
+          let cell = Printf.sprintf "%s/%s" topology regime in
+          let r =
+            Scenario.run_zoo
+              ~dynamics:(Dynamics.by_name regime)
+              ~aqm:(if regime = "steady" then Scenario.Red_ecn else Scenario.Drop_tail)
+              ~duration_s:6. ~seed:3 zoo
+          in
+          Alcotest.(check bool) (cell ^ ": connections completed") true (r.Scenario.z_connections > 0);
+          Alcotest.(check bool) (cell ^ ": throughput positive") true (r.Scenario.z_throughput_bps > 0.);
+          Alcotest.(check bool) (cell ^ ": jain in (0,1]") true
+            (r.Scenario.z_jain > 0. && r.Scenario.z_jain <= 1.);
+          Alcotest.(check bool) (cell ^ ": p99 fct sane") true
+            (r.Scenario.z_p99_fct_s > 0. && r.Scenario.z_p99_fct_s <= 6.);
+          Alcotest.(check bool) (cell ^ ": loss rate in [0,1]") true
+            (r.Scenario.z_loss_rate >= 0. && r.Scenario.z_loss_rate <= 1.);
+          Alcotest.(check bool) (cell ^ ": utilization in [0,1]") true
+            (r.Scenario.z_utilization >= 0. && r.Scenario.z_utilization <= 1.);
+          Alcotest.(check bool) (cell ^ ": power non-negative") true (r.Scenario.z_power >= 0.);
+          Alcotest.(check bool) (cell ^ ": delay covers base rtt") true
+            (r.Scenario.z_delay_s >= r.Scenario.z_queueing_delay_s))
+        Dynamics.names)
+    Topology.Zoo.names
+
+(* A cell is a pure function of its parameters: replaying one gives
+   bit-identical floats even under scripted dynamics. *)
+let test_run_zoo_deterministic () =
+  let cell () =
+    Scenario.run_zoo ~dynamics:Dynamics.default_flap ~aqm:Scenario.Red ~duration_s:8. ~seed:11
+      (Topology.Zoo.wan ())
+  in
+  let a = cell () and b = cell () in
+  let same name f = Alcotest.(check string) name (Printf.sprintf "%h" (f a)) (Printf.sprintf "%h" (f b)) in
+  same "throughput" (fun r -> r.Scenario.z_throughput_bps);
+  same "queueing delay" (fun r -> r.Scenario.z_queueing_delay_s);
+  same "jain" (fun r -> r.Scenario.z_jain);
+  same "p99 fct" (fun r -> r.Scenario.z_p99_fct_s);
+  same "power" (fun r -> r.Scenario.z_power);
+  Alcotest.(check int) "connections" a.Scenario.z_connections b.Scenario.z_connections
+
+(* The regimes bite: a flash crowd completes more connections than the
+   steady baseline, and scripted dynamics perturb the trajectory. *)
+let test_run_zoo_dynamics_bite () =
+  let run dynamics =
+    Scenario.run_zoo ~dynamics ~duration_s:10. ~seed:5 (Topology.Zoo.dumbbell ())
+  in
+  let steady = run Dynamics.steady in
+  let crowd = run Dynamics.default_flash_crowd in
+  let extra_records =
+    List.filter
+      (fun r -> r.Phi_tcp.Flow.source_index >= crowd.Scenario.z_flows)
+      crowd.Scenario.z_records
+  in
+  Alcotest.(check bool) "flash crowd sources complete connections" true
+    (List.length extra_records > 0);
+  Alcotest.(check bool) "no crowd connection starts before the scripted instant" true
+    (List.for_all (fun r -> r.Phi_tcp.Flow.started_at >= 5.) extra_records);
+  let jitter = run Dynamics.default_jitter in
+  Alcotest.(check bool) "jitter perturbs the run" true
+    (jitter.Scenario.z_throughput_bps <> steady.Scenario.z_throughput_bps);
+  let flap = run Dynamics.default_flap in
+  Alcotest.(check bool) "flap perturbs the run" true
+    (flap.Scenario.z_throughput_bps <> steady.Scenario.z_throughput_bps)
+
+let test_dynamics_registry () =
+  List.iter
+    (fun n -> Alcotest.(check string) n n (Dynamics.name (Dynamics.by_name n)))
+    Dynamics.names;
+  List.iter
+    (fun n -> Alcotest.(check string) n n (Scenario.aqm_name (Scenario.aqm_by_name n)))
+    Scenario.aqm_names;
+  Alcotest.check_raises "unknown regime"
+    (Invalid_argument "Dynamics.by_name: unknown regime \"nope\"") (fun () ->
+      ignore (Dynamics.by_name "nope"))
+
 (* {2 Priority (Section 3.3)} *)
 
 let test_priority_differentiation_and_friendliness () =
@@ -499,9 +620,14 @@ let suite =
     ("registry round trip and parse_cc", `Quick, test_registry_round_trip);
     ("cc_select builds every algorithm", `Quick, test_cc_select_builds_every_algorithm);
     ("cc matrix covers registry", `Slow, test_cc_matrix_covers_registry);
+    ("wan matrix structure and jobs invariance", `Slow, test_wan_matrix_structure_and_jobs_invariance);
     ("incremental benefit (fig 4)", `Slow, test_incremental_modified_benefit);
     ("incremental extremes", `Quick, test_incremental_fraction_extremes);
     ("table 3 rows and overhead", `Slow, test_table3_rows_and_overhead);
+    ("run_zoo matrix smoke (all cells)", `Slow, test_run_zoo_matrix_smoke);
+    ("run_zoo deterministic", `Slow, test_run_zoo_deterministic);
+    ("run_zoo dynamics bite", `Slow, test_run_zoo_dynamics_bite);
+    ("dynamics and aqm registries", `Quick, test_dynamics_registry);
     ("sharing experiment (s2.1)", `Quick, test_sharing_experiment_shape);
     ("priority differentiation (s3.3)", `Slow, test_priority_differentiation_and_friendliness);
     ("prediction beats global (s3.5)", `Quick, test_predict_experiment_beats_global);

@@ -176,6 +176,146 @@ let test_link_fault_injection () =
   Engine.run engine;
   Alcotest.(check int) "every cell recycled" 0 (Packet.in_use pool)
 
+(* {2 Runtime dynamics (link flaps, rate changes, delay jitter)} *)
+
+(* 1 packet/s serialization so service boundaries land on whole seconds. *)
+let pkt_per_s = float_of_int (Packet.mss * 8)
+
+let test_link_flap_freezes_queue () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:pkt_per_s ~delay_s:0. ~capacity_pkts:10 engine pool in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun p ->
+      arrivals := (Packet.seq pool p, Engine.now engine) :: !arrivals;
+      Packet.release pool p);
+  for seq = 0 to 2 do
+    Link.send link (data pool ~seq)
+  done;
+  (* Down mid-service of packet 0: it completes (t=1) and delivers;
+     packets 1-2 freeze.  An arrival while down is dropped.  Up at t=5:
+     the frozen queue resumes, delivering at t=6 and t=7. *)
+  ignore (Engine.schedule_at engine ~time:0.5 (fun () -> Link.set_down link));
+  ignore (Engine.schedule_at engine ~time:1.5 (fun () -> Link.send link (data pool ~seq:3)));
+  ignore (Engine.schedule_at engine ~time:5.0 (fun () -> Link.set_up link));
+  Engine.run engine;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "in-service completes, queue freezes then resumes"
+    [ (0, 1.0); (1, 6.0); (2, 7.0) ]
+    (List.rev !arrivals);
+  Alcotest.(check int) "arrival while down dropped" 1 (Link.drops link);
+  Alcotest.(check int) "conservation" (Link.packets_offered link)
+    (Link.packets_delivered link + Link.drops link + Link.queue_length link);
+  Alcotest.(check bool) "back up" true (Link.is_up link);
+  Alcotest.(check int) "no cell leaked" 0 (Packet.in_use pool)
+
+let test_link_set_up_idempotent () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:pkt_per_s ~delay_s:0. engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
+  Link.set_up link;
+  (* Calling set_up on an already-up link must not double-start service. *)
+  Link.send link (data pool ~seq:0);
+  Link.set_up link;
+  Engine.run engine;
+  Alcotest.(check int) "delivered once" 1 (Link.packets_delivered link)
+
+let test_link_rate_change_mid_transmission () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:pkt_per_s ~delay_s:0. engine pool in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun p ->
+      arrivals := Engine.now engine :: !arrivals;
+      Packet.release pool p);
+  Link.send link (data pool ~seq:0);
+  Link.send link (data pool ~seq:1);
+  (* Double the rate while packet 0 is in service: it still finishes at
+     the old rate (t=1); packet 1 serializes at the new rate (0.5 s). *)
+  ignore (Engine.schedule_at engine ~time:0.5 (fun () -> Link.set_rate_bps link (2. *. pkt_per_s)));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "old rate finishes, new rate follows" [ 1.0; 1.5 ]
+    (List.rev !arrivals)
+
+let test_link_delay_jitter_never_reorders () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  (* Fast serialization (1 ms) with long propagation (100 ms). *)
+  let link =
+    make_link ~bandwidth_bps:(1000. *. pkt_per_s) ~delay_s:0.1 ~capacity_pkts:10 engine pool
+  in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun p ->
+      arrivals := (Packet.seq pool p, Engine.now engine) :: !arrivals;
+      Packet.release pool p);
+  Link.send link (data pool ~seq:0);
+  Link.send link (data pool ~seq:1);
+  (* Shrink the delay to zero between the two serializations: packet 1
+     would land at t=0.002, overtaking packet 0 (due t=0.101).  The
+     clamp pins it to packet 0's delivery instant instead. *)
+  ignore (Engine.schedule_at engine ~time:0.0015 (fun () -> Link.set_delay_s link 0.));
+  Engine.run engine;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "fifo preserved under shrinking delay"
+    [ (0, 0.101); (1, 0.101) ]
+    (List.rev !arrivals)
+
+let test_link_delay_increase_takes_effect () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:(1000. *. pkt_per_s) ~delay_s:0.01 engine pool in
+  let arrivals = ref [] in
+  Link.set_receiver link (fun p ->
+      arrivals := Engine.now engine :: !arrivals;
+      Packet.release pool p);
+  Link.send link (data pool ~seq:0);
+  ignore (Engine.schedule_at engine ~time:0.0015 (fun () -> Link.set_delay_s link 0.05));
+  ignore (Engine.schedule_at engine ~time:0.002 (fun () -> Link.send link (data pool ~seq:1)));
+  Engine.run engine;
+  (* First packet at the old delay, second at the new one. *)
+  Alcotest.(check (list (float 1e-9))) "new delay applies to later packets" [ 0.011; 0.053 ]
+    (List.rev !arrivals)
+
+let test_link_dynamics_validation () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link engine pool in
+  let raised f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero rate" true (raised (fun () -> Link.set_rate_bps link 0.));
+  Alcotest.(check bool) "nan rate" true (raised (fun () -> Link.set_rate_bps link Float.nan));
+  Alcotest.(check bool) "negative delay" true (raised (fun () -> Link.set_delay_s link (-1.)));
+  Alcotest.(check bool) "nan delay" true (raised (fun () -> Link.set_delay_s link Float.nan))
+
+let test_link_stats_window () =
+  let engine = Engine.create () in
+  let pool = Packet.create_pool () in
+  let link = make_link ~bandwidth_bps:pkt_per_s ~delay_s:0. ~capacity_pkts:2 engine pool in
+  Link.set_receiver link (fun p -> Packet.release pool p);
+  Link.send link (data pool ~seq:0);
+  Link.send link (data pool ~seq:1);
+  Engine.run engine;
+  let w = Link.window_open link in
+  Alcotest.(check int) "fresh window sees nothing" 0 (Link.window_delivered link w);
+  Alcotest.(check (float 0.)) "fresh window idle" 0. (Link.window_busy_s link w);
+  (* Second half: 2 accepted (one waits a full service time), 1 dropped. *)
+  for seq = 2 to 4 do
+    Link.send link (data pool ~seq)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "delta delivered" 2 (Link.window_delivered link w);
+  Alcotest.(check int) "delta offered" 3 (Link.window_offered link w);
+  Alcotest.(check int) "delta drops" 1 (Link.window_drops link w);
+  Alcotest.(check int) "delta bytes" (2 * Packet.mss) (Link.window_bytes_delivered link w);
+  Alcotest.(check (float 1e-9)) "delta busy" 2. (Link.window_busy_s link w);
+  Alcotest.(check (float 1e-9)) "mean queue wait" 0.5 (Link.window_queue_delay_s link w);
+  Alcotest.(check (float 1e-9)) "loss rate" (1. /. 3.) (Link.window_loss_rate link w);
+  Alcotest.(check (float 1e-9))
+    "throughput over 2s"
+    (float_of_int (2 * Packet.mss * 8) /. 2.)
+    (Link.window_throughput_bps link w ~elapsed_s:2.);
+  Alcotest.(check (float 1e-9)) "utilization" 1. (Link.window_utilization link w ~elapsed_s:2.)
+
 let test_link_validation () =
   let engine = Engine.create () in
   let pool = Packet.create_pool () in
@@ -416,6 +556,82 @@ let test_dumbbell_rejects_tiny_rtt () =
   in
   Alcotest.(check bool) "rtt too small rejected" true raised
 
+(* {2 Graph builder vs legacy dumbbell: per-field trace equivalence} *)
+
+(* Run the same persistent-cubic workload on a dumbbell built either
+   way and fold every observable into one string: per-flow transport
+   stats (floats as %h), bottleneck counters, and the engine's executed
+   event count.  The two constructions must be byte-identical. *)
+let dumbbell_trace ~via_zoo ~spec ~seed ~duration_s =
+  let engine = Engine.create () in
+  let sender_node, receiver_node, bottleneck, reverse =
+    if via_zoo then begin
+      let z = Topology.Zoo.dumbbell ~spec () in
+      let b = Topology.build engine z.Topology.Zoo.graph in
+      ( (fun i -> Topology.node b ~id:i),
+        (fun i -> Topology.node b ~id:(spec.Topology.n + i)),
+        Topology.link_of b (Topology.find_link b ~label:"bottleneck"),
+        Topology.link_of b (Topology.find_link b ~label:"reverse_bottleneck") )
+    end
+    else begin
+      let d = Topology.dumbbell engine spec in
+      ( (fun i -> d.Topology.senders.(i)),
+        (fun i -> d.Topology.receivers.(i)),
+        d.Topology.bottleneck,
+        d.Topology.reverse_bottleneck )
+    end
+  in
+  let rng = Prng.create ~seed in
+  let senders =
+    Array.init spec.Topology.n (fun i ->
+        let _recv = Phi_tcp.Receiver.create engine ~node:(receiver_node i) ~flow:i ~peer:i in
+        let s =
+          Phi_tcp.Sender.create engine ~node:(sender_node i) ~flow:i
+            ~dst:(spec.Topology.n + i)
+            ~cc:(Phi_tcp.Cubic.make Phi_tcp.Cubic.default_params)
+            ~total_segments:Phi_tcp.Sender.persistent_total ~source_index:i ()
+        in
+        ignore
+          (Engine.schedule_after engine ~delay:(Prng.float rng) (fun () ->
+               Phi_tcp.Sender.start s));
+        s)
+  in
+  Engine.run ~until:duration_s engine;
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun s ->
+      let st = Phi_tcp.Sender.stats s in
+      Buffer.add_string buf
+        (Printf.sprintf "f=%d seg=%d retx=%d to=%d rtt=%h/%h;" st.Phi_tcp.Flow.flow
+           st.Phi_tcp.Flow.segments st.Phi_tcp.Flow.retransmitted_segments
+           st.Phi_tcp.Flow.timeouts st.Phi_tcp.Flow.min_rtt st.Phi_tcp.Flow.mean_rtt))
+    senders;
+  Array.iter Phi_tcp.Sender.abort senders;
+  Buffer.add_string buf
+    (Printf.sprintf "bneck=%d/%d/%d busy=%h wait=%h rev=%d events=%d"
+       (Link.packets_delivered bottleneck) (Link.drops bottleneck)
+       (Link.bytes_delivered bottleneck) (Link.busy_time bottleneck)
+       (Link.total_queue_wait bottleneck)
+       (Link.packets_delivered reverse) (Engine.executed engine));
+  Buffer.contents buf
+
+let prop_zoo_dumbbell_equivalent =
+  QCheck.Test.make ~name:"zoo dumbbell trace ≡ legacy constructor" ~count:12
+    QCheck.(
+      quad (int_range 1 4) (int_range 0 2) (int_range 0 2) (int_range 0 10_000))
+    (fun (n, bw_ix, rtt_ix, seed) ->
+      let spec =
+        {
+          Topology.paper_spec with
+          Topology.n;
+          bottleneck_bw_bps = [| 5e6; 10e6; 15e6 |].(bw_ix);
+          rtt_s = [| 0.05; 0.1; 0.15 |].(rtt_ix);
+        }
+      in
+      String.equal
+        (dumbbell_trace ~via_zoo:false ~spec ~seed ~duration_s:5.)
+        (dumbbell_trace ~via_zoo:true ~spec ~seed ~duration_s:5.))
+
 (* {2 Chain (parking lot)} *)
 
 module Chain = Phi_net.Chain
@@ -533,6 +749,13 @@ let suite =
     ("link busy time", `Quick, test_link_busy_time_utilization);
     ("link queue wait", `Quick, test_link_queue_wait);
     ("link fault injection", `Quick, test_link_fault_injection);
+    ("link flap freezes queue", `Quick, test_link_flap_freezes_queue);
+    ("link set_up idempotent", `Quick, test_link_set_up_idempotent);
+    ("link rate change mid-tx", `Quick, test_link_rate_change_mid_transmission);
+    ("link delay jitter fifo", `Quick, test_link_delay_jitter_never_reorders);
+    ("link delay increase", `Quick, test_link_delay_increase_takes_effect);
+    ("link dynamics validation", `Quick, test_link_dynamics_validation);
+    ("link stats window", `Quick, test_link_stats_window);
     ("link validation", `Quick, test_link_validation);
     ("red no drops below min", `Quick, test_red_no_drops_below_min_threshold);
     ("red drops above max", `Quick, test_red_drops_above_max_threshold);
@@ -551,4 +774,5 @@ let suite =
     ("chain hops independent", `Slow, test_chain_hops_load_independently);
     ("chain validation", `Quick, test_chain_validation);
     ("monitor utilization bins", `Quick, test_monitor_utilization_bins);
+    QCheck_alcotest.to_alcotest prop_zoo_dumbbell_equivalent;
   ]

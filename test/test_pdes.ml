@@ -313,6 +313,107 @@ let test_boundary_create_validation () =
   Alcotest.(check int) "island indices" 1 (Pdes.index b);
   Alcotest.(check int) "island count" 2 (Pdes.islands coord)
 
+(* {2 Partitioning the topology zoo} *)
+
+module Topology = Phi_net.Topology
+
+let test_zoo_cut_lookaheads () =
+  (* Every zoo graph declares its island cuts; the registered lookahead
+     is what buys the parallel window, so it must match the topology's
+     documented cut delays. *)
+  let lookahead name =
+    Topology.Graph.cut_lookahead_s (Topology.Zoo.by_name name).Topology.Zoo.graph
+  in
+  Alcotest.(check (float 0.)) "parking lot: 10 ms inter-segment cut" 0.01
+    (lookahead "parking_lot");
+  Alcotest.(check (float 0.)) "wan: smallest long-haul pair delay, 15 ms" 0.015
+    (lookahead "wan");
+  Alcotest.(check (float 0.)) "dumbbell zoo = legacy spec cut"
+    (Topology.cut_lookahead_s Topology.paper_spec)
+    (lookahead "dumbbell");
+  (* The fat-tree pod is a single island (a datacenter pod has no
+     useful cut at these delays): no cross-island link, no lookahead. *)
+  Alcotest.(check (float 0.)) "fat tree pod is one island" infinity
+    (lookahead "fat_tree_pod")
+
+let test_zoo_plan_cuts_interop () =
+  (* The parking lot as plan_cuts sees it: a line of segments joined by
+     alternating 5 ms hop and 10 ms inter-segment edges.  The planner
+     must choose exactly the 10 ms edges — the same cuts Zoo.parking_lot
+     bakes into its island assignment — and the plan's lookahead (its
+     smallest cut delay) must equal what the realized graph registers. *)
+  let spec = Topology.Zoo.default_parking_lot in
+  let s = spec.Topology.Zoo.segments in
+  let delays =
+    Array.init
+      ((2 * s) - 1)
+      (fun i ->
+        if i mod 2 = 0 then spec.Topology.Zoo.hop_delay_s else spec.Topology.Zoo.cut_delay_s)
+  in
+  let cuts = Pdes.plan_cuts ~delays ~islands:s in
+  Alcotest.(check (list int)) "cuts land on the inter-segment edges" [ 1; 3 ] cuts;
+  let plan_lookahead = List.fold_left (fun acc c -> Float.min acc delays.(c)) infinity cuts in
+  Alcotest.(check (float 0.)) "plan lookahead = realized cut lookahead"
+    (Topology.Graph.cut_lookahead_s (Topology.Zoo.parking_lot ()).Topology.Zoo.graph)
+    plan_lookahead
+
+(* One partitioned run of the WAN zoo under persistent Cubic senders on
+   every flow path, folded to a fingerprint.  Flow ids and rng draws
+   follow flow-path order, so the fingerprint is a pure function of the
+   seed — whatever the worker count. *)
+let wan_zoo_fingerprint ~jobs =
+  let coordinator = Pdes.create () in
+  let zoo = Topology.Zoo.wan () in
+  let built = Topology.build_partitioned coordinator zoo.Topology.Zoo.graph in
+  let flows = Phi_tcp.Flow.allocator () in
+  let rng = Prng.create ~seed:19 in
+  let params = Phi_tcp.Cubic.default_params in
+  let senders =
+    Array.map
+      (fun (fp : Topology.Zoo.flow_path) ->
+        let flow = Phi_tcp.Flow.fresh flows in
+        let _receiver =
+          Phi_tcp.Receiver.create
+            (Topology.node_engine built ~id:fp.Topology.Zoo.dst)
+            ~node:(Topology.node built ~id:fp.Topology.Zoo.dst)
+            ~flow ~peer:fp.Topology.Zoo.src
+        in
+        let engine = Topology.node_engine built ~id:fp.Topology.Zoo.src in
+        let sender =
+          Phi_tcp.Sender.create engine
+            ~node:(Topology.node built ~id:fp.Topology.Zoo.src)
+            ~flow ~dst:fp.Topology.Zoo.dst ~cc:(Phi_tcp.Cubic.make params)
+            ~total_segments:Phi_tcp.Sender.persistent_total ~source_index:flow ()
+        in
+        ignore
+          (Engine.schedule_after engine ~delay:(Prng.float rng) (fun () ->
+               Phi_tcp.Sender.start sender));
+        sender)
+      zoo.Topology.Zoo.flow_paths
+  in
+  Pdes.run ~jobs ~window_s:(Pdes.lookahead_s coordinator) ~until:2. coordinator;
+  let fnv h v = (h lxor (v land 0xffffffff)) * 0x01000193 land 0xffffffff in
+  let checksum =
+    Array.fold_left
+      (fun acc s ->
+        let st = Phi_tcp.Sender.stats s in
+        fnv (fnv acc st.Phi_tcp.Flow.segments) st.Phi_tcp.Flow.retransmitted_segments)
+      0x811c9dc5 senders
+  in
+  Printf.sprintf "events=%d checksum=%08x" (Topology.total_events built) checksum
+
+let test_zoo_wan_partitioned_determinism () =
+  (* The determinism contract on a zoo graph: the 4-site WAN mesh,
+     partitioned one island per site, replays identically at 1 and 2
+     worker domains. *)
+  let serial = wan_zoo_fingerprint ~jobs:1 in
+  let parallel = wan_zoo_fingerprint ~jobs:2 in
+  Alcotest.(check string) "jobs 2 replays jobs 1" serial parallel;
+  (* A fingerprint of an idle network would also be jobs-invariant;
+     make sure the transport actually ran. *)
+  Alcotest.(check bool) "the mesh carried traffic" false
+    (String.length serial >= 9 && String.sub serial 0 9 = "events=0 ")
+
 let suite =
   [
     Alcotest.test_case "plan_cuts: uniform delays" `Quick test_plan_cuts_uniform;
@@ -324,4 +425,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_partitioned_replays_serial;
     Alcotest.test_case "ring overflow raises" `Quick test_ring_overflow_raises;
     Alcotest.test_case "boundary create validation" `Quick test_boundary_create_validation;
+    Alcotest.test_case "zoo graphs register their cut lookaheads" `Quick test_zoo_cut_lookaheads;
+    Alcotest.test_case "plan_cuts agrees with the parking-lot islands" `Quick
+      test_zoo_plan_cuts_interop;
+    Alcotest.test_case "partitioned WAN zoo is jobs-invariant" `Quick
+      test_zoo_wan_partitioned_determinism;
   ]

@@ -191,6 +191,16 @@ let test_summary () =
   check_float "max" 100. s.Stats.max;
   check_float "p90" 90. s.Stats.p90
 
+let test_jain () =
+  check_float "empty is fair" 1. (Stats.jain [||]);
+  check_float "singleton" 1. (Stats.jain [| 42. |]);
+  check_float "all-zero is idle, not unfair" 1. (Stats.jain [| 0.; 0.; 0. |]);
+  check_float "uniform" 1. (Stats.jain [| 3.; 3.; 3.; 3. |]);
+  (* One flow hogging everything: index collapses to 1/n. *)
+  check_float "one-hot" 0.25 (Stats.jain [| 0.; 0.; 8.; 0. |]);
+  let mixed = Stats.jain [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "mixed in (1/n, 1)" true (mixed > 1. /. 3. && mixed < 1.)
+
 let test_ewma () =
   let e = Stats.ewma ~alpha:0.5 in
   Alcotest.(check (option (float 0.))) "empty" None (Stats.ewma_value e);
@@ -394,6 +404,7 @@ let suite =
     ("empty sample rejected", `Quick, test_empty_sample_rejected);
     ("cdf and survival", `Quick, test_cdf_and_survival);
     ("summary", `Quick, test_summary);
+    ("jain fairness", `Quick, test_jain);
     ("ewma", `Quick, test_ewma);
     ("ewma alpha validation", `Quick, test_ewma_alpha_validation);
     ("csv escape", `Quick, test_csv_escape);
